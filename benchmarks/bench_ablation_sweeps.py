@@ -1,0 +1,98 @@
+"""Ablation — parameter sweeps called out in DESIGN.md.
+
+* Domain count N: the convergence factor u(N, f) = (N−2f)/(N−3f) tightens
+  the bound as domains are added; the measured steady-state precision stays
+  in the sub-µs regime throughout.
+* Synchronization interval S: Γ = 2 · r_max · S scales the bound linearly;
+  shorter intervals buy tighter bounds at higher message cost.
+* Monitor period: the takeover latency of the dependent clock scales with
+  the hypervisor monitor's period.
+"""
+
+import pytest
+
+from repro.core.aggregator import AggregatorConfig
+from repro.core.convergence import drift_offset, u_factor
+from repro.experiments.testbed import Testbed, TestbedConfig
+from repro.sim.timebase import MILLISECONDS, MINUTES, SECONDS
+
+
+@pytest.mark.parametrize("n_devices", [4, 5, 6])
+def test_domain_count_sweep(benchmark, n_devices):
+    def run():
+        testbed = Testbed(TestbedConfig(seed=9, n_devices=n_devices))
+        testbed.run_until(2 * MINUTES)
+        return testbed
+
+    testbed = benchmark.pedantic(run, rounds=1, iterations=1)
+    bounds = testbed.derive_bounds()
+    late = [r.precision for r in testbed.series.records[30:]]
+    benchmark.extra_info.update(
+        {
+            "n_domains": n_devices,
+            "u_factor": u_factor(n_devices, 1),
+            "bound_ns": round(bounds.precision_bound),
+            "avg_precision_ns": round(sum(late) / len(late)) if late else None,
+        }
+    )
+    print(f"\nN={n_devices}: u={u_factor(n_devices, 1):.3f} "
+          f"Π={bounds.precision_bound:.0f}ns "
+          f"avg Π*={sum(late) / len(late):.0f}ns")
+    assert late and max(late) < bounds.precision_bound
+    # More domains, tighter convergence factor.
+    assert u_factor(n_devices, 1) <= 2.0
+
+
+@pytest.mark.parametrize("interval_ms", [62.5, 125.0, 250.0])
+def test_sync_interval_sweep(benchmark, interval_ms):
+    interval = round(interval_ms * MILLISECONDS)
+
+    def run():
+        testbed = Testbed(TestbedConfig(seed=9, sync_interval=interval))
+        testbed.run_until(2 * MINUTES)
+        return testbed
+
+    testbed = benchmark.pedantic(run, rounds=1, iterations=1)
+    bounds = testbed.derive_bounds()
+    late = [r.precision for r in testbed.series.records[30:]]
+    benchmark.extra_info.update(
+        {
+            "interval_ms": interval_ms,
+            "gamma_ns": drift_offset(5.0, interval),
+            "bound_ns": round(bounds.precision_bound),
+            "avg_precision_ns": round(sum(late) / len(late)) if late else None,
+        }
+    )
+    print(f"\nS={interval_ms}ms: Γ={drift_offset(5.0, interval):.0f}ns "
+          f"Π={bounds.precision_bound:.0f}ns avg Π*={sum(late)/len(late):.0f}ns")
+    assert bounds.drift_offset == drift_offset(5.0, interval)
+    assert late and max(late) < bounds.precision_bound
+
+
+@pytest.mark.parametrize("monitor_ms", [125, 500])
+def test_monitor_period_sweep(benchmark, monitor_ms):
+    """Takeover latency scales with the monitor period (§II-A)."""
+
+    def run():
+        testbed = Testbed(TestbedConfig(seed=9))
+        node = testbed.nodes["dev3"]
+        node.monitor.stop()
+        node.monitor.period = monitor_ms * MILLISECONDS
+        node.monitor._task.period = monitor_ms * MILLISECONDS
+        node.monitor._task.start()
+        testbed.run_until(90 * SECONDS)
+        kill_time = testbed.sim.now
+        node.active_vm().fail_silent(reason="sweep")
+        testbed.run_until(kill_time + 30 * SECONDS)
+        takeover = testbed.trace.query(
+            category="hypervisor.takeover", start=kill_time
+        )[0]
+        return takeover.time - kill_time
+
+    latency = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {"monitor_period_ms": monitor_ms, "takeover_latency_ms": latency / 1e6}
+    )
+    print(f"\nmonitor {monitor_ms}ms → takeover latency {latency / 1e6:.0f}ms")
+    # Staleness detection needs stale_ticks periods plus slack.
+    assert latency <= (3 + 3) * monitor_ms * MILLISECONDS

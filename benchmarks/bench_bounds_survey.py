@@ -1,0 +1,60 @@
+"""In-text §III-B / §III-C — latency survey and precision bounds.
+
+Paper results:
+
+* Experiment 1: d_min = 4120 ns, d_max = 9188 ns → E = 5068 ns,
+  Γ = 1.25 µs, Π = 2(E + Γ) = 12.636 µs; γ = 1313 ns.
+* Experiment 2: Π = 11.42 µs (E = 4460 ns), γ = 856 ns.
+
+Shape checks: our surveyed testbed lands in the same few-µs regime and the
+arithmetic Π = 2(E + Γ) holds exactly; the paper's own numbers are verified
+against the convergence function as published.
+"""
+
+import pytest
+
+from repro.core.convergence import drift_offset, precision_bound
+from repro.experiments.testbed import Testbed, TestbedConfig
+from repro.sim.timebase import MILLISECONDS, SECONDS
+
+
+def test_bounds_survey(benchmark):
+    def derive():
+        testbed = Testbed(TestbedConfig(seed=1))
+        testbed.run_until(30 * SECONDS)  # carry some traffic first
+        return testbed.derive_bounds()
+
+    bounds = benchmark.pedantic(derive, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "paper_exp1": "dmin=4120 dmax=9188 E=5068 Pi=12636 gamma=1313",
+            "paper_exp2": "Pi=11420 gamma=856",
+            "measured": bounds.describe(),
+        }
+    )
+    print("\n" + bounds.describe())
+
+    # Same latency regime as the paper's testbed.
+    assert 2_000 <= bounds.d_min <= 6_000
+    assert 6_000 <= bounds.d_max <= 13_000
+    # The exact §III-A3 arithmetic.
+    assert bounds.drift_offset == 1250.0
+    assert bounds.precision_bound == pytest.approx(
+        2 * (bounds.reading_error + 1250.0)
+    )
+    assert 0 < bounds.measurement_error < bounds.reading_error
+
+
+def test_paper_numbers_reproduce_exactly(benchmark):
+    """The published numbers satisfy the published formula."""
+
+    def check():
+        gamma = drift_offset(5.0, 125 * MILLISECONDS)
+        return (
+            precision_bound(4, 1, 9188 - 4120, gamma),
+            precision_bound(4, 1, 4460, gamma),
+        )
+
+    exp1, exp2 = benchmark(check)
+    assert exp1 == pytest.approx(12_636.0)
+    assert exp2 == pytest.approx(11_420.0)

@@ -1,0 +1,65 @@
+"""Extension — steered attack variants (ramp / oscillation).
+
+Beyond §III-B's static −24 µs shift: a ramping colluding pair attempts a
+slow time-walk; the architecture's GM-side mutual FTA coupling compounds
+the pull into accelerating, *detectable* divergence instead of a silent
+walk. A single oscillating GM is absorbed by trimming + the PI loop.
+"""
+
+from repro.experiments.testbed import Testbed, TestbedConfig
+from repro.security.attacks import OscillatingAttack, RampAttack
+from repro.sim.timebase import MICROSECONDS, MINUTES
+
+
+def test_colluding_ramp_is_detectable(benchmark):
+    def run():
+        tb = Testbed(TestbedConfig(seed=62, kernel_policy="identical"))
+        tb.run_until(2 * MINUTES)
+        attack = RampAttack(
+            tb.sim, [tb.vms["c4_1"], tb.vms["c1_1"]], step_per_update=-100
+        )
+        attack.launch()
+        tb.run_until(tb.sim.now + 8 * MINUTES)
+        late = [r.precision for r in tb.series.records
+                if r.time > 5 * MINUTES]
+        return tb.derive_bounds(), max(late)
+
+    bounds, worst = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "nominal_ramp_ppm": 0.8,
+            "max_precision_ns": round(worst),
+            "bound_ns": round(bounds.bound_with_error),
+            "detectable": worst > bounds.bound_with_error,
+        }
+    )
+    print(f"\ncolluding ramp: max Π* {worst:.0f} ns vs bound "
+          f"{bounds.bound_with_error:.0f} ns → attack visible")
+    assert worst > bounds.bound_with_error
+
+
+def test_single_oscillator_absorbed(benchmark):
+    def run():
+        tb = Testbed(TestbedConfig(seed=65, kernel_policy="identical"))
+        tb.run_until(2 * MINUTES)
+        attack = OscillatingAttack(
+            tb.sim, [tb.vms["c4_1"]], amplitude=10 * MICROSECONDS,
+            period_updates=16,
+        )
+        attack.launch()
+        tb.run_until(tb.sim.now + 4 * MINUTES)
+        late = [r.precision for r in tb.series.records
+                if r.time > 2 * MINUTES]
+        return tb.derive_bounds(), max(late)
+
+    bounds, worst = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "amplitude_us": 10,
+            "max_precision_ns": round(worst),
+            "bound_ns": round(bounds.bound_with_error),
+        }
+    )
+    print(f"\noscillating GM: max Π* {worst:.0f} ns "
+          f"(bound {bounds.bound_with_error:.0f} ns) → masked")
+    assert worst <= bounds.bound_with_error

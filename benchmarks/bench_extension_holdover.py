@@ -1,0 +1,31 @@
+"""Extension — holdover under total grandmaster loss.
+
+Outside the paper's fault hypothesis (at most one clock sync VM per node),
+but the operator's next question: all four GMs silent at once. Expected
+shape: the FTA engines coast on their last disciplined frequency, precision
+degrades at oscillator-envelope rate (ns/s, not runaway), and recovery
+restores the bound once the GMs return.
+"""
+
+from repro.experiments.holdover import HoldoverConfig, run_holdover_experiment
+
+
+def test_holdover_graceful_degradation(benchmark):
+    result = benchmark.pedantic(
+        run_holdover_experiment,
+        args=(HoldoverConfig(seed=14),),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        {
+            "precision_before_ns": round(result.precision_before),
+            "worst_during_outage_ns": round(result.worst_during_outage),
+            "drift_rate_ns_per_s": round(result.drift_rate_ns_per_s, 1),
+            "recovered_ns": round(result.recovered_precision),
+            "graceful": result.degraded_gracefully,
+        }
+    )
+    print("\n" + result.to_text())
+    assert result.degraded_gracefully
+    assert result.recovered_precision <= result.bounds.bound_with_error

@@ -1,0 +1,63 @@
+"""Microbenchmarks of the hot core primitives.
+
+Not a paper figure — these time the building blocks that run hundreds of
+times per simulated second (FTA, validity assessment, servo sampling, event
+dispatch) so performance regressions in the core show up in CI.
+"""
+
+import random
+
+from repro.core.fta import fault_tolerant_average
+from repro.core.ftshmem import StoredOffset
+from repro.core.validity import ValidityConfig, assess_validity
+from repro.gptp.instance import OffsetSample
+from repro.gptp.servo import PiServo
+from repro.sim.kernel import Simulator
+
+
+def test_fta_four_values(benchmark):
+    values = [120.0, -80.0, 40.0, -24_000.0]
+    result = benchmark(fault_tolerant_average, values, 1)
+    assert -80.0 <= result.value <= 120.0
+
+
+def test_fta_many_values(benchmark):
+    rng = random.Random(1)
+    values = [rng.gauss(0, 1000) for _ in range(64)]
+    result = benchmark(fault_tolerant_average, values, 4)
+    assert min(values) <= result.value <= max(values)
+
+
+def test_validity_assessment(benchmark):
+    def slot(d, off):
+        return StoredOffset(
+            OffsetSample(d, f"gm{d}", off, 0, 0), stored_at=0
+        )
+
+    fresh = {1: slot(1, 0.0), 2: slot(2, 150.0), 3: slot(3, -90.0),
+             4: slot(4, 24_000.0)}
+    flags = benchmark(assess_validity, fresh, ValidityConfig())
+    assert flags[4] is False
+
+
+def test_servo_sampling(benchmark):
+    servo = PiServo()
+    servo.sample(0.0)
+
+    def sample():
+        return servo.sample(42.0)
+
+    out = benchmark(sample)
+    assert out.frequency_ppb != 0.0
+
+
+def test_event_dispatch_throughput(benchmark):
+    def run_10k():
+        sim = Simulator()
+        for i in range(10_000):
+            sim.schedule(i, lambda: None)
+        sim.run()
+        return sim.dispatched_events
+
+    dispatched = benchmark(run_10k)
+    assert dispatched == 10_000

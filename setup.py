@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+All metadata lives in pyproject.toml; this file only exists so that
+``pip install -e .`` works in offline environments where PEP 517 build
+isolation cannot download its build requirements.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""repro — reproduction of "IEEE 802.1AS Multi-Domain Aggregation for
+Virtualized Distributed Real-Time Systems" (Ruh, Steiner, Fohler; DSN-S 2023).
+
+Public entry points:
+
+* :mod:`repro.core` — the paper's contribution: the fault-tolerant average,
+  the FTSHMEM aggregation engine, validity booleans, and the
+  Kopetz–Ochsenreiter precision bound.
+* :mod:`repro.experiments` — the full Fig. 2 testbed and both paper
+  experiments (cyber-resilience, 24 h fault injection) plus baselines.
+* The substrates (:mod:`repro.sim`, :mod:`repro.clocks`,
+  :mod:`repro.network`, :mod:`repro.gptp`, :mod:`repro.hypervisor`,
+  :mod:`repro.security`, :mod:`repro.faults`, :mod:`repro.measurement`,
+  :mod:`repro.analysis`) are importable individually and documented in
+  DESIGN.md.
+
+Quick taste::
+
+    from repro.core import fault_tolerant_average
+    fault_tolerant_average([120.0, -80.0, 40.0, -24_000.0], f=1).value
+    # -20.0  — the Byzantine reading is dropped
+
+    from repro.experiments import Testbed, TestbedConfig
+    tb = Testbed(TestbedConfig(seed=7))
+    tb.run_until(60_000_000_000)  # one simulated minute
+    tb.series.max_record()
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,33 @@
+"""Post-run analysis: aggregation, histograms, event timelines, reports.
+
+These utilities turn a finished experiment (a
+:class:`~repro.measurement.precision.PrecisionSeries` plus the
+:class:`~repro.sim.trace.TraceLog`) into exactly the data products the
+paper's figures show:
+
+* :mod:`repro.analysis.aggregate` — 120 s avg/min/max buckets (Fig. 4a's
+  black line and gray band, Fig. 3's series);
+* :mod:`repro.analysis.histogram` — the value distribution with
+  avg/std/min/max annotations (Fig. 4b);
+* :mod:`repro.analysis.timeline` — fault/takeover/transient event series
+  for a window (Fig. 5's arrows, stars and crosses);
+* :mod:`repro.analysis.report` — plain-text renderings of all of the above
+  so benches can print paper-comparable rows.
+"""
+
+from repro.analysis.aggregate import AggregateBucket, aggregate_series
+from repro.analysis.histogram import HistogramResult, histogram
+from repro.analysis.report import render_histogram, render_series, render_timeline
+from repro.analysis.timeline import EventTimeline, extract_timeline
+
+__all__ = [
+    "aggregate_series",
+    "AggregateBucket",
+    "histogram",
+    "HistogramResult",
+    "extract_timeline",
+    "EventTimeline",
+    "render_series",
+    "render_histogram",
+    "render_timeline",
+]

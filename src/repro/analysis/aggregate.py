@@ -1,0 +1,65 @@
+"""Time-bucketed aggregation of the precision series.
+
+Fig. 4a: "we have aggregated intervals of 120 sec and plotted the average,
+the minimum, and the maximum of our data points."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.sim.timebase import SECONDS
+
+
+@dataclass(frozen=True)
+class AggregateBucket:
+    """One 120 s (by default) bucket of the series."""
+
+    start: int
+    end: int
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+
+
+def aggregate_series(
+    series: Sequence[Tuple[int, float]],
+    bucket: int = 120 * SECONDS,
+) -> List[AggregateBucket]:
+    """Bucket (time, value) pairs into fixed windows.
+
+    Empty windows produce no bucket (measurement gaps stay gaps).
+
+    >>> s = [(0, 1.0), (1, 3.0), (120 * SECONDS, 10.0)]
+    >>> buckets = aggregate_series(s)
+    >>> (buckets[0].mean, buckets[0].minimum, buckets[0].maximum)
+    (2.0, 1.0, 3.0)
+    >>> buckets[1].count
+    1
+    """
+    if bucket <= 0:
+        raise ValueError("bucket must be positive")
+    out: List[AggregateBucket] = []
+    acc: dict = {}
+    for time, value in series:
+        index = time // bucket
+        slot = acc.setdefault(index, [0, 0.0, float("inf"), float("-inf")])
+        slot[0] += 1
+        slot[1] += value
+        slot[2] = min(slot[2], value)
+        slot[3] = max(slot[3], value)
+    for index in sorted(acc):
+        count, total, lo, hi = acc[index]
+        out.append(
+            AggregateBucket(
+                start=index * bucket,
+                end=(index + 1) * bucket,
+                count=count,
+                mean=total / count,
+                minimum=lo,
+                maximum=hi,
+            )
+        )
+    return out

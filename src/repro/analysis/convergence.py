@@ -1,0 +1,77 @@
+"""Convergence-time analysis.
+
+How long does the system take to reach fault-tolerant operation from cold
+start, and how long does a rebooted VM take to re-integrate? The paper
+doesn't quantify either (its experiments start measured after startup);
+operators of such a system need both numbers.
+
+Sources: the trace log's ``fta.ft_mode_entered`` events relative to the VM
+boot events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.sim.trace import TraceLog
+
+
+@dataclass(frozen=True)
+class ConvergenceReport:
+    """Cold-start and re-integration timings extracted from one run."""
+
+    cold_start_ns: Dict[str, int]  # VM -> time of first FT entry
+    reintegration_ns: List[int]  # per reboot: FT entry − reboot completion
+
+    @property
+    def slowest_cold_start(self) -> Optional[int]:
+        """Worst VM's time-to-FT from simulation start."""
+        return max(self.cold_start_ns.values()) if self.cold_start_ns else None
+
+    @property
+    def mean_reintegration(self) -> Optional[float]:
+        """Average rejoin latency after reboots."""
+        if not self.reintegration_ns:
+            return None
+        return sum(self.reintegration_ns) / len(self.reintegration_ns)
+
+    @property
+    def worst_reintegration(self) -> Optional[int]:
+        """Longest rejoin latency."""
+        return max(self.reintegration_ns) if self.reintegration_ns else None
+
+
+def analyze_convergence(trace: TraceLog) -> ConvergenceReport:
+    """Extract convergence timings from a run's trace.
+
+    FT-entry events are attributed as *cold start* for a VM's first entry
+    and as *re-integration* when preceded by a ``vm.rebooted`` event for the
+    same VM (measured from the reboot completion).
+    """
+    ft_entries: Dict[str, List[int]] = {}
+    for record in trace.query(category="fta.ft_mode_entered"):
+        vm = record.source.replace(".fta", "")
+        ft_entries.setdefault(vm, []).append(record.time)
+
+    reboots: Dict[str, List[int]] = {}
+    for record in trace.query(category="vm.rebooted"):
+        reboots.setdefault(record.source, []).append(record.time)
+
+    cold_start: Dict[str, int] = {}
+    reintegration: List[int] = []
+    for vm, entries in ft_entries.items():
+        vm_reboots = sorted(reboots.get(vm, []))
+        for i, entry in enumerate(sorted(entries)):
+            preceding = [t for t in vm_reboots if t <= entry]
+            if i == 0 and not preceding:
+                cold_start[vm] = entry
+            elif preceding:
+                reintegration.append(entry - preceding[-1])
+            else:
+                # Multiple FT entries without reboots (manual resets):
+                # count conservatively as cold start refinement.
+                cold_start.setdefault(vm, entry)
+    return ConvergenceReport(
+        cold_start_ns=cold_start, reintegration_ns=reintegration
+    )

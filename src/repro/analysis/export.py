@@ -1,0 +1,136 @@
+"""Result exporters.
+
+The benches print text; real plotting pipelines want files. These writers
+emit the figure data in plain formats:
+
+* precision series → CSV (``time_ns,precision_ns``),
+* aggregate buckets → CSV (Fig. 4a's avg/min/max),
+* histogram → CSV (bin edges + counts),
+* event timeline → CSV (Fig. 5's markers),
+* trace log → JSON Lines (one structured record per line).
+
+Everything goes through :func:`write_experiment_bundle` for a one-call dump
+of a finished fault-injection experiment.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Sequence, Tuple, Union
+
+from repro.analysis.aggregate import AggregateBucket
+from repro.analysis.histogram import HistogramResult
+from repro.analysis.timeline import EventTimeline
+from repro.sim.trace import TraceLog
+
+PathLike = Union[str, Path]
+
+
+def write_series_csv(path: PathLike, series: Sequence[Tuple[int, float]]) -> int:
+    """Write (time, Π*) rows; returns the row count."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time_ns", "precision_ns"])
+        for time, value in series:
+            writer.writerow([time, f"{value:.3f}"])
+    return len(series)
+
+
+def write_buckets_csv(path: PathLike, buckets: Sequence[AggregateBucket]) -> int:
+    """Write Fig. 4a's aggregated rows."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["start_ns", "end_ns", "count", "mean_ns", "min_ns", "max_ns"])
+        for b in buckets:
+            writer.writerow(
+                [b.start, b.end, b.count, f"{b.mean:.3f}",
+                 f"{b.minimum:.3f}", f"{b.maximum:.3f}"]
+            )
+    return len(buckets)
+
+
+def write_histogram_csv(path: PathLike, histogram: HistogramResult) -> int:
+    """Write Fig. 4b's bins."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["bin_low_ns", "bin_high_ns", "count"])
+        for i, count in enumerate(histogram.counts):
+            writer.writerow(
+                [f"{histogram.bin_edges[i]:.3f}",
+                 f"{histogram.bin_edges[i + 1]:.3f}", count]
+            )
+    return len(histogram.counts)
+
+
+def write_timeline_csv(path: PathLike, timeline: EventTimeline) -> int:
+    """Write Fig. 5's event markers."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time_ns", "kind", "source", "domain"])
+        for event in timeline.events:
+            writer.writerow(
+                [event.time, event.kind, event.source,
+                 event.domain if event.domain is not None else ""]
+            )
+    return len(timeline.events)
+
+
+def write_trace_jsonl(
+    path: PathLike, trace: TraceLog, prefix: str = ""
+) -> int:
+    """Write trace records as JSON Lines (optionally category-filtered)."""
+    path = Path(path)
+    records = trace.query(prefix=prefix) if prefix else list(trace)
+    with path.open("w") as handle:
+        for record in records:
+            handle.write(
+                json.dumps(
+                    {
+                        "time": record.time,
+                        "category": record.category,
+                        "source": record.source,
+                        **record.fields,
+                    },
+                    default=str,
+                )
+                + "\n"
+            )
+    return len(records)
+
+
+def write_experiment_bundle(directory: PathLike, result) -> dict:
+    """Dump a FaultInjectionResult's figure data into a directory.
+
+    Returns {filename: row count}. ``result`` is duck-typed so the cyber
+    experiment's result works for the series/buckets subset too.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = {}
+    if hasattr(result, "records"):
+        written["series.csv"] = write_series_csv(
+            directory / "series.csv",
+            [(r.time, r.precision) for r in result.records],
+        )
+    if hasattr(result, "buckets"):
+        written["buckets.csv"] = write_buckets_csv(
+            directory / "buckets.csv", result.buckets
+        )
+    if hasattr(result, "distribution"):
+        written["histogram.csv"] = write_histogram_csv(
+            directory / "histogram.csv", result.distribution
+        )
+    if hasattr(result, "timeline"):
+        written["timeline.csv"] = write_timeline_csv(
+            directory / "timeline.csv", result.timeline
+        )
+    summary_path = directory / "summary.txt"
+    summary_path.write_text(result.to_text() + "\n")
+    written["summary.txt"] = 1
+    return written

@@ -1,0 +1,80 @@
+"""Plain-text renderings of the figure data (what the benches print).
+
+Absolute numbers will differ from the paper (simulated substrate); these
+renderings put series, bounds and annotations side by side so "who wins, by
+how much, where it breaks" is readable straight off a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.aggregate import AggregateBucket
+from repro.analysis.histogram import HistogramResult
+from repro.analysis.timeline import EventTimeline
+from repro.sim.timebase import format_hms
+
+
+def render_series(
+    buckets: Sequence[AggregateBucket],
+    bound: Optional[float] = None,
+    bound_with_error: Optional[float] = None,
+    title: str = "precision series",
+) -> str:
+    """Aggregate buckets as a table, flagging bound violations."""
+    lines: List[str] = [title]
+    header = f"{'window':>10} {'n':>5} {'avg[ns]':>12} {'min[ns]':>12} {'max[ns]':>14}"
+    if bound is not None:
+        header += "  vs Π"
+    lines.append(header)
+    for b in buckets:
+        row = (
+            f"{format_hms(b.start):>10} {b.count:>5} "
+            f"{b.mean:>12.1f} {b.minimum:>12.1f} {b.maximum:>14.1f}"
+        )
+        if bound is not None:
+            threshold = bound_with_error if bound_with_error is not None else bound
+            row += "  VIOLATION" if b.maximum > threshold else "  ok"
+        lines.append(row)
+    if bound is not None:
+        lines.append(f"bound Π = {bound:.1f} ns"
+                     + (f", Π+γ = {bound_with_error:.1f} ns"
+                        if bound_with_error is not None else ""))
+    return "\n".join(lines)
+
+
+def render_histogram(result: HistogramResult, width: int = 50) -> str:
+    """ASCII histogram with the Fig. 4b annotation line."""
+    lines = [result.describe()]
+    peak = max(result.counts) or 1
+    for i, count in enumerate(result.counts):
+        if count == 0:
+            continue
+        lo = result.bin_edges[i]
+        hi = result.bin_edges[i + 1]
+        bar = "#" * max(1, round(width * count / peak))
+        lines.append(f"{lo:>7.0f}-{hi:<7.0f} {count:>7} {bar}")
+    return "\n".join(lines)
+
+
+def render_timeline(timeline: EventTimeline) -> str:
+    """Fig. 5's marker list as text."""
+    symbols = {
+        "gm_failure": "▼",
+        "vm_failure": "▽",
+        "takeover": "★",
+        "transient": "✗",
+    }
+    lines = [
+        f"events in [{format_hms(timeline.start)}, {format_hms(timeline.end)})"
+    ]
+    for event in timeline.events:
+        symbol = symbols.get(event.kind, "?")
+        domain = f" dom{event.domain}" if event.domain is not None else ""
+        lines.append(
+            f"{format_hms(event.time)} {symbol} {event.kind:<11} "
+            f"{event.source}{domain}"
+        )
+    counts = ", ".join(f"{k}={v}" for k, v in sorted(timeline.counts().items()))
+    lines.append(f"totals: {counts or 'none'}")
+    return "\n".join(lines)

@@ -1,0 +1,142 @@
+"""Clock-stability statistics.
+
+Standard metrology tools for analysing the precision series and clock
+error records beyond Fig. 4's mean/std:
+
+* **Allan deviation** — the canonical oscillator-stability measure; useful
+  for checking that the disciplined ensemble behaves white-ish at short tau
+  (timestamp noise) and flattens where the servo takes over.
+* **Percentile summaries** — the tail behaviour Fig. 4b's annotation hides
+  (p50/p90/p99/p99.9 of the measured precision).
+* **Longest run under/over a bound** — how long the system stays clean
+  between spikes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+def allan_deviation(
+    samples: Sequence[float], sample_interval: float, m: int = 1
+) -> float:
+    """Overlapping Allan deviation at averaging factor ``m``.
+
+    ``samples`` are phase (time-error) values x_i taken every
+    ``sample_interval`` seconds; tau = m * sample_interval.
+
+    >>> # A perfectly linear phase ramp has zero Allan deviation.
+    >>> allan_deviation([float(i) for i in range(32)], 1.0, m=4)
+    0.0
+    """
+    n = len(samples)
+    if m < 1:
+        raise ValueError(f"averaging factor must be >= 1, got {m}")
+    if n < 2 * m + 1:
+        raise ValueError(
+            f"need at least {2 * m + 1} samples for m={m}, got {n}"
+        )
+    tau = m * sample_interval
+    acc = 0.0
+    count = n - 2 * m
+    for i in range(count):
+        second_difference = samples[i + 2 * m] - 2 * samples[i + m] + samples[i]
+        acc += second_difference ** 2
+    avar = acc / (2.0 * count * tau * tau)
+    return math.sqrt(avar)
+
+
+def allan_deviation_curve(
+    samples: Sequence[float],
+    sample_interval: float,
+    max_points: int = 12,
+) -> List[Tuple[float, float]]:
+    """(tau, ADEV) pairs over octave-spaced averaging factors."""
+    out: List[Tuple[float, float]] = []
+    m = 1
+    while len(samples) >= 2 * m + 1 and len(out) < max_points:
+        out.append((m * sample_interval, allan_deviation(samples, sample_interval, m)))
+        m *= 2
+    if not out:
+        raise ValueError("series too short for any Allan point")
+    return out
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, q in [0, 100].
+
+    >>> percentile([1.0, 2.0, 3.0, 4.0], 50)
+    2.5
+    """
+    if not values:
+        raise ValueError("no values")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile out of range: {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    # Anchored form: exact when neighbours are equal (no 1-ULP drift).
+    return ordered[low] + frac * (ordered[high] - ordered[low])
+
+
+@dataclass(frozen=True)
+class TailSummary:
+    """Percentile summary of a precision series."""
+
+    p50: float
+    p90: float
+    p99: float
+    p999: float
+    maximum: float
+
+    def describe(self) -> str:
+        """One-line rendering."""
+        return (
+            f"p50={self.p50:.0f}ns p90={self.p90:.0f}ns p99={self.p99:.0f}ns "
+            f"p99.9={self.p999:.0f}ns max={self.maximum:.0f}ns"
+        )
+
+
+def tail_summary(values: Sequence[float]) -> TailSummary:
+    """Compute the Fig. 4b tail percentiles."""
+    return TailSummary(
+        p50=percentile(values, 50),
+        p90=percentile(values, 90),
+        p99=percentile(values, 99),
+        p999=percentile(values, 99.9),
+        maximum=max(values),
+    )
+
+
+def longest_run_below(
+    series: Sequence[Tuple[int, float]], bound: float
+) -> int:
+    """Longest contiguous stretch (ns of sim time) with values <= bound.
+
+    The series is (time, value) pairs in time order; the run length is
+    measured between the first and last timestamp of the stretch.
+    """
+    best = 0
+    start = None
+    prev = None
+    for time, value in series:
+        if value <= bound:
+            if start is None:
+                start = time
+            prev = time
+        else:
+            if start is not None and prev is not None:
+                best = max(best, prev - start)
+            start = None
+            prev = None
+    if start is not None and prev is not None:
+        best = max(best, prev - start)
+    return best

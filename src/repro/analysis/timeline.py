@@ -1,0 +1,89 @@
+"""Event timeline extraction (Fig. 5).
+
+Fig. 5 overlays one hour of the precision series with: clock synchronization
+VM failures (triangles), redundant VMs taking over CLOCK_SYNCTIME (stars),
+and transient ptp4l faults (crosses), color-coded by gPTP domain for GM
+events. This module pulls exactly those series out of the trace log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sim.trace import TraceLog, TraceRecord
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One plotted marker."""
+
+    time: int
+    kind: str  # "gm_failure" | "vm_failure" | "takeover" | "transient"
+    source: str
+    domain: Optional[int]  # for color-coding GM events
+
+
+@dataclass
+class EventTimeline:
+    """All Fig. 5 marker series for one window."""
+
+    start: int
+    end: int
+    events: List[TimelineEvent] = field(default_factory=list)
+
+    def of_kind(self, kind: str) -> List[TimelineEvent]:
+        """Markers of one kind."""
+        return [e for e in self.events if e.kind == kind]
+
+    def counts(self) -> Dict[str, int]:
+        """Marker counts per kind."""
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+
+#: Trace categories that count as transient ptp4l software faults.
+TRANSIENT_CATEGORIES = ("ptp4l.tx_timeout", "ptp4l.deadline_miss")
+
+
+def extract_timeline(
+    trace: TraceLog,
+    start: int,
+    end: int,
+    gm_domain_of: Dict[str, int],
+) -> EventTimeline:
+    """Build the Fig. 5 overlay for ``[start, end)``.
+
+    ``gm_domain_of`` maps GM VM names to their domain number so GM events
+    can be color-coded; failures of other VMs come out domain-less.
+    """
+    timeline = EventTimeline(start=start, end=end)
+    for record in trace.query(category="fault.fail_silent", start=start, end=end):
+        domain = gm_domain_of.get(record.source)
+        timeline.events.append(
+            TimelineEvent(
+                time=record.time,
+                kind="gm_failure" if domain is not None else "vm_failure",
+                source=record.source,
+                domain=domain,
+            )
+        )
+    for record in trace.query(category="hypervisor.takeover", start=start, end=end):
+        timeline.events.append(
+            TimelineEvent(
+                time=record.time, kind="takeover", source=record.source, domain=None
+            )
+        )
+    for category in TRANSIENT_CATEGORIES:
+        for record in trace.query(category=category, start=start, end=end):
+            domain = gm_domain_of.get(record.source)
+            timeline.events.append(
+                TimelineEvent(
+                    time=record.time, kind="transient",
+                    source=record.source, domain=domain,
+                )
+            )
+    timeline.events.sort(key=lambda e: e.time)
+    return timeline

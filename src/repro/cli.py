@@ -1,0 +1,364 @@
+"""Command-line interface.
+
+Installed as ``repro-sim`` (see pyproject). Subcommands mirror the paper's
+evaluation workflow:
+
+* ``repro-sim survey`` — build the testbed, survey latencies, print the
+  §III-A3 bound derivation.
+* ``repro-sim cyber`` — run the §III-B attack experiment (Fig. 3a/3b).
+* ``repro-sim faults`` — run the §III-C fault injection (Fig. 4/5).
+* ``repro-sim baselines`` — run the baseline comparison.
+* ``repro-sim vulnerabilities`` — query the kernel/CVE database.
+
+All numeric output is plain text; ``--json`` emits machine-readable results
+for downstream plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.report import render_histogram, render_series, render_timeline
+from repro.experiments.baselines import (
+    run_client_only_baseline,
+    run_full_architecture,
+    run_single_domain_baseline,
+)
+from repro.experiments.cyber import CyberExperimentConfig, run_cyber_experiment
+from repro.experiments.fault_injection import (
+    FaultInjectionExperimentConfig,
+    run_fault_injection_experiment,
+)
+from repro.experiments.testbed import Testbed, TestbedConfig
+from repro.security.diversity import shared_vulnerabilities, vulnerabilities_of
+from repro.security.kernels import VULNERABILITY_DB
+from repro.sim.timebase import HOURS, MINUTES, SECONDS
+
+
+def _emit(args: argparse.Namespace, text: str, payload: Dict[str, Any]) -> None:
+    if getattr(args, "json", False):
+        print(json.dumps(payload, indent=2, default=str))
+    else:
+        print(text)
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_survey(args: argparse.Namespace) -> int:
+    testbed = Testbed(TestbedConfig(seed=args.seed))
+    testbed.run_until(round(args.warmup * SECONDS))
+    bounds = testbed.derive_bounds()
+    payload = {
+        "d_min_ns": bounds.d_min,
+        "d_max_ns": bounds.d_max,
+        "reading_error_ns": bounds.reading_error,
+        "drift_offset_ns": bounds.drift_offset,
+        "precision_bound_ns": bounds.precision_bound,
+        "measurement_error_ns": bounds.measurement_error,
+    }
+    _emit(args, bounds.describe(), payload)
+    return 0
+
+
+def cmd_cyber(args: argparse.Namespace) -> int:
+    config = CyberExperimentConfig(
+        kernel_policy=args.policy, seed=args.seed
+    ).scaled(args.scale)
+    result = run_cyber_experiment(config)
+    payload = {
+        "policy": args.policy,
+        "compromised": result.compromised,
+        "bound_ns": result.bounds.precision_bound,
+        "max_between_attacks_ns": result.max_between_attacks,
+        "max_after_second_ns": result.max_after_second,
+        "first_attack_masked": result.first_attack_masked,
+        "second_attack_violates": result.second_attack_violates,
+    }
+    text = result.to_text()
+    if args.series:
+        text += "\n" + render_series(
+            result.buckets,
+            bound=result.bounds.precision_bound,
+            bound_with_error=result.bounds.bound_with_error,
+        )
+    _emit(args, text, payload)
+    return 0 if (args.policy == "identical") == result.second_attack_violates else 1
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    base = FaultInjectionExperimentConfig(seed=args.seed)
+    if args.hours >= 24 and not args.compress:
+        config = base
+    elif args.compress:
+        config = base.scaled(args.hours)
+    else:
+        config = FaultInjectionExperimentConfig(
+            duration=round(args.hours * HOURS),
+            seed=args.seed,
+            injector=base.injector,
+        )
+    result = run_fault_injection_experiment(config)
+    payload = {
+        "hours": args.hours,
+        "bounded": result.bounded,
+        "violations": result.violations,
+        "avg_ns": result.distribution.mean,
+        "std_ns": result.distribution.std,
+        "min_ns": result.distribution.minimum,
+        "max_ns": result.distribution.maximum,
+        "injections": result.injections,
+        "takeovers": result.takeovers,
+        "tx_timeouts": result.tx_timeouts,
+        "deadline_misses": result.deadline_misses,
+    }
+    text = result.to_text()
+    if args.series:
+        text += "\n" + render_series(
+            result.buckets,
+            bound=result.bounds.precision_bound,
+            bound_with_error=result.bounds.bound_with_error,
+        )
+    if args.histogram:
+        text += "\n" + render_histogram(result.distribution)
+    if args.timeline:
+        text += "\n" + render_timeline(result.timeline)
+    _emit(args, text, payload)
+    return 0 if result.bounded else 1
+
+
+def cmd_baselines(args: argparse.Namespace) -> int:
+    duration = round(args.minutes * MINUTES)
+    results = [
+        run_full_architecture(duration=duration, seed=args.seed),
+        run_client_only_baseline(duration=duration, seed=args.seed),
+        run_single_domain_baseline(
+            duration=duration, seed=args.seed, gm_fails_at=duration // 2
+        ),
+    ]
+    text = "\n\n".join(r.to_text() for r in results)
+    payload = {
+        r.label: {
+            "max_precision_ns": r.max_precision,
+            "final_gm_spread_ns": r.final_gm_spread,
+        }
+        for r in results
+    }
+    _emit(args, text, payload)
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    from repro.analysis.export import write_experiment_bundle
+    from repro.experiments.fault_injection import (
+        FaultInjectionExperimentConfig,
+        run_fault_injection_experiment,
+    )
+
+    config = FaultInjectionExperimentConfig(seed=args.seed)
+    if args.hours < 24:
+        config = config.scaled(args.hours)
+    result = run_fault_injection_experiment(config)
+    written = write_experiment_bundle(args.output, result)
+    payload = {"output": args.output, "files": written,
+               "bounded": result.bounded}
+    _emit(args, "wrote " + ", ".join(f"{k} ({v} rows)" for k, v in written.items()),
+          payload)
+    return 0 if result.bounded else 1
+
+
+def cmd_linkfail(args: argparse.Namespace) -> int:
+    from repro.experiments.link_failure import (
+        LinkFailureConfig,
+        run_link_failure_experiment,
+    )
+
+    result = run_link_failure_experiment(
+        LinkFailureConfig(seed=args.seed, trunk=tuple(args.trunk))
+    )
+    payload = {
+        "trunk": list(result.config.trunk),
+        "silenced": {vm: sorted(d) for vm, d in result.silenced.items() if d},
+        "max_during_outage_ns": result.max_precision_during_outage,
+        "violations": result.violations,
+        "recovered": result.recovered,
+    }
+    _emit(args, result.to_text(), payload)
+    return 0 if result.violations == 0 and result.recovered else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sweeps import (
+        render_rows,
+        sweep_aggregation,
+        sweep_domain_count,
+        sweep_sync_interval,
+        sweep_validity_threshold,
+    )
+    from repro.sim.timebase import SECONDS
+
+    runners = {
+        "domains": sweep_domain_count,
+        "interval": sweep_sync_interval,
+        "aggregation": sweep_aggregation,
+        "threshold": sweep_validity_threshold,
+    }
+    rows = runners[args.study](
+        seed=args.seed, duration=round(args.duration * SECONDS)
+    )
+    payload = {"study": args.study, "rows": [r.as_dict() for r in rows]}
+    _emit(args, render_rows(rows), payload)
+    return 0
+
+
+def cmd_montecarlo(args: argparse.Namespace) -> int:
+    from repro.experiments.montecarlo import run_monte_carlo
+
+    seeds = list(range(args.base_seed, args.base_seed + args.runs))
+    study = run_monte_carlo(seeds=seeds, hours=args.hours)
+    payload = {
+        "seeds": seeds,
+        "bounded_rate": study.bounded_rate,
+        "mean_of_means_ns": study.mean_of_means(),
+        "worst_max_ns": study.worst_max(),
+        "outcomes": [
+            {
+                "seed": o.seed,
+                "violations": o.violations,
+                "mean_ns": o.mean_ns,
+                "max_ns": o.max_ns,
+            }
+            for o in study.outcomes
+        ],
+    }
+    _emit(args, study.to_text(), payload)
+    return 0 if study.bounded_rate == 1.0 else 1
+
+
+def cmd_vulnerabilities(args: argparse.Namespace) -> int:
+    if args.compare:
+        a, b = args.compare
+        shared = shared_vulnerabilities(a, b)
+        text = (
+            f"{a}: {vulnerabilities_of(a)}\n"
+            f"{b}: {vulnerabilities_of(b)}\n"
+            f"shared: {shared or 'none'}"
+        )
+        payload = {
+            a: vulnerabilities_of(a),
+            b: vulnerabilities_of(b),
+            "shared": shared,
+        }
+    elif args.kernel:
+        cves = vulnerabilities_of(args.kernel)
+        text = f"{args.kernel}: {cves or 'no known CVEs in database'}"
+        payload = {args.kernel: cves}
+    else:
+        text = "\n".join(
+            f"{cve}: {v.description}" for cve, v in sorted(VULNERABILITY_DB.items())
+        )
+        payload = {
+            cve: v.description for cve, v in VULNERABILITY_DB.items()
+        }
+    _emit(args, text, payload)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Reproduction toolkit for 'IEEE 802.1AS Multi-Domain "
+        "Aggregation for Virtualized Distributed Real-Time Systems' "
+        "(DSN-S 2023).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("survey", help="latency survey + §III-A3 bound derivation")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--warmup", type=float, default=30.0, help="seconds")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_survey)
+
+    p = sub.add_parser("cyber", help="§III-B cyber-resilience experiment")
+    p.add_argument("--policy", choices=["identical", "diverse"],
+                   default="identical")
+    p.add_argument("--scale", type=float, default=0.2,
+                   help="timeline compression (1.0 = the paper's hour)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--series", action="store_true")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_cyber)
+
+    p = sub.add_parser("faults", help="§III-C fault injection experiment")
+    p.add_argument("--hours", type=float, default=0.5)
+    p.add_argument("--compress", action="store_true",
+                   help="compress the 24h schedule into --hours")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--series", action="store_true")
+    p.add_argument("--histogram", action="store_true")
+    p.add_argument("--timeline", action="store_true")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser("baselines", help="architecture vs baselines")
+    p.add_argument("--minutes", type=float, default=8.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_baselines)
+
+    p = sub.add_parser("export", help="run fault injection and dump CSV bundle")
+    p.add_argument("output", help="output directory")
+    p.add_argument("--hours", type=float, default=0.25)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser("linkfail", help="trunk-failure experiment")
+    p.add_argument("--trunk", nargs=2, default=["sw1", "sw3"],
+                   metavar=("A", "B"))
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_linkfail)
+
+    p = sub.add_parser("sweep", help="design-space parameter sweeps")
+    p.add_argument("study", choices=["domains", "interval", "aggregation",
+                                     "threshold"])
+    p.add_argument("--seed", type=int, default=9)
+    p.add_argument("--duration", type=float, default=120.0,
+                   help="seconds of simulated time per point")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("montecarlo", help="multi-seed fault-injection study")
+    p.add_argument("--runs", type=int, default=5)
+    p.add_argument("--base-seed", type=int, default=100)
+    p.add_argument("--hours", type=float, default=0.1,
+                   help="compressed simulated hours per run")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_montecarlo)
+
+    p = sub.add_parser("vulnerabilities", help="kernel/CVE database queries")
+    p.add_argument("--kernel", help="list CVEs affecting one kernel")
+    p.add_argument("--compare", nargs=2, metavar=("A", "B"),
+                   help="shared CVEs between two kernels")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_vulnerabilities)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point (console script)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Clock models.
+
+Every physical clock in the testbed is an :class:`~repro.clocks.oscillator.Oscillator`
+(a free-running frequency source with a constant per-device offset plus a
+bounded random-walk wander, capped at the paper's r_max = 5 ppm) driving a
+:class:`~repro.clocks.hardware_clock.HardwareClock` (the NIC PHC: a counter
+that software can step and whose frequency software can trim, exactly the
+interface LinuxPTP's servo uses via ``clock_adjtime``).
+
+The dependent clock's ``CLOCK_SYNCTIME`` is *not* a hardware clock: it is a
+parameter page (:class:`~repro.clocks.synctime.SyncTimeParams`) published
+through the hypervisor's STSHMEM that lets any co-located VM convert a raw
+local timebase reading into synchronized time, mirroring the virtual-PCI
+design of Ruh et al. (IEEE Access 2021).
+"""
+
+from repro.clocks.hardware_clock import HardwareClock
+from repro.clocks.oscillator import Oscillator, OscillatorModel
+from repro.clocks.synctime import SyncTimeClock, SyncTimeParams
+
+__all__ = [
+    "Oscillator",
+    "OscillatorModel",
+    "HardwareClock",
+    "SyncTimeClock",
+    "SyncTimeParams",
+]

@@ -1,0 +1,132 @@
+"""Free-running oscillator model.
+
+An oscillator converts simulated (true) time into local elapsed time. Its
+instantaneous rate error is::
+
+    rate(t) = base_offset + wander(t)          # dimensionless fraction
+
+where ``base_offset`` is a per-device constant drawn once (manufacturing
+tolerance) and ``wander`` is a bounded random walk updated lazily on every
+read (thermal/aging noise). The total |rate error| is clamped to ``max_rate``
+— the paper's r_max = 5 ppm bound from IEEE 802.1AS — so the drift-offset
+term Γ = 2 · r_max · S of the precision bound is honoured by construction.
+
+The model integrates rate error piecewise between reads, so reading the
+oscillator is O(1) and independent of how often anyone else reads it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.sim.kernel import Simulator
+from repro.sim.timebase import MILLISECONDS, from_ppm
+
+
+@dataclass(frozen=True)
+class OscillatorModel:
+    """Stochastic parameters of an oscillator population.
+
+    Attributes
+    ----------
+    max_rate_ppm:
+        Hard bound on |rate error|; 5 ppm per IEEE 802.1AS-2020 B.1.1.
+    base_sigma_ppm:
+        Std-dev of the constant per-device frequency offset.
+    wander_step_ppm:
+        Std-dev of each random-walk wander increment.
+    wander_interval:
+        Nominal true-time spacing of wander increments, ns.
+    """
+
+    max_rate_ppm: float = 5.0
+    base_sigma_ppm: float = 2.0
+    wander_step_ppm: float = 0.006
+    wander_interval: int = 100 * MILLISECONDS
+
+
+class Oscillator:
+    """A drifting local timebase.
+
+    ``read()`` returns the oscillator's elapsed local time in nanoseconds
+    (float internally; integer at the HW-clock boundary). The simulator's
+    ``now`` is the hidden true time that no component may read directly —
+    only through some oscillator.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: random.Random,
+        model: OscillatorModel = OscillatorModel(),
+        name: str = "osc",
+    ) -> None:
+        self.sim = sim
+        self.rng = rng
+        self.model = model
+        self.name = name
+        max_frac = from_ppm(model.max_rate_ppm)
+        base = rng.gauss(0.0, from_ppm(model.base_sigma_ppm))
+        # Leave head-room for wander so base + wander stays clampable.
+        self._base = max(-0.8 * max_frac, min(0.8 * max_frac, base))
+        self._wander = 0.0
+        self._last_true = sim.now
+        self._elapsed = 0.0
+        self._rate = self._clamped_rate()  # cached; refreshed on wander steps
+
+    # ------------------------------------------------------------------
+    def rate_error(self) -> float:
+        """Current dimensionless rate error (advances wander lazily)."""
+        self._advance()
+        return self._rate
+
+    def read(self) -> float:
+        """Local elapsed time in ns as of the simulator's current instant."""
+        self._advance()
+        return self._elapsed
+
+    # ------------------------------------------------------------------
+    def _clamped_rate(self) -> float:
+        max_frac = from_ppm(self.model.max_rate_ppm)
+        return max(-max_frac, min(max_frac, self._base + self._wander))
+
+    def _advance(self) -> None:
+        """Integrate elapsed local time up to the simulator's now.
+
+        Wander increments are applied at ``wander_interval`` boundaries of
+        true time; between increments the rate is constant, so integration is
+        exact piecewise-linear accumulation. The clamped rate is cached and
+        only refreshed when the wander steps — clock reads are the hottest
+        operation in the whole simulator.
+        """
+        now = self.sim.now
+        if now == self._last_true:
+            return
+        step_sigma = from_ppm(self.model.wander_step_ppm)
+        if step_sigma == 0.0:
+            # Constant-rate fast path (also used by test fixtures).
+            self._elapsed += (now - self._last_true) * (1.0 + self._rate)
+            self._last_true = now
+            return
+        interval = self.model.wander_interval
+        bound = from_ppm(self.model.max_rate_ppm)
+        t = self._last_true
+        while t < now:
+            # Next wander boundary strictly after t.
+            boundary = ((t // interval) + 1) * interval
+            segment_end = boundary if boundary < now else now
+            self._elapsed += (segment_end - t) * (1.0 + self._rate)
+            t = segment_end
+            if t == boundary:
+                self._wander += self.rng.gauss(0.0, step_sigma)
+                # Keep the walk itself bounded so it cannot saturate forever.
+                self._wander = max(-bound, min(bound, self._wander))
+                self._rate = self._clamped_rate()
+        self._last_true = now
+
+    def __repr__(self) -> str:
+        return (
+            f"Oscillator({self.name!r}, base={self._base * 1e6:+.3f} ppm, "
+            f"wander={self._wander * 1e6:+.4f} ppm)"
+        )

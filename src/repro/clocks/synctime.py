@@ -1,0 +1,87 @@
+"""The dependent clock: ``CLOCK_SYNCTIME`` parameter page.
+
+In the paper's architecture the clock synchronization VM does not export a
+*clock device* to its co-located VMs; it exports *clock parameters* through
+the hypervisor's STSHMEM page. Any VM on the node converts a raw reading of
+its (hypervisor-mediated, node-global) timebase into synchronized time::
+
+    synctime(raw) = offset + ratio * (raw - base)
+
+``phc2sys`` in the active clock synchronization VM refreshes (base, offset,
+ratio) periodically from the NIC's disciplined PHC. A stale page keeps
+*working* — co-located VMs extrapolate with the last ratio — it just slowly
+degrades, which is exactly why the hypervisor monitor only needs to detect
+staleness, not value corruption, under the fail-silent hypothesis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clocks.oscillator import Oscillator
+
+
+@dataclass(frozen=True)
+class SyncTimeParams:
+    """One published parameter tuple (a snapshot of the STSHMEM page).
+
+    Attributes
+    ----------
+    base:
+        Raw node-timebase reading at publication, ns.
+    offset:
+        Synchronized time corresponding to ``base``, ns.
+    ratio:
+        Synchronized-seconds per raw-second slope.
+    generation:
+        Monotone publication counter — the hypervisor monitor's staleness
+        observable.
+    """
+
+    base: float
+    offset: float
+    ratio: float
+    generation: int
+
+    def convert(self, raw: float) -> float:
+        """Map a raw timebase reading to synchronized time (ns)."""
+        return self.offset + self.ratio * (raw - self.base)
+
+
+class SyncTimeClock:
+    """A co-located VM's view of ``CLOCK_SYNCTIME``.
+
+    Reads the node's shared raw timebase (an oscillator owned by the node —
+    all VMs of a node see the same TSC-derived timebase through the
+    hypervisor) and converts through the latest published parameters.
+    """
+
+    def __init__(self, timebase: Oscillator) -> None:
+        self.timebase = timebase
+        self._params: SyncTimeParams | None = None
+
+    @property
+    def params(self) -> SyncTimeParams | None:
+        """Latest parameters, or ``None`` before first publication."""
+        return self._params
+
+    def publish(self, params: SyncTimeParams) -> None:
+        """Install a new parameter tuple (phc2sys → STSHMEM write)."""
+        self._params = params
+
+    def now(self) -> float:
+        """Read ``CLOCK_SYNCTIME`` in ns.
+
+        Raises
+        ------
+        RuntimeError
+            If no parameters were ever published (the driver would block
+            until the page is initialized).
+        """
+        if self._params is None:
+            raise RuntimeError("CLOCK_SYNCTIME read before first publication")
+        return self._params.convert(self.timebase.read())
+
+    def raw(self) -> float:
+        """Read the raw node timebase (ns)."""
+        return self.timebase.read()

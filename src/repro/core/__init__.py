@@ -1,0 +1,53 @@
+"""The paper's primary contribution: gPTP multi-domain FTA aggregation.
+
+A clock synchronization VM runs M ptp4l instances (one per gPTP domain) over
+a single NIC. The instances share the user-space **FTSHMEM** region
+(:mod:`repro.core.ftshmem`): the latest M grandmaster offsets, M validity
+booleans, the ``adjust_last`` gate timestamp, and the state of the single
+shared PI servo.
+
+On every stored offset the :class:`~repro.core.aggregator.MultiDomainAggregator`
+checks the paper's gate (eq. 2.1): the first instance to observe
+``adjust_last + S <= now`` sorts the M offsets, computes the fault-tolerant
+average (:mod:`repro.core.fta`, drop the f smallest and f largest, average
+the rest), and feeds the aggregate to the shared servo which disciplines the
+NIC's hardware clock — making the NIC's PHC the node's fault-tolerant global
+time.
+
+Validity assessment (:mod:`repro.core.validity`) excludes stale domains
+(fail-silent GMs) and isolated outliers (single Byzantine GMs); the
+convergence-function bound Π = u(N,f)(E+Γ) of Kopetz & Ochsenreiter lives in
+:mod:`repro.core.convergence`.
+"""
+
+from repro.core.aggregator import AggregatorConfig, AggregatorMode, MultiDomainAggregator
+from repro.core.convergence import drift_offset, precision_bound, u_factor
+from repro.core.fta import (
+    AggregationResult,
+    fault_tolerant_average,
+    fault_tolerant_midpoint,
+    mean_aggregate,
+    median_aggregate,
+)
+from repro.core.ftshmem import FtShmem, StoredOffset
+from repro.core.gm_voting import assess_majority
+from repro.core.validity import ValidityConfig, assess_validity
+
+__all__ = [
+    "MultiDomainAggregator",
+    "AggregatorConfig",
+    "AggregatorMode",
+    "u_factor",
+    "drift_offset",
+    "precision_bound",
+    "fault_tolerant_average",
+    "fault_tolerant_midpoint",
+    "mean_aggregate",
+    "median_aggregate",
+    "AggregationResult",
+    "FtShmem",
+    "StoredOffset",
+    "ValidityConfig",
+    "assess_validity",
+    "assess_majority",
+]

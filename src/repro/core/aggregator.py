@@ -1,0 +1,283 @@
+"""The multi-domain aggregation engine of one clock synchronization VM.
+
+This is the paper's ptp4l extension in one object. All M per-domain ptp4l
+instances use it as their :class:`~repro.gptp.instance.OffsetSink`; it owns
+the FTSHMEM region, the gate of eq. 2.1, startup synchronization (§II-B),
+validity assessment, the FTA, and the shared PI servo that disciplines the
+NIC's hardware clock.
+
+Operating modes
+---------------
+``STARTUP``
+    The paper presumes the M GM clocks are initially synchronized with
+    precision Π before fault-tolerant operation can begin, and bootstraps by
+    having everyone synchronize to an *initial domain's* GM until offsets
+    fall below a configurable threshold. In STARTUP the servo therefore
+    samples only the reference domain's offset. When at least ``M − f``
+    domains are fresh and within ``startup_threshold`` of the reference for
+    ``startup_confirmations`` consecutive gates, the VM enters FT mode
+    (requiring all M would deadlock on a single stray/failed domain).
+
+    Reference selection distinguishes **cold start** from **re-integration**
+    (``reset(rejoin=True)``, i.e. a VM rebooting into a running system):
+
+    * cold start follows the paper: everyone references the initial
+      domain — including that domain's own GM, which thereby free-runs as
+      the anchor;
+    * re-integration references the lowest domain of the *mutually
+      consistent cluster* among the other domains (the live ensemble). A
+      rebooted GM of the initial domain must NOT anchor on itself: it would
+      free-run indefinitely while its domain keeps transmitting, and a
+      second rebooting GM would then step onto the stray clock — a
+      two-cluster split that defeats the pairwise validity check exactly
+      like the colluding-GM attack does.
+
+``FAULT_TOLERANT``
+    Each gate: take the fresh (non-silent) slots, compute the validity
+    booleans, feed the FTA with the valid offsets, sample the shared servo
+    with the aggregate, and apply frequency/step to the hardware clock. If
+    nothing is valid the VM coasts on its last frequency — free-running at
+    its disciplined rate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.clocks.hardware_clock import HardwareClock
+from repro.core.fta import AGGREGATORS, AggregationResult
+from repro.core.ftshmem import FtShmem
+from repro.core.validity import ValidityConfig, assess_validity
+from repro.gptp.instance import OffsetSample
+from repro.gptp.servo import PiServo, ServoConfig
+from repro.sim.kernel import Simulator
+from repro.sim.timebase import MICROSECONDS, MILLISECONDS
+from repro.sim.trace import TraceLog
+
+
+class AggregatorMode(enum.Enum):
+    """Lifecycle of the multi-domain aggregation."""
+
+    STARTUP = 0
+    FAULT_TOLERANT = 1
+
+
+@dataclass(frozen=True)
+class AggregatorConfig:
+    """Tunables of the aggregation engine.
+
+    Attributes
+    ----------
+    domains:
+        The M gPTP domain numbers being aggregated.
+    f:
+        Faults the FTA must tolerate (1 in the paper).
+    sync_interval:
+        The gate period S of eq. 2.1, ns.
+    validity:
+        Threshold/staleness configuration of the boolean array.
+    startup_threshold:
+        Offset-to-reference bound to leave STARTUP, ns.
+    startup_confirmations:
+        Consecutive in-bound gates required to enter FT mode.
+    initial_domain:
+        The paper's initial domain everyone first synchronizes to.
+    own_domain:
+        Domain this VM masters (``None`` for pure redundant VMs); used to
+        keep a re-integrating GM from referencing itself.
+    aggregation:
+        Aggregation function name (``fta``, ``ftm``, ``mean``, ``median``) —
+        non-FTA choices exist for the ablation benchmarks.
+    servo:
+        Shared PI servo parameters.
+    apply_corrections:
+        When ``False`` the engine measures and aggregates but never touches
+        the hardware clock — a free-running node. The Kyriakakis-style
+        baseline (grandmasters that do not aggregate, §I) uses this to show
+        why GM clocks on separate nodes drift apart without the paper's
+        mutual FTA discipline.
+    """
+
+    domains: tuple = (1, 2, 3, 4)
+    f: int = 1
+    sync_interval: int = 125 * MILLISECONDS
+    validity: ValidityConfig = ValidityConfig()
+    startup_threshold: int = 2 * MICROSECONDS
+    startup_confirmations: int = 8
+    initial_domain: int = 1
+    own_domain: Optional[int] = None
+    aggregation: str = "fta"
+    servo: ServoConfig = ServoConfig()
+    apply_corrections: bool = True
+    #: Validity detector: ``"vouch"`` — the paper's pairwise booleans —
+    #: or ``"majority"`` — the IEEE 1588-2019-style median vote
+    #: (:mod:`repro.core.gm_voting`).
+    validity_mode: str = "vouch"
+
+
+class MultiDomainAggregator:
+    """OffsetSink aggregating M domains into one disciplined clock."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        clock: HardwareClock,
+        config: AggregatorConfig = AggregatorConfig(),
+        name: str = "aggregator",
+        trace: Optional[TraceLog] = None,
+        on_mode_change: Optional[Callable[[AggregatorMode], None]] = None,
+    ) -> None:
+        if config.aggregation not in AGGREGATORS:
+            raise ValueError(f"unknown aggregation {config.aggregation!r}")
+        if config.validity_mode not in ("vouch", "majority"):
+            raise ValueError(f"unknown validity_mode {config.validity_mode!r}")
+        self.sim = sim
+        self.clock = clock
+        self.config = config
+        self.name = name
+        self.trace = trace
+        self.on_mode_change = on_mode_change
+        self.mode = AggregatorMode.STARTUP
+        self.servo = PiServo(config.servo, interval=config.sync_interval)
+        self.shmem = FtShmem(list(config.domains), self.servo)
+        self.aggregations = 0
+        self.coasts = 0
+        self._startup_streak = 0
+        self._rejoin = False
+        self._aggregate_fn = AGGREGATORS[config.aggregation]
+        self.last_result: Optional[AggregationResult] = None
+        self.last_valid_flags: Dict[int, bool] = {}
+
+    # ------------------------------------------------------------------
+    # OffsetSink interface — called by every ptp4l instance
+    # ------------------------------------------------------------------
+    def handle_offset(self, sample: OffsetSample) -> None:
+        """Store a domain's offset; run the gate check of eq. 2.1."""
+        now = self.clock.time()
+        self.shmem.store(sample, now)
+        if self.shmem.gate_open(now, self.config.sync_interval):
+            self._adjust(now)
+
+    # ------------------------------------------------------------------
+    # Adjustment path
+    # ------------------------------------------------------------------
+    def _adjust(self, now: int) -> None:
+        self.shmem.close_gate(now)
+        fresh = self.shmem.fresh_offsets(now, self.config.validity.staleness)
+        if self.mode is AggregatorMode.STARTUP:
+            self._adjust_startup(fresh)
+        else:
+            self._adjust_fault_tolerant(fresh)
+
+    def _adjust_startup(self, fresh: Dict[int, "object"]) -> None:
+        reference = self._reference_domain(fresh)
+        if reference is None:
+            self.coasts += 1
+            return
+        ref_offset = fresh[reference].offset
+        self._apply_servo(ref_offset)
+        # FT entry: at least M − f domains fresh and near the reference
+        # (insisting on all M would deadlock on one stray/failed domain).
+        near = sum(
+            1
+            for d in fresh
+            if abs(fresh[d].offset - ref_offset) <= self.config.startup_threshold
+        )
+        required = max(1, len(self.config.domains) - self.config.f)
+        if near >= required:
+            self._startup_streak += 1
+        else:
+            self._startup_streak = 0
+        if self._startup_streak >= self.config.startup_confirmations:
+            self._enter_fault_tolerant()
+
+    def _adjust_fault_tolerant(self, fresh: Dict[int, "object"]) -> None:
+        if self.config.validity_mode == "majority":
+            from repro.core.gm_voting import assess_majority
+
+            flags = assess_majority(fresh, self.config.validity)
+        else:
+            flags = assess_validity(fresh, self.config.validity)
+        self.shmem.valid = {
+            d: flags.get(d, False) for d in self.config.domains
+        }
+        self.last_valid_flags = dict(self.shmem.valid)
+        offsets = [fresh[d].offset for d in sorted(fresh) if flags[d]]
+        if not offsets:
+            self.coasts += 1  # nothing trustworthy: free-run this interval
+            return
+        result = self._aggregate_fn(offsets, self.config.f)
+        self.last_result = result
+        self._apply_servo(result.value)
+
+    def _apply_servo(self, offset: float) -> None:
+        self.aggregations += 1
+        if not self.config.apply_corrections:
+            return  # measure-only mode (free-running baseline)
+        out = self.servo.sample(offset)
+        if out.step_ns:
+            self.clock.step(out.step_ns)
+            # adjust_last lives in the stepped timescale.
+            self.shmem.close_gate(self.clock.time())
+        self.clock.adjust_frequency(out.frequency_ppb)
+
+    # ------------------------------------------------------------------
+    def _reference_domain(self, fresh: Dict[int, "object"]) -> Optional[int]:
+        if self._rejoin:
+            cluster = self._consistent_cluster(fresh)
+            if cluster:
+                return min(cluster)
+        if self.config.initial_domain in fresh:
+            return self.config.initial_domain
+        others = [d for d in fresh if d != self.config.own_domain]
+        if others:
+            return min(others)
+        return min(fresh) if fresh else None
+
+    def _consistent_cluster(self, fresh: Dict[int, "object"]) -> List[int]:
+        """Domains (excluding our own) that agree with at least one other.
+
+        Two or more foreign domains within the validity threshold of each
+        other are, with f = 1, the live synchronized ensemble a rebooted VM
+        must rejoin.
+        """
+        own = self.config.own_domain
+        others = {d: fresh[d].offset for d in fresh if d != own}
+        threshold = self.config.validity.threshold
+        return [
+            d
+            for d in others
+            if any(
+                e != d and abs(others[d] - others[e]) <= threshold
+                for e in others
+            )
+        ]
+
+    def _enter_fault_tolerant(self) -> None:
+        self.mode = AggregatorMode.FAULT_TOLERANT
+        if self.trace is not None:
+            self.trace.emit(self.sim.now, "fta.ft_mode_entered", self.name)
+        if self.on_mode_change is not None:
+            self.on_mode_change(self.mode)
+
+    def reset(self, rejoin: bool = False) -> None:
+        """Back to STARTUP with a wiped region (VM reboot).
+
+        ``rejoin=True`` marks this as a re-integration into a running
+        system (any boot after the first): startup then references the live
+        ensemble instead of blindly following the initial domain.
+        """
+        self.mode = AggregatorMode.STARTUP
+        self._startup_streak = 0
+        self._rejoin = rejoin
+        self.shmem.reset()
+        self.last_result = None
+        self.last_valid_flags = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiDomainAggregator({self.name!r}, mode={self.mode.name}, "
+            f"aggregations={self.aggregations})"
+        )

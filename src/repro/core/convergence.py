@@ -1,0 +1,68 @@
+"""Kopetz–Ochsenreiter convergence-function bound on precision.
+
+The paper instantiates (§III-A3)::
+
+    Π(N, f, E, Γ) = u(N, f) · (E + Γ)
+
+with the FTA convergence factor ``u(N, f) = (N − 2f) / (N − 3f)``, the
+*reading error* ``E = d_max − d_min`` (spread of network latencies between
+any two nodes), and the *drift offset* ``Γ = 2 · r_max · S`` (worst mutual
+drift over one synchronization period). For the testbed's N = 4 domains and
+f = 1 tolerated fault, ``u = 2`` and Π = 2(E + Γ) — the 12.636 µs / 11.42 µs
+bounds quoted for the two experiments.
+"""
+
+from __future__ import annotations
+
+from repro.sim.timebase import from_ppm
+
+
+def u_factor(n: int, f: int) -> float:
+    """FTA convergence factor ``(N − 2f) / (N − 3f)``.
+
+    Requires ``N ≥ 3f + 1`` — the Byzantine resilience condition.
+
+    >>> u_factor(4, 1)
+    2.0
+    """
+    if f < 0:
+        raise ValueError(f"f must be nonnegative, got {f}")
+    if n < 3 * f + 1:
+        raise ValueError(
+            f"N={n} clocks cannot tolerate f={f} Byzantine faults (need N >= 3f+1)"
+        )
+    if f == 0:
+        return 1.0
+    return (n - 2 * f) / (n - 3 * f)
+
+
+def drift_offset(max_drift_ppm: float, sync_interval: int) -> float:
+    """Γ = 2 · r_max · S in ns.
+
+    >>> from repro.sim.timebase import MILLISECONDS
+    >>> drift_offset(5.0, 125 * MILLISECONDS)
+    1250.0
+    """
+    if max_drift_ppm < 0 or sync_interval <= 0:
+        raise ValueError("max_drift_ppm must be >= 0 and sync_interval > 0")
+    return 2.0 * from_ppm(max_drift_ppm) * sync_interval
+
+
+def reading_error(d_min: float, d_max: float) -> float:
+    """E = d_max − d_min in ns."""
+    if d_max < d_min:
+        raise ValueError(f"d_max={d_max} < d_min={d_min}")
+    return d_max - d_min
+
+
+def precision_bound(
+    n: int, f: int, reading_error_ns: float, drift_offset_ns: float
+) -> float:
+    """Π = u(N, f) · (E + Γ) in ns.
+
+    >>> precision_bound(4, 1, 5068.0, 1250.0)
+    12636.0
+    """
+    if reading_error_ns < 0 or drift_offset_ns < 0:
+        raise ValueError("error terms must be nonnegative")
+    return u_factor(n, f) * (reading_error_ns + drift_offset_ns)

@@ -1,0 +1,63 @@
+"""IEEE 1588-2019-style grandmaster voting.
+
+The paper's introduction notes that IEEE 1588-2019 "proposes using a voting
+algorithm to detect faulty GM clocks if more than two redundant time sources
+are available". This module implements that detector as an alternative to
+the paper's pairwise-vouching validity booleans (:mod:`repro.core.validity`):
+
+    a domain is valid iff its offset lies within the threshold of the
+    **median** of all fresh domains' offsets (majority reference), provided
+    at least three sources exist — with fewer there is no majority and
+    nothing is flagged.
+
+The two detectors fail differently against the §III-B colluding-pair attack
+(M = 4, two compromised GMs at −24 µs):
+
+* pairwise vouching: the colluders vouch for each other → all four domains
+  stay "valid" → the FTA is poisoned every interval → runaway divergence
+  (the paper's Fig. 3a).
+* majority median: the 2-vs-2 split puts the median *between* the clusters
+  → **everything** is flagged invalid → the node coasts on its disciplined
+  frequency — degradation at drift rate instead of runaway.
+
+With M ≥ 5 domains and still two colluders, the median sits inside the
+honest majority and the colluding pair is cleanly rejected — the case
+1588-2019 actually targets. The ablation bench measures all of this.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.ftshmem import StoredOffset
+from repro.core.validity import ValidityConfig
+
+
+def assess_majority(
+    fresh: Dict[int, StoredOffset], config: ValidityConfig
+) -> Dict[int, bool]:
+    """Median-referenced majority vote over the fresh domain offsets.
+
+    >>> from repro.gptp.instance import OffsetSample
+    >>> def slot(d, off):
+    ...     return StoredOffset(OffsetSample(d, "gm", off, 0, 0), stored_at=0)
+    >>> flags = assess_majority(
+    ...     {1: slot(1, 0.0), 2: slot(2, 100.0), 3: slot(3, -50.0),
+    ...      4: slot(4, 24_000.0)},
+    ...     ValidityConfig())
+    >>> flags[1], flags[4]
+    (True, False)
+    """
+    domains = sorted(fresh)
+    if len(domains) < 3:
+        return {d: True for d in domains}
+    ordered = sorted(fresh[d].offset for d in domains)
+    n = len(ordered)
+    median = (
+        ordered[n // 2]
+        if n % 2
+        else (ordered[n // 2 - 1] + ordered[n // 2]) / 2.0
+    )
+    return {
+        d: abs(fresh[d].offset - median) <= config.threshold for d in domains
+    }

@@ -1,0 +1,73 @@
+"""Validity assessment of grandmaster offsets.
+
+FTSHMEM carries "an array of M booleans indicating whether the corresponding
+GM clock's offset from the remaining GM clocks is within a configurable
+threshold" (§II-B). We implement the check the way a pairwise comparison
+naturally behaves:
+
+    a domain is **valid** iff its offset lies within the threshold of at
+    least one *other* fresh domain's offset (or it is the only fresh one).
+
+This mirrors the strength — and the documented limitation — of the paper's
+architecture: a *single* Byzantine GM is isolated (no peer vouches for it)
+and additionally trimmed by the FTA, but two *colluding* GMs vouch for each
+other and poison the aggregate, which is exactly the identical-kernel attack
+of Fig. 3a. OS diversification, not the validity check, is what prevents
+that scenario (Fig. 3b).
+
+Staleness is assessed separately (fail-silent GMs simply stop producing
+offsets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.ftshmem import StoredOffset
+from repro.sim.timebase import MICROSECONDS, MILLISECONDS
+
+
+@dataclass(frozen=True)
+class ValidityConfig:
+    """Thresholds of the validity check.
+
+    Attributes
+    ----------
+    threshold:
+        Maximum |offset difference| for one GM to vouch for another, ns.
+    staleness:
+        Maximum slot age before a domain counts as silent, ns.
+    """
+
+    threshold: int = 5 * MICROSECONDS
+    staleness: int = 300 * MILLISECONDS
+
+
+def assess_validity(
+    fresh: Dict[int, StoredOffset], config: ValidityConfig
+) -> Dict[int, bool]:
+    """Compute the per-domain validity booleans over the fresh slots.
+
+    >>> from repro.gptp.instance import OffsetSample
+    >>> def slot(d, off):
+    ...     return StoredOffset(
+    ...         OffsetSample(d, "gm", off, 0, 0), stored_at=0)
+    >>> flags = assess_validity(
+    ...     {1: slot(1, 0.0), 2: slot(2, 100.0), 3: slot(3, 50_000.0)},
+    ...     ValidityConfig())
+    >>> flags[1], flags[2], flags[3]
+    (True, True, False)
+    """
+    domains = sorted(fresh)
+    if len(domains) <= 1:
+        return {d: True for d in domains}
+    flags: Dict[int, bool] = {}
+    for d in domains:
+        mine = fresh[d].offset
+        flags[d] = any(
+            abs(mine - fresh[other].offset) <= config.threshold
+            for other in domains
+            if other != d
+        )
+    return flags

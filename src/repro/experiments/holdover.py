@@ -1,0 +1,143 @@
+"""Holdover experiment: total grandmaster loss.
+
+The paper's fault hypothesis caps simultaneous failures at one clock
+synchronization VM per node — all four GMs failing at once is outside it.
+Operators still need to know the failure behaviour: with every time source
+silent, each node's FTA has nothing fresh to aggregate, the engines *coast*
+on their last disciplined frequency, and the nodes drift apart at residual-
+trim + wander rate (µs per minute) instead of failing abruptly. When the
+GMs return, re-integration pulls everyone back inside the bound.
+
+This quantifies the architecture's graceful degradation — the practical
+difference between "synchronization lost" and "synchronization decaying at
+a characterizable rate".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.measurement.bounds import ExperimentBounds
+from repro.sim.timebase import MINUTES, SECONDS
+from repro.experiments.testbed import Testbed, TestbedConfig
+
+
+@dataclass(frozen=True)
+class HoldoverConfig:
+    """Scenario parameters."""
+
+    seed: int = 1
+    settle: int = 2 * MINUTES
+    outage: int = 5 * MINUTES
+    recovery: int = 4 * MINUTES
+
+
+@dataclass
+class HoldoverResult:
+    """Outcome of the total-GM-loss scenario."""
+
+    config: HoldoverConfig
+    bounds: ExperimentBounds
+    precision_before: float
+    drift_series: List[Tuple[int, float]]  # (time into outage, Π*)
+    worst_during_outage: float
+    drift_rate_ns_per_s: float
+    recovered_precision: float
+    coasting_engines: int
+
+    @property
+    def degraded_gracefully(self) -> bool:
+        """Drift stayed within the oscillator envelope (no blow-up)."""
+        # Residual trim error is bounded by twice the 5 ppm oscillator cap
+        # plus servo residue; 20 ppm of wiggle room separates "coasting"
+        # from "diverging feedback".
+        return abs(self.drift_rate_ns_per_s) < 20_000
+
+    def to_text(self) -> str:
+        """Summary block."""
+        return "\n".join(
+            [
+                f"holdover: all GMs silent for {self.config.outage / 1e9:.0f} s",
+                self.bounds.describe(),
+                f"precision before outage:   {self.precision_before:.0f} ns",
+                f"worst during outage:       {self.worst_during_outage:.0f} ns",
+                f"observed drift rate:       {self.drift_rate_ns_per_s:.1f} ns/s "
+                f"({'graceful' if self.degraded_gracefully else 'DIVERGENT'})",
+                f"coasting FTA engines:      {self.coasting_engines}",
+                f"precision after recovery:  {self.recovered_precision:.0f} ns",
+            ]
+        )
+
+
+def run_holdover_experiment(
+    config: HoldoverConfig = HoldoverConfig(),
+    testbed_config: Optional[TestbedConfig] = None,
+) -> HoldoverResult:
+    """Kill every GM simultaneously, watch the coast, restore, re-measure."""
+    testbed = Testbed(testbed_config or TestbedConfig(seed=config.seed))
+    testbed.run_until(config.settle)
+    before_records = [r.precision for r in testbed.series.records[-30:]]
+    precision_before = max(before_records) if before_records else 0.0
+
+    outage_start = testbed.sim.now
+    for name in testbed.gm_names:
+        # reboot=False: the outage lasts until we say otherwise.
+        testbed.vms[name].fail_silent(reboot=False, reason="holdover")
+    testbed.run_until(outage_start + config.outage)
+
+    drift_series = [
+        (r.time - outage_start, r.precision)
+        for r in testbed.series.records
+        if r.time >= outage_start
+    ]
+    worst = max((p for _, p in drift_series), default=0.0)
+    # Fit the drift rate over the outage (least squares through the series).
+    rate = _slope_ns_per_s(drift_series)
+    # Coasting = running engines with nothing fresh to aggregate. (With no
+    # Syncs at all the eq. 2.1 gate never even fires — the engine coasts by
+    # absence, holding its last frequency trim.)
+    coasting = 0
+    for vm in testbed.vms.values():
+        if not vm.running:
+            continue
+        aggregator = vm.aggregator
+        fresh = aggregator.shmem.fresh_offsets(
+            vm.nic.clock.time(), aggregator.config.validity.staleness
+        )
+        if not fresh:
+            coasting += 1
+
+    for name in testbed.gm_names:
+        testbed.vms[name].start()
+    recovery_start = testbed.sim.now
+    testbed.run_until(recovery_start + config.recovery)
+    tail = [
+        r.precision
+        for r in testbed.series.records
+        if r.time >= recovery_start + config.recovery // 2
+    ]
+    return HoldoverResult(
+        config=config,
+        bounds=testbed.derive_bounds(),
+        precision_before=precision_before,
+        drift_series=drift_series,
+        worst_during_outage=worst,
+        drift_rate_ns_per_s=rate,
+        recovered_precision=max(tail) if tail else float("nan"),
+        coasting_engines=coasting,
+    )
+
+
+def _slope_ns_per_s(series: List[Tuple[int, float]]) -> float:
+    """Least-squares slope of (time_ns, value_ns), returned per second."""
+    n = len(series)
+    if n < 2:
+        return 0.0
+    mean_t = sum(t for t, _ in series) / n
+    mean_v = sum(v for _, v in series) / n
+    stt = sum((t - mean_t) ** 2 for t, _ in series)
+    if stt == 0:
+        return 0.0
+    stv = sum((t - mean_t) * (v - mean_v) for t, v in series)
+    return (stv / stt) * 1e9

@@ -1,0 +1,127 @@
+"""Trunk-link failure experiment.
+
+Fig. 2's mesh "ensur[es] redundant data paths" — but gPTP's per-domain
+spanning trees are static under external port configuration, so a trunk
+failure does not reroute: it silences the domains whose trees cross the
+dead trunk for the nodes behind it. The architecture's answer is not
+rerouting but *redundancy in time sources*: the affected VMs lose one of M
+domains, staleness excludes it, and the FTA carries on with the rest.
+
+This experiment kills one trunk (not incident to the measurement device, so
+the probe paths stay alive), verifies which VMs lose which domain, checks
+the measured precision stays within Π + γ throughout, and confirms full
+recovery after the link comes back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.measurement.bounds import ExperimentBounds
+from repro.sim.timebase import MINUTES, SECONDS
+from repro.experiments.testbed import Testbed, TestbedConfig
+
+
+@dataclass(frozen=True)
+class LinkFailureConfig:
+    """Scenario parameters."""
+
+    seed: int = 1
+    trunk: Tuple[str, str] = ("sw1", "sw3")
+    settle: int = 2 * MINUTES
+    outage: int = 3 * MINUTES
+    recovery: int = 3 * MINUTES
+
+
+@dataclass
+class LinkFailureResult:
+    """Outcome of the scenario."""
+
+    config: LinkFailureConfig
+    bounds: ExperimentBounds
+    silenced: Dict[str, Set[int]]  # VM -> domains that went stale
+    max_precision_during_outage: float
+    max_precision_after_recovery: float
+    violations: int
+    recovered: bool
+
+    def to_text(self) -> str:
+        """Summary block."""
+        silenced = {
+            vm: sorted(domains) for vm, domains in sorted(self.silenced.items())
+            if domains
+        }
+        lines = [
+            f"trunk failure {self.config.trunk[0]}–{self.config.trunk[1]} "
+            f"for {self.config.outage / 1e9:.0f} s",
+            self.bounds.describe(),
+            f"silenced domains: {silenced}",
+            f"max Π* during outage:  {self.max_precision_during_outage:.0f} ns",
+            f"max Π* after recovery: {self.max_precision_after_recovery:.0f} ns",
+            f"violations: {self.violations}  recovered: {self.recovered}",
+        ]
+        return "\n".join(lines)
+
+
+def _stale_domains(testbed: Testbed) -> Dict[str, Set[int]]:
+    """Per running VM: domains whose FTSHMEM slot is stale right now."""
+    out: Dict[str, Set[int]] = {}
+    for name, vm in testbed.vms.items():
+        if not vm.running:
+            continue
+        aggregator = vm.aggregator
+        now = vm.nic.clock.time()
+        fresh = aggregator.shmem.fresh_offsets(
+            now, aggregator.config.validity.staleness
+        )
+        out[name] = {
+            d.number for d in testbed.domains if d.number not in fresh
+        }
+    return out
+
+
+def run_link_failure_experiment(
+    config: LinkFailureConfig = LinkFailureConfig(),
+    testbed_config: Optional[TestbedConfig] = None,
+) -> LinkFailureResult:
+    """Run the scenario end to end."""
+    testbed = Testbed(testbed_config or TestbedConfig(seed=config.seed))
+    sw_m = f"sw{testbed.config.measurement_device}"
+    if sw_m in config.trunk:
+        raise ValueError(
+            f"trunk {config.trunk} carries the measurement VLAN ({sw_m}); "
+            "pick a trunk not incident to the measurement device"
+        )
+    testbed.run_until(config.settle)
+    trunk = testbed.topology.trunk(*config.trunk)
+    trunk.set_up(False)
+    outage_start = testbed.sim.now
+    testbed.run_until(outage_start + config.outage)
+    silenced = _stale_domains(testbed)
+    trunk.set_up(True)
+    recovery_start = testbed.sim.now
+    testbed.run_until(recovery_start + config.recovery)
+
+    bounds = testbed.derive_bounds()
+    during = [
+        r.precision
+        for r in testbed.series.records
+        if outage_start <= r.time < recovery_start
+    ]
+    after = [
+        r.precision
+        for r in testbed.series.records
+        if r.time >= recovery_start + config.recovery // 2
+    ]
+    stale_after = _stale_domains(testbed)
+    recovered = all(not domains for domains in stale_after.values())
+    return LinkFailureResult(
+        config=config,
+        bounds=bounds,
+        silenced=silenced,
+        max_precision_during_outage=max(during) if during else 0.0,
+        max_precision_after_recovery=max(after) if after else 0.0,
+        violations=len(testbed.series.violations(bounds.bound_with_error)),
+        recovered=recovered,
+    )

@@ -1,0 +1,118 @@
+"""Multi-seed Monte-Carlo studies.
+
+One run of the fault-injection experiment is one draw from the fault
+schedule / network noise distribution. The paper reports a single 24 h run;
+a simulation can afford many seeds and report *rates*: how often does any
+probe violate Π + γ, what do the per-seed precision statistics look like,
+how stable are the masked-fault counts.
+
+The study uses independently forked RNG universes per seed, so arms are
+statistically independent and individually reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.analysis.stats import percentile
+from repro.experiments.fault_injection import (
+    FaultInjectionExperimentConfig,
+    FaultInjectionResult,
+    run_fault_injection_experiment,
+)
+
+
+@dataclass(frozen=True)
+class SeedOutcome:
+    """Per-seed summary of one fault-injection run."""
+
+    seed: int
+    bounded: bool
+    violations: int
+    mean_ns: float
+    max_ns: float
+    injections: int
+    takeovers: int
+
+
+@dataclass
+class MonteCarloResult:
+    """Aggregate over all seeds."""
+
+    outcomes: List[SeedOutcome]
+
+    @property
+    def n(self) -> int:
+        """Number of runs."""
+        return len(self.outcomes)
+
+    @property
+    def bounded_rate(self) -> float:
+        """Fraction of runs with zero bound violations."""
+        return sum(1 for o in self.outcomes if o.bounded) / self.n
+
+    @property
+    def total_masked_faults(self) -> int:
+        """Injected fail-silent faults across all runs."""
+        return sum(o.injections for o in self.outcomes)
+
+    def mean_of_means(self) -> float:
+        """Average per-run mean precision."""
+        return sum(o.mean_ns for o in self.outcomes) / self.n
+
+    def worst_max(self) -> float:
+        """Worst spike over every run."""
+        return max(o.max_ns for o in self.outcomes)
+
+    def max_percentile(self, q: float) -> float:
+        """Percentile of the per-run maxima."""
+        return percentile([o.max_ns for o in self.outcomes], q)
+
+    def to_text(self) -> str:
+        """Study summary block."""
+        lines = [
+            f"monte-carlo study over {self.n} seeds",
+            f"runs fully within Π+γ: {sum(1 for o in self.outcomes if o.bounded)}"
+            f"/{self.n} ({self.bounded_rate:.0%})",
+            f"mean precision (avg over runs): {self.mean_of_means():.0f} ns",
+            f"per-run max: p50={self.max_percentile(50):.0f} ns "
+            f"p90={self.max_percentile(90):.0f} ns worst={self.worst_max():.0f} ns",
+            f"masked fail-silent faults across runs: {self.total_masked_faults}",
+        ]
+        return "\n".join(lines)
+
+
+def run_monte_carlo(
+    seeds: Sequence[int],
+    base_config: Optional[FaultInjectionExperimentConfig] = None,
+    hours: float = 0.25,
+    runner: Callable[..., FaultInjectionResult] = run_fault_injection_experiment,
+) -> MonteCarloResult:
+    """Run the (compressed) fault-injection experiment across seeds."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    base = base_config or FaultInjectionExperimentConfig()
+    outcomes: List[SeedOutcome] = []
+    for seed in seeds:
+        config = FaultInjectionExperimentConfig(
+            duration=base.duration,
+            seed=seed,
+            injector=base.injector,
+            transients=base.transients,
+            aggregate_bucket=base.aggregate_bucket,
+            timeline_window=base.timeline_window,
+        ).scaled(hours)
+        result = runner(config)
+        outcomes.append(
+            SeedOutcome(
+                seed=seed,
+                bounded=result.bounded,
+                violations=result.violations,
+                mean_ns=result.distribution.mean,
+                max_ns=result.distribution.maximum,
+                injections=result.injections["fail_silent_total"],
+                takeovers=result.takeovers,
+            )
+        )
+    return MonteCarloResult(outcomes=outcomes)

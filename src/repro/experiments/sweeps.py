@@ -1,0 +1,166 @@
+"""Parameter-sweep studies over the testbed.
+
+A small framework for the design-space questions DESIGN.md raises: how do
+the precision bound and the measured steady-state precision move with the
+domain count, the synchronization interval, the validity threshold, or the
+aggregation function? Each sweep runs a short converged testbed per
+parameter value and extracts a compact row; the ablation benches and the
+CLI's ``sweep`` command print the assembled table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.aggregator import AggregatorConfig
+from repro.experiments.testbed import Testbed, TestbedConfig
+from repro.sim.timebase import MILLISECONDS, MINUTES
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One parameter point's outcome."""
+
+    parameter: str
+    value: Any
+    bound_ns: float
+    avg_precision_ns: float
+    max_precision_ns: float
+    converged: bool
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for CSV/JSON emission."""
+        return {
+            "parameter": self.parameter,
+            "value": self.value,
+            "bound_ns": self.bound_ns,
+            "avg_precision_ns": self.avg_precision_ns,
+            "max_precision_ns": self.max_precision_ns,
+            "converged": self.converged,
+        }
+
+
+def _measure(testbed: Testbed, duration: int, warmup_records: int) -> SweepRow:
+    testbed.run_until(duration)
+    bounds = testbed.derive_bounds()
+    records = testbed.series.records[warmup_records:]
+    from repro.core.aggregator import AggregatorMode
+
+    converged = all(
+        vm.aggregator.mode is AggregatorMode.FAULT_TOLERANT
+        for vm in testbed.vms.values()
+    )
+    if records:
+        precisions = [r.precision for r in records]
+        avg = sum(precisions) / len(precisions)
+        worst = max(precisions)
+    else:
+        avg = worst = float("nan")
+    return SweepRow(
+        parameter="",
+        value=None,
+        bound_ns=bounds.precision_bound,
+        avg_precision_ns=avg,
+        max_precision_ns=worst,
+        converged=converged,
+    )
+
+
+def sweep(
+    parameter: str,
+    values: Sequence[Any],
+    make_config: Callable[[Any], TestbedConfig],
+    duration: int = 2 * MINUTES,
+    warmup_records: int = 30,
+) -> List[SweepRow]:
+    """Generic sweep: build/run one testbed per value."""
+    if not values:
+        raise ValueError("sweep needs at least one value")
+    rows: List[SweepRow] = []
+    for value in values:
+        testbed = Testbed(make_config(value))
+        row = _measure(testbed, duration, warmup_records)
+        rows.append(replace(row, parameter=parameter, value=value))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Canned sweeps for the DESIGN.md design choices
+# ----------------------------------------------------------------------
+def sweep_domain_count(
+    values: Sequence[int] = (4, 5, 6), seed: int = 9, **kwargs
+) -> List[SweepRow]:
+    """u(N, f) tightens the bound as domains are added."""
+    return sweep(
+        "n_domains",
+        values,
+        lambda n: TestbedConfig(seed=seed, n_devices=n),
+        **kwargs,
+    )
+
+
+def sweep_sync_interval(
+    values_ms: Sequence[float] = (62.5, 125.0, 250.0), seed: int = 9, **kwargs
+) -> List[SweepRow]:
+    """Γ = 2·r_max·S scales the bound with the interval."""
+    return sweep(
+        "sync_interval_ms",
+        values_ms,
+        lambda ms: TestbedConfig(seed=seed, sync_interval=round(ms * MILLISECONDS)),
+        **kwargs,
+    )
+
+
+def sweep_aggregation(
+    values: Sequence[str] = ("fta", "ftm", "median", "mean"),
+    seed: int = 9,
+    **kwargs,
+) -> List[SweepRow]:
+    """Fault-free steady state is similar across aggregation functions."""
+    return sweep(
+        "aggregation",
+        values,
+        lambda name: TestbedConfig(
+            seed=seed, aggregator=AggregatorConfig(aggregation=name)
+        ),
+        **kwargs,
+    )
+
+
+def sweep_validity_threshold(
+    values_us: Sequence[float] = (1.0, 5.0, 20.0), seed: int = 9, **kwargs
+) -> List[SweepRow]:
+    """Validity threshold: too tight rejects honest spread, too loose lets
+    outliers in; steady state should tolerate the whole sensible range."""
+    from repro.core.validity import ValidityConfig
+
+    return sweep(
+        "validity_threshold_us",
+        values_us,
+        lambda us: TestbedConfig(
+            seed=seed,
+            aggregator=AggregatorConfig(
+                validity=ValidityConfig(threshold=round(us * 1000))
+            ),
+        ),
+        **kwargs,
+    )
+
+
+def render_rows(rows: Sequence[SweepRow]) -> str:
+    """Text table of sweep outcomes."""
+    if not rows:
+        return "(empty sweep)"
+    header = (
+        f"{rows[0].parameter:>22} {'Π[ns]':>10} {'avg Π*[ns]':>12} "
+        f"{'max Π*[ns]':>12} {'converged':>10}"
+    )
+    lines = [header]
+    for row in rows:
+        lines.append(
+            f"{str(row.value):>22} {row.bound_ns:>10.0f} "
+            f"{row.avg_precision_ns:>12.1f} {row.max_precision_ns:>12.1f} "
+            f"{str(row.converged):>10}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,400 @@
+"""Builder for the experimental virtualized distributed real-time system.
+
+Reproduces the §III-A1 setup (Fig. 2):
+
+* N = 4 edge devices ``dev1..dev4``, each with an integrated TSN switch;
+  the switches form a full mesh.
+* Each device hosts two clock synchronization VMs ``c{x}_1`` and ``c{x}_2``
+  with passthrough NICs attached to the device switch; ``c{x}_1`` is the
+  grandmaster of gPTP domain x (spatially separated GMs).
+* External port configuration: per domain x, the static spanning tree is
+  rooted at ``c{x}_1`` — on ``sw{x}`` the slave port faces the GM VM and
+  all other ports are masters; on every other switch the slave port faces
+  ``sw{x}`` directly (full mesh ⇒ one trunk hop) and the local VM ports are
+  masters. No BMCA runs anywhere.
+* The measurement VLAN spans ``c{m}_2`` → ``sw{m}`` → every other switch →
+  that switch's local VM ports, giving every measured path the same hop
+  count (the paper's γ-minimizing configuration); ``c{m}_1`` and the
+  measurement VM itself are excluded from the receiver set per eq. 3.1.
+* Kernel versions are assigned to the GM VMs per the diversification policy
+  under test (identical = everyone on the exploitable v4.19.1).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.aggregator import AggregatorConfig
+from repro.faults.transient import TransientFaultPlan
+from repro.gptp.bridge import TimeAwareBridge
+from repro.gptp.domain import DomainConfig
+from repro.hypervisor.clock_sync_vm import ClockSyncVm, ClockSyncVmConfig
+from repro.hypervisor.node import EcdNode
+from repro.measurement.bounds import ExperimentBounds, derive_bounds
+from repro.measurement.precision import PrecisionSeries
+from repro.measurement.probe import (
+    MEASUREMENT_VLAN,
+    PrecisionProbeService,
+    ProbeResponder,
+)
+from repro.network.nic import NicModel
+from repro.network.topology import MeshModel, MeshTopology, build_mesh
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.timebase import MICROSECONDS, MILLISECONDS, SECONDS
+from repro.sim.trace import TraceLog
+
+
+@dataclass(frozen=True)
+class TestbedConfig:
+    """Knobs of the full testbed.
+
+    Attributes
+    ----------
+    seed:
+        Master seed for every random stream.
+    n_devices:
+        Devices/domains (the paper's 4).
+    sync_interval:
+        S, ns.
+    kernel_policy:
+        ``"diverse"`` (Fig. 3b) or ``"identical"`` (Fig. 3a).
+    measurement_device:
+        Index m of the device hosting the measurement VM ``c{m}_2``
+        ("chosen arbitrarily" in the paper).
+    measurement_start:
+        When the 1 Hz probes begin (lets initial synchronization settle).
+    initial_offset_spread:
+        Initial PHC offsets are drawn uniformly in ±spread, ns — what the
+        startup synchronization has to pull in.
+    transients:
+        Optional transient-fault plan (tx timeouts / deadline misses).
+    aggregator:
+        Base aggregation config; domains/initial domain are filled in.
+    mesh:
+        Link/switch parameter ranges.
+    boot_delay:
+        VM reboot latency after fail-silent faults.
+    aggregate_on_gms:
+        When ``False``, GM VMs free-run (the Kyriakakis-style baseline).
+    exploitable_gm:
+        Under the ``diverse`` policy, which GM keeps the exploitable kernel
+        (the paper leaves v4.19.1 on ``c4_1``). Default: the last GM.
+    n_domains:
+        Number of gPTP domains (default: one per device). ``1`` yields the
+        single-domain no-FTA baseline: only ``c1_1`` is a grandmaster.
+    vms_per_node:
+        Clock synchronization VMs per device. The paper's testbed has 2
+        (fail-silent, f+1); 3 enables the fail-consistent 2f+1 voting mode
+        of §II-A, which needs one passthrough NIC per VM ("it is
+        straightforward to realize fail-consistent behavior by adding more
+        NICs").
+    """
+
+    # Keep pytest from trying to collect this config class.
+    __test__ = False
+
+    seed: int = 1
+    n_devices: int = 4
+    n_domains: Optional[int] = None
+    vms_per_node: int = 2
+    sync_interval: int = 125 * MILLISECONDS
+    kernel_policy: str = "diverse"
+    measurement_device: int = 2
+    measurement_start: int = 30 * SECONDS
+    initial_offset_spread: int = 100 * MICROSECONDS
+    transients: Optional[TransientFaultPlan] = None
+    aggregator: AggregatorConfig = AggregatorConfig()
+    mesh: MeshModel = MeshModel()
+    boot_delay: int = 30 * SECONDS
+    aggregate_on_gms: bool = True
+    exploitable_gm: Optional[str] = None
+    phc2sys_mode: str = "feedback"
+    #: Keep per-VM probe readings for spike attribution (a few floats per
+    #: probe; see PrecisionRecord.extreme_pair).
+    keep_probe_readings: bool = False
+
+
+class Testbed:
+    """The built system, ready to run."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(self, config: TestbedConfig = TestbedConfig()) -> None:
+        self.config = config
+        self.sim = Simulator()
+        self.trace = TraceLog()
+        self.rng = RngRegistry(config.seed)
+        self.topology: MeshTopology
+        self.nodes: Dict[str, EcdNode] = {}
+        self.vms: Dict[str, ClockSyncVm] = {}
+        self.bridges: Dict[str, TimeAwareBridge] = {}
+        self.domains: List[DomainConfig] = []
+        self.series = PrecisionSeries(keep_readings=config.keep_probe_readings)
+        self.probe_service: PrecisionProbeService
+        self.responders: Dict[str, ProbeResponder] = {}
+        self.kernel_of: Dict[str, str] = {}
+        self.node_of_vm: Dict[str, EcdNode] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        cfg = self.config
+        n_domains = cfg.n_domains if cfg.n_domains is not None else cfg.n_devices
+        if not 1 <= n_domains <= cfg.n_devices:
+            raise ValueError(
+                f"n_domains={n_domains} must be in [1, {cfg.n_devices}]"
+            )
+        self.domains = [
+            DomainConfig(
+                number=x,
+                gm_identity=f"c{x}_1",
+                sync_interval=cfg.sync_interval,
+            )
+            for x in range(1, n_domains + 1)
+        ]
+        self._build_network()
+        self._build_nodes()
+        self._configure_domain_trees()
+        self._configure_measurement()
+        self._start()
+
+    def _build_network(self) -> None:
+        cfg = self.config
+        switch_rngs = {
+            f"sw{i + 1}": self.rng.stream(f"switch.sw{i + 1}")
+            for i in range(cfg.n_devices)
+        }
+        # The testbed's device count governs the mesh size; other mesh
+        # parameters come from the configured model.
+        mesh = MeshModel(
+            n_devices=cfg.n_devices,
+            trunk_base_range=cfg.mesh.trunk_base_range,
+            trunk_jitter_range=cfg.mesh.trunk_jitter_range,
+            access_base_range=cfg.mesh.access_base_range,
+            access_jitter_range=cfg.mesh.access_jitter_range,
+            switch=cfg.mesh.switch,
+        )
+        self.topology = build_mesh(
+            self.sim,
+            self.rng.stream("topology"),
+            mesh,
+            trace=self.trace,
+            switch_rngs=switch_rngs,
+        )
+
+    def _nic_model(self) -> NicModel:
+        cfg = self.config
+        if cfg.transients is None:
+            return NicModel()
+        return NicModel(
+            tx_timestamp_fail_prob=cfg.transients.tx_timestamp_fail_prob,
+            deadline_miss_prob=cfg.transients.deadline_miss_prob,
+        )
+
+    def _build_nodes(self) -> None:
+        from repro.security.diversity import (
+            UNIKERNEL_STACK,
+            assign_kernels,
+            boot_delay_of,
+        )
+
+        cfg = self.config
+        gm_names = [f"c{x}_1" for x in range(1, cfg.n_devices + 1)]
+        # Under diversification the exploitable kernel (pool[0]) goes to one
+        # designated GM — c4_1 in the paper's Fig. 3b setup.
+        exploitable = cfg.exploitable_gm or gm_names[-1]
+        if exploitable not in gm_names:
+            raise ValueError(f"exploitable_gm {exploitable!r} is not a GM")
+        ordered = [exploitable] + [g for g in gm_names if g != exploitable]
+        self.kernel_of = assign_kernels(ordered, cfg.kernel_policy)
+        nic_model = self._nic_model()
+        for x in range(1, cfg.n_devices + 1):
+            node = EcdNode(
+                self.sim,
+                f"dev{x}",
+                self.rng.stream(f"node.dev{x}.tsc"),
+                trace=self.trace,
+            )
+            self.nodes[node.name] = node
+            domain_numbers = {d.number for d in self.domains}
+            for i in range(1, cfg.vms_per_node + 1):
+                vm_name = f"c{x}_{i}"
+                is_gm = i == 1 and x in domain_numbers
+                default_stack = (
+                    UNIKERNEL_STACK
+                    if cfg.kernel_policy == "unikernel"
+                    else "linux-5.15.0"
+                )
+                kernel = self.kernel_of.get(vm_name, default_stack)
+                boot_delay = (
+                    boot_delay_of(kernel)
+                    if cfg.kernel_policy == "unikernel"
+                    else cfg.boot_delay
+                )
+                agg = AggregatorConfig(
+                    domains=tuple(d.number for d in self.domains),
+                    f=cfg.aggregator.f,
+                    sync_interval=cfg.sync_interval,
+                    validity=cfg.aggregator.validity,
+                    startup_threshold=cfg.aggregator.startup_threshold,
+                    startup_confirmations=cfg.aggregator.startup_confirmations,
+                    initial_domain=cfg.aggregator.initial_domain,
+                    own_domain=x if is_gm else None,
+                    aggregation=cfg.aggregator.aggregation,
+                    servo=cfg.aggregator.servo,
+                    apply_corrections=(
+                        cfg.aggregator.apply_corrections
+                        and (cfg.aggregate_on_gms or not is_gm)
+                    ),
+                    validity_mode=cfg.aggregator.validity_mode,
+                )
+                vm_config = ClockSyncVmConfig(
+                    gm_domain=x if is_gm else None,
+                    kernel_version=kernel,
+                    domains=tuple(self.domains),
+                    aggregator=agg,
+                    nic=nic_model,
+                    boot_delay=boot_delay,
+                    phc2sys_mode=cfg.phc2sys_mode,
+                )
+                vm = node.add_clock_sync_vm(
+                    vm_name, vm_config, self.rng.stream(f"vm.{vm_name}")
+                )
+                self.vms[vm_name] = vm
+                self.node_of_vm[vm_name] = node
+                self.topology.attach_nic(
+                    vm.nic, f"sw{x}", self.rng.stream("topology")
+                )
+                spread = cfg.initial_offset_spread
+                if spread > 0:
+                    vm.nic.clock.step(
+                        self.rng.stream(f"init.{vm_name}").randint(-spread, spread)
+                    )
+
+    def _configure_domain_trees(self) -> None:
+        cfg = self.config
+        for sw_name in self.topology.switch_names():
+            bridge = TimeAwareBridge(
+                self.sim,
+                self.topology.switch(sw_name),
+                self.rng.stream(f"bridge.{sw_name}"),
+                trace=self.trace,
+            )
+            self.bridges[sw_name] = bridge
+        vm_range = range(1, self.config.vms_per_node + 1)
+        for domain in self.domains:
+            x = domain.number
+            root_sw = f"sw{x}"
+            for sw_name, bridge in self.bridges.items():
+                y = int(sw_name[2:])
+                local_vm_ports = [f"vm_c{y}_{i}" for i in vm_range]
+                if sw_name == root_sw:
+                    slave = f"vm_c{x}_1"
+                    masters = [
+                        f"to_{other}"
+                        for other in self.topology.switch_names()
+                        if other != sw_name
+                    ] + [p for p in local_vm_ports if p != slave]
+                else:
+                    slave = f"to_{root_sw}"
+                    masters = local_vm_ports
+                bridge.configure_domain(domain.number, slave, masters)
+
+    def _configure_measurement(self) -> None:
+        cfg = self.config
+        m = cfg.measurement_device
+        sw_m = f"sw{m}"
+        # Measurement VLAN: star from sw_m over direct trunks, then local
+        # VM ports only — loop-free and hop-symmetric (§III-A2).
+        vm_range = range(1, cfg.vms_per_node + 1)
+        for sw_name in self.topology.switch_names():
+            sw = self.topology.switch(sw_name)
+            y = int(sw_name[2:])
+            local_vm_ports = [sw.ports[f"vm_c{y}_{i}"] for i in vm_range]
+            if sw_name == sw_m:
+                members = [
+                    sw.ports[f"to_{other}"]
+                    for other in self.topology.switch_names()
+                    if other != sw_name
+                ] + local_vm_ports
+            else:
+                members = [sw.ports[f"to_{sw_m}"]] + local_vm_ports
+            sw.set_vlan_members(MEASUREMENT_VLAN, members)
+        measurement_vm = self.vms[self.measurement_vm_name]
+        self.probe_service = PrecisionProbeService(
+            self.sim, measurement_vm, series=self.series
+        )
+        for vm_name in self.receiver_names:
+            vm = self.vms[vm_name]
+            self.responders[vm_name] = ProbeResponder(
+                vm, self.node_of_vm[vm_name], self.series
+            )
+
+    def _start(self) -> None:
+        for node in self.nodes.values():
+            node.start()
+        for bridge in self.bridges.values():
+            bridge.start()
+        self.sim.schedule_at(
+            max(self.sim.now, self.config.measurement_start),
+            self.probe_service.start,
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def measurement_vm_name(self) -> str:
+        """``c{m}_2`` — the VM sending the probes."""
+        return f"c{self.config.measurement_device}_2"
+
+    @property
+    def excluded_vm_name(self) -> str:
+        """``c{m}_1`` — excluded from measurement for path symmetry."""
+        return f"c{self.config.measurement_device}_1"
+
+    @property
+    def receiver_names(self) -> List[str]:
+        """CS := C \\ {c_m1, c_m2} — the measured set of eq. 3.1."""
+        excluded = {self.measurement_vm_name, self.excluded_vm_name}
+        return sorted(name for name in self.vms if name not in excluded)
+
+    @property
+    def gm_names(self) -> List[str]:
+        """The virtual grandmasters, one per configured domain."""
+        return [d.gm_identity for d in self.domains]
+
+    def gm_domain_of(self) -> Dict[str, int]:
+        """GM VM name → domain number (for Fig. 5 color coding)."""
+        return {d.gm_identity: d.number for d in self.domains}
+
+    def derive_bounds(self) -> ExperimentBounds:
+        """Run the §III-A3 bound derivation against this testbed."""
+        return derive_bounds(
+            self.topology,
+            self.measurement_vm_name,
+            self.receiver_names,
+            n_domains=len(self.domains),
+            f=self.config.aggregator.f,
+            sync_interval=self.config.sync_interval,
+        )
+
+    def run_until(self, time: int) -> None:
+        """Advance the simulation."""
+        self.sim.run_until(time)
+
+    def gm_clock_spread(self) -> float:
+        """Max pairwise PHC difference across running GMs (diagnostics)."""
+        values = [
+            self.vms[name].nic.clock.time()
+            for name in self.gm_names
+            if self.vms[name].running
+        ]
+        if len(values) < 2:
+            return 0.0
+        return float(max(values) - min(values))

@@ -1,0 +1,27 @@
+"""Fault injection: the paper's §III-C tool, schedule, and transient faults.
+
+The tool runs (conceptually) in each ECD's service VM and triggers
+fail-silent shutdowns of clock synchronization VMs:
+
+* **grandmaster shutdowns** — periodic, sequential across the devices;
+* **redundant-VM shutdowns** — random per node, rate-limited (at most one
+  every five minutes per node);
+* **never both VMs of one node at once** — that would violate the fail-
+  silent dependent-clock hypothesis (f = 1 per node); simultaneous failures
+  *across* nodes are allowed and do happen.
+
+Transient software faults (tx-timestamp timeouts, launch deadline misses)
+are environmental: :mod:`repro.faults.transient` calibrates the NIC fault
+probabilities so a 24 h run produces totals in the regime the paper reports
+(2992 and 347).
+"""
+
+from repro.faults.injector import FaultInjectionConfig, FaultInjector
+from repro.faults.transient import TransientFaultPlan, calibrate_transients
+
+__all__ = [
+    "FaultInjector",
+    "FaultInjectionConfig",
+    "TransientFaultPlan",
+    "calibrate_transients",
+]

@@ -1,0 +1,197 @@
+"""Best Master Clock Algorithm (BMCA) — completeness extension.
+
+The paper's experiments *disable* BMCA via external port configuration
+(§III-A1): GM roles are static so a compromised node cannot promote itself.
+The algorithm is nevertheless part of IEEE 802.1AS, and having it makes the
+library usable for conventional single-domain deployments, so we implement
+the dataset-comparison core: priority-vector ordering plus a small
+per-domain selector that consumes Announce messages and elects the best GM.
+
+This module is pure logic (no simulator dependencies) and is exercised by
+its own test suite and the ablation benchmarks, not by the paper
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.gptp.messages import Announce
+
+
+@dataclass(frozen=True)
+class PriorityVector:
+    """The comparable identity of a grandmaster candidate.
+
+    Field order implements the 802.1AS §10.3 dataset comparison: lower
+    tuples win.
+    """
+
+    priority1: int
+    clock_class: int
+    clock_accuracy: int
+    variance: int
+    priority2: int
+    gm_identity: str
+    steps_removed: int
+
+    @classmethod
+    def from_announce(cls, message: Announce) -> "PriorityVector":
+        """Build a vector from a received Announce."""
+        return cls(
+            priority1=message.priority1,
+            clock_class=message.clock_class,
+            clock_accuracy=message.clock_accuracy,
+            variance=message.variance,
+            priority2=message.priority2,
+            gm_identity=message.gm_identity,
+            steps_removed=message.steps_removed,
+        )
+
+    def key(self) -> Tuple[int, int, int, int, int, str, int]:
+        """Total-order key; smaller is better."""
+        return (
+            self.priority1,
+            self.clock_class,
+            self.clock_accuracy,
+            self.variance,
+            self.priority2,
+            self.gm_identity,
+            self.steps_removed,
+        )
+
+    def better_than(self, other: "PriorityVector") -> bool:
+        """Strict dataset comparison."""
+        return self.key() < other.key()
+
+
+class BmcaSelector:
+    """Per-domain best-master election from Announce streams.
+
+    Candidates expire if not refreshed within ``announce_timeout`` intervals
+    of :meth:`advance_time` bookkeeping (driven by the caller's clock so the
+    module stays simulator-agnostic).
+    """
+
+    def __init__(self, own_vector: PriorityVector, announce_timeout: int = 3) -> None:
+        self.own_vector = own_vector
+        self.announce_timeout = announce_timeout
+        self._candidates: Dict[str, PriorityVector] = {}
+        self._age: Dict[str, int] = {}
+
+    def on_announce(self, message: Announce) -> None:
+        """Ingest a candidate."""
+        vector = PriorityVector.from_announce(message)
+        self._candidates[vector.gm_identity] = vector
+        self._age[vector.gm_identity] = 0
+
+    def advance_interval(self) -> None:
+        """Age candidates by one announce interval; expire stale ones."""
+        expired = []
+        for identity in self._age:
+            self._age[identity] += 1
+            if self._age[identity] >= self.announce_timeout:
+                expired.append(identity)
+        for identity in expired:
+            del self._age[identity]
+            del self._candidates[identity]
+
+    def best(self) -> PriorityVector:
+        """Current election result (own vector competes)."""
+        best = self.own_vector
+        for vector in self._candidates.values():
+            if vector.better_than(best):
+                best = vector
+        return best
+
+    def is_grandmaster(self) -> bool:
+        """Whether the local clock currently wins."""
+        return self.best() is self.own_vector
+
+
+class BmcaRunner:
+    """Live BMCA for one end station's domain instance.
+
+    Periodically transmits Announce while the local clock believes it is
+    (or should be) grandmaster, ingests received Announces, ages candidates,
+    and flips the ptp4l instance's port role when the election outcome
+    changes. Scope: end stations on a shared segment — the paper's bridges
+    keep external port configuration (§III-A1), so this extension targets
+    conventional single-domain deployments and the BMCA test rig.
+    """
+
+    def __init__(
+        self,
+        sim,
+        stack,
+        domain: int,
+        own_vector: PriorityVector,
+        announce_interval: int = 1_000_000_000,
+    ) -> None:
+        from repro.sim.process import PeriodicTask
+
+        self.sim = sim
+        self.stack = stack
+        self.domain = domain
+        self.selector = BmcaSelector(own_vector)
+        self.announce_interval = announce_interval
+        self.role_changes = 0
+        stack.announce_handler = self._on_announce
+        self._task = PeriodicTask(
+            sim,
+            period=announce_interval,
+            action=self._tick,
+            phase=announce_interval // 4,
+            name=f"bmca.{stack.transport.name}.dom{domain}",
+        )
+
+    def start(self) -> None:
+        """Begin announcing/electing."""
+        if not self._task.running:
+            self._task.start()
+
+    def stop(self) -> None:
+        """Stop (station going down)."""
+        self._task.stop()
+
+    @property
+    def is_grandmaster(self) -> bool:
+        """Current election outcome."""
+        return self.selector.is_grandmaster()
+
+    # ------------------------------------------------------------------
+    def _on_announce(self, message: Announce, rx_ts: int) -> None:
+        if message.domain != self.domain:
+            return
+        if message.gm_identity == self.selector.own_vector.gm_identity:
+            return  # our own announce reflected back
+        self.selector.on_announce(message)
+        self._apply_role()
+
+    def _tick(self) -> None:
+        self.selector.advance_interval()
+        self._apply_role()
+        if self.selector.is_grandmaster():
+            vector = self.selector.own_vector
+            self.stack.transport.send(
+                Announce(
+                    domain=self.domain,
+                    gm_identity=vector.gm_identity,
+                    priority1=vector.priority1,
+                    clock_class=vector.clock_class,
+                    clock_accuracy=vector.clock_accuracy,
+                    variance=vector.variance,
+                    priority2=vector.priority2,
+                    steps_removed=vector.steps_removed,
+                )
+            )
+
+    def _apply_role(self) -> None:
+        instance = self.stack.instances.get(self.domain)
+        if instance is None:
+            return
+        should_master = self.selector.is_grandmaster()
+        if should_master != instance.is_gm:
+            self.role_changes += 1
+            instance.set_master(should_master)

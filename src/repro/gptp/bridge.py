@@ -1,0 +1,259 @@
+"""Time-aware bridge (802.1AS relay) logic for TSN switches.
+
+Per IEEE 802.1AS, bridges never *forward* Sync/FollowUp — they terminate and
+regenerate them per domain. For a domain ``d`` the bridge has one **slave
+port** (towards the GM) and a set of **master ports** (away from it); the
+paper configures these statically per domain via external port configuration
+(Fig. 2: the four per-domain spanning trees over the switch mesh).
+
+On a Sync ingress at the slave port the bridge timestamps it, waits one
+residence delay per egress port, retransmits, and timestamps each egress.
+When the matching FollowUp arrives the bridge recomputes, per master port::
+
+    rate_ratio'  = rate_ratio_in × neighborRateRatio(slave port)
+    correction'  = correction_in
+                 + rate_ratio_in × linkDelay(slave port)      # ingress link
+                 + rate_ratio'   × (t_tx,port − t_rx)          # residence
+
+with linkDelay and neighborRateRatio coming from the pdelay machinery the
+bridge runs on every port.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.gptp.messages import (
+    FollowUp,
+    PdelayReq,
+    PdelayResp,
+    PdelayRespFollowUp,
+    Sync,
+)
+from repro.gptp.pdelay import PdelayInitiator, PdelayResponder
+from repro.gptp.transport import SwitchPortTransport
+from repro.network.packet import GPTP_MULTICAST, Packet
+from repro.network.port import Port
+from repro.network.switch import TsnSwitch
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceLog
+
+
+@dataclass
+class _RelayState:
+    """Per (domain, sequence) relay bookkeeping."""
+
+    rx_ts: int
+    tx_ts: Dict[str, int] = field(default_factory=dict)  # egress port -> t_tx
+    follow_up_relayed: bool = False
+
+
+@dataclass(frozen=True)
+class _DomainPorts:
+    """Static per-domain role assignment on this bridge."""
+
+    slave_port: str
+    master_ports: Tuple[str, ...]
+
+
+class TimeAwareBridge:
+    """The gPTP relay entity of one switch."""
+
+    #: Relay state for sequences older than this many behind is pruned.
+    SEQ_HISTORY = 4
+
+    def __init__(
+        self,
+        sim: Simulator,
+        switch: TsnSwitch,
+        rng: random.Random,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        self.sim = sim
+        self.switch = switch
+        self.rng = rng
+        self.trace = trace
+        self.transports: Dict[str, SwitchPortTransport] = {}
+        self.responders: Dict[str, PdelayResponder] = {}
+        self.initiators: Dict[str, PdelayInitiator] = {}
+        self._domains: Dict[int, _DomainPorts] = {}
+        self._relay: Dict[int, Dict[int, _RelayState]] = {}
+        self.sync_relayed = 0
+        self.follow_up_relayed = 0
+        self.follow_up_dropped = 0
+        switch.set_gptp_handler(self._on_gptp)
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def enable_port(self, port_name: str) -> None:
+        """Run pdelay on a port (idempotent)."""
+        if port_name in self.transports:
+            return
+        port = self.switch.ports[port_name]
+        transport = SwitchPortTransport(self.switch, port)
+        self.transports[port_name] = transport
+        self.responders[port_name] = PdelayResponder(transport)
+        initiator = PdelayInitiator(self.sim, transport, self.rng)
+        self.initiators[port_name] = initiator
+
+    def configure_domain(
+        self, domain: int, slave_port: str, master_ports: List[str]
+    ) -> None:
+        """Install a domain's static port roles (external port configuration)."""
+        for name in [slave_port, *master_ports]:
+            if name not in self.switch.ports:
+                raise ValueError(f"unknown port {name!r} on {self.switch.name}")
+            self.enable_port(name)
+        self._domains[domain] = _DomainPorts(
+            slave_port=slave_port, master_ports=tuple(master_ports)
+        )
+        self._relay.setdefault(domain, {})
+
+    def start(self) -> None:
+        """Start pdelay on all enabled ports."""
+        for initiator in self.initiators.values():
+            initiator.start()
+
+    # ------------------------------------------------------------------
+    # Ingress dispatch
+    # ------------------------------------------------------------------
+    def _on_gptp(self, port: Port, packet: Packet, rx_ts: int) -> None:
+        message = packet.payload
+        name = port.name
+        if isinstance(message, PdelayReq):
+            responder = self.responders.get(name)
+            if responder is not None:
+                responder.on_request(message, rx_ts)
+        elif isinstance(message, PdelayResp):
+            initiator = self.initiators.get(name)
+            if initiator is not None and message.requester == initiator.transport.name:
+                initiator.on_response(message, rx_ts)
+        elif isinstance(message, PdelayRespFollowUp):
+            initiator = self.initiators.get(name)
+            if initiator is not None and message.requester == initiator.transport.name:
+                initiator.on_response_follow_up(message)
+        elif isinstance(message, Sync):
+            self._relay_sync(name, message, rx_ts)
+        elif isinstance(message, FollowUp):
+            self._relay_follow_up(name, message)
+
+    # ------------------------------------------------------------------
+    # Sync/FollowUp regeneration
+    # ------------------------------------------------------------------
+    def _relay_sync(self, ingress: str, message: Sync, rx_ts: int) -> None:
+        ports = self._domains.get(message.domain)
+        if ports is None or ports.slave_port != ingress:
+            return  # not configured, or arrived on a non-slave port: drop
+        states = self._relay[message.domain]
+        states[message.sequence_id] = _RelayState(rx_ts=rx_ts)
+        self._prune(states, message.sequence_id)
+        for egress in ports.master_ports:
+            self.sim.schedule(
+                self.switch.residence_delay(),
+                self._transmit_sync,
+                message,
+                egress,
+            )
+
+    def _transmit_sync(self, message: Sync, egress: str) -> None:
+        states = self._relay[message.domain]
+        state = states.get(message.sequence_id)
+        if state is None:
+            return
+        tx_ts = self.switch.timestamp()
+        state.tx_ts[egress] = tx_ts
+        out = Packet(
+            dst=GPTP_MULTICAST, src=self.transports[egress].name, payload=message
+        )
+        self.switch.ports[egress].transmit(out)
+        self.sync_relayed += 1
+
+    def _relay_follow_up(self, ingress: str, message: FollowUp) -> None:
+        ports = self._domains.get(message.domain)
+        if ports is None or ports.slave_port != ingress:
+            return
+        state = self._relay[message.domain].get(message.sequence_id)
+        if state is None or state.follow_up_relayed:
+            self.follow_up_dropped += 1
+            return
+        ingress_pdelay = self.initiators[ingress]
+        if ingress_pdelay.link_delay is None:
+            self.follow_up_dropped += 1
+            return  # cannot build a correct correction field yet
+        state.follow_up_relayed = True
+        rate_ratio_out = message.rate_ratio * ingress_pdelay.neighbor_rate_ratio
+        base_correction = (
+            message.correction_field
+            + message.rate_ratio * ingress_pdelay.link_delay
+        )
+        for egress in ports.master_ports:
+            tx_ts = state.tx_ts.get(egress)
+            if tx_ts is None:
+                # FollowUp overtook the Sync egress (possible under extreme
+                # queueing): retry shortly instead of dropping the interval.
+                self.sim.schedule(
+                    self.switch.residence_delay(),
+                    self._retry_follow_up,
+                    message,
+                    egress,
+                )
+                continue
+            self._transmit_follow_up(message, egress, state, base_correction, rate_ratio_out)
+
+    def _retry_follow_up(self, message: FollowUp, egress: str) -> None:
+        ports = self._domains.get(message.domain)
+        state = self._relay[message.domain].get(message.sequence_id)
+        if ports is None or state is None:
+            return
+        tx_ts = state.tx_ts.get(egress)
+        if tx_ts is None:
+            self.follow_up_dropped += 1
+            return
+        ingress_pdelay = self.initiators[ports.slave_port]
+        if ingress_pdelay.link_delay is None:
+            self.follow_up_dropped += 1
+            return
+        rate_ratio_out = message.rate_ratio * ingress_pdelay.neighbor_rate_ratio
+        base_correction = (
+            message.correction_field
+            + message.rate_ratio * ingress_pdelay.link_delay
+        )
+        self._transmit_follow_up(message, egress, state, base_correction, rate_ratio_out)
+
+    def _transmit_follow_up(
+        self,
+        message: FollowUp,
+        egress: str,
+        state: _RelayState,
+        base_correction: float,
+        rate_ratio_out: float,
+    ) -> None:
+        residence = state.tx_ts[egress] - state.rx_ts
+        out_message = FollowUp(
+            domain=message.domain,
+            sequence_id=message.sequence_id,
+            gm_identity=message.gm_identity,
+            precise_origin_timestamp=message.precise_origin_timestamp,
+            correction_field=base_correction + rate_ratio_out * residence,
+            rate_ratio=rate_ratio_out,
+        )
+        out = Packet(
+            dst=GPTP_MULTICAST, src=self.transports[egress].name, payload=out_message
+        )
+        self.sim.schedule(
+            self.switch.residence_delay(),
+            self.switch.ports[egress].transmit,
+            out,
+        )
+        self.follow_up_relayed += 1
+
+    def _prune(self, states: Dict[int, _RelayState], newest: int) -> None:
+        stale = [seq for seq in states if seq <= newest - self.SEQ_HISTORY]
+        for seq in stale:
+            del states[seq]
+
+    def __repr__(self) -> str:
+        return f"TimeAwareBridge({self.switch.name!r}, domains={sorted(self._domains)})"

@@ -1,0 +1,39 @@
+"""gPTP domain configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.timebase import MILLISECONDS
+
+
+@dataclass(frozen=True)
+class DomainConfig:
+    """Static configuration of one gPTP domain.
+
+    The paper uses external port configuration: GM assignment and the
+    per-domain spanning tree are fixed offline, there is no BMCA (§III-A1).
+
+    Attributes
+    ----------
+    number:
+        Domain number (dom1..dom4 in the paper → 1..4 here).
+    gm_identity:
+        Name of the clock synchronization VM acting as this domain's GM
+        (``c{x}_1`` on device x).
+    sync_interval:
+        Synchronization period S, ns; 125 ms in all experiments.
+    follow_up_timeout:
+        How long a slave keeps an unmatched Sync before discarding it, ns.
+    """
+
+    number: int
+    gm_identity: str
+    sync_interval: int = 125 * MILLISECONDS
+    follow_up_timeout: int = 125 * MILLISECONDS
+
+    def __post_init__(self) -> None:
+        if self.number < 0:
+            raise ValueError("domain number must be nonnegative")
+        if self.sync_interval <= 0:
+            raise ValueError("sync_interval must be positive")

@@ -1,0 +1,105 @@
+"""gPTP message types.
+
+Only the fields the architecture consumes are modelled; wire encoding is out
+of scope (the simulator passes message objects as packet payloads).
+
+The paper's multi-domain extension rides entirely on standard messages: each
+gPTP domain carries its own Sync/FollowUp stream, distinguished by the
+``domain`` field, exactly as multiple ptp4l instances bound to distinct
+domain numbers would see on a real NIC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Sync:
+    """Two-step Sync: an event message carrying no time of its own.
+
+    Attributes
+    ----------
+    domain:
+        gPTP domain number.
+    sequence_id:
+        Per-(GM, domain) sequence counter.
+    gm_identity:
+        Sending grandmaster's clock identity (VM name in the testbed).
+    """
+
+    domain: int
+    sequence_id: int
+    gm_identity: str
+
+
+@dataclass(frozen=True)
+class FollowUp:
+    """FollowUp for a two-step Sync.
+
+    Attributes
+    ----------
+    domain, sequence_id, gm_identity:
+        Match the corresponding :class:`Sync`.
+    precise_origin_timestamp:
+        GM time when the Sync left the GM's NIC, ns. A *malicious* ptp4l
+        (§III-B) shifts this field.
+    correction_field:
+        Accumulated link delays + bridge residence times since the GM, ns
+        (fractional ns kept as float, as the wire format's 2^-16 scaling
+        allows).
+    rate_ratio:
+        Cumulative (GM frequency / sender frequency) product.
+    """
+
+    domain: int
+    sequence_id: int
+    gm_identity: str
+    precise_origin_timestamp: int
+    correction_field: float
+    rate_ratio: float
+
+
+@dataclass(frozen=True)
+class PdelayReq:
+    """Peer-delay request (event message, timestamped both ends)."""
+
+    sequence_id: int
+    requester: str
+
+
+@dataclass(frozen=True)
+class PdelayResp:
+    """Peer-delay response, carrying the request's receipt time t2."""
+
+    sequence_id: int
+    requester: str
+    responder: str
+    request_receipt_timestamp: int
+
+
+@dataclass(frozen=True)
+class PdelayRespFollowUp:
+    """Peer-delay response follow-up, carrying the response's origin time t3."""
+
+    sequence_id: int
+    requester: str
+    responder: str
+    response_origin_timestamp: int
+
+
+@dataclass(frozen=True)
+class Announce:
+    """Announce message (used only by the BMCA extension).
+
+    Field order mirrors the 802.1AS priority vector comparison.
+    """
+
+    domain: int
+    gm_identity: str
+    priority1: int
+    clock_class: int
+    clock_accuracy: int
+    variance: int
+    priority2: int
+    steps_removed: int

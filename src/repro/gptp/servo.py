@@ -1,0 +1,153 @@
+"""LinuxPTP-style PI clock servo.
+
+Reimplements the behaviour of LinuxPTP's ``pi.c``:
+
+* the first offset sample only primes the servo; if it exceeds
+  ``first_step_threshold`` the clock is *stepped* once, otherwise the servo
+  converges by frequency alone;
+* afterwards each sample produces a frequency correction
+  ``freq = drift + kp * offset`` with ``drift += ki * offset`` (all in ppb,
+  offsets in ns);
+* the proportional/integral gains scale with the sampling interval using
+  LinuxPTP's default scale/exponent rule
+  (``kp = kp_scale * interval^kp_exponent`` etc.), so S = 125 ms yields the
+  same loop dynamics as the real tool;
+* output frequency is clamped to ``max_frequency``.
+
+In the paper's multi-domain design there is exactly **one** servo per clock
+synchronization VM, shared by the M ptp4l instances through FTSHMEM; the FTA
+aggregate — not any single domain's offset — is what gets sampled.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.sim.timebase import MICROSECONDS, to_seconds
+
+
+class ServoState(enum.Enum):
+    """Servo lifecycle, mirroring LinuxPTP's ``servo_state``."""
+
+    UNLOCKED = 0
+    JUMP = 1
+    LOCKED = 2
+
+
+@dataclass(frozen=True)
+class ServoConfig:
+    """PI servo parameters (LinuxPTP defaults).
+
+    Attributes
+    ----------
+    kp_scale, kp_exponent, kp_norm_max:
+        Proportional gain rule: ``kp = min(kp_scale * interval**kp_exponent,
+        kp_norm_max / interval)``.
+    ki_scale, ki_exponent, ki_norm_max:
+        Integral gain rule, analogous.
+    first_step_threshold:
+        Step (rather than slew) the clock on the first sample when the
+        offset magnitude exceeds this, ns. LinuxPTP default 20 µs.
+    step_threshold:
+        After lock, step again when exceeding this; 0 disables re-stepping
+        (LinuxPTP default).
+    max_frequency:
+        Output clamp, ppb (LinuxPTP default 900 ppm).
+    """
+
+    kp_scale: float = 0.7
+    kp_exponent: float = -0.3
+    kp_norm_max: float = 0.7
+    ki_scale: float = 0.3
+    ki_exponent: float = 0.4
+    ki_norm_max: float = 0.3
+    first_step_threshold: int = 20 * MICROSECONDS
+    step_threshold: int = 0
+    max_frequency: float = 900_000.0
+
+
+@dataclass
+class ServoOutput:
+    """Result of one servo sample."""
+
+    state: ServoState
+    frequency_ppb: float
+    step_ns: int = 0
+
+
+class PiServo:
+    """The PI servo proper. One instance per disciplined clock."""
+
+    def __init__(self, config: ServoConfig = ServoConfig(), interval: int = 125_000_000) -> None:
+        self.config = config
+        self.interval = interval
+        seconds = to_seconds(interval)
+        self.kp = min(
+            config.kp_scale * seconds ** config.kp_exponent,
+            config.kp_norm_max / seconds,
+        )
+        self.ki = min(
+            config.ki_scale * seconds ** config.ki_exponent,
+            config.ki_norm_max / seconds,
+        )
+        self.state = ServoState.UNLOCKED
+        self.drift = 0.0  # integrator, ppb
+        self.samples = 0
+
+    def sample(self, offset_ns: float) -> ServoOutput:
+        """Feed one (aggregated) master offset; get the frequency to apply.
+
+        Sign convention follows LinuxPTP: ``offset = slave − master``; a
+        positive offset means the local clock is ahead, so the returned
+        frequency *reduces* the clock rate (caller applies ``−frequency``
+        semantics as LinuxPTP does via ``clockadj_set_freq(-adj)``). To keep
+        call sites simple this servo returns the value to pass directly to
+        :meth:`repro.clocks.hardware_clock.HardwareClock.adjust_frequency`,
+        i.e. already negated.
+        """
+        self.samples += 1
+        cfg = self.config
+
+        if self.state is ServoState.UNLOCKED:
+            self.state = ServoState.JUMP if abs(offset_ns) > cfg.first_step_threshold else ServoState.LOCKED
+            if self.state is ServoState.JUMP:
+                # Step the clock by -offset and restart clean.
+                self.state = ServoState.LOCKED
+                return ServoOutput(
+                    state=ServoState.JUMP,
+                    frequency_ppb=self._clamp(-self.drift),
+                    step_ns=-round(offset_ns),
+                )
+            # Prime the integrator with the first observation.
+            self.drift = self._clamp(self.drift + self.ki * offset_ns)
+            freq = self.drift + self.kp * offset_ns
+            return ServoOutput(state=ServoState.LOCKED, frequency_ppb=self._clamp(-freq))
+
+        if cfg.step_threshold and abs(offset_ns) > cfg.step_threshold:
+            # Re-step on gross error (disabled by default, as in LinuxPTP).
+            return ServoOutput(
+                state=ServoState.JUMP,
+                frequency_ppb=self._clamp(-self.drift),
+                step_ns=-round(offset_ns),
+            )
+
+        self.drift = self._clamp(self.drift + self.ki * offset_ns)
+        freq = self.drift + self.kp * offset_ns
+        return ServoOutput(state=ServoState.LOCKED, frequency_ppb=self._clamp(-freq))
+
+    def reset(self) -> None:
+        """Forget all state (VM reboot)."""
+        self.state = ServoState.UNLOCKED
+        self.drift = 0.0
+        self.samples = 0
+
+    def _clamp(self, ppb: float) -> float:
+        m = self.config.max_frequency
+        return max(-m, min(m, ppb))
+
+    def __repr__(self) -> str:
+        return (
+            f"PiServo(state={self.state.name}, kp={self.kp:.3f}, ki={self.ki:.3f}, "
+            f"drift={self.drift:+.1f} ppb)"
+        )

@@ -1,0 +1,37 @@
+"""ACRN-style hypervisor substrate: the fault-tolerant dependent clock.
+
+Each edge computing device (ECD, :mod:`repro.hypervisor.node`) runs a
+hypervisor hosting ``f + 1 = 2`` clock synchronization VMs
+(:mod:`repro.hypervisor.clock_sync_vm`) plus a service VM. The *active*
+clock synchronization VM maintains the node's ``CLOCK_SYNCTIME`` by writing
+clock parameters into the STSHMEM virtual-PCI page
+(:mod:`repro.hypervisor.stshmem`); co-located VMs convert raw timebase
+readings through those parameters.
+
+A hypervisor-native monitor (:mod:`repro.hypervisor.monitor`, period 125 ms
+as in §III-A1) watches the page. Under the fail-silent hypothesis a faulty
+VM simply stops publishing, so staleness detection suffices; when detected,
+the monitor injects a takeover interrupt into the redundant VM, which starts
+maintaining ``CLOCK_SYNCTIME`` without the node ever losing its clock. The
+general 2f+1 voting check for the fail-consistent hypothesis (§II-A) is
+implemented and tested as well (``vote_faulty``), although the testbed's
+two-VM configuration cannot exercise it end-to-end — precisely the NIC-count
+limitation the paper describes.
+"""
+
+from repro.hypervisor.clock_sync_vm import ClockSyncVm, ClockSyncVmConfig
+from repro.hypervisor.monitor import DependentClockMonitor, vote_faulty
+from repro.hypervisor.node import EcdNode
+from repro.hypervisor.stshmem import StShmem
+from repro.hypervisor.vm import Vm, VmState
+
+__all__ = [
+    "ClockSyncVm",
+    "ClockSyncVmConfig",
+    "DependentClockMonitor",
+    "vote_faulty",
+    "EcdNode",
+    "StShmem",
+    "Vm",
+    "VmState",
+]

@@ -1,0 +1,218 @@
+"""The clock synchronization VM.
+
+Each instance owns a passthrough NIC (its PHC is the clock being
+disciplined), runs M ptp4l instances through a :class:`GptpStack`, the
+multi-domain FTA aggregation engine, and phc2sys. One VM per domain is that
+domain's grandmaster (``c{x}_1`` on device x in the paper's naming).
+
+Both clock synchronization VMs of a node run the full stack hot; the
+hypervisor's STSHMEM arbitration decides whose phc2sys writes actually
+maintain ``CLOCK_SYNCTIME``. On a fail-silent fault the whole stack stops —
+no gPTP messages, no STSHMEM writes — and the NIC goes dark, exactly the
+observable a real VM shutdown produces. On reboot the stack restarts with a
+wiped FTSHMEM and re-enters STARTUP (re-integration).
+
+Security model hooks: the VM records its (simulated) OS/kernel version; a
+successful exploit (see :mod:`repro.security`) marks the VM compromised and
+replaces its GM ptp4l instance's behaviour with the malicious
+preciseOriginTimestamp shift.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.clocks.synctime import SyncTimeParams
+from repro.core.aggregator import AggregatorConfig, MultiDomainAggregator
+from repro.gptp.domain import DomainConfig
+from repro.gptp.instance import GptpStack
+from repro.gptp.phc2sys import FeedForwardPhc2Sys, Phc2Sys
+from repro.hypervisor.stshmem import StShmem
+from repro.hypervisor.vm import Vm
+from repro.network.nic import Nic, NicModel
+from repro.sim.kernel import Simulator
+from repro.sim.timebase import MILLISECONDS, SECONDS
+from repro.sim.trace import TraceLog
+
+
+@dataclass(frozen=True)
+class ClockSyncVmConfig:
+    """Static configuration of one clock synchronization VM.
+
+    Attributes
+    ----------
+    gm_domain:
+        Domain this VM masters, or ``None`` for a pure redundant VM.
+    kernel_version:
+        Simulated OS stack label, consumed by the security model
+        (e.g. ``"linux-4.19.1"``).
+    domains:
+        All domain configurations this VM aggregates.
+    aggregator:
+        FTA aggregation engine parameters.
+    nic:
+        NIC/PHC model for the passthrough NIC.
+    phc2sys_period:
+        STSHMEM parameter publication period, ns.
+    phc2sys_mode:
+        ``"feedback"`` (the paper's implementation) or ``"feedforward"``
+        (the §III-C/RADclock future-work variant).
+    boot_delay:
+        Reboot latency after a fail-silent fault, ns.
+    """
+
+    gm_domain: Optional[int] = None
+    kernel_version: str = "linux-5.10.0"
+    domains: tuple = ()
+    aggregator: AggregatorConfig = AggregatorConfig()
+    nic: NicModel = NicModel()
+    phc2sys_period: int = 125 * MILLISECONDS
+    phc2sys_mode: str = "feedback"
+    boot_delay: int = 30 * SECONDS
+
+
+class ClockSyncVm(Vm):
+    """A clock synchronization VM with its passthrough NIC and full stack."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        config: ClockSyncVmConfig,
+        stshmem: StShmem,
+        rng: random.Random,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        super().__init__(sim, name, trace=trace, boot_delay=config.boot_delay)
+        self.config = config
+        self.stshmem = stshmem
+        self.rng = rng
+        self.compromised = False
+        #: Latest derived clock parameters, before STSHMEM arbitration —
+        #: the candidate value the fail-consistent monitor votes over.
+        self.last_params: Optional[SyncTimeParams] = None
+        #: Fail-consistent fault injection: ns added to every published
+        #: offset (a VM providing *wrong* parameters instead of none).
+        self.param_corruption: int = 0
+        self.nic = Nic(sim, name, rng, config.nic, trace)
+        self.nic.set_enabled(False)  # powered with the VM
+        self.aggregator = MultiDomainAggregator(
+            sim,
+            self.nic.clock,
+            config.aggregator,
+            name=f"{name}.fta",
+            trace=trace,
+        )
+        self.stack = GptpStack(sim, self.nic, rng, trace)
+        for domain_config in config.domains:
+            self.stack.add_instance(
+                domain_config,
+                sink=self.aggregator,
+                is_gm=(domain_config.number == config.gm_domain),
+            )
+        if config.phc2sys_mode not in ("feedback", "feedforward"):
+            raise ValueError(f"unknown phc2sys_mode {config.phc2sys_mode!r}")
+        phc2sys_cls = (
+            FeedForwardPhc2Sys if config.phc2sys_mode == "feedforward" else Phc2Sys
+        )
+        self.phc2sys = phc2sys_cls(
+            sim,
+            clock=self.nic.clock,
+            timebase=stshmem.synctime.timebase,
+            publish=self._publish_params,
+            period=config.phc2sys_period,
+            name=f"{name}.phc2sys",
+        )
+        self.takeovers = 0
+
+    # ------------------------------------------------------------------
+    # Roles
+    # ------------------------------------------------------------------
+    @property
+    def is_gm(self) -> bool:
+        """Whether this VM masters a domain."""
+        return self.config.gm_domain is not None
+
+    @property
+    def is_active_writer(self) -> bool:
+        """Whether this VM currently maintains CLOCK_SYNCTIME."""
+        return self.stshmem.active_writer == self.name
+
+    def takeover_interrupt(self) -> None:
+        """Injected by the hypervisor monitor: start maintaining the clock.
+
+        The stack is already hot; publication begins at the next phc2sys
+        tick, so takeover latency is bounded by monitor period + phc2sys
+        period.
+        """
+        if not self.running:
+            return
+        self.takeovers += 1
+        if self.trace is not None:
+            self.trace.emit(self.sim.now, "hypervisor.takeover", self.name)
+        # Publish immediately rather than waiting a full period.
+        self.phc2sys.stop()
+        self.phc2sys.start()
+
+    # ------------------------------------------------------------------
+    # Attack surface (driven by repro.security)
+    # ------------------------------------------------------------------
+    def compromise(self, origin_shift: int) -> None:
+        """Replace the GM's ptp4l with a malicious instance (§III-B)."""
+        self.compromised = True
+        if self.config.gm_domain is not None:
+            instance = self.stack.instances[self.config.gm_domain]
+            instance.malicious_origin_shift = origin_shift
+        if self.trace is not None:
+            self.trace.emit(
+                self.sim.now, "attack.ptp4l_replaced", self.name,
+                origin_shift=origin_shift,
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks
+    # ------------------------------------------------------------------
+    def _on_started(self) -> None:
+        self.nic.set_enabled(True)
+        # Any boot after the first is a re-integration into a running
+        # system; the aggregator must rejoin the live ensemble.
+        self.aggregator.reset(rejoin=self.boots > 1)
+        self.phc2sys.reset()
+        self.param_corruption = 0  # a reboot restores the clean image
+        self.stack.start()
+        self.phc2sys.start()
+
+    def _on_stopped(self) -> None:
+        self.stack.stop()
+        self.phc2sys.stop()
+        self.nic.set_enabled(False)
+
+    def corrupt_clock(self, offset_shift: int) -> None:
+        """Inject a fail-consistent fault: publish wrong clock parameters.
+
+        §II-A: with 2f+1 redundant VMs the hypervisor monitor's voting
+        detects this; with the testbed's two VMs it cannot — which is why
+        the paper restricts itself to the fail-silent hypothesis.
+        """
+        self.param_corruption = offset_shift
+        if self.trace is not None:
+            self.trace.emit(
+                self.sim.now, "fault.fail_consistent", self.name,
+                offset_shift=offset_shift,
+            )
+
+    # ------------------------------------------------------------------
+    def _publish_params(self, params: SyncTimeParams) -> None:
+        if not self.running:
+            return
+        if self.param_corruption:
+            params = SyncTimeParams(
+                base=params.base,
+                offset=params.offset + self.param_corruption,
+                ratio=params.ratio,
+                generation=params.generation,
+            )
+        self.last_params = params
+        self.stshmem.write(self.name, params)

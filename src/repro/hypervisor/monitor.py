@@ -1,0 +1,202 @@
+"""The hypervisor-native dependent-clock monitor.
+
+§II-A: "we extend the dependent clock by introducing a periodically
+executing monitor in ACRN implementing a voting algorithm to detect clock
+synchronization VMs providing faulty clock parameters. If the monitor
+detects a faulty clock synchronization VM, the STSHMEM virtual PCI device
+injects an interrupt into the redundant clock synchronization VM that is
+about to take over."
+
+Two detection mechanisms are implemented:
+
+* **Staleness** (the fail-silent hypothesis the experiments use): the active
+  writer's STSHMEM generation must advance within ``stale_ticks`` monitor
+  periods; otherwise the VM is declared failed and the redundant VM receives
+  the takeover interrupt.
+* **Voting** (`vote_faulty`, the fail-consistent extension for 2f+1 VMs):
+  compare the synchronized-time value implied by each VM's candidate
+  parameters at a common instant; readings farther than a threshold from the
+  majority cluster are flagged. The 4-NIC limitation of the testbed keeps
+  this out of the end-to-end experiments, exactly as in the paper, but the
+  logic ships and is tested.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
+
+from repro.clocks.synctime import SyncTimeParams
+from repro.sim.kernel import Simulator
+from repro.sim.process import PeriodicTask
+from repro.sim.timebase import MICROSECONDS, MILLISECONDS
+from repro.sim.trace import TraceLog
+
+if TYPE_CHECKING:
+    from repro.hypervisor.clock_sync_vm import ClockSyncVm
+    from repro.hypervisor.stshmem import StShmem
+
+
+def vote_faulty(
+    candidates: Dict[str, SyncTimeParams],
+    raw_now: float,
+    threshold: float = 10 * MICROSECONDS,
+) -> Set[str]:
+    """Majority vote over candidate clock parameters.
+
+    Each VM's parameters are evaluated at the same raw-timebase instant;
+    a VM is faulty if its implied synchronized time differs from the
+    majority's median by more than ``threshold``. With fewer than three
+    candidates no majority exists and nothing is flagged.
+    """
+    if len(candidates) < 3:
+        return set()
+    values = {vm: params.convert(raw_now) for vm, params in candidates.items()}
+    ordered = sorted(values.values())
+    n = len(ordered)
+    median = (
+        ordered[n // 2]
+        if n % 2
+        else (ordered[n // 2 - 1] + ordered[n // 2]) / 2.0
+    )
+    return {vm for vm, value in values.items() if abs(value - median) > threshold}
+
+
+class DependentClockMonitor:
+    """Per-node staleness monitor with takeover arbitration."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stshmem: "StShmem",
+        vms: List["ClockSyncVm"],
+        period: int = 125 * MILLISECONDS,
+        stale_ticks: int = 3,
+        vote_threshold: float = 10 * MICROSECONDS,
+        trace: Optional[TraceLog] = None,
+        name: str = "monitor",
+    ) -> None:
+        if not vms:
+            raise ValueError("monitor needs at least one clock sync VM")
+        self.sim = sim
+        self.stshmem = stshmem
+        self.vms = list(vms)
+        self.period = period
+        self.stale_ticks = stale_ticks
+        self.vote_threshold = vote_threshold
+        self.trace = trace
+        self.name = name
+        self.detections = 0
+        self.vote_detections = 0
+        self.takeovers_issued = 0
+        self.no_backup_events = 0
+        self._last_generation: Optional[int] = None
+        self._stale_count = 0
+        self._task = PeriodicTask(sim, period=period, action=self._tick, name=name)
+
+    def start(self) -> None:
+        """Begin monitoring; elects the initial active writer."""
+        if self.stshmem.active_writer is None:
+            first = self._first_running()
+            if first is not None:
+                self.stshmem.set_active_writer(first.name)
+        self._task.start()
+
+    def stop(self) -> None:
+        """Halt monitoring (node shutdown)."""
+        self._task.stop()
+
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        if self._check_vote():
+            return
+        generation = self.stshmem.last_generation
+        if self._last_generation is None or generation != self._last_generation:
+            self._last_generation = generation
+            self._stale_count = 0
+            return
+        self._stale_count += 1
+        if self._stale_count < self.stale_ticks:
+            return
+        # The active writer went silent: fail it over.
+        self._stale_count = 0
+        self.detections += 1
+        failed = self.stshmem.active_writer
+        if self.trace is not None:
+            self.trace.emit(
+                self.sim.now, "hypervisor.stale_detected", self.name, vm=failed
+            )
+        self._failover(exclude={failed} if failed else set())
+
+    def _check_vote(self) -> bool:
+        """Fail-consistent detection: vote over per-VM candidate parameters.
+
+        Needs 2f+1 ≥ 3 running VMs to form a majority — exactly the NIC-count
+        limitation that keeps the paper's testbed on the fail-silent
+        hypothesis. Returns True if a failover was triggered.
+        """
+        # Candidates: running VMs that (a) have published parameters and
+        # (b) report synchronized (fault-tolerant) operation — a VM still in
+        # startup legitimately disagrees with the others, and voting over it
+        # would cause spurious failovers during (re-)integration.
+        candidates: Dict[str, SyncTimeParams] = {}
+        for vm in self.vms:
+            if not vm.running or vm.last_params is None:
+                continue
+            aggregator = getattr(vm, "aggregator", None)
+            if aggregator is not None and not self._synchronized(aggregator):
+                continue
+            candidates[vm.name] = vm.last_params
+        if len(candidates) < 3:
+            return False
+        raw_now = self.stshmem.synctime.timebase.read()
+        flagged = vote_faulty(candidates, raw_now, self.vote_threshold)
+        if not flagged:
+            return False
+        active = self.stshmem.active_writer
+        if self.trace is not None:
+            for vm_name in sorted(flagged):
+                self.trace.emit(
+                    self.sim.now, "hypervisor.vote_detected", self.name,
+                    vm=vm_name, active=(vm_name == active),
+                )
+        self.vote_detections += 1
+        if active in flagged:
+            self.detections += 1
+            self._failover(exclude=flagged)
+            return True
+        return False
+
+    def _failover(self, exclude: set) -> None:
+        backup = self._pick_backup(exclude=exclude)
+        if backup is None:
+            self.no_backup_events += 1
+            if self.trace is not None:
+                self.trace.emit(self.sim.now, "hypervisor.no_backup", self.name)
+            return
+        self.stshmem.set_active_writer(backup.name)
+        self._last_generation = None  # re-arm against the new writer
+        self._stale_count = 0
+        self.takeovers_issued += 1
+        backup.takeover_interrupt()
+
+    @staticmethod
+    def _synchronized(aggregator) -> bool:
+        from repro.core.aggregator import AggregatorMode
+
+        return aggregator.mode is AggregatorMode.FAULT_TOLERANT
+
+    # ------------------------------------------------------------------
+    def _first_running(self) -> Optional["ClockSyncVm"]:
+        for vm in self.vms:
+            if vm.running:
+                return vm
+        return None
+
+    def _pick_backup(self, exclude: set) -> Optional["ClockSyncVm"]:
+        for vm in self.vms:
+            if vm.name not in exclude and vm.running:
+                return vm
+        return None
+
+    def __repr__(self) -> str:
+        return f"DependentClockMonitor({self.name!r}, detections={self.detections})"

@@ -1,0 +1,104 @@
+"""The edge computing device (ECD): hypervisor, VMs, dependent clock.
+
+An :class:`EcdNode` bundles one node's hypervisor-level state:
+
+* the node-global raw timebase (what the hypervisor exposes to all VMs —
+  the invariant-TSC equivalent),
+* the STSHMEM page and the node's ``CLOCK_SYNCTIME`` view,
+* the (up to) two clock synchronization VMs,
+* the dependent-clock monitor.
+
+Co-located application VMs are represented by reading
+:meth:`EcdNode.synctime` — the paper's measurement VM does exactly that when
+timestamping probe receptions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.clocks.oscillator import Oscillator, OscillatorModel
+from repro.clocks.synctime import SyncTimeClock
+from repro.hypervisor.clock_sync_vm import ClockSyncVm, ClockSyncVmConfig
+from repro.hypervisor.monitor import DependentClockMonitor
+from repro.hypervisor.stshmem import StShmem
+from repro.sim.kernel import Simulator
+from repro.sim.timebase import MILLISECONDS
+from repro.sim.trace import TraceLog
+
+
+class EcdNode:
+    """One ACRN-virtualized edge device."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        rng: random.Random,
+        timebase_model: OscillatorModel = OscillatorModel(),
+        monitor_period: int = 125 * MILLISECONDS,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.trace = trace
+        self.timebase = Oscillator(sim, rng, timebase_model, name=f"{name}.tsc")
+        self.synctime_clock = SyncTimeClock(self.timebase)
+        self.stshmem = StShmem(sim, self.synctime_clock, name=f"{name}.stshmem")
+        self.clock_sync_vms: List[ClockSyncVm] = []
+        self.monitor_period = monitor_period
+        self.monitor: Optional[DependentClockMonitor] = None
+
+    # ------------------------------------------------------------------
+    def add_clock_sync_vm(
+        self, name: str, config: ClockSyncVmConfig, rng: random.Random
+    ) -> ClockSyncVm:
+        """Create a clock synchronization VM on this node."""
+        vm = ClockSyncVm(self.sim, name, config, self.stshmem, rng, self.trace)
+        self.clock_sync_vms.append(vm)
+        return vm
+
+    def start(self) -> None:
+        """Power on: boot all VMs, start the monitor."""
+        for vm in self.clock_sync_vms:
+            vm.start()
+        self.monitor = DependentClockMonitor(
+            self.sim,
+            self.stshmem,
+            self.clock_sync_vms,
+            period=self.monitor_period,
+            trace=self.trace,
+            name=f"{self.name}.monitor",
+        )
+        self.monitor.start()
+
+    # ------------------------------------------------------------------
+    def synctime(self) -> float:
+        """Read this node's ``CLOCK_SYNCTIME`` (any co-located VM's view)."""
+        return self.synctime_clock.now()
+
+    def synctime_ready(self) -> bool:
+        """Whether parameters were ever published."""
+        return self.synctime_clock.params is not None
+
+    def vm(self, name: str) -> ClockSyncVm:
+        """Fetch a clock sync VM by name."""
+        for vm in self.clock_sync_vms:
+            if vm.name == name:
+                return vm
+        raise KeyError(f"no VM {name!r} on {self.name}")
+
+    def active_vm(self) -> Optional[ClockSyncVm]:
+        """The VM currently maintaining CLOCK_SYNCTIME, if any."""
+        writer = self.stshmem.active_writer
+        if writer is None:
+            return None
+        try:
+            return self.vm(writer)
+        except KeyError:
+            return None
+
+    def __repr__(self) -> str:
+        vms = [vm.name for vm in self.clock_sync_vms]
+        return f"EcdNode({self.name!r}, vms={vms})"

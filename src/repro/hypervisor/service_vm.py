@@ -1,0 +1,78 @@
+"""The service VM (ACRN's privileged VM 0).
+
+Fig. 2 shows each device running a privileged *service VM* alongside the
+clock synchronization VMs; §III-C runs the Python fault-injection tool in
+it. In the simulation the service VM is the management anchor of a node: it
+hosts management tasks (like the fault injector's per-node agent), reads
+the dependent clock as any co-located VM would, and — being privileged —
+is never a fault-injection target.
+
+It subclasses :class:`~repro.hypervisor.vm.Vm` so lifecycle semantics stay
+uniform, but its workload is whatever management callables get attached.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.hypervisor.node import EcdNode
+from repro.hypervisor.vm import Vm
+from repro.sim.kernel import Simulator
+from repro.sim.process import PeriodicTask
+from repro.sim.timebase import SECONDS
+from repro.sim.trace import TraceLog
+
+
+class ServiceVm(Vm):
+    """The privileged management VM of one device."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: EcdNode,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        super().__init__(sim, f"{node.name}.service", trace=trace)
+        self.node = node
+        self._tasks: List[PeriodicTask] = []
+
+    def add_management_task(
+        self, action: Callable[[], None], period: int, name: str
+    ) -> PeriodicTask:
+        """Attach a periodic management job (runs while the VM runs)."""
+        task = PeriodicTask(self.sim, period=period, action=action, name=name)
+        self._tasks.append(task)
+        if self.running:
+            task.start()
+        return task
+
+    def read_synctime(self) -> float:
+        """Read the node's dependent clock like any co-located VM."""
+        return self.node.synctime()
+
+    def health_snapshot(self) -> Dict[str, object]:
+        """Management view of the node's clock subsystem."""
+        return {
+            "node": self.node.name,
+            "active_writer": self.node.stshmem.active_writer,
+            "stshmem_generation": self.node.stshmem.last_generation,
+            "stshmem_age_ns": self.node.stshmem.age(),
+            "clock_sync_vms": {
+                vm.name: {
+                    "state": vm.state.value,
+                    "mode": vm.aggregator.mode.name,
+                    "compromised": vm.compromised,
+                }
+                for vm in self.node.clock_sync_vms
+            },
+        }
+
+    # ------------------------------------------------------------------
+    def _on_started(self) -> None:
+        for task in self._tasks:
+            if not task.running:
+                task.start()
+
+    def _on_stopped(self) -> None:
+        for task in self._tasks:
+            task.stop()

@@ -1,0 +1,59 @@
+"""STSHMEM: the synchronized-time shared memory virtual PCI device.
+
+The hypervisor maps one page per node into every co-located VM. The page
+holds the ``CLOCK_SYNCTIME`` parameters; only the currently *active* clock
+synchronization VM's writes are accepted (the hypervisor arbitrates the
+writer, which is how the MMU-backed design yields fail-consistent behaviour
+— all readers always observe one coherent parameter set).
+
+The monitor's observables live here too: the generation counter of the last
+accepted write and the (hypervisor) time it happened.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.clocks.synctime import SyncTimeClock, SyncTimeParams
+from repro.sim.kernel import Simulator
+
+
+class StShmem:
+    """One node's synchronized-time page."""
+
+    def __init__(self, sim: Simulator, synctime: SyncTimeClock, name: str = "stshmem") -> None:
+        self.sim = sim
+        self.synctime = synctime
+        self.name = name
+        self.active_writer: Optional[str] = None
+        self.last_write_time: Optional[int] = None
+        self.last_generation: int = 0
+        self.accepted_writes = 0
+        self.rejected_writes = 0
+
+    def set_active_writer(self, vm_name: Optional[str]) -> None:
+        """Hypervisor arbitration: choose whose writes land."""
+        self.active_writer = vm_name
+
+    def write(self, vm_name: str, params: SyncTimeParams) -> bool:
+        """Attempt a parameter write; returns whether it was accepted."""
+        if vm_name != self.active_writer:
+            self.rejected_writes += 1
+            return False
+        self.synctime.publish(params)
+        self.last_write_time = self.sim.now
+        self.last_generation = params.generation
+        self.accepted_writes += 1
+        return True
+
+    def age(self) -> Optional[int]:
+        """Nanoseconds since the last accepted write (``None`` if never)."""
+        if self.last_write_time is None:
+            return None
+        return self.sim.now - self.last_write_time
+
+    def __repr__(self) -> str:
+        return (
+            f"StShmem({self.name!r}, writer={self.active_writer!r}, "
+            f"gen={self.last_generation})"
+        )

@@ -1,0 +1,102 @@
+"""Virtual machine lifecycle.
+
+A :class:`Vm` can be RUNNING, STOPPED (fail-silent), or BOOTING. Fail-silent
+injection stops it instantly; a reboot brings it back after ``boot_delay``.
+Subclasses hook :meth:`_on_started` / :meth:`_on_stopped` to start/stop
+their workloads (the clock synchronization stack, the probe responder, the
+fault injection tool).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.sim.kernel import EventHandle, Simulator
+from repro.sim.timebase import SECONDS
+from repro.sim.trace import TraceLog
+
+
+class VmState(enum.Enum):
+    """Lifecycle states."""
+
+    RUNNING = "running"
+    STOPPED = "stopped"
+    BOOTING = "booting"
+
+
+class Vm:
+    """Base virtual machine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        trace: Optional[TraceLog] = None,
+        boot_delay: int = 30 * SECONDS,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.trace = trace
+        self.boot_delay = boot_delay
+        self.state = VmState.STOPPED
+        self.fail_silent_count = 0
+        self.boots = 0
+        self._boot_handle: Optional[EventHandle] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Boot immediately (initial power-on)."""
+        if self.state is VmState.RUNNING:
+            return
+        if self._boot_handle is not None:
+            self._boot_handle.cancel()
+            self._boot_handle = None
+        self.state = VmState.RUNNING
+        self.boots += 1
+        self._on_started()
+
+    def fail_silent(self, reboot: bool = True, reason: str = "injected") -> None:
+        """Kill the VM now; optionally schedule its reboot.
+
+        This is what the paper's fault injection tool triggers: the VM stops
+        producing any output (fail-silent), including STSHMEM updates and
+        gPTP messages.
+        """
+        if self.state is not VmState.RUNNING:
+            return
+        self.state = VmState.STOPPED
+        self.fail_silent_count += 1
+        if self.trace is not None:
+            self.trace.emit(
+                self.sim.now, "fault.fail_silent", self.name, reason=reason
+            )
+        self._on_stopped()
+        if reboot:
+            self.state = VmState.BOOTING
+            self._boot_handle = self.sim.schedule(self.boot_delay, self._finish_boot)
+
+    def _finish_boot(self) -> None:
+        self._boot_handle = None
+        self.state = VmState.RUNNING
+        self.boots += 1
+        if self.trace is not None:
+            self.trace.emit(self.sim.now, "vm.rebooted", self.name)
+        self._on_started()
+
+    @property
+    def running(self) -> bool:
+        """Whether the VM is currently executing."""
+        return self.state is VmState.RUNNING
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    def _on_started(self) -> None:
+        """Workload start hook."""
+
+    def _on_stopped(self) -> None:
+        """Workload stop hook."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, {self.state.value})"

@@ -1,0 +1,47 @@
+"""Clock-synchronization precision measurement (§III-A2/A3).
+
+A dedicated measurement VM (one of the clock synchronization VMs, ``c^m_2``)
+multicasts a probe every second on a dedicated VLAN whose static membership
+pins the paths. Every other clock synchronization VM timestamps the probe's
+arrival with its node's ``CLOCK_SYNCTIME`` and reports the reading; the
+measured precision of interval s is (eq. 3.1)
+
+    Π*_s = max over receiver pairs |t_c(rx) − t_c'(rx)|.
+
+The co-located VM ``c^m_1`` is excluded so all measured paths have equal hop
+count, minimizing the measurement error γ (eq. 3.2), which we compute from
+the per-path latency bounds. The theoretical upper bound Π = u(N,f)(E+Γ)
+comes from the latency survey (:mod:`repro.measurement.latency`) through
+:mod:`repro.core.convergence`.
+
+Fidelity note: probes travel the real simulated network (so path latency
+differences land in the timestamps exactly as on the testbed), while the
+*return* of the timestamp readings to the collector is abstracted away — on
+the real testbed the response path affects nothing, since the timestamp is
+taken at reception.
+"""
+
+from repro.measurement.error import measurement_error
+from repro.measurement.latency import LatencySurvey, SurveyResult
+from repro.measurement.precision import PrecisionRecord, PrecisionSeries
+from repro.measurement.probe import (
+    MEASUREMENT_VLAN,
+    PrecisionProbeService,
+    ProbePayload,
+    ProbeResponder,
+)
+from repro.measurement.bounds import ExperimentBounds, derive_bounds
+
+__all__ = [
+    "PrecisionProbeService",
+    "ProbeResponder",
+    "ProbePayload",
+    "MEASUREMENT_VLAN",
+    "PrecisionSeries",
+    "PrecisionRecord",
+    "LatencySurvey",
+    "SurveyResult",
+    "measurement_error",
+    "ExperimentBounds",
+    "derive_bounds",
+]

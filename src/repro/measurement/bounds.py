@@ -1,0 +1,74 @@
+"""Per-experiment bound derivation (the §III-A3 procedure).
+
+Before each experiment the paper (1) surveys network latencies to get
+d_min/d_max, (2) computes E = d_max − d_min, (3) takes Γ = 2 · r_max · S
+from the standard's 5 ppm and the 125 ms sync interval, and (4) instantiates
+Π = u(N, f)(E + Γ); plus the probe-path measurement error γ. This module
+packages those steps so every experiment reports the same tuple the paper
+does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.convergence import drift_offset, precision_bound
+from repro.measurement.error import measurement_error
+from repro.measurement.latency import LatencySurvey
+from repro.network.topology import MeshTopology
+from repro.sim.timebase import MILLISECONDS
+
+
+@dataclass(frozen=True)
+class ExperimentBounds:
+    """Everything §III-A3 derives for one experiment."""
+
+    d_min: int
+    d_max: int
+    reading_error: float  # E
+    drift_offset: float  # Γ
+    precision_bound: float  # Π
+    measurement_error: float  # γ
+
+    @property
+    def bound_with_error(self) -> float:
+        """Π + γ — the violation threshold used on measured data."""
+        return self.precision_bound + self.measurement_error
+
+    def describe(self) -> str:
+        """One-line summary in the paper's notation."""
+        return (
+            f"d_min={self.d_min}ns d_max={self.d_max}ns "
+            f"E={self.reading_error:.0f}ns Γ={self.drift_offset:.0f}ns "
+            f"Π={self.precision_bound / 1000:.3f}µs γ={self.measurement_error:.0f}ns"
+        )
+
+
+def derive_bounds(
+    topology: MeshTopology,
+    measurement_nic: str,
+    receiver_nics: Sequence[str],
+    n_domains: int = 4,
+    f: int = 1,
+    max_drift_ppm: float = 5.0,
+    sync_interval: int = 125 * MILLISECONDS,
+    survey_nics: Sequence[str] = (),
+) -> ExperimentBounds:
+    """Run the full §III-A3 derivation against the built testbed.
+
+    ``survey_nics`` restricts the latency survey (default: all attached
+    NICs, as the paper surveys "any two nodes in the network").
+    """
+    survey = LatencySurvey(topology).survey(survey_nics or None)
+    gamma = measurement_error(topology, measurement_nic, receiver_nics)
+    e = float(survey.reading_error)
+    g = drift_offset(max_drift_ppm, sync_interval)
+    return ExperimentBounds(
+        d_min=survey.d_min,
+        d_max=survey.d_max,
+        reading_error=e,
+        drift_offset=g,
+        precision_bound=precision_bound(n_domains, f, e, g),
+        measurement_error=float(gamma),
+    )

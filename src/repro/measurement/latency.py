@@ -1,0 +1,80 @@
+"""Latency survey between all node pairs (the paper's ptp4l-based survey).
+
+The paper determines d_min and d_max — and with them the reading error
+E = d_max − d_min — by measuring the latency between all nodes with ptp4l
+before each experiment. We survey the same quantity from the simulated
+testbed: per NIC pair, the one-way path latency bounds assembled from the
+traversed links and switches, preferring *observed* per-link delays (what
+pdelay/ptp4l would have seen) and falling back to nominal model bounds for
+links that have not carried traffic yet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.network.topology import MeshTopology
+
+
+@dataclass(frozen=True)
+class SurveyResult:
+    """Outcome of one latency survey.
+
+    Attributes
+    ----------
+    d_min, d_max:
+        Extremes over all surveyed node pairs, ns.
+    per_pair:
+        (nic_a, nic_b) → (min, max) path latency, ns.
+    """
+
+    d_min: int
+    d_max: int
+    per_pair: Dict[Tuple[str, str], Tuple[int, int]]
+
+    @property
+    def reading_error(self) -> int:
+        """E = d_max − d_min."""
+        return self.d_max - self.d_min
+
+
+class LatencySurvey:
+    """Surveys path-latency bounds over a built topology."""
+
+    def __init__(self, topology: MeshTopology) -> None:
+        self.topology = topology
+
+    # ------------------------------------------------------------------
+    def path_bounds(self, nic_a: str, nic_b: str) -> Tuple[int, int]:
+        """(min, max) one-way latency between two NICs."""
+        links, switches = self.topology.path_links(nic_a, nic_b)
+        lo = hi = 0
+        for link in links:
+            observed_min = link.min_observed
+            observed_max = link.max_observed
+            lo += observed_min if observed_min is not None else link.model.min_delay
+            hi += observed_max if observed_max is not None else link.model.max_delay
+        for switch in switches:
+            lo += switch.model.residence_base
+            hi += switch.model.residence_base + switch.model.residence_jitter
+        return lo, hi
+
+    def survey(self, nics: Optional[Sequence[str]] = None) -> SurveyResult:
+        """Survey all pairs among ``nics`` (default: every attached NIC)."""
+        names = sorted(nics) if nics is not None else sorted(self.topology.nic_switch)
+        if len(names) < 2:
+            raise ValueError("survey needs at least two NICs")
+        per_pair: Dict[Tuple[str, str], Tuple[int, int]] = {}
+        d_min: Optional[int] = None
+        d_max: Optional[int] = None
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                lo, hi = self.path_bounds(a, b)
+                per_pair[(a, b)] = (lo, hi)
+                if d_min is None or lo < d_min:
+                    d_min = lo
+                if d_max is None or hi > d_max:
+                    d_max = hi
+        assert d_min is not None and d_max is not None
+        return SurveyResult(d_min=d_min, d_max=d_max, per_pair=per_pair)

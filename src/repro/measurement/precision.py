@@ -1,0 +1,127 @@
+"""Precision series: collecting probe observations into Π*_s values."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class PrecisionRecord:
+    """One measurement interval's result.
+
+    Attributes
+    ----------
+    seq:
+        Probe sequence number (one per second of runtime).
+    time:
+        Simulated time the probe was sent, ns.
+    precision:
+        Π*_s — the maximal pairwise CLOCK_SYNCTIME disagreement, ns.
+    n_receivers:
+        How many VMs responded (failed VMs simply don't).
+    readings:
+        Per-VM CLOCK_SYNCTIME readings, kept only when the series was
+        created with ``keep_readings=True`` (spike attribution).
+    """
+
+    seq: int
+    time: int
+    precision: float
+    n_receivers: int
+    readings: Optional[Dict[str, float]] = None
+
+    def extreme_pair(self) -> Optional[tuple]:
+        """(slowest VM, fastest VM) — the pair defining Π*_s.
+
+        Requires readings; ``None`` otherwise.
+        """
+        if not self.readings:
+            return None
+        low = min(self.readings, key=self.readings.get)
+        high = max(self.readings, key=self.readings.get)
+        return (low, high)
+
+    def deviations_from_median(self) -> Optional[Dict[str, float]]:
+        """Per-VM deviation from the median reading (who is the outlier)."""
+        if not self.readings:
+            return None
+        values = sorted(self.readings.values())
+        n = len(values)
+        median = (
+            values[n // 2]
+            if n % 2
+            else (values[n // 2 - 1] + values[n // 2]) / 2.0
+        )
+        return {vm: value - median for vm, value in self.readings.items()}
+
+
+class PrecisionSeries:
+    """Accumulates per-probe timestamps and derives Π* per interval.
+
+    ``keep_readings=True`` retains each interval's per-VM readings for
+    spike attribution (see :meth:`PrecisionRecord.extreme_pair`) at the cost
+    of a few floats per probe.
+    """
+
+    def __init__(self, keep_readings: bool = False) -> None:
+        self.keep_readings = keep_readings
+        self._pending: Dict[int, Dict[str, float]] = {}
+        self._sent_at: Dict[int, int] = {}
+        self.records: List[PrecisionRecord] = []
+
+    # ------------------------------------------------------------------
+    def probe_sent(self, seq: int, time: int) -> None:
+        """Register a probe transmission."""
+        self._pending[seq] = {}
+        self._sent_at[seq] = time
+
+    def observe(self, seq: int, vm: str, timestamp: float) -> None:
+        """Register one receiver's CLOCK_SYNCTIME reading for a probe."""
+        bucket = self._pending.get(seq)
+        if bucket is not None:
+            bucket[vm] = timestamp
+
+    def finalize(self, seq: int) -> Optional[PrecisionRecord]:
+        """Close an interval: compute Π*_s over the collected readings.
+
+        Returns ``None`` (and records nothing) when fewer than two VMs
+        responded — no pair, no precision value, exactly like a real
+        measurement gap.
+        """
+        readings = self._pending.pop(seq, None)
+        sent_at = self._sent_at.pop(seq, 0)
+        if readings is None or len(readings) < 2:
+            return None
+        values = list(readings.values())
+        record = PrecisionRecord(
+            seq=seq,
+            time=sent_at,
+            precision=max(values) - min(values),
+            n_receivers=len(values),
+            readings=dict(readings) if self.keep_readings else None,
+        )
+        self.records.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    def precisions(self) -> List[float]:
+        """All Π* values in sequence order."""
+        return [r.precision for r in self.records]
+
+    def series(self) -> List[tuple]:
+        """(time, Π*) pairs — the Fig. 3/4 time series."""
+        return [(r.time, r.precision) for r in self.records]
+
+    def max_record(self) -> Optional[PrecisionRecord]:
+        """The worst interval (the paper's red-circled 10.08 µs spike)."""
+        if not self.records:
+            return None
+        return max(self.records, key=lambda r: r.precision)
+
+    def violations(self, bound: float) -> List[PrecisionRecord]:
+        """Intervals exceeding a bound (Π or Π + γ)."""
+        return [r for r in self.records if r.precision > bound]
+
+    def __len__(self) -> int:
+        return len(self.records)

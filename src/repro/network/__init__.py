@@ -1,0 +1,45 @@
+"""Network substrate: links, ports, TSN switches, NICs, topology.
+
+The testbed network of the paper (Fig. 2) is four edge devices whose
+integrated TSN switches form a full mesh, with each clock synchronization VM
+owning a passthrough NIC attached to its device's switch.
+
+Model summary:
+
+* :mod:`repro.network.link` — full-duplex point-to-point links with a fixed
+  base propagation+processing delay plus bounded per-packet jitter. The
+  min/max delay over all links is what the paper's reading error
+  E = d_max − d_min derives from.
+* :mod:`repro.network.switch` — store-and-forward switch with static VLAN
+  multicast membership (the measurement VLAN) and a hook that terminates
+  link-local gPTP traffic at the switch's time-aware bridge logic instead of
+  forwarding it (802.1AS frames are never bridged; every hop regenerates).
+* :mod:`repro.network.nic` — i210-like endpoint NIC: PTP hardware clock,
+  rx/tx hardware timestamping with white jitter, an ETF launch-time transmit
+  queue, and the tx-timestamp-timeout fault mode the paper observed in the
+  igb driver.
+* :mod:`repro.network.topology` — builder for the 4-switch mesh plus path
+  enumeration used by the measurement-error analysis.
+"""
+
+from repro.network.link import Link, LinkModel
+from repro.network.nic import Nic, NicModel, TxRecord
+from repro.network.packet import GPTP_MULTICAST, Packet
+from repro.network.port import Port
+from repro.network.switch import SwitchModel, TsnSwitch
+from repro.network.topology import MeshTopology, build_mesh
+
+__all__ = [
+    "Link",
+    "LinkModel",
+    "Nic",
+    "NicModel",
+    "TxRecord",
+    "Packet",
+    "GPTP_MULTICAST",
+    "Port",
+    "TsnSwitch",
+    "SwitchModel",
+    "MeshTopology",
+    "build_mesh",
+]

@@ -1,0 +1,107 @@
+"""Point-to-point full-duplex links.
+
+A link's one-way delay per packet is ``base + U(0, jitter)`` where the
+uniform jitter term is drawn independently per packet and per direction.
+Base delays differ per link (cable length, PHY latency); the spread of
+``base .. base + jitter`` across all links of the testbed is precisely what
+the paper's reading error E = d_max − d_min captures.
+
+The link records the delays it actually applied, which the latency survey
+(:mod:`repro.measurement.latency`) compares against pdelay estimates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.kernel import Simulator
+
+if TYPE_CHECKING:
+    from repro.network.packet import Packet
+    from repro.network.port import Port
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Delay parameters of one link.
+
+    Attributes
+    ----------
+    base_delay:
+        Deterministic one-way latency, ns (propagation + serialization +
+        PHY/MAC processing).
+    jitter:
+        Upper bound of the uniform per-packet jitter, ns.
+    """
+
+    base_delay: int = 2_000
+    jitter: int = 400
+
+    @property
+    def min_delay(self) -> int:
+        """Smallest possible one-way delay."""
+        return self.base_delay
+
+    @property
+    def max_delay(self) -> int:
+        """Largest possible one-way delay."""
+        return self.base_delay + self.jitter
+
+
+class Link:
+    """A full-duplex link between two ports.
+
+    Construction wires both endpoints; transmission happens through
+    :meth:`carry`, invoked by :class:`~repro.network.port.Port`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: "Port",
+        b: "Port",
+        model: LinkModel,
+        rng: random.Random,
+        name: Optional[str] = None,
+    ) -> None:
+        self.sim = sim
+        self.model = model
+        self.rng = rng
+        self.a = a
+        self.b = b
+        self.name = name or f"{a.full_name}<->{b.full_name}"
+        self.packets_carried = 0
+        self.min_observed: Optional[int] = None
+        self.max_observed: Optional[int] = None
+        self.up = True
+        a._attach(self, b)
+        b._attach(self, a)
+
+    # ------------------------------------------------------------------
+    def carry(self, from_port: "Port", packet: "Packet") -> None:
+        """Deliver ``packet`` to the opposite endpoint after a sampled delay."""
+        if not self.up:
+            return
+        to_port = self.b if from_port is self.a else self.a
+        delay = self.sample_delay()
+        self.packets_carried += 1
+        if self.min_observed is None or delay < self.min_observed:
+            self.min_observed = delay
+        if self.max_observed is None or delay > self.max_observed:
+            self.max_observed = delay
+        self.sim.schedule(delay, to_port.deliver, packet)
+
+    def sample_delay(self) -> int:
+        """Draw one one-way delay."""
+        if self.model.jitter == 0:
+            return self.model.base_delay
+        return self.model.base_delay + self.rng.randint(0, self.model.jitter)
+
+    def set_up(self, up: bool) -> None:
+        """Administratively enable/disable the link (drops in-flight none)."""
+        self.up = up
+
+    def __repr__(self) -> str:
+        return f"Link({self.name!r}, base={self.model.base_delay}, jitter={self.model.jitter})"

@@ -1,0 +1,210 @@
+"""Testbed topology builder (Fig. 2 of the paper).
+
+Four edge devices, each with an integrated TSN switch; the switches form a
+full mesh (redundant paths between every pair of devices). Each clock
+synchronization VM's passthrough NIC attaches to its device's switch.
+
+Link base delays are drawn per link from a configurable range so the testbed
+has the same kind of latency spread the paper's cabling exhibits; the
+resulting d_min/d_max over node pairs drive the reading error
+E = d_max − d_min and with it the precision bound Π = 2(E + Γ).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.network.link import Link, LinkModel
+from repro.network.nic import Nic
+from repro.network.port import Port
+from repro.network.switch import SwitchModel, TsnSwitch
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceLog
+
+
+@dataclass(frozen=True)
+class MeshModel:
+    """Parameter ranges for the generated mesh.
+
+    Base delays/jitters are drawn uniformly per link; NIC-to-switch links are
+    shorter than inter-switch trunks, as on the real devices (internal wiring
+    vs. external cabling).
+    """
+
+    n_devices: int = 4
+    trunk_base_range: Tuple[int, int] = (1_600, 2_000)
+    trunk_jitter_range: Tuple[int, int] = (200, 400)
+    access_base_range: Tuple[int, int] = (1_300, 1_700)
+    access_jitter_range: Tuple[int, int] = (150, 300)
+    switch: SwitchModel = SwitchModel(residence_base=700, residence_jitter=300)
+
+
+@dataclass
+class PathBounds:
+    """Nominal min/max one-way latency of a concrete path."""
+
+    min_delay: int
+    max_delay: int
+    hops: int
+
+    @property
+    def spread(self) -> int:
+        """max − min."""
+        return self.max_delay - self.min_delay
+
+
+class MeshTopology:
+    """The built network: switches, trunks, and NIC attachments."""
+
+    def __init__(self, sim: Simulator, model: MeshModel) -> None:
+        self.sim = sim
+        self.model = model
+        self.switches: Dict[str, TsnSwitch] = {}
+        self.trunks: Dict[Tuple[str, str], Link] = {}
+        self.access_links: Dict[str, Link] = {}
+        self.nic_switch: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def switch(self, name: str) -> TsnSwitch:
+        """Fetch a switch by name."""
+        return self.switches[name]
+
+    def switch_names(self) -> List[str]:
+        """Sorted switch names."""
+        return sorted(self.switches)
+
+    def trunk(self, a: str, b: str) -> Link:
+        """The inter-switch link between switches ``a`` and ``b``."""
+        key = (a, b) if (a, b) in self.trunks else (b, a)
+        return self.trunks[key]
+
+    def trunk_port(self, a: str, b: str) -> Port:
+        """Port on switch ``a`` facing switch ``b``."""
+        return self.switches[a].ports[f"to_{b}"]
+
+    def access_port(self, nic_name: str) -> Port:
+        """Switch port facing the named NIC."""
+        sw = self.switches[self.nic_switch[nic_name]]
+        return sw.ports[f"vm_{nic_name}"]
+
+    def attach_nic(
+        self, nic: Nic, switch_name: str, rng: random.Random
+    ) -> Link:
+        """Wire a NIC to a device's switch with a fresh access link."""
+        if nic.name in self.nic_switch:
+            raise ValueError(f"NIC {nic.name} already attached")
+        sw = self.switches[switch_name]
+        port = sw.new_port(f"vm_{nic.name}")
+        lo, hi = self.model.access_base_range
+        jlo, jhi = self.model.access_jitter_range
+        link = Link(
+            self.sim,
+            nic.port,
+            port,
+            LinkModel(
+                base_delay=rng.randint(lo, hi), jitter=rng.randint(jlo, jhi)
+            ),
+            rng,
+            name=f"{nic.name}<->{switch_name}",
+        )
+        self.access_links[nic.name] = link
+        self.nic_switch[nic.name] = switch_name
+        return link
+
+    # ------------------------------------------------------------------
+    # Path analysis
+    # ------------------------------------------------------------------
+    def path_links(self, nic_a: str, nic_b: str) -> Tuple[List[Link], List[TsnSwitch]]:
+        """Links and switches traversed from ``nic_a`` to ``nic_b``.
+
+        With a full mesh and static shortest-path configuration this is
+        access → (trunk) → access: two or three links, one or two switches.
+        """
+        sw_a = self.nic_switch[nic_a]
+        sw_b = self.nic_switch[nic_b]
+        links = [self.access_links[nic_a]]
+        switches = [self.switches[sw_a]]
+        if sw_a != sw_b:
+            links.append(self.trunk(sw_a, sw_b))
+            switches.append(self.switches[sw_b])
+        links.append(self.access_links[nic_b])
+        return links, switches
+
+    def path_bounds(self, nic_a: str, nic_b: str) -> PathBounds:
+        """Nominal min/max one-way latency between two attached NICs."""
+        links, switches = self.path_links(nic_a, nic_b)
+        min_delay = sum(l.model.min_delay for l in links)
+        max_delay = sum(l.model.max_delay for l in links)
+        for sw in switches:
+            min_delay += sw.model.residence_base
+            max_delay += sw.model.residence_base + sw.model.residence_jitter
+        return PathBounds(min_delay=min_delay, max_delay=max_delay, hops=len(links))
+
+    def global_delay_bounds(self) -> Tuple[int, int]:
+        """(d_min, d_max) over all attached node pairs — the paper's E inputs."""
+        nics = sorted(self.nic_switch)
+        d_min: Optional[int] = None
+        d_max: Optional[int] = None
+        for i, a in enumerate(nics):
+            for b in nics[i + 1:]:
+                bounds = self.path_bounds(a, b)
+                if d_min is None or bounds.min_delay < d_min:
+                    d_min = bounds.min_delay
+                if d_max is None or bounds.max_delay > d_max:
+                    d_max = bounds.max_delay
+        if d_min is None or d_max is None:
+            raise RuntimeError("no NICs attached")
+        return d_min, d_max
+
+
+def build_mesh(
+    sim: Simulator,
+    rng: random.Random,
+    model: MeshModel = MeshModel(),
+    trace: Optional[TraceLog] = None,
+    switch_rngs: Optional[Dict[str, random.Random]] = None,
+) -> MeshTopology:
+    """Create ``n_devices`` switches, fully meshed.
+
+    Parameters
+    ----------
+    sim:
+        Simulator to schedule on.
+    rng:
+        Stream for drawing link parameters (and switch behaviour when
+        ``switch_rngs`` is not given).
+    model:
+        Mesh parameter ranges.
+    trace:
+        Optional trace log handed to every switch.
+    switch_rngs:
+        Optional per-switch streams (keyed by switch name) so switch noise
+        is decoupled from topology generation.
+    """
+    topo = MeshTopology(sim, model)
+    names = [f"sw{i + 1}" for i in range(model.n_devices)]
+    for name in names:
+        sw_rng = switch_rngs[name] if switch_rngs else rng
+        topo.switches[name] = TsnSwitch(sim, name, sw_rng, model.switch, trace)
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            pa = topo.switches[a].new_port(f"to_{b}")
+            pb = topo.switches[b].new_port(f"to_{a}")
+            lo, hi = model.trunk_base_range
+            jlo, jhi = model.trunk_jitter_range
+            link = Link(
+                sim,
+                pa,
+                pb,
+                LinkModel(
+                    base_delay=rng.randint(lo, hi), jitter=rng.randint(jlo, jhi)
+                ),
+                rng,
+                name=f"{a}<->{b}",
+            )
+            topo.trunks[(a, b)] = link
+    return topo

@@ -1,0 +1,43 @@
+"""Security model: kernel vulnerabilities, the attacker, OS diversification.
+
+The cyber-resilience experiment (§III-B) assumes an attacker holding
+restricted user credentials on two virtual grandmasters who escalates to
+root via a kernel exploit (CVE-2018-18955 against Linux v4.19.1) and then
+replaces the benign ptp4l instances with malicious ones shifting
+``preciseOriginTimestamp`` by −24 µs.
+
+We model the part of that chain the clock synchronization architecture can
+actually observe: an exploit attempt **succeeds iff the target VM's kernel
+version is affected by the CVE** (:mod:`repro.security.kernels`), in which
+case the VM is compromised and its GM instance turns malicious
+(:mod:`repro.security.attacker`). Whether the fleet shares exploitable
+stacks is decided by the diversification policy
+(:mod:`repro.security.diversity`) — the paper's Fig. 3a vs Fig. 3b
+difference is exactly ``identical`` vs ``diverse``.
+"""
+
+from repro.security.attacker import Attacker, AttackerConfig, ExploitAttempt
+from repro.security.attacks import OscillatingAttack, RampAttack
+from repro.security.diversity import assign_kernels, shared_vulnerabilities
+from repro.security.kernels import (
+    CVE_2018_18955,
+    VULNERABILITY_DB,
+    Vulnerability,
+    is_vulnerable,
+    parse_kernel_version,
+)
+
+__all__ = [
+    "Attacker",
+    "AttackerConfig",
+    "ExploitAttempt",
+    "RampAttack",
+    "OscillatingAttack",
+    "assign_kernels",
+    "shared_vulnerabilities",
+    "Vulnerability",
+    "VULNERABILITY_DB",
+    "CVE_2018_18955",
+    "is_vulnerable",
+    "parse_kernel_version",
+]

@@ -1,0 +1,101 @@
+"""The attacker of §III-B.
+
+Holds user credentials on a set of virtual grandmasters, runs the root
+exploit against each at a scheduled time, and on success replaces the benign
+ptp4l with a malicious instance distributing shifted
+``preciseOriginTimestamp`` values. Success is decided purely by whether the
+target VM's kernel is affected by the chosen CVE — the diversification
+experiment's whole point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hypervisor.clock_sync_vm import ClockSyncVm
+from repro.security.kernels import is_vulnerable
+from repro.sim.kernel import Simulator
+from repro.sim.timebase import MICROSECONDS
+from repro.sim.trace import TraceLog
+
+
+@dataclass(frozen=True)
+class AttackerConfig:
+    """The attack plan.
+
+    Attributes
+    ----------
+    cve:
+        Exploit used for privilege escalation.
+    origin_shift:
+        preciseOriginTimestamp displacement applied by the malicious ptp4l,
+        ns (−24 µs in the paper).
+    exploit_times:
+        VM name → simulated time of the exploit attempt. The paper attacks
+        c4_1 at 00:21:42 h and c1_1 at 00:31:52 h.
+    """
+
+    cve: str = "CVE-2018-18955"
+    origin_shift: int = -24 * MICROSECONDS
+    exploit_times: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class ExploitAttempt:
+    """Outcome record of one exploit attempt."""
+
+    time: int
+    target: str
+    kernel: str
+    succeeded: bool
+
+
+class Attacker:
+    """Schedules and executes the exploit attempts."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        targets: Dict[str, ClockSyncVm],
+        config: AttackerConfig,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        for name in config.exploit_times:
+            if name not in targets:
+                raise KeyError(f"attack plan names unknown VM {name!r}")
+        self.sim = sim
+        self.targets = targets
+        self.config = config
+        self.trace = trace
+        self.attempts: List[ExploitAttempt] = []
+
+    def arm(self) -> None:
+        """Schedule every attempt of the plan."""
+        for vm_name, at in sorted(self.config.exploit_times.items(), key=lambda kv: kv[1]):
+            self.sim.schedule_at(at, self._attempt, vm_name)
+
+    def _attempt(self, vm_name: str) -> None:
+        vm = self.targets[vm_name]
+        kernel = vm.config.kernel_version
+        succeeded = vm.running and is_vulnerable(kernel, self.config.cve)
+        self.attempts.append(
+            ExploitAttempt(
+                time=self.sim.now, target=vm_name, kernel=kernel, succeeded=succeeded
+            )
+        )
+        if self.trace is not None:
+            self.trace.emit(
+                self.sim.now,
+                "attack.exploit_success" if succeeded else "attack.exploit_failed",
+                vm_name,
+                cve=self.config.cve,
+                kernel=kernel,
+            )
+        if succeeded:
+            vm.compromise(self.config.origin_shift)
+
+    @property
+    def compromised(self) -> List[str]:
+        """Names of successfully compromised VMs so far."""
+        return [a.target for a in self.attempts if a.succeeded]

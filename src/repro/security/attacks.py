@@ -1,0 +1,109 @@
+"""Attack variants beyond the paper's static −24 µs shift.
+
+The §III-B malicious ptp4l applies a constant preciseOriginTimestamp
+offset — blunt, and (with one compromised GM) cleanly masked. Smarter
+adversaries exist and a security evaluation should include them:
+
+* :class:`RampAttack` — the classic *slow time-walk* attempt: the shift
+  grows by a small increment per sync interval, staying inside the validity
+  threshold at every step. A single ramping GM is bounded by the FTA (its
+  reading is trimmed whenever it strays to an extreme). A *colluding pair*
+  does **not** achieve a stealthy walk in this architecture: because the
+  grandmasters themselves are disciplined toward the mutual FTA, the pull
+  compounds — the ensemble accelerates until the servos saturate and the
+  measured precision Π* visibly violates the bound. Pull attacks are thus
+  converted into detectable divergence (the same signature as Fig. 3a), an
+  emergent property of the paper's GM-side aggregation that the
+  client-only design (Kyriakakis) lacks.
+* :class:`OscillatingAttack` — alternates the shift sign to stress the
+  servo; mostly useful to show the PI loop's low-pass behaviour absorbs it.
+
+Both drive the same hook the paper's attack uses
+(:attr:`Ptp4lInstance.malicious_origin_shift`), updated per interval by a
+simulated process — exactly what a compromised ptp4l binary could do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.hypervisor.clock_sync_vm import ClockSyncVm
+from repro.sim.kernel import Simulator
+from repro.sim.process import PeriodicTask
+from repro.sim.timebase import MILLISECONDS
+from repro.sim.trace import TraceLog
+
+
+class _SteeredAttack:
+    """Base: periodically recompute the origin shift on compromised VMs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        victims: List[ClockSyncVm],
+        update_interval: int = 125 * MILLISECONDS,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        if not victims:
+            raise ValueError("attack needs at least one compromised VM")
+        self.sim = sim
+        self.victims = list(victims)
+        self.trace = trace
+        self.ticks = 0
+        self._task = PeriodicTask(
+            sim, period=update_interval, action=self._tick, name=type(self).__name__
+        )
+
+    def launch(self) -> None:
+        """Compromise the victims and start steering the shift."""
+        for vm in self.victims:
+            vm.compromise(origin_shift=0)
+        if self.trace is not None:
+            self.trace.emit(
+                self.sim.now, "attack.steered_launch",
+                ",".join(vm.name for vm in self.victims),
+                kind=type(self).__name__,
+            )
+        self._task.start()
+
+    def stop(self) -> None:
+        """Stop steering (shift freezes at its last value)."""
+        self._task.stop()
+
+    def _tick(self) -> None:
+        self.ticks += 1
+        shift = self.current_shift()
+        for vm in self.victims:
+            if vm.running and vm.config.gm_domain is not None:
+                vm.stack.instances[vm.config.gm_domain].malicious_origin_shift = shift
+
+    def current_shift(self) -> int:
+        """Shift to apply this interval (subclass hook)."""
+        raise NotImplementedError
+
+
+class RampAttack(_SteeredAttack):
+    """Slow time-walk: shift grows by ``step_per_update`` each interval."""
+
+    def __init__(self, *args, step_per_update: int = -100, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.step_per_update = step_per_update
+
+    def current_shift(self) -> int:
+        return self.ticks * self.step_per_update
+
+
+class OscillatingAttack(_SteeredAttack):
+    """Alternating shift of fixed amplitude (servo stress)."""
+
+    def __init__(self, *args, amplitude: int = 10_000, period_updates: int = 16,
+                 **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.amplitude = amplitude
+        self.period_updates = period_updates
+
+    def current_shift(self) -> int:
+        half = self.period_updates // 2
+        positive = (self.ticks // half) % 2 == 0
+        return self.amplitude if positive else -self.amplitude

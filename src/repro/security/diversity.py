@@ -1,0 +1,103 @@
+"""OS diversification policies and shared-vulnerability analysis.
+
+The paper argues (citing Garcia et al.) that the number of vulnerabilities
+*shared* between two OS stacks is far smaller than each stack's total, so
+giving every grandmaster a distinct kernel keeps a single exploit from
+crossing the f = 1 Byzantine budget. ``assign_kernels`` implements the two
+policies compared in Fig. 3 and ``shared_vulnerabilities`` quantifies the
+overlap argument against the bundled CVE database.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.security.kernels import VULNERABILITY_DB, parse_kernel_version
+
+#: Kernels used when diversifying; first entry is the exploitable v4.19.1
+#: the paper deliberately leaves on one GM in the diverse setup. Longer than
+#: the paper's 4 so domain-count sweeps keep distinct stacks.
+DEFAULT_KERNEL_POOL = (
+    "linux-4.19.1",
+    "linux-5.4.0",
+    "linux-5.10.0",
+    "linux-5.15.0",
+    "linux-5.19.0",
+    "linux-6.1.0",
+    "linux-6.5.0",
+    "linux-6.8.0",
+)
+
+#: The §IV outlook stack: a Unikraft-style unikernel. Outside the Linux CVE
+#: surface and, on real hardware, booting in milliseconds rather than tens
+#: of seconds — which is what the recovery benchmark exercises.
+UNIKERNEL_STACK = "unikraft-0.16"
+
+#: Simulated boot latencies per stack family (order-of-magnitude figures:
+#: a full GNU/Linux guest vs. Unikraft's millisecond boots, Kuenzer et al.).
+BOOT_DELAY_NS = {
+    "linux": 30_000_000_000,
+    "unikraft": 250_000_000,
+}
+
+
+def boot_delay_of(kernel_label: str) -> int:
+    """Simulated boot delay for a stack label, ns."""
+    family = kernel_label.split("-", 1)[0]
+    return BOOT_DELAY_NS.get(family, BOOT_DELAY_NS["linux"])
+
+
+def assign_kernels(
+    vm_names: Sequence[str],
+    policy: str,
+    pool: Sequence[str] = DEFAULT_KERNEL_POOL,
+) -> Dict[str, str]:
+    """Map VM names to kernel versions per diversification policy.
+
+    ``identical``
+        Everyone runs ``pool[0]`` — the Fig. 3a setup (all GMs on the
+        exploitable v4.19.1).
+    ``diverse``
+        Round-robin distinct kernels from the pool — the Fig. 3b setup
+        (only the VM landing on ``pool[0]`` stays exploitable).
+    ``unikernel``
+        Everyone runs the Unikraft-style minimal stack — the paper's §IV
+        outlook: a tiny code base outside the Linux CVE surface entirely.
+
+    >>> assign_kernels(["a", "b"], "identical")
+    {'a': 'linux-4.19.1', 'b': 'linux-4.19.1'}
+    >>> assign_kernels(["a"], "unikernel")
+    {'a': 'unikraft-0.16'}
+    """
+    if policy == "identical":
+        return {name: pool[0] for name in vm_names}
+    if policy == "diverse":
+        if len(pool) < len(vm_names):
+            raise ValueError(
+                f"need {len(vm_names)} distinct kernels, pool has {len(pool)}"
+            )
+        return {name: pool[i] for i, name in enumerate(vm_names)}
+    if policy == "unikernel":
+        return {name: UNIKERNEL_STACK for name in vm_names}
+    raise ValueError(f"unknown diversification policy {policy!r}")
+
+
+def vulnerabilities_of(kernel_label: str) -> List[str]:
+    """All database CVEs affecting one kernel."""
+    version = parse_kernel_version(kernel_label)
+    return sorted(
+        cve for cve, vuln in VULNERABILITY_DB.items() if vuln.affects(version)
+    )
+
+
+def shared_vulnerabilities(kernel_a: str, kernel_b: str) -> List[str]:
+    """CVEs affecting *both* kernels — the overlap the paper minimizes.
+
+    >>> shared_vulnerabilities("linux-4.19.1", "linux-4.19.1")
+    ['CVE-2018-18955', 'CVE-2019-13272']
+    >>> shared_vulnerabilities("linux-4.19.1", "linux-5.10.0")
+    []
+    """
+    return sorted(
+        set(vulnerabilities_of(kernel_a)) & set(vulnerabilities_of(kernel_b))
+    )

@@ -1,0 +1,125 @@
+"""Kernel versions and the vulnerability database.
+
+Kernel labels look like ``"linux-4.19.1"``. A :class:`Vulnerability` names
+the half-open version interval it affects (introduced ≤ v < fixed), which is
+how real CVE applicability is published.
+
+The database ships the paper's exploit — CVE-2018-18955, the user-namespace
+subuid mapping privilege escalation fixed in 4.19.2 — plus a few other
+well-known local privilege escalations so diversification analyses have
+something to chew on. The set is illustrative, not exhaustive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+KernelVersion = Tuple[int, ...]
+
+
+def parse_kernel_version(label: str) -> KernelVersion:
+    """Parse ``"linux-4.19.1"`` → ``(4, 19, 1)``.
+
+    >>> parse_kernel_version("linux-4.19.1")
+    (4, 19, 1)
+    >>> parse_kernel_version("5.10")
+    (5, 10)
+    """
+    text = label.split("-", 1)[1] if label.startswith("linux-") else label
+    try:
+        return tuple(int(part) for part in text.split("."))
+    except ValueError as exc:
+        raise ValueError(f"cannot parse kernel version {label!r}") from exc
+
+
+@dataclass(frozen=True)
+class Vulnerability:
+    """One CVE with its affected version interval.
+
+    Attributes
+    ----------
+    cve:
+        Identifier, e.g. ``"CVE-2018-18955"``.
+    introduced:
+        First affected version (inclusive).
+    fixed:
+        First fixed version (exclusive).
+    description:
+        Human-readable summary.
+    """
+
+    cve: str
+    introduced: KernelVersion
+    fixed: KernelVersion
+    description: str
+
+    def affects(self, version: KernelVersion) -> bool:
+        """Whether ``version`` falls inside [introduced, fixed)."""
+        return self.introduced <= version < self.fixed
+
+
+CVE_2018_18955 = Vulnerability(
+    cve="CVE-2018-18955",
+    introduced=(4, 15),
+    fixed=(4, 19, 2),
+    description=(
+        "map_write() in user namespaces mishandles nested id maps, allowing "
+        "a namespaced root to escalate to full root (exploit-db 47164 — the "
+        "paper's attack)."
+    ),
+)
+
+VULNERABILITY_DB: Dict[str, Vulnerability] = {
+    v.cve: v
+    for v in [
+        CVE_2018_18955,
+        Vulnerability(
+            cve="CVE-2017-16995",
+            introduced=(4, 4),
+            fixed=(4, 14, 17),
+            description="eBPF verifier sign-extension LPE.",
+        ),
+        Vulnerability(
+            cve="CVE-2019-13272",
+            introduced=(4, 10),
+            fixed=(5, 1, 17),
+            description="ptrace_link credential mishandling LPE.",
+        ),
+        Vulnerability(
+            cve="CVE-2021-4034",
+            introduced=(0,),
+            fixed=(0,),
+            description="PwnKit (pkexec, userspace) — placeholder entry that "
+            "affects no kernel version; present to exercise negative paths.",
+        ),
+        Vulnerability(
+            cve="CVE-2022-0847",
+            introduced=(5, 8),
+            fixed=(5, 16, 11),
+            description="Dirty Pipe arbitrary file overwrite LPE.",
+        ),
+    ]
+}
+
+
+def is_vulnerable(kernel_label: str, cve: str) -> bool:
+    """Whether the kernel named by ``kernel_label`` is affected by ``cve``.
+
+    Unknown CVEs raise ``KeyError`` — silently treating an unknown exploit
+    as harmless would be the wrong default in a security model. Non-Linux
+    stacks (e.g. the ``unikraft-*`` unikernels of the paper's §IV outlook)
+    are never affected by the database's Linux-kernel CVEs: a Linux LPE
+    exploit simply has no code to land on.
+
+    >>> is_vulnerable("linux-4.19.1", "CVE-2018-18955")
+    True
+    >>> is_vulnerable("linux-5.10.0", "CVE-2018-18955")
+    False
+    >>> is_vulnerable("unikraft-0.16", "CVE-2018-18955")
+    False
+    """
+    vulnerability = VULNERABILITY_DB[cve]
+    if not kernel_label.startswith("linux"):
+        return False
+    return vulnerability.affects(parse_kernel_version(kernel_label))

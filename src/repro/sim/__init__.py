@@ -1,0 +1,46 @@
+"""Discrete-event simulation substrate.
+
+This package provides the deterministic discrete-event kernel that the whole
+reproduction runs on: an event queue with integer-nanosecond simulated time
+(:mod:`repro.sim.kernel`), periodic/one-shot process helpers
+(:mod:`repro.sim.process`), named deterministic random-number streams
+(:mod:`repro.sim.rng`), time-unit helpers (:mod:`repro.sim.timebase`) and a
+structured trace log (:mod:`repro.sim.trace`).
+
+All simulated timestamps are integers in nanoseconds, which keeps arithmetic
+exact and runs reproducible across platforms.
+"""
+
+from repro.sim.kernel import EventHandle, Simulator
+from repro.sim.process import PeriodicTask
+from repro.sim.rng import RngRegistry
+from repro.sim.timebase import (
+    HOURS,
+    MICROSECONDS,
+    MILLISECONDS,
+    MINUTES,
+    NANOSECONDS,
+    SECONDS,
+    format_hms,
+    from_seconds,
+    to_seconds,
+)
+from repro.sim.trace import TraceLog, TraceRecord
+
+__all__ = [
+    "EventHandle",
+    "Simulator",
+    "PeriodicTask",
+    "RngRegistry",
+    "TraceLog",
+    "TraceRecord",
+    "NANOSECONDS",
+    "MICROSECONDS",
+    "MILLISECONDS",
+    "SECONDS",
+    "MINUTES",
+    "HOURS",
+    "from_seconds",
+    "to_seconds",
+    "format_hms",
+]

@@ -1,0 +1,200 @@
+"""The discrete-event simulation kernel.
+
+A :class:`Simulator` owns a priority queue of timestamped events. Components
+schedule callbacks with :meth:`Simulator.schedule` (relative delay) or
+:meth:`Simulator.schedule_at` (absolute time) and the kernel dispatches them
+in nondecreasing time order. Ties are broken by insertion order, which makes
+runs fully deterministic for a fixed seed.
+
+Time is integer nanoseconds; see :mod:`repro.sim.timebase`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised on kernel misuse, e.g. scheduling into the past."""
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event.
+
+    The kernel never removes cancelled entries from the heap eagerly;
+    cancellation just marks the handle and the dispatcher skips it. This is
+    the standard lazy-deletion trick and keeps ``cancel`` O(1).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...],
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback: Optional[Callable[..., None]] = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing; safe to call more than once."""
+        self.cancelled = True
+        self.callback = None
+        self.args = ()
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time}, seq={self.seq}, {state})"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator with integer-nanosecond time.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1_000, fired.append, "a")
+    >>> _ = sim.schedule(500, fired.append, "b")
+    >>> sim.run()
+    2
+    >>> fired
+    ['b', 'a']
+    >>> sim.now
+    1000
+    """
+
+    def __init__(self, start_time: int = 0) -> None:
+        self.now: int = start_time
+        self._queue: List[EventHandle] = []
+        self._seq: int = 0
+        self._dispatched: int = 0
+        self._running = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self, delay: int, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` ns from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self.now + delay, callback, *args)
+
+    def schedule_at(
+        self, time: int, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulated time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} ns; current time is {self.now} ns"
+            )
+        handle = EventHandle(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Dispatch the single next pending event.
+
+        Returns ``True`` if an event ran, ``False`` if the queue was empty.
+        """
+        while self._queue:
+            handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self.now = handle.time
+            callback, args = handle.callback, handle.args
+            handle.callback = None
+            handle.args = ()
+            assert callback is not None
+            callback(*args)
+            self._dispatched += 1
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains (or ``max_events`` dispatched).
+
+        Returns the number of events dispatched by this call.
+        """
+        dispatched = 0
+        self._stopped = False
+        while not self._stopped:
+            if max_events is not None and dispatched >= max_events:
+                break
+            if not self.step():
+                break
+            dispatched += 1
+        return dispatched
+
+    def run_until(self, time: int) -> int:
+        """Run every event with timestamp ``<= time``; advance now to ``time``.
+
+        Events scheduled beyond ``time`` remain queued. Returns the number of
+        events dispatched.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"run_until({time}) is in the past (now={self.now})"
+            )
+        dispatched = 0
+        self._stopped = False
+        while not self._stopped:
+            handle = self._peek()
+            if handle is None or handle.time > time:
+                break
+            self.step()
+            dispatched += 1
+        if not self._stopped:
+            self.now = max(self.now, time)
+        return dispatched
+
+    def stop(self) -> None:
+        """Ask a running :meth:`run`/:meth:`run_until` loop to return."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def _peek(self) -> Optional[EventHandle]:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for h in self._queue if not h.cancelled)
+
+    @property
+    def dispatched_events(self) -> int:
+        """Total number of events dispatched since construction."""
+        return self._dispatched
+
+    def next_event_time(self) -> Optional[int]:
+        """Timestamp of the next live event, or ``None`` if idle."""
+        handle = self._peek()
+        return handle.time if handle is not None else None
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={self.now}, pending={self.pending_events}, "
+            f"dispatched={self._dispatched})"
+        )

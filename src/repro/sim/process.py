@@ -1,0 +1,112 @@
+"""Periodic and one-shot simulated processes.
+
+:class:`PeriodicTask` models services that tick at a fixed nominal period —
+the hypervisor monitor (125 ms), phc2sys, the measurement VM's 1 Hz probes,
+grandmaster Sync transmission — with optional per-tick jitter and a start
+phase. Tasks can be stopped and restarted, which the VM lifecycle uses when a
+fail-silent fault kills a VM and it later reboots.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.sim.kernel import EventHandle, Simulator
+
+
+class PeriodicTask:
+    """Run ``action()`` every ``period`` ns of simulated time.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    period:
+        Nominal period in nanoseconds; must be positive.
+    action:
+        Zero-argument callback invoked per tick.
+    phase:
+        Delay before the first tick, default one full period.
+    jitter:
+        If nonzero, each tick is displaced by a uniform draw from
+        ``[0, jitter]`` ns using ``rng`` (scheduling noise of a real OS task).
+    rng:
+        Random stream for jitter; required when ``jitter > 0``.
+    name:
+        Diagnostic label.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: int,
+        action: Callable[[], None],
+        phase: Optional[int] = None,
+        jitter: int = 0,
+        rng: Optional[random.Random] = None,
+        name: str = "periodic",
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if jitter < 0:
+            raise ValueError(f"jitter must be nonnegative, got {jitter}")
+        if jitter > 0 and rng is None:
+            raise ValueError("jitter requires an rng stream")
+        self.sim = sim
+        self.period = period
+        self.action = action
+        self.phase = period if phase is None else phase
+        self.jitter = jitter
+        self.rng = rng
+        self.name = name
+        self.ticks = 0
+        self._handle: Optional[EventHandle] = None
+        self._next_nominal: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the task; first tick fires ``phase`` ns from now."""
+        if self.running:
+            raise RuntimeError(f"task {self.name!r} already running")
+        self._next_nominal = self.sim.now + self.phase
+        self._arm()
+
+    def stop(self) -> None:
+        """Cancel the pending tick; the task can be started again later."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+        self._next_nominal = None
+
+    @property
+    def running(self) -> bool:
+        """Whether a tick is currently armed."""
+        return self._handle is not None and not self._handle.cancelled
+
+    # ------------------------------------------------------------------
+    def _arm(self) -> None:
+        assert self._next_nominal is not None
+        fire_at = self._next_nominal
+        if self.jitter > 0:
+            assert self.rng is not None
+            fire_at += self.rng.randint(0, self.jitter)
+        fire_at = max(fire_at, self.sim.now)
+        self._handle = self.sim.schedule_at(fire_at, self._tick)
+
+    def _tick(self) -> None:
+        self._handle = None
+        self.ticks += 1
+        # Advance the nominal schedule before running the action so the
+        # action may stop() or restart the task without racing the re-arm.
+        assert self._next_nominal is not None
+        self._next_nominal += self.period
+        next_nominal = self._next_nominal
+        self.action()
+        # The action may have stopped us; only re-arm if still on schedule.
+        if self._next_nominal == next_nominal and self._handle is None:
+            self._arm()
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else "stopped"
+        return f"PeriodicTask({self.name!r}, period={self.period}, {state})"

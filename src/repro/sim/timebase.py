@@ -1,0 +1,77 @@
+"""Time-unit constants and helpers.
+
+The simulator represents time as integer nanoseconds. These constants make
+call sites read naturally (``5 * MILLISECONDS``) and the helpers convert to
+and from floating-point seconds only at the edges (configuration input and
+reporting output), never inside protocol arithmetic.
+"""
+
+from __future__ import annotations
+
+NANOSECONDS = 1
+MICROSECONDS = 1_000
+MILLISECONDS = 1_000_000
+SECONDS = 1_000_000_000
+MINUTES = 60 * SECONDS
+HOURS = 60 * MINUTES
+
+
+def from_seconds(seconds: float) -> int:
+    """Convert floating-point seconds to integer nanoseconds (rounded)."""
+    return round(seconds * SECONDS)
+
+
+def to_seconds(nanoseconds: int) -> float:
+    """Convert integer nanoseconds to floating-point seconds."""
+    return nanoseconds / SECONDS
+
+
+def from_ppm(ppm: float) -> float:
+    """Convert parts-per-million to a dimensionless fraction."""
+    return ppm * 1e-6
+
+
+def to_ppm(fraction: float) -> float:
+    """Convert a dimensionless fraction to parts-per-million."""
+    return fraction * 1e6
+
+
+def from_ppb(ppb: float) -> float:
+    """Convert parts-per-billion to a dimensionless fraction."""
+    return ppb * 1e-9
+
+
+def to_ppb(fraction: float) -> float:
+    """Convert a dimensionless fraction to parts-per-billion."""
+    return fraction * 1e9
+
+
+def format_hms(nanoseconds: int) -> str:
+    """Render a simulated timestamp as ``HH:MM:SS`` (paper-style runtime).
+
+    >>> format_hms(3 * HOURS + 21 * MINUTES + 42 * SECONDS)
+    '03:21:42'
+    """
+    total_seconds = nanoseconds // SECONDS
+    hours, remainder = divmod(total_seconds, 3600)
+    minutes, seconds = divmod(remainder, 60)
+    return f"{hours:02d}:{minutes:02d}:{seconds:02d}"
+
+
+def parse_hms(text: str) -> int:
+    """Parse ``HH:MM:SS`` (or ``MM:SS``) into integer nanoseconds.
+
+    >>> parse_hms("00:21:42") == 21 * MINUTES + 42 * SECONDS
+    True
+    """
+    parts = [int(p) for p in text.split(":")]
+    if len(parts) == 2:
+        minutes, seconds = parts
+        hours = 0
+    elif len(parts) == 3:
+        hours, minutes, seconds = parts
+    else:
+        raise ValueError(f"cannot parse time-of-run {text!r}; want HH:MM:SS")
+    if not (0 <= minutes < 60 and 0 <= seconds < 60):
+        raise ValueError(f"minutes/seconds out of range in {text!r}")
+    return hours * HOURS + minutes * MINUTES + seconds * SECONDS

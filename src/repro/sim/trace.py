@@ -1,0 +1,98 @@
+"""Structured simulation trace log.
+
+Components append :class:`TraceRecord` entries (time, category, source, plus
+free-form fields) rather than printing. Experiments and the Fig. 5 timeline
+extraction query the log by category/source/time-window after the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.sim.timebase import format_hms
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One structured trace entry.
+
+    Attributes
+    ----------
+    time:
+        Simulated timestamp in nanoseconds.
+    category:
+        Machine-matchable kind, e.g. ``"fault.fail_silent"``,
+        ``"hypervisor.takeover"``, ``"ptp4l.tx_timeout"``.
+    source:
+        Emitting component, e.g. ``"c2_1"`` or ``"dev3"``.
+    fields:
+        Category-specific payload.
+    """
+
+    time: int
+    category: str
+    source: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in sorted(self.fields.items()))
+        return f"[{format_hms(self.time)}] {self.category} {self.source} {extras}"
+
+
+class TraceLog:
+    """Append-only, queryable record of simulation events."""
+
+    def __init__(self) -> None:
+        self._records: List[TraceRecord] = []
+
+    def emit(
+        self, time: int, category: str, source: str, **fields: Any
+    ) -> TraceRecord:
+        """Append a record and return it."""
+        record = TraceRecord(time=time, category=category, source=source, fields=fields)
+        self._records.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def query(
+        self,
+        category: Optional[str] = None,
+        source: Optional[str] = None,
+        start: Optional[int] = None,
+        end: Optional[int] = None,
+        prefix: Optional[str] = None,
+    ) -> List[TraceRecord]:
+        """Return records matching every provided filter.
+
+        ``category`` matches exactly; ``prefix`` matches a category prefix
+        (``prefix="fault."`` catches all fault kinds). ``start``/``end`` bound
+        the half-open window ``[start, end)``.
+        """
+        out: List[TraceRecord] = []
+        for record in self._records:
+            if category is not None and record.category != category:
+                continue
+            if prefix is not None and not record.category.startswith(prefix):
+                continue
+            if source is not None and record.source != source:
+                continue
+            if start is not None and record.time < start:
+                continue
+            if end is not None and record.time >= end:
+                continue
+            out.append(record)
+        return out
+
+    def count(self, category: Optional[str] = None, prefix: Optional[str] = None) -> int:
+        """Count records matching a category or category prefix."""
+        return len(self.query(category=category, prefix=prefix))
+
+    def categories(self) -> List[str]:
+        """Sorted list of distinct categories seen so far."""
+        return sorted({record.category for record in self._records})

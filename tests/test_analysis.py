@@ -1,0 +1,125 @@
+"""Unit tests for aggregation, histogram, timeline, and report rendering."""
+
+import pytest
+
+from repro.analysis.aggregate import aggregate_series
+from repro.analysis.histogram import histogram
+from repro.analysis.report import render_histogram, render_series, render_timeline
+from repro.analysis.timeline import extract_timeline
+from repro.sim.timebase import MINUTES, SECONDS
+from repro.sim.trace import TraceLog
+
+
+class TestAggregate:
+    def test_bucketing_average_min_max(self):
+        series = [(i * SECONDS, float(i % 5)) for i in range(300)]
+        buckets = aggregate_series(series, bucket=120 * SECONDS)
+        assert len(buckets) == 3
+        b = buckets[0]
+        assert b.count == 120
+        assert b.minimum == 0.0 and b.maximum == 4.0
+        assert b.mean == pytest.approx(2.0)
+
+    def test_gap_produces_no_bucket(self):
+        series = [(0, 1.0), (500 * SECONDS, 2.0)]
+        buckets = aggregate_series(series, bucket=120 * SECONDS)
+        assert len(buckets) == 2
+        assert buckets[0].start == 0
+        assert buckets[1].start == 480 * SECONDS
+
+    def test_invalid_bucket(self):
+        with pytest.raises(ValueError):
+            aggregate_series([], bucket=0)
+
+    def test_empty_series(self):
+        assert aggregate_series([]) == []
+
+
+class TestHistogram:
+    def test_annotation_stats_cover_all_values(self):
+        values = [100.0] * 99 + [10_080.0]
+        h = histogram(values, bins=10, range_max=1000.0)
+        assert h.maximum == 10_080.0
+        assert h.n == 100
+        # The outlier lands in the last bin rather than vanishing.
+        assert h.counts[-1] == 1
+        assert sum(h.counts) == 100
+
+    def test_paper_like_annotation_format(self):
+        h = histogram([322.0, 322.0], bins=4, range_max=1000.0)
+        text = h.describe()
+        assert "avg = 322ns" in text and "std = 0ns" in text
+
+    def test_mean_and_std(self):
+        h = histogram([0.0, 10.0], bins=2, range_max=10.0)
+        assert h.mean == 5.0
+        assert h.std == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            histogram([])
+        with pytest.raises(ValueError):
+            histogram([1.0], bins=0)
+
+
+class TestTimeline:
+    def build_trace(self):
+        trace = TraceLog()
+        trace.emit(10 * MINUTES, "fault.fail_silent", "c2_1", reason="injected-gm")
+        trace.emit(12 * MINUTES, "fault.fail_silent", "c3_2", reason="injected-redundant")
+        trace.emit(12 * MINUTES + 30 * SECONDS, "hypervisor.takeover", "c3_1")
+        trace.emit(15 * MINUTES, "ptp4l.tx_timeout", "c1_1")
+        trace.emit(90 * MINUTES, "fault.fail_silent", "c1_1")  # outside window
+        return trace
+
+    GM_DOMAINS = {"c1_1": 1, "c2_1": 2, "c3_1": 3, "c4_1": 4}
+
+    def test_extraction_classifies_and_windows(self):
+        timeline = extract_timeline(
+            self.build_trace(), start=0, end=60 * MINUTES,
+            gm_domain_of=self.GM_DOMAINS,
+        )
+        counts = timeline.counts()
+        assert counts == {
+            "gm_failure": 1, "vm_failure": 1, "takeover": 1, "transient": 1
+        }
+        gm = timeline.of_kind("gm_failure")[0]
+        assert gm.source == "c2_1" and gm.domain == 2
+        vm = timeline.of_kind("vm_failure")[0]
+        assert vm.domain is None
+
+    def test_events_sorted_by_time(self):
+        timeline = extract_timeline(
+            self.build_trace(), 0, 60 * MINUTES, self.GM_DOMAINS
+        )
+        times = [e.time for e in timeline.events]
+        assert times == sorted(times)
+
+
+class TestReportRendering:
+    def test_series_rendering_flags_violations(self):
+        buckets = aggregate_series(
+            [(0, 100.0), (SECONDS, 50_000.0)], bucket=120 * SECONDS
+        )
+        text = render_series(buckets, bound=12_636.0, bound_with_error=13_949.0)
+        assert "VIOLATION" in text
+        assert "Π" in text
+
+    def test_series_rendering_without_bound(self):
+        buckets = aggregate_series([(0, 100.0)], bucket=120 * SECONDS)
+        text = render_series(buckets)
+        assert "VIOLATION" not in text
+
+    def test_histogram_rendering(self):
+        h = histogram([10.0, 20.0, 500.0], bins=5, range_max=1000.0)
+        text = render_histogram(h)
+        assert "avg =" in text and "#" in text
+
+    def test_timeline_rendering(self):
+        trace = TraceLog()
+        trace.emit(10 * MINUTES, "fault.fail_silent", "c2_1")
+        trace.emit(11 * MINUTES, "hypervisor.takeover", "c2_2")
+        timeline = extract_timeline(trace, 0, 60 * MINUTES, {"c2_1": 2})
+        text = render_timeline(timeline)
+        assert "▼" in text and "★" in text and "dom2" in text
+        assert "totals:" in text

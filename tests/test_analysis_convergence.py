@@ -1,0 +1,53 @@
+"""Tests for convergence-time analysis."""
+
+import pytest
+
+from repro.analysis.convergence import analyze_convergence
+from repro.experiments.testbed import Testbed, TestbedConfig
+from repro.sim.timebase import MINUTES, SECONDS
+from repro.sim.trace import TraceLog
+
+
+class TestSyntheticTraces:
+    def test_cold_start_extraction(self):
+        trace = TraceLog()
+        trace.emit(20 * SECONDS, "fta.ft_mode_entered", "c1_1.fta")
+        trace.emit(25 * SECONDS, "fta.ft_mode_entered", "c1_2.fta")
+        report = analyze_convergence(trace)
+        assert report.cold_start_ns == {
+            "c1_1": 20 * SECONDS, "c1_2": 25 * SECONDS
+        }
+        assert report.slowest_cold_start == 25 * SECONDS
+        assert report.reintegration_ns == []
+        assert report.mean_reintegration is None
+
+    def test_reintegration_measured_from_reboot(self):
+        trace = TraceLog()
+        trace.emit(20 * SECONDS, "fta.ft_mode_entered", "c1_1.fta")
+        trace.emit(5 * MINUTES, "vm.rebooted", "c1_1")
+        trace.emit(5 * MINUTES + 40 * SECONDS, "fta.ft_mode_entered", "c1_1.fta")
+        report = analyze_convergence(trace)
+        assert report.cold_start_ns == {"c1_1": 20 * SECONDS}
+        assert report.reintegration_ns == [40 * SECONDS]
+        assert report.worst_reintegration == 40 * SECONDS
+
+    def test_empty_trace(self):
+        report = analyze_convergence(TraceLog())
+        assert report.slowest_cold_start is None
+        assert report.worst_reintegration is None
+
+
+class TestOnRealRun:
+    def test_full_testbed_convergence_times(self):
+        tb = Testbed(TestbedConfig(seed=51))
+        tb.run_until(2 * MINUTES)
+        vm = tb.vms["c3_2"]
+        vm.fail_silent()  # 30 s boot
+        tb.run_until(tb.sim.now + 4 * MINUTES)
+        report = analyze_convergence(tb.trace)
+        # Every VM cold-started into FT operation...
+        assert set(report.cold_start_ns) == set(tb.vms)
+        assert report.slowest_cold_start < 60 * SECONDS
+        # ...and the rebooted VM re-integrated within a couple of minutes.
+        assert len(report.reintegration_ns) == 1
+        assert report.reintegration_ns[0] < 3 * MINUTES

@@ -1,0 +1,96 @@
+"""Tests for the CSV/JSONL exporters."""
+
+import csv
+import json
+
+from repro.analysis.aggregate import aggregate_series
+from repro.analysis.export import (
+    write_buckets_csv,
+    write_experiment_bundle,
+    write_histogram_csv,
+    write_series_csv,
+    write_timeline_csv,
+    write_trace_jsonl,
+)
+from repro.analysis.histogram import histogram
+from repro.analysis.timeline import extract_timeline
+from repro.sim.timebase import MINUTES, SECONDS
+from repro.sim.trace import TraceLog
+
+
+def read_csv(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+class TestCsvWriters:
+    def test_series(self, tmp_path):
+        path = tmp_path / "series.csv"
+        n = write_series_csv(path, [(0, 100.0), (SECONDS, 200.5)])
+        rows = read_csv(path)
+        assert n == 2
+        assert rows[0] == ["time_ns", "precision_ns"]
+        assert rows[1] == ["0", "100.000"]
+        assert rows[2] == [str(SECONDS), "200.500"]
+
+    def test_buckets(self, tmp_path):
+        buckets = aggregate_series([(0, 1.0), (1, 3.0)], bucket=120 * SECONDS)
+        path = tmp_path / "buckets.csv"
+        assert write_buckets_csv(path, buckets) == 1
+        rows = read_csv(path)
+        assert rows[1][2] == "2"  # count
+        assert rows[1][3] == "2.000"  # mean
+
+    def test_histogram(self, tmp_path):
+        h = histogram([10.0, 20.0, 900.0], bins=10, range_max=1000.0)
+        path = tmp_path / "hist.csv"
+        assert write_histogram_csv(path, h) == 10
+        rows = read_csv(path)
+        assert sum(int(r[2]) for r in rows[1:]) == 3
+
+    def test_timeline(self, tmp_path):
+        trace = TraceLog()
+        trace.emit(5 * MINUTES, "fault.fail_silent", "c2_1")
+        trace.emit(6 * MINUTES, "hypervisor.takeover", "c2_2")
+        timeline = extract_timeline(trace, 0, 10 * MINUTES, {"c2_1": 2})
+        path = tmp_path / "timeline.csv"
+        assert write_timeline_csv(path, timeline) == 2
+        rows = read_csv(path)
+        assert rows[1][1] == "gm_failure"
+        assert rows[1][3] == "2"
+        assert rows[2][1] == "takeover"
+        assert rows[2][3] == ""
+
+
+class TestTraceJsonl:
+    def test_full_dump_and_filter(self, tmp_path):
+        trace = TraceLog()
+        trace.emit(1, "fault.fail_silent", "a", reason="x")
+        trace.emit(2, "ptp4l.tx_timeout", "b")
+        path = tmp_path / "trace.jsonl"
+        assert write_trace_jsonl(path, trace) == 2
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0]["category"] == "fault.fail_silent"
+        assert lines[0]["reason"] == "x"
+        assert write_trace_jsonl(path, trace, prefix="fault.") == 1
+
+
+class TestBundle:
+    def test_fault_injection_bundle(self, tmp_path):
+        from repro.experiments.fault_injection import (
+            FaultInjectionExperimentConfig,
+            run_fault_injection_experiment,
+        )
+
+        result = run_fault_injection_experiment(
+            FaultInjectionExperimentConfig(seed=4).scaled(0.05)
+        )
+        written = write_experiment_bundle(tmp_path / "out", result)
+        assert set(written) == {
+            "series.csv", "buckets.csv", "histogram.csv",
+            "timeline.csv", "summary.txt",
+        }
+        assert (tmp_path / "out" / "summary.txt").read_text().startswith(
+            "fault injection experiment"
+        )
+        assert written["series.csv"] > 0

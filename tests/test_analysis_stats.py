@@ -1,0 +1,109 @@
+"""Tests for the clock-stability statistics."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import (
+    allan_deviation,
+    allan_deviation_curve,
+    longest_run_below,
+    percentile,
+    tail_summary,
+)
+
+
+class TestAllanDeviation:
+    def test_linear_ramp_is_zero(self):
+        phase = [2.5 * i for i in range(64)]
+        assert allan_deviation(phase, 1.0, m=1) == 0.0
+        assert allan_deviation(phase, 1.0, m=8) == 0.0
+
+    def test_white_phase_noise_scales_down_with_tau(self):
+        rng = random.Random(5)
+        phase = [rng.gauss(0, 10.0) for _ in range(4096)]
+        short = allan_deviation(phase, 1.0, m=1)
+        long = allan_deviation(phase, 1.0, m=16)
+        # White PM: ADEV ~ tau^-1; expect a strong decrease.
+        assert long < short / 4
+
+    def test_known_small_case(self):
+        # x = [0, 1, 0]: single second difference = 0 - 2 + 0 = -2
+        # avar = 4 / (2 * 1 * 1) = 2 -> adev = sqrt(2)
+        assert allan_deviation([0.0, 1.0, 0.0], 1.0, m=1) == pytest.approx(
+            math.sqrt(2.0)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            allan_deviation([1.0, 2.0], 1.0, m=1)  # too short
+        with pytest.raises(ValueError):
+            allan_deviation([1.0, 2.0, 3.0], 1.0, m=0)
+
+    def test_curve_octave_spacing(self):
+        phase = [float(i % 7) for i in range(200)]
+        curve = allan_deviation_curve(phase, 0.5)
+        taus = [tau for tau, _ in curve]
+        assert taus[0] == 0.5
+        for a, b in zip(taus, taus[1:]):
+            assert b == 2 * a
+
+    def test_curve_too_short(self):
+        with pytest.raises(ValueError):
+            allan_deviation_curve([1.0, 2.0], 1.0)
+
+
+class TestPercentiles:
+    def test_interpolation(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0) == 1.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 100) == 4.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    @given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1,
+                    max_size=50),
+           st.floats(0, 100))
+    def test_percentile_within_range(self, values, q):
+        p = percentile(values, q)
+        assert min(values) <= p <= max(values)
+
+    @given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=2,
+                    max_size=50))
+    def test_percentiles_monotone(self, values):
+        p10, p90 = percentile(values, 10), percentile(values, 90)
+        assert p10 <= p90 or math.isclose(p10, p90)  # tolerate 1-ULP ties
+
+    def test_tail_summary(self):
+        values = [float(i) for i in range(1, 1001)]
+        s = tail_summary(values)
+        assert s.p50 == pytest.approx(500.5)
+        assert s.p99 == pytest.approx(990.01, abs=0.2)
+        assert s.maximum == 1000.0
+        assert "p99" in s.describe()
+
+
+class TestLongestRun:
+    def test_basic_runs(self):
+        series = [(0, 1.0), (10, 1.0), (20, 9.0), (30, 1.0), (50, 1.0)]
+        assert longest_run_below(series, bound=5.0) == 20  # 30..50
+
+    def test_all_below(self):
+        series = [(0, 1.0), (100, 2.0)]
+        assert longest_run_below(series, bound=5.0) == 100
+
+    def test_all_above(self):
+        series = [(0, 9.0), (100, 9.0)]
+        assert longest_run_below(series, bound=5.0) == 0
+
+    def test_empty(self):
+        assert longest_run_below([], bound=1.0) == 0

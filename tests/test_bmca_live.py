@@ -1,0 +1,123 @@
+"""Live BMCA integration: election, sync flow, and GM failover."""
+
+import random
+
+import pytest
+
+from repro.clocks.oscillator import OscillatorModel
+from repro.gptp.bmca import BmcaRunner, PriorityVector
+from repro.gptp.domain import DomainConfig
+from repro.gptp.instance import GptpStack, OffsetSample
+from repro.network.link import Link, LinkModel
+from repro.network.nic import Nic, NicModel
+from repro.sim.kernel import Simulator
+from repro.sim.timebase import SECONDS
+
+
+class CollectingSink:
+    def __init__(self):
+        self.samples = []
+
+    def handle_offset(self, sample: OffsetSample):
+        self.samples.append(sample)
+
+
+def vector(identity, priority1):
+    return PriorityVector(
+        priority1=priority1, clock_class=248, clock_accuracy=0x22,
+        variance=100, priority2=128, gm_identity=identity, steps_removed=0,
+    )
+
+
+def build_pair(prio_a=100, prio_b=200, seed=71):
+    """Two directly linked end stations, both running BMCA on domain 0."""
+    sim = Simulator()
+    model = NicModel(
+        timestamp_jitter=0.0,
+        oscillator=OscillatorModel(base_sigma_ppm=0.0, wander_step_ppm=0.0),
+    )
+    a = Nic(sim, "a", random.Random(seed), model)
+    b = Nic(sim, "b", random.Random(seed + 1), model)
+    Link(sim, a.port, b.port, LinkModel(base_delay=1000, jitter=0),
+         random.Random(seed + 2))
+    config = DomainConfig(number=0, gm_identity="<elected>")
+    stacks, sinks, runners = {}, {}, {}
+    for nic, prio in ((a, prio_a), (b, prio_b)):
+        stack = GptpStack(sim, nic, random.Random(seed + 3))
+        sink = CollectingSink()
+        stack.add_instance(config, sink, is_gm=False)
+        runner = BmcaRunner(sim, stack, domain=0,
+                            own_vector=vector(nic.name, prio))
+        stack.start()
+        runner.start()
+        stacks[nic.name] = stack
+        sinks[nic.name] = sink
+        runners[nic.name] = runner
+    return sim, stacks, sinks, runners
+
+
+class TestElection:
+    def test_better_priority_wins(self):
+        sim, stacks, sinks, runners = build_pair(prio_a=100, prio_b=200)
+        sim.run_until(10 * SECONDS)
+        assert runners["a"].is_grandmaster
+        assert not runners["b"].is_grandmaster
+        assert stacks["a"].instances[0].is_gm
+        assert not stacks["b"].instances[0].is_gm
+
+    def test_sync_flows_from_elected_gm(self):
+        sim, stacks, sinks, runners = build_pair()
+        sim.run_until(20 * SECONDS)
+        # b (the loser) measures offsets against a's Syncs.
+        offsets = [s for s in sinks["b"].samples if s.gm_identity == "a"]
+        assert len(offsets) >= 50
+        late = offsets[len(offsets) // 2:]
+        assert max(abs(s.offset) for s in late) < 100
+
+    def test_loser_does_not_transmit_sync(self):
+        sim, stacks, sinks, runners = build_pair()
+        sim.run_until(10 * SECONDS)
+        assert stacks["b"].instances[0].sync_sent == 0
+
+    def test_failover_when_gm_dies(self):
+        sim, stacks, sinks, runners = build_pair()
+        sim.run_until(10 * SECONDS)
+        stacks["a"].stop()
+        stacks["a"].nic.set_enabled(False)
+        runners["a"].stop()
+        # After announce_timeout intervals, b must promote itself.
+        sim.run_until(20 * SECONDS)
+        assert runners["b"].is_grandmaster
+        assert stacks["b"].instances[0].is_gm
+        assert stacks["b"].instances[0].sync_sent > 0
+        assert runners["b"].role_changes >= 1
+
+    def test_role_flap_count_stable_after_convergence(self):
+        sim, stacks, sinks, runners = build_pair()
+        sim.run_until(10 * SECONDS)
+        changes = runners["a"].role_changes + runners["b"].role_changes
+        sim.run_until(30 * SECONDS)
+        assert runners["a"].role_changes + runners["b"].role_changes == changes
+
+
+class TestSetMaster:
+    def test_set_master_idempotent(self):
+        sim, stacks, sinks, runners = build_pair()
+        instance = stacks["a"].instances[0]
+        sim.run_until(5 * SECONDS)
+        was = instance.is_gm
+        instance.set_master(was)  # no-op
+        assert instance.is_gm == was
+
+    def test_demotion_stops_sync_task(self):
+        sim, stacks, sinks, runners = build_pair()
+        sim.run_until(10 * SECONDS)
+        # Detach the election entirely, otherwise incoming/periodic BMCA
+        # events re-promote the instance.
+        runners["a"].stop()
+        stacks["a"].announce_handler = None
+        instance = stacks["a"].instances[0]
+        instance.set_master(False)
+        sent = instance.sync_sent
+        sim.run_until(15 * SECONDS)
+        assert instance.sync_sent == sent

@@ -1,0 +1,135 @@
+"""Tests for the repro-sim command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["survey"],
+            ["cyber", "--policy", "diverse", "--scale", "0.1"],
+            ["faults", "--hours", "0.2", "--compress"],
+            ["baselines", "--minutes", "2"],
+            ["vulnerabilities"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cyber", "--policy", "nope"])
+
+
+class TestVulnerabilitiesCommand:
+    def test_database_listing(self, capsys):
+        assert main(["vulnerabilities"]) == 0
+        out = capsys.readouterr().out
+        assert "CVE-2018-18955" in out
+
+    def test_kernel_query(self, capsys):
+        assert main(["vulnerabilities", "--kernel", "linux-4.19.1"]) == 0
+        assert "CVE-2018-18955" in capsys.readouterr().out
+
+    def test_compare_json(self, capsys):
+        code = main(
+            ["vulnerabilities", "--compare", "linux-4.19.1", "linux-5.10.0",
+             "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["shared"] == []
+
+
+class TestSurveyCommand:
+    def test_survey_text(self, capsys):
+        assert main(["survey", "--warmup", "5", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Π=" in out and "d_min=" in out
+
+    def test_survey_json(self, capsys):
+        assert main(["survey", "--warmup", "5", "--seed", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["precision_bound_ns"] > 0
+        assert payload["d_max_ns"] > payload["d_min_ns"]
+
+
+class TestExperimentCommands:
+    def test_cyber_identical_exit_code_and_json(self, capsys):
+        code = main(["cyber", "--policy", "identical", "--scale", "0.08",
+                     "--seed", "3", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        # Exit 0 means the expected outcome (violation) occurred.
+        assert code == 0
+        assert payload["second_attack_violates"] is True
+        assert payload["compromised"] == ["c4_1", "c1_1"]
+
+    def test_faults_compressed_run(self, capsys):
+        code = main(["faults", "--hours", "0.1", "--compress", "--seed", "4",
+                     "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["bounded"] is True
+        assert payload["violations"] == 0
+
+
+class TestSweepCommand:
+    def test_interval_sweep_text(self, capsys):
+        assert main(["sweep", "interval", "--duration", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "converged" in out
+
+    def test_aggregation_sweep_json(self, capsys):
+        assert main(["sweep", "aggregation", "--duration", "60", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["study"] == "aggregation"
+        assert len(payload["rows"]) == 4
+
+    def test_unknown_study_rejected(self):
+        import pytest as _pytest
+        with _pytest.raises(SystemExit):
+            main(["sweep", "nonsense"])
+
+
+class TestMonteCarloCommand:
+    def test_small_study(self, capsys):
+        code = main(["montecarlo", "--runs", "2", "--hours", "0.04", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["bounded_rate"] == 1.0
+        assert len(payload["outcomes"]) == 2
+
+
+class TestLinkFailCommand:
+    def test_linkfail_json(self, capsys):
+        code = main(["linkfail", "--seed", "12", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["recovered"] is True
+        assert payload["violations"] == 0
+        assert payload["silenced"]  # someone lost a domain during the outage
+
+    def test_linkfail_measurement_trunk_rejected(self):
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            main(["linkfail", "--trunk", "sw1", "sw2"])
+
+
+class TestExportCommand:
+    def test_export_bundle(self, tmp_path, capsys):
+        out = tmp_path / "bundle"
+        code = main(["export", str(out), "--hours", "0.04", "--seed", "6",
+                     "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["bounded"] is True
+        assert (out / "series.csv").exists()
+        assert (out / "summary.txt").exists()

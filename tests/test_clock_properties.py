@@ -1,0 +1,92 @@
+"""Property-based tests on the clock substrate invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.clocks.hardware_clock import HardwareClock
+from repro.clocks.oscillator import Oscillator, OscillatorModel
+from repro.sim.kernel import Simulator
+from repro.sim.timebase import MILLISECONDS, SECONDS, from_ppm
+
+
+@st.composite
+def advance_plan(draw):
+    """A list of time advances (ns) and optional adjustments."""
+    steps = draw(st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=2 * SECONDS),      # dt
+            st.integers(min_value=-50_000, max_value=50_000),     # step ns
+            st.floats(min_value=-5e4, max_value=5e4),             # trim ppb
+        ),
+        min_size=1, max_size=20,
+    ))
+    return steps
+
+
+class TestOscillatorProperties:
+    @given(seed=st.integers(0, 10_000),
+           dts=st.lists(st.integers(1, SECONDS), min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_elapsed_time_monotone_and_rate_bounded(self, seed, dts):
+        sim = Simulator()
+        osc = Oscillator(sim, random.Random(seed), OscillatorModel())
+        last = osc.read()
+        total = 0
+        for dt in dts:
+            sim.schedule(dt, lambda: None)
+            sim.run()
+            total += dt
+            cur = osc.read()
+            assert cur >= last
+            last = cur
+        bound = total * from_ppm(5.0) + 1
+        assert abs(last - total) <= bound
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_rate_error_never_exceeds_max(self, seed):
+        sim = Simulator()
+        osc = Oscillator(
+            sim, random.Random(seed),
+            OscillatorModel(base_sigma_ppm=50.0, wander_step_ppm=2.0,
+                            wander_interval=10 * MILLISECONDS),
+        )
+        for _ in range(50):
+            sim.schedule(37 * MILLISECONDS, lambda: None)
+            sim.run()
+            assert abs(osc.rate_error()) <= from_ppm(5.0) + 1e-12
+
+
+class TestHardwareClockProperties:
+    @given(seed=st.integers(0, 10_000), plan=advance_plan())
+    @settings(max_examples=30, deadline=None)
+    def test_steps_and_trims_never_break_monotonicity_between_adjustments(
+        self, seed, plan
+    ):
+        """Between explicit steps, the clock must be nondecreasing."""
+        sim = Simulator()
+        osc = Oscillator(sim, random.Random(seed), OscillatorModel())
+        clk = HardwareClock(osc)
+        for dt, step, trim in plan:
+            before = clk.time()
+            sim.schedule(dt, lambda: None)
+            sim.run()
+            after_advance = clk.time()
+            assert after_advance >= before  # time only moves forward
+            clk.adjust_frequency(trim)      # trim alone must not jump value
+            assert abs(clk.time() - after_advance) <= 2
+            clk.step(step)                  # explicit step jumps by `step`
+            assert abs(clk.time() - (after_advance + step)) <= 3
+
+    @given(seed=st.integers(0, 1_000),
+           trims=st.lists(st.floats(-1e5, 1e5), min_size=1, max_size=10))
+    @settings(max_examples=20, deadline=None)
+    def test_trim_always_reports_last_applied(self, seed, trims):
+        sim = Simulator()
+        osc = Oscillator(sim, random.Random(seed), OscillatorModel())
+        clk = HardwareClock(osc)
+        for trim in trims:
+            clk.adjust_frequency(trim)
+        expected = max(-clk.MAX_TRIM_PPB, min(clk.MAX_TRIM_PPB, trims[-1]))
+        assert abs(clk.frequency_ppb - expected) < 1e-6

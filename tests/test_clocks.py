@@ -1,0 +1,139 @@
+"""Unit tests for oscillator, hardware clock and CLOCK_SYNCTIME models."""
+
+import pytest
+
+from repro.clocks.hardware_clock import HardwareClock
+from repro.clocks.oscillator import Oscillator, OscillatorModel
+from repro.clocks.synctime import SyncTimeClock, SyncTimeParams
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.timebase import SECONDS, from_ppm
+
+
+def make_osc(seed=1, sim=None, **model_kwargs):
+    sim = sim or Simulator()
+    rng = RngRegistry(seed).stream("osc")
+    return sim, Oscillator(sim, rng, OscillatorModel(**model_kwargs))
+
+
+class TestOscillator:
+    def test_elapsed_time_tracks_true_time_within_max_rate(self):
+        sim, osc = make_osc()
+        sim.schedule(10 * SECONDS, lambda: None)
+        sim.run()
+        elapsed = osc.read()
+        true = 10 * SECONDS
+        bound = true * from_ppm(5.0)
+        assert abs(elapsed - true) <= bound + 1
+
+    def test_rate_error_always_clamped(self):
+        sim, osc = make_osc(base_sigma_ppm=50.0, wander_step_ppm=1.0)
+        for i in range(1, 200):
+            sim.schedule_at(i * 50_000_000, lambda: None)
+        while sim.step():
+            assert abs(osc.rate_error()) <= from_ppm(5.0) + 1e-12
+
+    def test_monotonically_nondecreasing(self):
+        sim, osc = make_osc()
+        last = osc.read()
+        for i in range(1, 100):
+            sim.schedule_at(i * 1_000_000, lambda: None)
+        while sim.step():
+            cur = osc.read()
+            assert cur >= last
+            last = cur
+
+    def test_two_oscillators_drift_apart(self):
+        sim = Simulator()
+        reg = RngRegistry(3)
+        a = Oscillator(sim, reg.stream("a"), OscillatorModel())
+        b = Oscillator(sim, reg.stream("b"), OscillatorModel())
+        sim.schedule(100 * SECONDS, lambda: None)
+        sim.run()
+        # Distinct base offsets: readings must differ measurably (>=1ns).
+        assert abs(a.read() - b.read()) > 1.0
+
+    def test_read_without_time_advance_is_stable(self):
+        sim, osc = make_osc()
+        assert osc.read() == osc.read()
+
+
+class TestHardwareClock:
+    def test_tracks_oscillator_without_adjustment(self):
+        sim, osc = make_osc(base_sigma_ppm=0.0, wander_step_ppm=0.0)
+        clk = HardwareClock(osc, initial=1000)
+        sim.schedule(SECONDS, lambda: None)
+        sim.run()
+        assert clk.time() == pytest.approx(1000 + SECONDS, abs=2)
+
+    def test_step_jumps_value(self):
+        sim, osc = make_osc()
+        clk = HardwareClock(osc)
+        clk.step(5_000)
+        assert clk.time() == pytest.approx(5_000, abs=1)
+        clk.step(-2_000)
+        assert clk.time() == pytest.approx(3_000, abs=1)
+        assert clk.steps == 2
+
+    def test_frequency_trim_changes_rate(self):
+        sim, osc = make_osc(base_sigma_ppm=0.0, wander_step_ppm=0.0)
+        clk = HardwareClock(osc)
+        clk.adjust_frequency(1000.0)  # +1 ppm
+        sim.schedule(SECONDS, lambda: None)
+        sim.run()
+        # One second at +1ppm gains ~1000 ns.
+        assert clk.time() == pytest.approx(SECONDS + 1000, abs=5)
+
+    def test_trim_replaces_not_accumulates(self):
+        sim, osc = make_osc(base_sigma_ppm=0.0, wander_step_ppm=0.0)
+        clk = HardwareClock(osc)
+        clk.adjust_frequency(500.0)
+        clk.adjust_frequency(500.0)
+        assert clk.frequency_ppb == pytest.approx(500.0)
+
+    def test_trim_is_capped(self):
+        sim, osc = make_osc()
+        clk = HardwareClock(osc)
+        clk.adjust_frequency(1e12)
+        assert clk.frequency_ppb == HardwareClock.MAX_TRIM_PPB
+
+    def test_rebase_preserves_continuity_across_adjustment(self):
+        sim, osc = make_osc(base_sigma_ppm=0.0, wander_step_ppm=0.0)
+        clk = HardwareClock(osc)
+        sim.schedule(SECONDS, lambda: clk.adjust_frequency(2000.0))
+        sim.schedule(SECONDS, lambda: None)
+        sim.run()
+        before = clk.time()
+        # Adjusting frequency must not step the value.
+        assert before == pytest.approx(SECONDS, abs=5)
+
+
+class TestSyncTime:
+    def test_read_before_publish_raises(self):
+        sim, osc = make_osc()
+        clock = SyncTimeClock(osc)
+        with pytest.raises(RuntimeError):
+            clock.now()
+
+    def test_conversion_identity(self):
+        sim, osc = make_osc(base_sigma_ppm=0.0, wander_step_ppm=0.0)
+        clock = SyncTimeClock(osc)
+        raw = clock.raw()
+        clock.publish(SyncTimeParams(base=raw, offset=10_000.0, ratio=1.0, generation=1))
+        assert clock.now() == pytest.approx(10_000.0, abs=1)
+
+    def test_ratio_scales_elapsed_raw_time(self):
+        sim, osc = make_osc(base_sigma_ppm=0.0, wander_step_ppm=0.0)
+        clock = SyncTimeClock(osc)
+        clock.publish(SyncTimeParams(base=clock.raw(), offset=0.0, ratio=2.0, generation=1))
+        sim.schedule(SECONDS, lambda: None)
+        sim.run()
+        assert clock.now() == pytest.approx(2 * SECONDS, rel=1e-6)
+
+    def test_republish_switches_parameters(self):
+        sim, osc = make_osc()
+        clock = SyncTimeClock(osc)
+        clock.publish(SyncTimeParams(base=0.0, offset=0.0, ratio=1.0, generation=1))
+        clock.publish(SyncTimeParams(base=0.0, offset=999.0, ratio=1.0, generation=2))
+        assert clock.params.generation == 2
+        assert clock.now() == pytest.approx(999.0 + clock.raw(), abs=1)

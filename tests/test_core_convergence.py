@@ -1,0 +1,73 @@
+"""Tests for the Kopetz–Ochsenreiter precision bound."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.convergence import (
+    drift_offset,
+    precision_bound,
+    reading_error,
+    u_factor,
+)
+from repro.sim.timebase import MILLISECONDS
+
+
+class TestUFactor:
+    def test_paper_instantiation(self):
+        assert u_factor(4, 1) == 2.0
+
+    def test_no_faults_is_unity(self):
+        assert u_factor(4, 0) == 1.0
+
+    def test_more_clocks_tighter_factor(self):
+        assert u_factor(7, 1) < u_factor(4, 1)
+
+    def test_resilience_condition_enforced(self):
+        with pytest.raises(ValueError):
+            u_factor(3, 1)  # needs N >= 4
+        with pytest.raises(ValueError):
+            u_factor(6, 2)  # needs N >= 7
+
+    def test_negative_f_rejected(self):
+        with pytest.raises(ValueError):
+            u_factor(4, -1)
+
+    @given(st.integers(1, 5))
+    def test_minimum_n_gives_largest_factor(self, f):
+        n_min = 3 * f + 1
+        assert u_factor(n_min, f) >= u_factor(n_min + 1, f)
+
+
+class TestBoundNumbers:
+    def test_paper_experiment_1_numbers(self):
+        # dmin=4120, dmax=9188 -> E=5068; Gamma=1.25us; Pi=12.636us
+        e = reading_error(4120, 9188)
+        assert e == 5068
+        gamma = drift_offset(5.0, 125 * MILLISECONDS)
+        assert gamma == 1250.0
+        assert precision_bound(4, 1, e, gamma) == pytest.approx(12636.0)
+
+    def test_paper_experiment_2_numbers(self):
+        # Pi = 11.42us implies E = Pi/2 - Gamma = 4460 ns
+        gamma = drift_offset(5.0, 125 * MILLISECONDS)
+        e = 11420.0 / 2 - gamma
+        assert precision_bound(4, 1, e, gamma) == pytest.approx(11420.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            reading_error(100, 50)
+        with pytest.raises(ValueError):
+            drift_offset(-1.0, 1000)
+        with pytest.raises(ValueError):
+            drift_offset(5.0, 0)
+        with pytest.raises(ValueError):
+            precision_bound(4, 1, -1.0, 0.0)
+
+    @given(
+        st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    )
+    def test_bound_monotone_in_errors(self, e, gamma):
+        base = precision_bound(4, 1, e, gamma)
+        assert precision_bound(4, 1, e + 10, gamma) >= base
+        assert precision_bound(4, 1, e, gamma + 10) >= base

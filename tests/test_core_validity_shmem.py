@@ -1,0 +1,115 @@
+"""Tests for FTSHMEM and the validity booleans."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.ftshmem import FtShmem, StoredOffset
+from repro.core.validity import ValidityConfig, assess_validity
+from repro.gptp.instance import OffsetSample
+from repro.gptp.servo import PiServo
+from repro.sim.timebase import MICROSECONDS, MILLISECONDS
+
+
+def sample(domain, offset, gm="gm"):
+    return OffsetSample(
+        domain=domain, gm_identity=gm, offset=offset,
+        origin_timestamp=0, local_rx_timestamp=0,
+    )
+
+
+def slot(domain, offset, stored_at=0):
+    return StoredOffset(sample=sample(domain, offset), stored_at=stored_at)
+
+
+class TestValidity:
+    CFG = ValidityConfig(threshold=5 * MICROSECONDS)
+
+    def test_tight_cluster_all_valid(self):
+        fresh = {d: slot(d, d * 100.0) for d in (1, 2, 3, 4)}
+        assert all(assess_validity(fresh, self.CFG).values())
+
+    def test_single_outlier_invalid(self):
+        fresh = {1: slot(1, 0.0), 2: slot(2, 200.0),
+                 3: slot(3, -100.0), 4: slot(4, 24_000.0)}
+        flags = assess_validity(fresh, self.CFG)
+        assert flags[1] and flags[2] and flags[3]
+        assert not flags[4]
+
+    def test_colluding_pair_vouch_for_each_other(self):
+        # The identical-kernel attack: two GMs offset together stay "valid".
+        fresh = {1: slot(1, 0.0), 2: slot(2, 100.0),
+                 3: slot(3, 24_000.0), 4: slot(4, 24_100.0)}
+        flags = assess_validity(fresh, self.CFG)
+        assert all(flags.values())
+
+    def test_single_fresh_domain_trivially_valid(self):
+        flags = assess_validity({2: slot(2, 123.0)}, self.CFG)
+        assert flags == {2: True}
+
+    def test_empty_is_empty(self):
+        assert assess_validity({}, self.CFG) == {}
+
+    def test_boundary_exactly_at_threshold_counts(self):
+        cfg = ValidityConfig(threshold=1000)
+        fresh = {1: slot(1, 0.0), 2: slot(2, 1000.0)}
+        assert all(assess_validity(fresh, cfg).values())
+
+    @given(st.dictionaries(st.integers(1, 6),
+                           st.floats(-1e9, 1e9, allow_nan=False),
+                           min_size=2, max_size=6))
+    def test_vouching_is_symmetric_for_pairs(self, offsets):
+        cfg = ValidityConfig(threshold=1000)
+        fresh = {d: slot(d, v) for d, v in offsets.items()}
+        flags = assess_validity(fresh, cfg)
+        # If exactly two domains exist, they share one verdict.
+        if len(fresh) == 2:
+            a, b = flags.values()
+            assert a == b
+
+
+class TestFtShmem:
+    def make(self):
+        return FtShmem([1, 2, 3, 4], PiServo())
+
+    def test_store_and_last_writer_wins(self):
+        shm = self.make()
+        shm.store(sample(1, 10.0), now=100)
+        shm.store(sample(1, 20.0), now=200)
+        assert shm.offsets[1].offset == 20.0
+        assert shm.stores == 2
+
+    def test_unknown_domain_rejected(self):
+        shm = self.make()
+        with pytest.raises(KeyError):
+            shm.store(sample(9, 1.0), now=0)
+
+    def test_freshness_window(self):
+        shm = self.make()
+        shm.store(sample(1, 1.0), now=0)
+        shm.store(sample(2, 2.0), now=250 * MILLISECONDS)
+        fresh = shm.fresh_offsets(now=300 * MILLISECONDS,
+                                  staleness=300 * MILLISECONDS)
+        assert set(fresh) == {1, 2}
+        fresh = shm.fresh_offsets(now=400 * MILLISECONDS,
+                                  staleness=300 * MILLISECONDS)
+        assert set(fresh) == {2}
+
+    def test_gate_semantics(self):
+        shm = self.make()
+        s = 125 * MILLISECONDS
+        assert shm.gate_open(0, s)  # never adjusted yet
+        shm.close_gate(1000)
+        assert not shm.gate_open(1000 + s - 1, s)
+        assert shm.gate_open(1000 + s, s)  # eq. 2.1 is inclusive
+
+    def test_reset_clears_everything(self):
+        shm = self.make()
+        shm.store(sample(1, 1.0), now=0)
+        shm.close_gate(5)
+        shm.valid[1] = True
+        shm.servo.sample(100.0)
+        shm.reset()
+        assert shm.offsets == {}
+        assert shm.adjust_last is None
+        assert shm.valid == {1: False, 2: False, 3: False, 4: False}
+        assert shm.servo.samples == 0

@@ -1,0 +1,64 @@
+"""Cross-checks between the analytical bound and the measured system.
+
+These tests tie the theory module to the simulation: the convergence
+function's prediction must actually envelope what the built system does,
+seed after seed — the property the whole paper rests on.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.testbed import Testbed, TestbedConfig
+from repro.sim.timebase import MINUTES
+
+
+class TestBoundEnvelopesMeasurement:
+    @given(seed=st.integers(1, 10_000))
+    @settings(max_examples=5, deadline=None)
+    def test_steady_state_precision_within_bound_any_seed(self, seed):
+        tb = Testbed(TestbedConfig(seed=seed))
+        tb.run_until(2 * MINUTES)
+        bounds = tb.derive_bounds()
+        late = [r.precision for r in tb.series.records[30:]]
+        assert late, "no records"
+        assert max(late) < bounds.precision_bound
+
+    def test_bound_scales_with_mesh_latency_spread(self):
+        from repro.network.topology import MeshModel
+
+        tight = Testbed(TestbedConfig(
+            seed=5,
+            mesh=MeshModel(trunk_base_range=(1_700, 1_800),
+                           trunk_jitter_range=(100, 150),
+                           access_base_range=(1_400, 1_500),
+                           access_jitter_range=(100, 120)),
+        ))
+        loose = Testbed(TestbedConfig(
+            seed=5,
+            mesh=MeshModel(trunk_base_range=(1_200, 2_600),
+                           trunk_jitter_range=(300, 700),
+                           access_base_range=(1_000, 2_200),
+                           access_jitter_range=(200, 500)),
+        ))
+        tight.run_until(30_000_000_000)
+        loose.run_until(30_000_000_000)
+        assert (
+            tight.derive_bounds().reading_error
+            < loose.derive_bounds().reading_error
+        )
+
+    def test_measured_error_term_grows_with_asymmetric_receivers(self):
+        tb = Testbed(TestbedConfig(seed=6))
+        tb.run_until(30_000_000_000)
+        from repro.measurement.error import measurement_error
+
+        symmetric = measurement_error(
+            tb.topology, tb.measurement_vm_name, tb.receiver_names
+        )
+        with_local = measurement_error(
+            tb.topology,
+            tb.measurement_vm_name,
+            tb.receiver_names + [tb.excluded_vm_name],
+        )
+        # The paper's reason for excluding c_m1: path asymmetry inflates γ.
+        assert with_local > symmetric

@@ -1,0 +1,97 @@
+"""Integration tests for the full testbed (Fig. 2 system)."""
+
+import pytest
+
+from repro.core.aggregator import AggregatorConfig, AggregatorMode
+from repro.experiments.testbed import Testbed, TestbedConfig
+from repro.sim.timebase import MINUTES, SECONDS
+
+
+@pytest.fixture(scope="module")
+def warm_testbed():
+    """One shared 3-minute run (building it is the expensive part)."""
+    tb = Testbed(TestbedConfig(seed=7))
+    tb.run_until(3 * MINUTES)
+    return tb
+
+
+class TestTopologyWiring:
+    def test_structure(self, warm_testbed):
+        tb = warm_testbed
+        assert len(tb.nodes) == 4
+        assert len(tb.vms) == 8
+        assert len(tb.bridges) == 4
+        assert len(tb.domains) == 4
+        assert tb.gm_names == ["c1_1", "c2_1", "c3_1", "c4_1"]
+
+    def test_measurement_roles(self, warm_testbed):
+        tb = warm_testbed
+        assert tb.measurement_vm_name == "c2_2"
+        assert tb.excluded_vm_name == "c2_1"
+        assert len(tb.receiver_names) == 6
+        assert "c2_1" not in tb.receiver_names
+        assert "c2_2" not in tb.receiver_names
+
+    def test_kernel_policy_diverse_by_default(self, warm_testbed):
+        kernels = warm_testbed.kernel_of
+        assert len(set(kernels.values())) == 4
+        # Exploitable kernel defaults to c4_1, the paper's Fig. 3b setup.
+        assert kernels["c4_1"] == "linux-4.19.1"
+
+
+class TestConvergence:
+    def test_all_vms_reach_fault_tolerant_mode(self, warm_testbed):
+        for vm in warm_testbed.vms.values():
+            assert vm.aggregator.mode is AggregatorMode.FAULT_TOLERANT, vm.name
+
+    def test_precision_converges_below_bound(self, warm_testbed):
+        tb = warm_testbed
+        bounds = tb.derive_bounds()
+        late = [r.precision for r in tb.series.records[30:]]
+        assert late, "no precision records collected"
+        assert max(late) < bounds.precision_bound
+        # Typical steady-state precision is sub-microsecond (paper: 322ns avg).
+        assert sum(late) / len(late) < 2_000
+
+    def test_gm_clocks_mutually_synchronized(self, warm_testbed):
+        # The core fix over Kyriakakis: GMs on separate nodes converge.
+        assert warm_testbed.gm_clock_spread() < 2_000
+
+    def test_all_receivers_answer_probes(self, warm_testbed):
+        last = warm_testbed.series.records[-1]
+        assert last.n_receivers == 6
+
+    def test_bounds_in_paper_regime(self, warm_testbed):
+        bounds = warm_testbed.derive_bounds()
+        assert bounds.drift_offset == 1250.0
+        assert 6_000 < bounds.precision_bound < 25_000
+        assert 0 < bounds.measurement_error < bounds.precision_bound
+
+
+class TestConfigurationVariants:
+    def test_identical_policy_shares_exploitable_kernel(self):
+        tb = Testbed(TestbedConfig(seed=2, kernel_policy="identical"))
+        assert set(tb.kernel_of.values()) == {"linux-4.19.1"}
+
+    def test_single_domain_testbed(self):
+        tb = Testbed(
+            TestbedConfig(
+                seed=2,
+                n_domains=1,
+                aggregator=AggregatorConfig(domains=(1,), f=0,
+                                            startup_confirmations=4),
+            )
+        )
+        assert len(tb.domains) == 1
+        assert tb.gm_names == ["c1_1"]
+        assert not tb.vms["c3_1"].is_gm  # no domain 3 exists
+        tb.run_until(90 * SECONDS)
+        assert tb.series.records, "probes must flow in single-domain mode"
+
+    def test_invalid_n_domains_rejected(self):
+        with pytest.raises(ValueError):
+            Testbed(TestbedConfig(n_domains=9))
+
+    def test_invalid_exploitable_gm_rejected(self):
+        with pytest.raises(ValueError):
+            Testbed(TestbedConfig(exploitable_gm="c9_1"))

@@ -1,0 +1,94 @@
+"""Fail-consistent mode: 2f+1 = 3 clock sync VMs with monitor voting.
+
+§II-A: the paper's testbed is limited to two VMs per node (NIC count), so
+only fail-silent faults can be tolerated end-to-end; with a third VM the
+voting monitor also detects VMs providing *wrong* clock parameters. This is
+the "straightforward by adding more NICs" extension, exercised end to end.
+"""
+
+import pytest
+
+from repro.experiments.testbed import Testbed, TestbedConfig
+from repro.sim.timebase import MICROSECONDS, MINUTES, SECONDS
+
+
+@pytest.fixture(scope="module")
+def three_vm_testbed():
+    tb = Testbed(TestbedConfig(seed=17, vms_per_node=3))
+    tb.run_until(2 * MINUTES)
+    return tb
+
+
+class TestThreeVmTestbed:
+    def test_structure(self, three_vm_testbed):
+        tb = three_vm_testbed
+        assert len(tb.vms) == 12
+        for node in tb.nodes.values():
+            assert len(node.clock_sync_vms) == 3
+
+    def test_everything_still_converges(self, three_vm_testbed):
+        tb = three_vm_testbed
+        bounds = tb.derive_bounds()
+        late = [r.precision for r in tb.series.records[30:]]
+        assert late and max(late) < bounds.precision_bound
+
+    def test_receivers_grow_with_vm_count(self, three_vm_testbed):
+        # C \ {c_m1, c_m2}: with 12 VMs that's 10 receivers.
+        assert len(three_vm_testbed.receiver_names) == 10
+
+
+class TestFailConsistentDetection:
+    def test_corrupted_active_vm_voted_out(self):
+        tb = Testbed(TestbedConfig(seed=18, vms_per_node=3))
+        tb.run_until(90 * SECONDS)
+        node = tb.nodes["dev3"]
+        active = node.active_vm()
+        assert active.name == "c3_1"
+        # The active VM starts publishing parameters 100 us off — it is NOT
+        # silent, so staleness detection alone would never catch it.
+        active.corrupt_clock(100 * MICROSECONDS)
+        tb.run_until(tb.sim.now + 5 * SECONDS)
+        assert node.monitor.vote_detections >= 1
+        assert node.active_vm().name != "c3_1"
+        assert tb.trace.count(category="hypervisor.vote_detected") >= 1
+        # CLOCK_SYNCTIME recovered: node agrees with a healthy node again.
+        tb.run_until(tb.sim.now + 10 * SECONDS)
+        disagreement = abs(node.synctime() - tb.nodes["dev1"].synctime())
+        assert disagreement < 5 * MICROSECONDS
+
+    def test_corrupted_standby_flagged_but_no_failover(self):
+        tb = Testbed(TestbedConfig(seed=19, vms_per_node=3))
+        tb.run_until(90 * SECONDS)
+        node = tb.nodes["dev2"]
+        standby = node.vm("c2_3")
+        assert not standby.is_active_writer
+        standby.corrupt_clock(100 * MICROSECONDS)
+        tb.run_until(tb.sim.now + 5 * SECONDS)
+        # Flagged in the trace, but the active writer stays.
+        assert tb.trace.count(category="hypervisor.vote_detected") >= 1
+        assert node.active_vm().name == "c2_1"
+
+    def test_two_vm_node_cannot_vote(self):
+        """The paper's actual limitation, reproduced."""
+        tb = Testbed(TestbedConfig(seed=20))  # default 2 VMs
+        tb.run_until(90 * SECONDS)
+        node = tb.nodes["dev3"]
+        active = node.active_vm()
+        active.corrupt_clock(100 * MICROSECONDS)
+        tb.run_until(tb.sim.now + 5 * SECONDS)
+        # No majority exists: the corruption goes undetected (this is why
+        # the paper assumes fail-silent VMs on the 2-NIC hardware).
+        assert node.monitor.vote_detections == 0
+        assert node.active_vm() is active
+
+    def test_reboot_clears_corruption(self):
+        tb = Testbed(TestbedConfig(seed=21, vms_per_node=3))
+        tb.run_until(90 * SECONDS)
+        node = tb.nodes["dev1"]
+        vm = node.vm("c1_2")
+        vm.corrupt_clock(50 * MICROSECONDS)
+        assert vm.param_corruption != 0
+        vm.fail_silent()
+        tb.run_until(tb.sim.now + 40 * SECONDS)
+        assert vm.running
+        assert vm.param_corruption == 0

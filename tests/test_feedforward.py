@@ -1,0 +1,96 @@
+"""Tests for the feed-forward CLOCK_SYNCTIME variant (paper future work)."""
+
+import random
+
+import pytest
+
+from repro.clocks.hardware_clock import HardwareClock
+from repro.clocks.oscillator import Oscillator, OscillatorModel
+from repro.clocks.synctime import SyncTimeClock
+from repro.experiments.testbed import Testbed, TestbedConfig
+from repro.gptp.phc2sys import FeedForwardPhc2Sys
+from repro.hypervisor.clock_sync_vm import ClockSyncVmConfig
+from repro.sim.kernel import Simulator
+from repro.sim.timebase import MICROSECONDS, MILLISECONDS, SECONDS
+
+
+def build(seed=1, phc_trim_ppb=0.0):
+    sim = Simulator()
+    phc_osc = Oscillator(
+        sim, random.Random(seed),
+        OscillatorModel(base_sigma_ppm=2.0, wander_step_ppm=0.0),
+    )
+    clock = HardwareClock(phc_osc)
+    if phc_trim_ppb:
+        clock.adjust_frequency(phc_trim_ppb)
+    node_tb = Oscillator(
+        sim, random.Random(seed + 1),
+        OscillatorModel(base_sigma_ppm=1.0, wander_step_ppm=0.0),
+    )
+    synctime = SyncTimeClock(node_tb)
+    p2s = FeedForwardPhc2Sys(sim, clock, node_tb, publish=synctime.publish)
+    return sim, clock, synctime, p2s
+
+
+class TestFeedForwardPhc2Sys:
+    def test_tracks_phc_closely(self):
+        sim, clock, synctime, p2s = build()
+        p2s.start()
+        sim.run_until(30 * SECONDS)
+        assert synctime.now() == pytest.approx(clock.time(), abs=500)
+
+    def test_no_value_jumps_at_publication(self):
+        """The continuity constraint: reads never jump backward/forward."""
+        sim, clock, synctime, p2s = build(seed=3)
+        p2s.start()
+        sim.run_until(5 * SECONDS)
+        # Sample CLOCK_SYNCTIME densely across many publication boundaries.
+        last = synctime.now()
+        for _ in range(400):
+            sim.run_until(sim.now + 20 * MILLISECONDS)
+            cur = synctime.now()
+            delta = cur - last
+            # 20ms elapsed: reads must advance by ~20ms, never jump.
+            assert delta == pytest.approx(20 * MILLISECONDS, abs=50_000)
+            assert delta > 0
+            last = cur
+
+    def test_absorbs_step_through_rate_not_jump(self):
+        sim, clock, synctime, p2s = build(seed=4)
+        p2s.start()
+        sim.run_until(10 * SECONDS)
+        before = synctime.now()
+        clock.step(5 * MICROSECONDS)  # PHC jumps (e.g. servo step)
+        sim.run_until(sim.now + 200 * MILLISECONDS)
+        shortly_after = synctime.now()
+        # CLOCK_SYNCTIME did NOT jump with the PHC...
+        assert shortly_after - before == pytest.approx(
+            200 * MILLISECONDS, abs=2 * MICROSECONDS
+        )
+        # ...but converges toward it over the correction horizon.
+        sim.run_until(sim.now + 30 * SECONDS)
+        assert synctime.now() == pytest.approx(clock.time(), abs=2 * MICROSECONDS)
+
+    def test_reset_clears_window(self):
+        sim, clock, synctime, p2s = build()
+        p2s.start()
+        sim.run_until(3 * SECONDS)
+        p2s.stop()
+        p2s.reset()
+        assert len(p2s._pairs) == 0
+        p2s.start()
+        sim.run_until(6 * SECONDS)
+        assert synctime.now() == pytest.approx(clock.time(), abs=2_000)
+
+
+class TestFeedForwardInTestbed:
+    def test_full_testbed_converges_with_feedforward_pages(self):
+        tb = Testbed(TestbedConfig(seed=7, phc2sys_mode="feedforward"))
+        tb.run_until(2 * 60 * SECONDS)
+        bounds = tb.derive_bounds()
+        late = [r.precision for r in tb.series.records[30:]]
+        assert late and max(late) < bounds.precision_bound
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Testbed(TestbedConfig(seed=7, phc2sys_mode="psychic"))

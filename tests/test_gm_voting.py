@@ -1,0 +1,121 @@
+"""Tests for the IEEE 1588-2019-style majority voting detector."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.ftshmem import StoredOffset
+from repro.core.gm_voting import assess_majority
+from repro.core.validity import ValidityConfig, assess_validity
+from repro.gptp.instance import OffsetSample
+from repro.sim.timebase import MICROSECONDS
+
+
+def slot(domain, offset):
+    return StoredOffset(
+        OffsetSample(domain, f"gm{domain}", offset, 0, 0), stored_at=0
+    )
+
+
+CFG = ValidityConfig(threshold=5 * MICROSECONDS)
+
+
+class TestMajorityVote:
+    def test_lone_outlier_rejected(self):
+        fresh = {1: slot(1, 0.0), 2: slot(2, 100.0),
+                 3: slot(3, -50.0), 4: slot(4, 24_000.0)}
+        flags = assess_majority(fresh, CFG)
+        assert flags == {1: True, 2: True, 3: True, 4: False}
+
+    def test_two_sources_cannot_vote(self):
+        fresh = {1: slot(1, 0.0), 2: slot(2, 1e9)}
+        assert assess_majority(fresh, CFG) == {1: True, 2: True}
+
+    def test_colluding_pair_of_four_invalidates_everything(self):
+        # 2-vs-2: the median lands between the clusters; contrast with the
+        # vouching detector which keeps all four valid.
+        fresh = {1: slot(1, 0.0), 2: slot(2, 100.0),
+                 3: slot(3, 24_000.0), 4: slot(4, 24_100.0)}
+        majority = assess_majority(fresh, CFG)
+        vouch = assess_validity(fresh, CFG)
+        assert not any(majority.values())
+        assert all(vouch.values())
+
+    def test_colluding_pair_of_five_rejected(self):
+        # With three honest sources the median sits inside the honest
+        # cluster and the colluders are cleanly rejected — the case
+        # 1588-2019's voting actually targets.
+        fresh = {1: slot(1, 0.0), 2: slot(2, 100.0), 3: slot(3, -80.0),
+                 4: slot(4, 24_000.0), 5: slot(5, 24_100.0)}
+        flags = assess_majority(fresh, CFG)
+        assert flags[1] and flags[2] and flags[3]
+        assert not flags[4] and not flags[5]
+        # The vouching detector still falls for it.
+        vouch = assess_validity(fresh, CFG)
+        assert vouch[4] and vouch[5]
+
+    def test_empty(self):
+        assert assess_majority({}, CFG) == {}
+
+    @given(st.dictionaries(st.integers(1, 8),
+                           st.floats(-1e8, 1e8, allow_nan=False),
+                           min_size=3, max_size=8))
+    def test_at_least_the_median_holder_is_valid(self, offsets):
+        fresh = {d: slot(d, v) for d, v in offsets.items()}
+        flags = assess_majority(fresh, CFG)
+        # Whoever sits closest to the median is always within threshold of
+        # it... provided the median belongs to the value set (odd n).
+        if len(offsets) % 2 == 1:
+            assert any(flags.values())
+
+
+class TestAggregatorIntegration:
+    def test_validity_mode_wired_through(self):
+        import random
+
+        from repro.clocks.hardware_clock import HardwareClock
+        from repro.clocks.oscillator import Oscillator, OscillatorModel
+        from repro.core.aggregator import (
+            AggregatorConfig,
+            AggregatorMode,
+            MultiDomainAggregator,
+        )
+        from repro.sim.kernel import Simulator
+
+        sim = Simulator()
+        osc = Oscillator(sim, random.Random(1),
+                         OscillatorModel(base_sigma_ppm=0.0, wander_step_ppm=0.0))
+        clock = HardwareClock(osc)
+        agg = MultiDomainAggregator(
+            sim, clock, AggregatorConfig(validity_mode="majority")
+        )
+        agg.mode = AggregatorMode.FAULT_TOLERANT
+        # Colluding pair: majority mode must flag everything and coast.
+        # Two rounds: the second round's gate sees all four domains fresh.
+        interval = agg.config.sync_interval
+        for round_base in (0, interval):
+            for i, (domain, offset) in enumerate(
+                [(1, 0.0), (2, 100.0), (3, 24_000.0), (4, 24_100.0)]
+            ):
+                sim.schedule_at(
+                    round_base + i + 1,
+                    agg.handle_offset,
+                    OffsetSample(domain, f"gm{domain}", offset, 0, 0),
+                )
+        sim.run()
+        assert agg.coasts >= 1
+        assert agg.last_valid_flags and not any(agg.last_valid_flags.values())
+
+    def test_unknown_mode_rejected(self):
+        import random
+
+        from repro.clocks.hardware_clock import HardwareClock
+        from repro.clocks.oscillator import Oscillator, OscillatorModel
+        from repro.core.aggregator import AggregatorConfig, MultiDomainAggregator
+        from repro.sim.kernel import Simulator
+
+        sim = Simulator()
+        osc = Oscillator(sim, random.Random(1), OscillatorModel())
+        with pytest.raises(ValueError):
+            MultiDomainAggregator(
+                sim, HardwareClock(osc), AggregatorConfig(validity_mode="psychic")
+            )

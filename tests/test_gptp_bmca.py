@@ -1,0 +1,86 @@
+"""Unit tests for the BMCA extension."""
+
+from repro.gptp.bmca import BmcaSelector, PriorityVector
+from repro.gptp.messages import Announce
+
+
+def vector(identity="gm-a", priority1=128, clock_class=248, accuracy=0x22,
+           variance=100, priority2=128, steps=0):
+    return PriorityVector(
+        priority1=priority1,
+        clock_class=clock_class,
+        clock_accuracy=accuracy,
+        variance=variance,
+        priority2=priority2,
+        gm_identity=identity,
+        steps_removed=steps,
+    )
+
+
+def announce(identity="gm-b", priority1=128, **kwargs):
+    defaults = dict(clock_class=248, clock_accuracy=0x22, variance=100,
+                    priority2=128, steps_removed=0)
+    defaults.update(kwargs)
+    return Announce(domain=0, gm_identity=identity, priority1=priority1, **defaults)
+
+
+class TestPriorityVector:
+    def test_priority1_dominates(self):
+        assert vector(priority1=100).better_than(vector(priority1=128, clock_class=0))
+
+    def test_clock_class_breaks_priority1_tie(self):
+        assert vector(clock_class=6).better_than(vector(clock_class=248))
+
+    def test_identity_is_final_tiebreak_before_steps(self):
+        a, b = vector(identity="aaa"), vector(identity="bbb")
+        assert a.better_than(b) and not b.better_than(a)
+
+    def test_equal_vectors_not_better(self):
+        assert not vector().better_than(vector())
+
+    def test_from_announce_roundtrip(self):
+        msg = announce(identity="x", priority1=42)
+        v = PriorityVector.from_announce(msg)
+        assert v.gm_identity == "x" and v.priority1 == 42
+
+
+class TestBmcaSelector:
+    def test_own_clock_wins_without_candidates(self):
+        sel = BmcaSelector(vector(identity="me"))
+        assert sel.is_grandmaster()
+        assert sel.best().gm_identity == "me"
+
+    def test_better_candidate_takes_over(self):
+        sel = BmcaSelector(vector(identity="me", priority1=128))
+        sel.on_announce(announce(identity="gm-b", priority1=64))
+        assert not sel.is_grandmaster()
+        assert sel.best().gm_identity == "gm-b"
+
+    def test_worse_candidate_ignored(self):
+        sel = BmcaSelector(vector(identity="me", priority1=64))
+        sel.on_announce(announce(identity="gm-b", priority1=128))
+        assert sel.is_grandmaster()
+
+    def test_candidate_expires_after_timeout(self):
+        sel = BmcaSelector(vector(identity="me"), announce_timeout=3)
+        sel.on_announce(announce(identity="gm-b", priority1=1))
+        assert not sel.is_grandmaster()
+        for _ in range(3):
+            sel.advance_interval()
+        assert sel.is_grandmaster()
+
+    def test_refresh_resets_age(self):
+        sel = BmcaSelector(vector(identity="me"), announce_timeout=3)
+        sel.on_announce(announce(identity="gm-b", priority1=1))
+        sel.advance_interval()
+        sel.advance_interval()
+        sel.on_announce(announce(identity="gm-b", priority1=1))
+        sel.advance_interval()
+        sel.advance_interval()
+        assert not sel.is_grandmaster()
+
+    def test_best_among_multiple_candidates(self):
+        sel = BmcaSelector(vector(identity="zz", priority1=200))
+        sel.on_announce(announce(identity="b", priority1=120))
+        sel.on_announce(announce(identity="a", priority1=120))
+        assert sel.best().gm_identity == "a"

@@ -1,0 +1,184 @@
+"""Edge cases of the ptp4l instance and per-NIC stack dispatch."""
+
+import random
+
+import pytest
+
+from repro.clocks.oscillator import OscillatorModel
+from repro.gptp.domain import DomainConfig
+from repro.gptp.instance import GptpStack, OffsetSample, Ptp4lInstance
+from repro.gptp.messages import FollowUp, Sync
+from repro.network.link import Link, LinkModel
+from repro.network.nic import Nic, NicModel
+from repro.network.packet import GPTP_MULTICAST, Packet
+from repro.sim.kernel import Simulator
+from repro.sim.timebase import MILLISECONDS, SECONDS
+
+
+class CollectingSink:
+    def __init__(self):
+        self.samples = []
+
+    def handle_offset(self, sample):
+        self.samples.append(sample)
+
+
+def make_stack(seed=81, with_peer=True):
+    sim = Simulator()
+    model = NicModel(
+        timestamp_jitter=0.0,
+        oscillator=OscillatorModel(base_sigma_ppm=0.0, wander_step_ppm=0.0),
+    )
+    nic = Nic(sim, "n1", random.Random(seed), model)
+    peer_port = None
+    if with_peer:
+        class Sink:
+            name = "peer"
+            received = []
+
+            def on_receive(self, port, packet):
+                Sink.received.append(packet)
+
+        from repro.network.port import Port
+
+        sink = Sink()
+        peer_port = Port(sink, "p0")
+        Link(sim, peer_port, nic.port, LinkModel(base_delay=500, jitter=0),
+             random.Random(seed + 1))
+    stack = GptpStack(sim, nic, random.Random(seed + 2))
+    return sim, nic, stack, peer_port
+
+
+def follow_up(seq, origin=1000, domain=1):
+    return FollowUp(domain=domain, sequence_id=seq, gm_identity="gm",
+                    precise_origin_timestamp=origin, correction_field=0.0,
+                    rate_ratio=1.0)
+
+
+class TestSlaveEdgeCases:
+    def test_follow_up_without_sync_counts_and_skips(self):
+        sim, nic, stack, peer = make_stack()
+        sink = CollectingSink()
+        instance = stack.add_instance(DomainConfig(1, "gm"), sink)
+        stack.start()
+        peer.transmit(Packet(dst=GPTP_MULTICAST, src="gm",
+                             payload=follow_up(seq=5)))
+        sim.run_until(SECONDS)
+        assert instance.follow_up_missing_sync == 1
+        assert sink.samples == []
+
+    def test_sync_without_link_delay_skipped(self):
+        sim, nic, stack, peer = make_stack()
+        sink = CollectingSink()
+        instance = stack.add_instance(DomainConfig(1, "gm"), sink)
+        stack.start()
+        # No pdelay peer: link_delay stays None.
+        peer.transmit(Packet(dst=GPTP_MULTICAST, src="gm",
+                             payload=Sync(1, 7, "gm")))
+        sim.run_until(100 * MILLISECONDS)
+        peer.transmit(Packet(dst=GPTP_MULTICAST, src="gm",
+                             payload=follow_up(seq=7)))
+        sim.run_until(SECONDS)
+        assert instance.offsets_computed == 0
+        assert sink.samples == []
+
+    def test_pending_sync_expires_after_timeout(self):
+        sim, nic, stack, peer = make_stack()
+        sink = CollectingSink()
+        config = DomainConfig(1, "gm", follow_up_timeout=50 * MILLISECONDS)
+        instance = stack.add_instance(config, sink)
+        instance.link_delay_source.link_delay = 500.0
+        stack.start()
+        peer.transmit(Packet(dst=GPTP_MULTICAST, src="gm",
+                             payload=Sync(1, 9, "gm")))
+        sim.run_until(200 * MILLISECONDS)  # timeout elapses
+        peer.transmit(Packet(dst=GPTP_MULTICAST, src="gm",
+                             payload=follow_up(seq=9)))
+        sim.run_until(SECONDS)
+        assert instance.follow_up_missing_sync == 1
+
+    def test_offset_computed_when_state_complete(self):
+        sim, nic, stack, peer = make_stack()
+        sink = CollectingSink()
+        instance = stack.add_instance(DomainConfig(1, "gm"), sink)
+        instance.link_delay_source.link_delay = 500.0
+        stack.start()
+        peer.transmit(Packet(dst=GPTP_MULTICAST, src="gm",
+                             payload=Sync(1, 3, "gm")))
+        sim.run_until(10 * MILLISECONDS)
+        origin = nic.clock.time() - 10 * MILLISECONDS  # roughly "sent" time
+        peer.transmit(Packet(dst=GPTP_MULTICAST, src="gm",
+                             payload=follow_up(seq=3, origin=origin)))
+        sim.run_until(SECONDS)
+        assert instance.offsets_computed == 1
+        assert len(sink.samples) == 1
+        assert sink.samples[0].domain == 1
+
+
+class TestStackDispatch:
+    def test_duplicate_domain_rejected(self):
+        sim, nic, stack, peer = make_stack()
+        stack.add_instance(DomainConfig(1, "gm"), CollectingSink())
+        with pytest.raises(ValueError):
+            stack.add_instance(DomainConfig(1, "gm"), CollectingSink())
+
+    def test_unknown_domain_messages_ignored(self):
+        sim, nic, stack, peer = make_stack()
+        sink = CollectingSink()
+        stack.add_instance(DomainConfig(1, "gm"), sink)
+        stack.start()
+        peer.transmit(Packet(dst=GPTP_MULTICAST, src="gm",
+                             payload=Sync(domain=42, sequence_id=1,
+                                          gm_identity="gm")))
+        sim.run_until(SECONDS)  # must not raise
+        assert sink.samples == []
+
+    def test_stopped_stack_ignores_traffic(self):
+        sim, nic, stack, peer = make_stack()
+        sink = CollectingSink()
+        instance = stack.add_instance(DomainConfig(1, "gm"), sink)
+        instance.link_delay_source.link_delay = 500.0
+        stack.start()
+        stack.stop()
+        peer.transmit(Packet(dst=GPTP_MULTICAST, src="gm",
+                             payload=Sync(1, 1, "gm")))
+        sim.run_until(SECONDS)
+        assert instance._pending_sync == {}
+
+    def test_non_gptp_packets_ignored(self):
+        sim, nic, stack, peer = make_stack()
+        stack.add_instance(DomainConfig(1, "gm"), CollectingSink())
+        stack.start()
+        peer.transmit(Packet(dst="mcast:other", src="x", payload="noise"))
+        sim.run_until(SECONDS)  # must not raise
+
+    def test_instance_added_after_start_is_started(self):
+        sim, nic, stack, peer = make_stack(with_peer=False)
+        stack.start()
+        instance = stack.add_instance(
+            DomainConfig(2, "n1"), CollectingSink(), is_gm=True
+        )
+        sim.run_until(SECONDS)
+        assert instance.sync_sent > 0
+
+
+class TestGmEdgeCases:
+    def test_gm_ignores_reflected_own_sync(self):
+        sim, nic, stack, peer = make_stack()
+        sink = CollectingSink()
+        instance = stack.add_instance(DomainConfig(1, "n1"), sink, is_gm=True)
+        stack.start()
+        peer.transmit(Packet(dst=GPTP_MULTICAST, src="n1",
+                             payload=Sync(1, 1, "n1")))
+        sim.run_until(SECONDS)
+        assert instance._pending_sync == {}
+
+    def test_gm_sequence_monotonic(self):
+        sim, nic, stack, peer = make_stack(with_peer=False)
+        sink = CollectingSink()
+        instance = stack.add_instance(DomainConfig(1, "n1"), sink, is_gm=True)
+        stack.start()
+        sim.run_until(3 * SECONDS)
+        origins = [s.origin_timestamp for s in sink.samples]
+        assert origins == sorted(origins)
+        assert instance.sync_sent >= 20

@@ -1,0 +1,101 @@
+"""Peer-delay measurement tests over a direct NIC-to-NIC link."""
+
+import random
+
+import pytest
+
+from repro.clocks.oscillator import OscillatorModel
+from repro.gptp.instance import GptpStack
+from repro.network.link import Link, LinkModel
+from repro.network.nic import Nic, NicModel
+from repro.sim.kernel import Simulator
+from repro.sim.timebase import SECONDS
+
+
+def make_pair(base_delay=2000, jitter=0, ppm_a=0.0, ppm_b=0.0, seed=5,
+              timestamp_jitter=0.0):
+    """Two NICs joined by one link, each running a GptpStack (pdelay only)."""
+    sim = Simulator()
+    rng = random.Random(seed)
+
+    def nic(name, ppm):
+        model = NicModel(
+            timestamp_jitter=timestamp_jitter,
+            oscillator=OscillatorModel(
+                base_sigma_ppm=abs(ppm) or 0.0,
+                wander_step_ppm=0.0,
+                max_rate_ppm=max(5.0, abs(ppm)),
+            ),
+        )
+        n = Nic(sim, name, random.Random(seed + hash(name) % 1000), model)
+        return n
+
+    a, b = nic("a", ppm_a), nic("b", ppm_b)
+    Link(sim, a.port, b.port, LinkModel(base_delay=base_delay, jitter=jitter),
+         random.Random(seed + 7))
+    sa = GptpStack(sim, a, random.Random(seed + 1))
+    sb = GptpStack(sim, b, random.Random(seed + 2))
+    sa.start()
+    sb.start()
+    return sim, sa, sb
+
+
+class TestPdelayMeasurement:
+    def test_symmetric_link_measured_accurately(self):
+        sim, sa, sb = make_pair(base_delay=2000)
+        sim.run_until(5 * SECONDS)
+        assert sa.pdelay_initiator.link_delay is not None
+        assert sa.pdelay_initiator.link_delay == pytest.approx(2000, abs=30)
+        assert sb.pdelay_initiator.link_delay == pytest.approx(2000, abs=30)
+
+    def test_jittery_link_converges_near_mean(self):
+        sim, sa, sb = make_pair(base_delay=2000, jitter=400)
+        sim.run_until(30 * SECONDS)
+        # Mean one-way delay is 2000 + 200; EMA should be in the vicinity.
+        assert sa.pdelay_initiator.link_delay == pytest.approx(2200, abs=250)
+
+    def test_rate_ratio_estimates_frequency_difference(self):
+        # b runs fast relative to a by a deterministic offset.
+        sim, sa, sb = make_pair(ppm_a=0.0, ppm_b=4.0, seed=9)
+        sim.run_until(20 * SECONDS)
+        ratio = sa.pdelay_initiator.neighbor_rate_ratio
+        # The ratio reflects b's rate vs a's: |ratio - 1| should match the
+        # actual rate difference within estimation noise.
+        true_ratio = (1.0 + sb.nic.oscillator.rate_error()) / (
+            1.0 + sa.nic.oscillator.rate_error()
+        )
+        assert ratio == pytest.approx(true_ratio, abs=2e-7)
+
+    def test_rounds_complete_and_count(self):
+        sim, sa, sb = make_pair()
+        sim.run_until(10 * SECONDS)
+        assert sa.pdelay_initiator.completed_rounds >= 8
+        assert sb.pdelay_responder.responses >= 8
+
+    def test_lossy_tx_timestamps_discard_rounds_but_keep_running(self):
+        sim = Simulator()
+        rng = random.Random(3)
+        model_faulty = NicModel(
+            timestamp_jitter=0.0,
+            tx_timestamp_fail_prob=0.5,
+            oscillator=OscillatorModel(base_sigma_ppm=0.0, wander_step_ppm=0.0),
+        )
+        a = Nic(sim, "a", random.Random(4), model_faulty)
+        b = Nic(sim, "b", random.Random(5), NicModel(timestamp_jitter=0.0))
+        Link(sim, a.port, b.port, LinkModel(base_delay=1000, jitter=0), random.Random(6))
+        sa = GptpStack(sim, a, random.Random(7))
+        sb = GptpStack(sim, b, random.Random(8))
+        sa.start()
+        sb.start()
+        sim.run_until(40 * SECONDS)
+        assert sa.pdelay_initiator.completed_rounds >= 5
+        assert sa.pdelay_initiator.discarded_rounds >= 3
+        assert sa.pdelay_initiator.link_delay == pytest.approx(1000, abs=30)
+
+    def test_stop_halts_measurement(self):
+        sim, sa, sb = make_pair()
+        sim.run_until(3 * SECONDS)
+        rounds = sa.pdelay_initiator.completed_rounds
+        sa.pdelay_initiator.stop()
+        sim.run_until(10 * SECONDS)
+        assert sa.pdelay_initiator.completed_rounds == rounds

@@ -1,0 +1,78 @@
+"""Unit tests for phc2sys parameter derivation."""
+
+import random
+
+import pytest
+
+from repro.clocks.hardware_clock import HardwareClock
+from repro.clocks.oscillator import Oscillator, OscillatorModel
+from repro.clocks.synctime import SyncTimeClock
+from repro.gptp.phc2sys import Phc2Sys
+from repro.sim.kernel import Simulator
+from repro.sim.timebase import MICROSECONDS, SECONDS
+
+
+def build(seed=1, phc_ppm=0.0, node_ppm=0.0):
+    sim = Simulator()
+    phc_osc = Oscillator(
+        sim, random.Random(seed),
+        OscillatorModel(base_sigma_ppm=abs(phc_ppm), wander_step_ppm=0.0),
+        name="phc-osc",
+    )
+    clock = HardwareClock(phc_osc)
+    node_tb = Oscillator(
+        sim, random.Random(seed + 1),
+        OscillatorModel(base_sigma_ppm=abs(node_ppm), wander_step_ppm=0.0),
+        name="node-tb",
+    )
+    synctime = SyncTimeClock(node_tb)
+    p2s = Phc2Sys(sim, clock, node_tb, publish=synctime.publish)
+    return sim, clock, node_tb, synctime, p2s
+
+
+class TestPhc2Sys:
+    def test_publishes_with_monotone_generations(self):
+        sim, clock, tb, synctime, p2s = build()
+        p2s.start()
+        sim.run_until(2 * SECONDS)
+        assert p2s.publications >= 16
+        assert synctime.params is not None
+        assert synctime.params.generation == p2s.generation
+
+    def test_synctime_tracks_phc(self):
+        sim, clock, tb, synctime, p2s = build()
+        clock.step(5 * MICROSECONDS)
+        p2s.start()
+        sim.run_until(5 * SECONDS)
+        assert synctime.now() == pytest.approx(clock.time(), abs=100)
+
+    def test_ratio_converges_for_fast_phc(self):
+        # PHC trimmed +10ppm: synctime must extrapolate at the same rate.
+        sim, clock, tb, synctime, p2s = build()
+        clock.adjust_frequency(10_000.0)
+        p2s.start()
+        sim.run_until(20 * SECONDS)
+        assert synctime.params.ratio == pytest.approx(1.0 + 10e-6, abs=2e-6)
+        assert synctime.now() == pytest.approx(clock.time(), abs=400)
+
+    def test_stale_page_extrapolates_with_last_ratio(self):
+        sim, clock, tb, synctime, p2s = build()
+        clock.adjust_frequency(10_000.0)
+        p2s.start()
+        sim.run_until(20 * SECONDS)
+        p2s.stop()  # fail-silent clock sync VM: page goes stale
+        gen = synctime.params.generation
+        sim.schedule(5 * SECONDS, lambda: None)
+        sim.run()
+        assert synctime.params.generation == gen  # no new publications
+        # Extrapolation with the learned ratio still tracks the PHC closely.
+        assert synctime.now() == pytest.approx(clock.time(), abs=2000)
+
+    def test_restart_after_stop(self):
+        sim, clock, tb, synctime, p2s = build()
+        p2s.start()
+        sim.run_until(SECONDS)
+        p2s.stop()
+        p2s.start()
+        sim.run_until(2 * SECONDS)
+        assert p2s.publications >= 14

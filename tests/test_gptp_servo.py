@@ -1,0 +1,105 @@
+"""Unit tests for the LinuxPTP-style PI servo."""
+
+import pytest
+
+from repro.gptp.servo import PiServo, ServoConfig, ServoOutput, ServoState
+from repro.sim.timebase import MICROSECONDS, MILLISECONDS, SECONDS
+
+
+class TestGainScaling:
+    def test_gains_scale_with_interval_like_linuxptp(self):
+        s = PiServo(interval=125 * MILLISECONDS)
+        # kp = 0.7 * 0.125^-0.3, ki = 0.3 * 0.125^0.4
+        assert s.kp == pytest.approx(0.7 * 0.125 ** -0.3, rel=1e-9)
+        assert s.ki == pytest.approx(0.3 * 0.125 ** 0.4, rel=1e-9)
+
+    def test_norm_max_caps_gains_for_long_intervals(self):
+        s = PiServo(interval=8 * SECONDS)
+        assert s.kp <= 0.7 / 8 + 1e-12
+        assert s.ki <= 0.3 / 8 + 1e-12
+
+
+class TestFirstSample:
+    def test_small_first_offset_locks_without_step(self):
+        s = PiServo()
+        out = s.sample(500.0)
+        assert out.state is ServoState.LOCKED
+        assert out.step_ns == 0
+
+    def test_large_first_offset_steps_clock(self):
+        s = PiServo()
+        out = s.sample(100 * MICROSECONDS)
+        assert out.state is ServoState.JUMP
+        assert out.step_ns == -100 * MICROSECONDS
+        # After the jump the servo is locked.
+        assert s.state is ServoState.LOCKED
+
+    def test_threshold_boundary(self):
+        cfg = ServoConfig(first_step_threshold=1000)
+        assert PiServo(cfg).sample(1000.0).state is ServoState.LOCKED
+        assert PiServo(cfg).sample(1001.0).state is ServoState.JUMP
+
+
+class TestPiDynamics:
+    def test_positive_offset_slows_clock(self):
+        s = PiServo()
+        s.sample(0.0)
+        out = s.sample(1000.0)  # slave ahead by 1us
+        assert out.frequency_ppb < 0
+
+    def test_negative_offset_speeds_clock(self):
+        s = PiServo()
+        s.sample(0.0)
+        out = s.sample(-1000.0)
+        assert out.frequency_ppb > 0
+
+    def test_drift_integrates(self):
+        s = PiServo()
+        for _ in range(10):
+            s.sample(100.0)
+        assert s.drift > 0
+
+    def test_converges_on_constant_rate_error_plant(self):
+        """Closed loop: a clock running +2 ppm fast must converge to ~0 offset."""
+        s = PiServo(interval=125 * MILLISECONDS)
+        interval_s = 0.125
+        rate_error_ppb = 2000.0
+        applied_ppb = 0.0
+        offset = 0.0
+        history = []
+        for _ in range(400):
+            offset += (rate_error_ppb + applied_ppb) * interval_s  # ns drift/interval
+            out = s.sample(offset)
+            applied_ppb = out.frequency_ppb
+            history.append(abs(offset))
+        assert max(history[-50:]) < 50.0  # sub-50ns residual
+        assert applied_ppb == pytest.approx(-2000.0, abs=50.0)
+
+    def test_output_clamped(self):
+        cfg = ServoConfig(max_frequency=1000.0, first_step_threshold=10**12)
+        s = PiServo(cfg)
+        out = s.sample(10.0**9)
+        assert abs(out.frequency_ppb) <= 1000.0
+
+    def test_restep_when_configured(self):
+        cfg = ServoConfig(step_threshold=10 * MICROSECONDS)
+        s = PiServo(cfg)
+        s.sample(0.0)
+        out = s.sample(50 * MICROSECONDS)
+        assert out.state is ServoState.JUMP
+        assert out.step_ns == -50 * MICROSECONDS
+
+    def test_no_restep_by_default(self):
+        s = PiServo()
+        s.sample(0.0)
+        out = s.sample(10 * SECONDS)  # absurd, but default never re-steps
+        assert out.state is ServoState.LOCKED
+
+    def test_reset_clears_state(self):
+        s = PiServo()
+        s.sample(0.0)
+        s.sample(5000.0)
+        s.reset()
+        assert s.state is ServoState.UNLOCKED
+        assert s.drift == 0.0
+        assert s.samples == 0

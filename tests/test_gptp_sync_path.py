@@ -1,0 +1,186 @@
+"""End-to-end Sync/FollowUp path: GM → time-aware bridge → slave.
+
+Builds the smallest meaningful network (two NICs on one switch) plus a
+three-hop variant (two switches), and checks the slave's computed GM offset
+against ground truth.
+"""
+
+import random
+
+import pytest
+
+from repro.clocks.oscillator import OscillatorModel
+from repro.gptp.bridge import TimeAwareBridge
+from repro.gptp.domain import DomainConfig
+from repro.gptp.instance import GptpStack, OffsetSample
+from repro.network.link import Link, LinkModel
+from repro.network.nic import Nic, NicModel
+from repro.network.switch import SwitchModel, TsnSwitch
+from repro.sim.kernel import Simulator
+from repro.sim.timebase import MICROSECONDS, MILLISECONDS, SECONDS
+
+
+class CollectingSink:
+    """OffsetSink that just records samples."""
+
+    def __init__(self):
+        self.samples = []
+
+    def handle_offset(self, sample: OffsetSample):
+        self.samples.append(sample)
+
+    def of_domain(self, domain):
+        return [s for s in self.samples if s.domain == domain]
+
+
+def ideal_nic_model(**kw):
+    defaults = dict(
+        timestamp_jitter=0.0,
+        oscillator=OscillatorModel(base_sigma_ppm=0.0, wander_step_ppm=0.0),
+    )
+    defaults.update(kw)
+    return NicModel(**defaults)
+
+
+def build_one_switch(seed=21, link_jitter=0, timestamp_jitter=0.0,
+                     residence_jitter=0, osc_gm=None, osc_slave=None):
+    sim = Simulator()
+    switch = TsnSwitch(
+        sim, "sw1", random.Random(seed),
+        SwitchModel(residence_base=500, residence_jitter=residence_jitter,
+                    timestamp_jitter=timestamp_jitter),
+    )
+    gm_nic = Nic(sim, "gm", random.Random(seed + 1),
+                 ideal_nic_model(timestamp_jitter=timestamp_jitter,
+                                 oscillator=osc_gm or OscillatorModel(
+                                     base_sigma_ppm=0.0, wander_step_ppm=0.0)))
+    sl_nic = Nic(sim, "sl", random.Random(seed + 2),
+                 ideal_nic_model(timestamp_jitter=timestamp_jitter,
+                                 oscillator=osc_slave or OscillatorModel(
+                                     base_sigma_ppm=0.0, wander_step_ppm=0.0)))
+    p_gm = switch.new_port("vm_gm")
+    p_sl = switch.new_port("vm_sl")
+    Link(sim, gm_nic.port, p_gm, LinkModel(base_delay=1500, jitter=link_jitter),
+         random.Random(seed + 3))
+    Link(sim, sl_nic.port, p_sl, LinkModel(base_delay=1800, jitter=link_jitter),
+         random.Random(seed + 4))
+    bridge = TimeAwareBridge(sim, switch, random.Random(seed + 5))
+    bridge.configure_domain(1, slave_port="vm_gm", master_ports=["vm_sl"])
+    bridge.start()
+
+    gm_sink, sl_sink = CollectingSink(), CollectingSink()
+    gm_stack = GptpStack(sim, gm_nic, random.Random(seed + 6))
+    sl_stack = GptpStack(sim, sl_nic, random.Random(seed + 7))
+    config = DomainConfig(number=1, gm_identity="gm")
+    gm_stack.add_instance(config, gm_sink, is_gm=True)
+    sl_stack.add_instance(config, sl_sink, is_gm=False)
+    gm_stack.start()
+    sl_stack.start()
+    return sim, gm_stack, sl_stack, gm_sink, sl_sink, bridge
+
+
+class TestSyncPathOneSwitch:
+    def test_slave_measures_near_zero_offset_for_identical_clocks(self):
+        sim, gm, sl, gm_sink, sl_sink, bridge = build_one_switch()
+        sim.run_until(10 * SECONDS)
+        offsets = [s.offset for s in sl_sink.of_domain(1)]
+        assert len(offsets) >= 50
+        # Ideal clocks + symmetric deterministic paths: offsets ~ 0.
+        late = offsets[len(offsets) // 2:]
+        assert max(abs(o) for o in late) < 50
+
+    def test_stepped_slave_clock_shows_in_offset(self):
+        sim, gm, sl, gm_sink, sl_sink, bridge = build_one_switch(seed=33)
+        sl.nic.clock.step(10 * MICROSECONDS)
+        sim.run_until(10 * SECONDS)
+        offsets = [s.offset for s in sl_sink.of_domain(1)]
+        late = offsets[len(offsets) // 2:]
+        assert all(o == pytest.approx(10 * MICROSECONDS, abs=100) for o in late)
+
+    def test_gm_feeds_zero_offset_for_own_domain(self):
+        sim, gm, sl, gm_sink, sl_sink, bridge = build_one_switch(seed=34)
+        sim.run_until(5 * SECONDS)
+        own = gm_sink.of_domain(1)
+        assert own and all(s.offset == 0.0 for s in own)
+        assert all(s.gm_identity == "gm" for s in own)
+
+    def test_sync_launches_align_to_phc_grid(self):
+        sim, gm, sl, gm_sink, sl_sink, bridge = build_one_switch(seed=35)
+        sim.run_until(5 * SECONDS)
+        # Every GM FollowUp origin timestamp should be near a 125ms grid
+        # point of the GM clock (launch-time transmission).
+        origins = [s.origin_timestamp for s in gm_sink.of_domain(1)]
+        assert origins
+        for origin in origins:
+            slack = origin % (125 * MILLISECONDS)
+            assert min(slack, 125 * MILLISECONDS - slack) < 1000
+
+    def test_malicious_origin_shift_displaces_measured_offset(self):
+        sim, gm, sl, gm_sink, sl_sink, bridge = build_one_switch(seed=36)
+        sim.run_until(4 * SECONDS)
+        gm_inst = gm.instances[1]
+        gm_inst.malicious_origin_shift = -24 * MICROSECONDS
+        sim.run_until(8 * SECONDS)
+        offsets = [s.offset for s in sl_sink.of_domain(1)]
+        # After the attack, measured offset jumps by +24us (slave "ahead").
+        assert offsets[-1] == pytest.approx(24 * MICROSECONDS, abs=200)
+
+    def test_bridge_counts_relays(self):
+        sim, gm, sl, gm_sink, sl_sink, bridge = build_one_switch(seed=37)
+        sim.run_until(5 * SECONDS)
+        assert bridge.sync_relayed >= 30
+        assert bridge.follow_up_relayed >= 25
+
+    def test_drifting_slave_offset_tracks_true_clock_difference(self):
+        sim, gm, sl, gm_sink, sl_sink, bridge = build_one_switch(
+            seed=38,
+            osc_slave=OscillatorModel(base_sigma_ppm=3.0, wander_step_ppm=0.0),
+        )
+        sim.run_until(20 * SECONDS)
+        sample = sl_sink.of_domain(1)[-1]
+        true_diff = sl.nic.clock.time() - gm.nic.clock.time()
+        # The last measured offset is up to one sync interval stale, so it
+        # can lag truth by drift-per-interval (5 ppm x 125 ms ≈ 625 ns).
+        assert sample.offset == pytest.approx(true_diff, abs=800)
+
+
+def test_three_hop_path_two_switches():
+    """GM and slave on different devices: correction accumulates two bridges."""
+    sim = Simulator()
+    rng = random.Random(50)
+    sw1 = TsnSwitch(sim, "sw1", random.Random(51),
+                    SwitchModel(residence_base=600, residence_jitter=0,
+                                timestamp_jitter=0.0))
+    sw2 = TsnSwitch(sim, "sw2", random.Random(52),
+                    SwitchModel(residence_base=700, residence_jitter=0,
+                                timestamp_jitter=0.0))
+    gm_nic = Nic(sim, "gm", random.Random(53), ideal_nic_model())
+    sl_nic = Nic(sim, "sl", random.Random(54), ideal_nic_model())
+    p1_gm = sw1.new_port("vm_gm")
+    p1_t = sw1.new_port("to_sw2")
+    p2_t = sw2.new_port("to_sw1")
+    p2_sl = sw2.new_port("vm_sl")
+    Link(sim, gm_nic.port, p1_gm, LinkModel(base_delay=1500, jitter=0), random.Random(55))
+    Link(sim, p1_t, p2_t, LinkModel(base_delay=2100, jitter=0), random.Random(56))
+    Link(sim, sl_nic.port, p2_sl, LinkModel(base_delay=1700, jitter=0), random.Random(57))
+    b1 = TimeAwareBridge(sim, sw1, random.Random(58))
+    b2 = TimeAwareBridge(sim, sw2, random.Random(59))
+    b1.configure_domain(1, slave_port="vm_gm", master_ports=["to_sw2"])
+    b2.configure_domain(1, slave_port="to_sw1", master_ports=["vm_sl"])
+    b1.start()
+    b2.start()
+    gm_sink, sl_sink = CollectingSink(), CollectingSink()
+    gm_stack = GptpStack(sim, gm_nic, random.Random(60))
+    sl_stack = GptpStack(sim, sl_nic, random.Random(61))
+    config = DomainConfig(number=1, gm_identity="gm")
+    gm_stack.add_instance(config, gm_sink, is_gm=True)
+    sl_stack.add_instance(config, sl_sink, is_gm=False)
+    gm_stack.start()
+    sl_stack.start()
+    sim.run_until(10 * SECONDS)
+    offsets = [s.offset for s in sl_sink.of_domain(1)]
+    assert len(offsets) >= 40
+    late = offsets[len(offsets) // 2:]
+    # Ideal clocks: the two-bridge correction chain must cancel the full
+    # 3-link path delay; residual within tens of ns.
+    assert max(abs(o) for o in late) < 80

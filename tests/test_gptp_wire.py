@@ -1,0 +1,158 @@
+"""Wire-format round-trip and golden-frame tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gptp.messages import (
+    Announce,
+    FollowUp,
+    PdelayReq,
+    PdelayResp,
+    PdelayRespFollowUp,
+    Sync,
+)
+from repro.gptp.wire import (
+    HEADER_LEN,
+    ClockIdentityRegistry,
+    WireError,
+    decode,
+    encode,
+)
+
+
+@pytest.fixture()
+def registry():
+    return ClockIdentityRegistry()
+
+
+class TestIdentityRegistry:
+    def test_deterministic_and_reversible(self, registry):
+        a = registry.identity_of("c2_1")
+        b = registry.identity_of("c2_1")
+        assert a == b and len(a) == 8
+        assert registry.name_of(a) == "c2_1"
+
+    def test_unknown_identity_hex_fallback(self, registry):
+        assert registry.name_of(b"\x01" * 8) == "01" * 8
+
+    def test_distinct_names_distinct_identities(self, registry):
+        assert registry.identity_of("a") != registry.identity_of("b")
+
+
+class TestRoundTrips:
+    def test_sync(self, registry):
+        msg = Sync(domain=3, sequence_id=1234, gm_identity="c3_1")
+        assert decode(encode(msg, registry), registry) == msg
+
+    def test_follow_up_preserves_scaled_fields(self, registry):
+        msg = FollowUp(
+            domain=2,
+            sequence_id=77,
+            gm_identity="c2_1",
+            precise_origin_timestamp=123_456_789_012,
+            correction_field=4321.5,
+            rate_ratio=1.0000042,
+        )
+        out = decode(encode(msg, registry), registry)
+        assert out.domain == msg.domain
+        assert out.sequence_id == msg.sequence_id
+        assert out.gm_identity == msg.gm_identity
+        assert out.precise_origin_timestamp == msg.precise_origin_timestamp
+        # correctionField survives at 2^-16 ns resolution...
+        assert out.correction_field == pytest.approx(msg.correction_field,
+                                                     abs=2 ** -16)
+        # ...and rateRatio at 2^-41 resolution.
+        assert out.rate_ratio == pytest.approx(msg.rate_ratio, abs=2 ** -40)
+
+    def test_pdelay_trio(self, registry):
+        req = PdelayReq(sequence_id=9, requester="c1_2")
+        assert decode(encode(req, registry), registry) == req
+        resp = PdelayResp(sequence_id=9, requester="c1_2", responder="sw1.p3",
+                          request_receipt_timestamp=55_000)
+        assert decode(encode(resp, registry), registry) == resp
+        fu = PdelayRespFollowUp(sequence_id=9, requester="c1_2",
+                                responder="sw1.p3",
+                                response_origin_timestamp=56_500)
+        assert decode(encode(fu, registry), registry) == fu
+
+    def test_announce(self, registry):
+        msg = Announce(domain=1, gm_identity="c1_1", priority1=128,
+                       clock_class=248, clock_accuracy=0x22, variance=15652,
+                       priority2=128, steps_removed=2)
+        assert decode(encode(msg, registry), registry) == msg
+
+    @given(domain=st.integers(0, 255), seq=st.integers(0, 0xFFFF),
+           origin=st.integers(0, 2 ** 47), correction=st.floats(0, 1e9),
+           ratio=st.floats(0.9999, 1.0001))
+    def test_follow_up_roundtrip_property(self, domain, seq, origin,
+                                          correction, ratio):
+        registry = ClockIdentityRegistry()
+        msg = FollowUp(domain=domain, sequence_id=seq, gm_identity="gm",
+                       precise_origin_timestamp=origin,
+                       correction_field=correction, rate_ratio=ratio)
+        out = decode(encode(msg, registry), registry)
+        assert out.precise_origin_timestamp == origin
+        assert out.correction_field == pytest.approx(correction, abs=1e-4)
+        assert out.rate_ratio == pytest.approx(ratio, abs=1e-11)
+
+
+class TestGoldenFrames:
+    """Bit-for-bit pins so encoding regressions cannot slip through."""
+
+    def test_sync_frame_layout(self, registry):
+        frame = encode(Sync(domain=1, sequence_id=2, gm_identity="gm"), registry)
+        assert len(frame) == HEADER_LEN + 10
+        assert frame[0] == (0x1 << 4) | 0x0  # gPTP majorSdoId + Sync
+        assert frame[1] == 0x02  # PTP version
+        assert frame[2:4] == (HEADER_LEN + 10).to_bytes(2, "big")
+        assert frame[4] == 1  # domain
+        assert frame[30:32] == (2).to_bytes(2, "big")  # sequenceId
+        assert frame[HEADER_LEN:] == b"\x00" * 10  # two-step origin
+
+    def test_follow_up_correction_scaling(self, registry):
+        msg = FollowUp(domain=0, sequence_id=0, gm_identity="gm",
+                       precise_origin_timestamp=0, correction_field=1.0,
+                       rate_ratio=1.0)
+        frame = encode(msg, registry)
+        # correctionField lives at header offset 8, 8 bytes, ns * 2^16.
+        assert frame[8:16] == (1 << 16).to_bytes(8, "big")
+
+    def test_timestamp_encoding(self, registry):
+        one_sec_one_ns = 1_000_000_001
+        msg = FollowUp(domain=0, sequence_id=0, gm_identity="gm",
+                       precise_origin_timestamp=one_sec_one_ns,
+                       correction_field=0.0, rate_ratio=1.0)
+        frame = encode(msg, registry)
+        body = frame[HEADER_LEN:HEADER_LEN + 10]
+        assert body == (1).to_bytes(6, "big") + (1).to_bytes(4, "big")
+
+
+class TestValidation:
+    def test_truncated_frame_rejected(self, registry):
+        with pytest.raises(WireError):
+            decode(b"\x10\x02", registry)
+
+    def test_length_mismatch_rejected(self, registry):
+        frame = bytearray(encode(Sync(domain=0, sequence_id=0,
+                                      gm_identity="gm"), registry))
+        frame[2:4] = (999).to_bytes(2, "big")
+        with pytest.raises(WireError):
+            decode(bytes(frame), registry)
+
+    def test_bad_version_rejected(self, registry):
+        frame = bytearray(encode(Sync(domain=0, sequence_id=0,
+                                      gm_identity="gm"), registry))
+        frame[1] = 0x01
+        with pytest.raises(WireError):
+            decode(bytes(frame), registry)
+
+    def test_negative_timestamp_rejected(self, registry):
+        msg = FollowUp(domain=0, sequence_id=0, gm_identity="gm",
+                       precise_origin_timestamp=-1, correction_field=0.0,
+                       rate_ratio=1.0)
+        with pytest.raises(WireError):
+            encode(msg, registry)
+
+    def test_unencodable_object_rejected(self, registry):
+        with pytest.raises(WireError):
+            encode(object(), registry)  # type: ignore[arg-type]

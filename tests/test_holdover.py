@@ -1,0 +1,53 @@
+"""Tests for the total-GM-loss holdover experiment."""
+
+import pytest
+
+from repro.experiments.holdover import (
+    HoldoverConfig,
+    _slope_ns_per_s,
+    run_holdover_experiment,
+)
+from repro.sim.timebase import MINUTES, SECONDS
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_holdover_experiment(HoldoverConfig(seed=14))
+
+
+class TestHoldover:
+    def test_engines_coast_instead_of_crashing(self, result):
+        assert result.coasting_engines > 0
+        # The series keeps flowing during the outage (receivers still alive).
+        assert len(result.drift_series) > 200
+
+    def test_degradation_is_graceful(self, result):
+        assert result.degraded_gracefully
+        # Worse than steady state, but drifting — not exploding.
+        assert result.worst_during_outage > result.precision_before
+        # Coasting for 5 min at sub-20ppm keeps us in the sub-ms regime.
+        assert result.worst_during_outage < 5_000_000
+
+    def test_drift_rate_in_oscillator_envelope(self, result):
+        # Residual relative rates: bounded by a few ppm (= a few thousand
+        # ns/s) plus servo residue; never the 900 ppm of a feedback runaway.
+        assert 0 < abs(result.drift_rate_ns_per_s) < 20_000
+
+    def test_recovery_restores_bound(self, result):
+        assert result.recovered_precision <= result.bounds.bound_with_error
+
+    def test_summary_renders(self, result):
+        text = result.to_text()
+        assert "holdover" in text
+        assert "graceful" in text
+
+
+class TestSlopeHelper:
+    def test_perfect_line(self):
+        series = [(i * SECONDS, 100.0 * i) for i in range(10)]
+        assert _slope_ns_per_s(series) == pytest.approx(100.0)
+
+    def test_flat_and_degenerate(self):
+        assert _slope_ns_per_s([(0, 5.0), (SECONDS, 5.0)]) == 0.0
+        assert _slope_ns_per_s([(0, 5.0)]) == 0.0
+        assert _slope_ns_per_s([]) == 0.0

@@ -1,0 +1,208 @@
+"""Unit tests for the hypervisor substrate (no network attached)."""
+
+import random
+
+import pytest
+
+from repro.clocks.synctime import SyncTimeParams
+from repro.core.aggregator import AggregatorConfig
+from repro.gptp.domain import DomainConfig
+from repro.hypervisor.clock_sync_vm import ClockSyncVmConfig
+from repro.hypervisor.monitor import vote_faulty
+from repro.hypervisor.node import EcdNode
+from repro.hypervisor.vm import Vm, VmState
+from repro.sim.kernel import Simulator
+from repro.sim.timebase import MILLISECONDS, SECONDS
+from repro.sim.trace import TraceLog
+
+
+def make_node(sim=None, trace=None, n_vms=2, gm_domain=1):
+    sim = sim or Simulator()
+    trace = trace if trace is not None else TraceLog()
+    node = EcdNode(sim, "dev1", random.Random(1), trace=trace)
+    domains = tuple(DomainConfig(number=d, gm_identity=f"c{d}_1") for d in (1, 2, 3, 4))
+    for i in range(1, n_vms + 1):
+        config = ClockSyncVmConfig(
+            gm_domain=gm_domain if i == 1 else None,
+            domains=domains,
+            aggregator=AggregatorConfig(),
+            boot_delay=10 * SECONDS,
+        )
+        node.add_clock_sync_vm(f"c1_{i}", config, random.Random(10 + i))
+    return sim, trace, node
+
+
+class TestVmLifecycle:
+    def test_start_and_fail_silent(self):
+        sim = Simulator()
+        trace = TraceLog()
+        vm = Vm(sim, "v", trace=trace, boot_delay=5 * SECONDS)
+        vm.start()
+        assert vm.running and vm.boots == 1
+        vm.fail_silent()
+        assert vm.state is VmState.BOOTING
+        assert vm.fail_silent_count == 1
+        assert trace.count(category="fault.fail_silent") == 1
+        sim.run_until(6 * SECONDS)
+        assert vm.running and vm.boots == 2
+        assert trace.count(category="vm.rebooted") == 1
+
+    def test_fail_silent_without_reboot_stays_down(self):
+        sim = Simulator()
+        vm = Vm(sim, "v", boot_delay=SECONDS)
+        vm.start()
+        vm.fail_silent(reboot=False)
+        sim.run_until(10 * SECONDS)
+        assert vm.state is VmState.STOPPED
+
+    def test_fail_silent_on_stopped_vm_is_noop(self):
+        sim = Simulator()
+        vm = Vm(sim, "v")
+        vm.fail_silent()
+        assert vm.fail_silent_count == 0
+
+    def test_start_cancels_pending_boot(self):
+        sim = Simulator()
+        vm = Vm(sim, "v", boot_delay=5 * SECONDS)
+        vm.start()
+        vm.fail_silent()
+        vm.start()  # manual early restart
+        boots = vm.boots
+        sim.run_until(10 * SECONDS)
+        assert vm.boots == boots  # scheduled boot was cancelled
+
+
+class TestVoting:
+    def params(self, offset):
+        return SyncTimeParams(base=0.0, offset=offset, ratio=1.0, generation=1)
+
+    def test_majority_flags_outlier(self):
+        flagged = vote_faulty(
+            {"a": self.params(0.0), "b": self.params(100.0), "c": self.params(1e9)},
+            raw_now=0.0,
+        )
+        assert flagged == {"c"}
+
+    def test_agreeing_majority_flags_nothing(self):
+        flagged = vote_faulty(
+            {"a": self.params(0.0), "b": self.params(10.0), "c": self.params(20.0)},
+            raw_now=0.0,
+        )
+        assert flagged == set()
+
+    def test_two_candidates_cannot_vote(self):
+        flagged = vote_faulty(
+            {"a": self.params(0.0), "b": self.params(1e9)}, raw_now=0.0
+        )
+        assert flagged == set()
+
+    def test_ratio_differences_matter(self):
+        # Same offset, divergent ratio: at a late raw instant they disagree.
+        good = SyncTimeParams(base=0.0, offset=0.0, ratio=1.0, generation=1)
+        bad = SyncTimeParams(base=0.0, offset=0.0, ratio=2.0, generation=1)
+        flagged = vote_faulty(
+            {"a": good, "b": good, "c": bad}, raw_now=1e9
+        )
+        assert flagged == {"c"}
+
+
+class TestStShmemArbitration:
+    def test_only_active_writer_lands(self):
+        sim, trace, node = make_node()
+        node.stshmem.set_active_writer("c1_1")
+        p = SyncTimeParams(base=0.0, offset=1.0, ratio=1.0, generation=1)
+        assert node.stshmem.write("c1_1", p)
+        assert not node.stshmem.write("c1_2", p)
+        assert node.stshmem.accepted_writes == 1
+        assert node.stshmem.rejected_writes == 1
+
+    def test_age_tracks_last_accepted_write(self):
+        sim, trace, node = make_node()
+        assert node.stshmem.age() is None
+        node.stshmem.set_active_writer("c1_1")
+        node.stshmem.write(
+            "c1_1", SyncTimeParams(base=0.0, offset=0.0, ratio=1.0, generation=1)
+        )
+        sim.schedule(1000, lambda: None)
+        sim.run()
+        assert node.stshmem.age() == 1000
+
+
+class TestNodeAndMonitor:
+    def test_start_elects_first_vm_and_publishes(self):
+        sim, trace, node = make_node()
+        node.start()
+        sim.run_until(SECONDS)
+        assert node.stshmem.active_writer == "c1_1"
+        assert node.synctime_ready()
+        assert node.stshmem.accepted_writes > 0
+        assert node.active_vm().name == "c1_1"
+
+    def test_takeover_on_active_vm_failure(self):
+        sim, trace, node = make_node()
+        node.start()
+        sim.run_until(SECONDS)
+        node.vm("c1_1").fail_silent()
+        sim.run_until(3 * SECONDS)
+        assert node.stshmem.active_writer == "c1_2"
+        assert node.monitor.detections == 1
+        assert node.vm("c1_2").takeovers == 1
+        assert trace.count(category="hypervisor.takeover") == 1
+        # CLOCK_SYNCTIME keeps being maintained.
+        writes_now = node.stshmem.accepted_writes
+        sim.run_until(4 * SECONDS)
+        assert node.stshmem.accepted_writes > writes_now
+
+    def test_takeover_latency_bounded(self):
+        sim, trace, node = make_node()
+        node.start()
+        sim.run_until(SECONDS)
+        fail_at = sim.now
+        node.vm("c1_1").fail_silent()
+        sim.run_until(5 * SECONDS)
+        takeover = trace.query(category="hypervisor.takeover")[0]
+        # Detection needs stale_ticks (3) monitor periods of 125ms plus
+        # scheduling slack.
+        assert takeover.time - fail_at <= 6 * 125 * MILLISECONDS
+
+    def test_redundant_failure_no_takeover(self):
+        sim, trace, node = make_node()
+        node.start()
+        sim.run_until(SECONDS)
+        node.vm("c1_2").fail_silent()  # standby dies; active unaffected
+        sim.run_until(3 * SECONDS)
+        assert node.stshmem.active_writer == "c1_1"
+        assert node.monitor.detections == 0
+
+    def test_no_backup_when_both_down(self):
+        sim, trace, node = make_node()
+        node.start()
+        sim.run_until(SECONDS)
+        node.vm("c1_2").fail_silent(reboot=False)
+        node.vm("c1_1").fail_silent(reboot=False)
+        sim.run_until(5 * SECONDS)
+        assert node.monitor.no_backup_events >= 1
+
+    def test_failed_vm_rejoins_as_standby(self):
+        sim, trace, node = make_node()
+        node.start()
+        sim.run_until(SECONDS)
+        node.vm("c1_1").fail_silent()  # boot_delay 10s
+        sim.run_until(20 * SECONDS)
+        assert node.vm("c1_1").running
+        # Active stays with the VM that took over.
+        assert node.stshmem.active_writer == "c1_2"
+
+    def test_compromise_marks_gm_instance(self):
+        sim, trace, node = make_node()
+        node.start()
+        vm = node.vm("c1_1")
+        vm.compromise(origin_shift=-24_000)
+        assert vm.compromised
+        assert vm.stack.instances[1].malicious_origin_shift == -24_000
+        assert trace.count(category="attack.ptp4l_replaced") == 1
+
+    def test_unknown_vm_lookup_raises(self):
+        sim, trace, node = make_node()
+        with pytest.raises(KeyError):
+            node.vm("nope")

@@ -1,0 +1,44 @@
+"""Tests for the trunk-failure experiment."""
+
+import pytest
+
+from repro.experiments.link_failure import (
+    LinkFailureConfig,
+    run_link_failure_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_link_failure_experiment(LinkFailureConfig(seed=12))
+
+
+class TestLinkFailure:
+    def test_exactly_the_crossing_domains_silenced(self, result):
+        # Trunk sw1–sw3 down: dev3's VMs lose dom1 (tree sw1→sw3), dev1's
+        # VMs lose dom3 (tree sw3→sw1). Nobody else loses anything.
+        assert result.silenced["c3_1"] == {1}
+        assert result.silenced["c3_2"] == {1}
+        assert result.silenced["c1_1"] == {3}
+        assert result.silenced["c1_2"] == {3}
+        for vm in ("c2_1", "c2_2", "c4_1", "c4_2"):
+            assert result.silenced[vm] == set()
+
+    def test_precision_bounded_through_outage(self, result):
+        assert result.violations == 0
+        assert result.max_precision_during_outage <= result.bounds.bound_with_error
+
+    def test_full_recovery(self, result):
+        assert result.recovered
+        assert result.max_precision_after_recovery <= result.bounds.bound_with_error
+
+    def test_summary_renders(self, result):
+        text = result.to_text()
+        assert "silenced domains" in text
+        assert "recovered: True" in text
+
+    def test_measurement_trunk_rejected(self):
+        with pytest.raises(ValueError):
+            run_link_failure_experiment(
+                LinkFailureConfig(trunk=("sw1", "sw2"))
+            )

@@ -1,0 +1,186 @@
+"""Unit tests for precision series, latency survey, γ and bound derivation."""
+
+import random
+
+import pytest
+
+from repro.measurement.bounds import derive_bounds
+from repro.measurement.error import measurement_error
+from repro.measurement.latency import LatencySurvey
+from repro.measurement.precision import PrecisionSeries
+from repro.network.nic import Nic, NicModel
+from repro.network.topology import MeshModel, build_mesh
+from repro.sim.kernel import Simulator
+from repro.sim.timebase import MILLISECONDS, SECONDS
+
+
+class TestPrecisionSeries:
+    def test_basic_precision_is_max_minus_min(self):
+        s = PrecisionSeries()
+        s.probe_sent(1, 1000)
+        s.observe(1, "a", 10.0)
+        s.observe(1, "b", 250.0)
+        s.observe(1, "c", 100.0)
+        record = s.finalize(1)
+        assert record.precision == 240.0
+        assert record.n_receivers == 3
+        assert record.time == 1000
+
+    def test_single_receiver_yields_no_record(self):
+        s = PrecisionSeries()
+        s.probe_sent(1, 0)
+        s.observe(1, "a", 10.0)
+        assert s.finalize(1) is None
+        assert len(s) == 0
+
+    def test_unknown_seq_observation_ignored(self):
+        s = PrecisionSeries()
+        s.observe(99, "a", 1.0)  # never sent
+        assert s.finalize(99) is None
+
+    def test_duplicate_observation_overwrites(self):
+        s = PrecisionSeries()
+        s.probe_sent(1, 0)
+        s.observe(1, "a", 10.0)
+        s.observe(1, "a", 20.0)
+        s.observe(1, "b", 10.0)
+        assert s.finalize(1).precision == 10.0
+
+    def test_series_and_max_record(self):
+        s = PrecisionSeries()
+        for seq, (t, spread) in enumerate([(0, 100.0), (SECONDS, 900.0),
+                                           (2 * SECONDS, 50.0)], start=1):
+            s.probe_sent(seq, t)
+            s.observe(seq, "a", 0.0)
+            s.observe(seq, "b", spread)
+            s.finalize(seq)
+        assert s.precisions() == [100.0, 900.0, 50.0]
+        assert s.max_record().precision == 900.0
+        assert len(s.violations(bound=500.0)) == 1
+        assert s.series()[1] == (SECONDS, 900.0)
+
+    def test_empty_series(self):
+        s = PrecisionSeries()
+        assert s.max_record() is None
+        assert s.precisions() == []
+
+
+def full_topo(seed=31):
+    sim = Simulator()
+    rng = random.Random(seed)
+    topo = build_mesh(sim, rng, MeshModel())
+    nics = {}
+    for dev in range(1, 5):
+        for vm in (1, 2):
+            name = f"c{dev}_{vm}"
+            nic = Nic(sim, name, random.Random(seed + dev * 10 + vm), NicModel())
+            topo.attach_nic(nic, f"sw{dev}", rng)
+            nics[name] = nic
+    return sim, topo, nics
+
+
+class TestLatencySurvey:
+    def test_survey_covers_all_pairs(self):
+        sim, topo, nics = full_topo()
+        result = LatencySurvey(topo).survey()
+        assert len(result.per_pair) == 8 * 7 // 2
+        assert result.d_min < result.d_max
+        assert result.reading_error == result.d_max - result.d_min
+
+    def test_survey_matches_nominal_without_traffic(self):
+        sim, topo, nics = full_topo()
+        d_min, d_max = topo.global_delay_bounds()
+        result = LatencySurvey(topo).survey()
+        assert (result.d_min, result.d_max) == (d_min, d_max)
+
+    def test_observed_delays_tighten_bounds(self):
+        sim, topo, nics = full_topo()
+        from repro.network.packet import Packet
+        # Carry some traffic over one access link so it reports observed.
+        link = topo.access_links["c1_1"]
+        for _ in range(50):
+            nics["c1_1"].port.transmit(Packet(dst="x", src="c1_1", payload=None))
+        sim.run()
+        assert link.min_observed is not None
+        observed = LatencySurvey(topo).survey()
+        nominal_min, nominal_max = topo.global_delay_bounds()
+        assert observed.d_min >= nominal_min
+        assert observed.d_max <= nominal_max
+
+    def test_survey_subset(self):
+        sim, topo, nics = full_topo()
+        result = LatencySurvey(topo).survey(["c1_1", "c2_1", "c3_1"])
+        assert len(result.per_pair) == 3
+
+    def test_survey_needs_two(self):
+        sim, topo, nics = full_topo()
+        with pytest.raises(ValueError):
+            LatencySurvey(topo).survey(["c1_1"])
+
+
+class TestMeasurementErrorAndBounds:
+    def test_symmetric_receivers_small_gamma(self):
+        sim, topo, nics = full_topo()
+        # Exclude the co-located VM (c2_1) as the paper does: all remaining
+        # paths have 3 hops, so gamma stays well below the reading error.
+        receivers = [f"c{d}_{v}" for d in (1, 3, 4) for v in (1, 2)]
+        gamma = measurement_error(topo, "c2_2", receivers)
+        survey = LatencySurvey(topo).survey()
+        assert 0 < gamma < survey.reading_error
+
+    def test_including_colocated_vm_inflates_gamma(self):
+        sim, topo, nics = full_topo()
+        symmetric = [f"c{d}_{v}" for d in (1, 3, 4) for v in (1, 2)]
+        with_local = symmetric + ["c2_1"]
+        assert (
+            measurement_error(topo, "c2_2", with_local)
+            > measurement_error(topo, "c2_2", symmetric)
+        )
+
+    def test_error_requires_receivers(self):
+        sim, topo, nics = full_topo()
+        with pytest.raises(ValueError):
+            measurement_error(topo, "c2_2", [])
+        with pytest.raises(ValueError):
+            measurement_error(topo, "c2_2", ["c2_2"])
+
+    def test_derive_bounds_matches_paper_structure(self):
+        sim, topo, nics = full_topo()
+        receivers = [f"c{d}_{v}" for d in (1, 3, 4) for v in (1, 2)]
+        bounds = derive_bounds(topo, "c2_2", receivers)
+        # Γ = 2 * 5ppm * 125ms = 1250ns, always.
+        assert bounds.drift_offset == 1250.0
+        # Π = 2(E + Γ) for N=4, f=1.
+        assert bounds.precision_bound == pytest.approx(
+            2 * (bounds.reading_error + 1250.0)
+        )
+        # Same order of magnitude as the paper's 12.6µs / 11.4µs.
+        assert 6_000 < bounds.precision_bound < 25_000
+        assert bounds.bound_with_error == bounds.precision_bound + bounds.measurement_error
+        assert "Π" in bounds.describe()
+
+
+class TestSpikeAttribution:
+    def test_readings_kept_on_request(self):
+        s = PrecisionSeries(keep_readings=True)
+        s.probe_sent(1, 0)
+        s.observe(1, "a", 10.0)
+        s.observe(1, "b", 250.0)
+        s.observe(1, "c", 100.0)
+        record = s.finalize(1)
+        assert record.readings == {"a": 10.0, "b": 250.0, "c": 100.0}
+        assert record.extreme_pair() == ("a", "b")
+        deviations = record.deviations_from_median()
+        assert deviations["c"] == 0.0
+        assert deviations["a"] == -90.0
+        assert deviations["b"] == 150.0
+
+    def test_readings_dropped_by_default(self):
+        s = PrecisionSeries()
+        s.probe_sent(1, 0)
+        s.observe(1, "a", 1.0)
+        s.observe(1, "b", 2.0)
+        record = s.finalize(1)
+        assert record.readings is None
+        assert record.extreme_pair() is None
+        assert record.deviations_from_median() is None

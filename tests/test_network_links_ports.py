@@ -1,0 +1,126 @@
+"""Unit tests for packets, links, and ports."""
+
+import random
+
+import pytest
+
+from repro.network.link import Link, LinkModel
+from repro.network.packet import GPTP_MULTICAST, Packet
+from repro.network.port import Port
+from repro.sim.kernel import Simulator
+
+
+class Sink:
+    """Minimal PortOwner that records receptions with their times."""
+
+    def __init__(self, sim, name):
+        self.sim = sim
+        self.name = name
+        self.received = []
+
+    def on_receive(self, port, packet):
+        self.received.append((self.sim.now, packet))
+
+
+def wire(sim, model=LinkModel(base_delay=1000, jitter=0), seed=1):
+    a_dev, b_dev = Sink(sim, "a"), Sink(sim, "b")
+    pa, pb = Port(a_dev, "p0"), Port(b_dev, "p0")
+    link = Link(sim, pa, pb, model, random.Random(seed))
+    return a_dev, b_dev, pa, pb, link
+
+
+class TestPacket:
+    def test_gptp_classification(self):
+        p = Packet(dst=GPTP_MULTICAST, src="gm", payload=None)
+        assert p.is_gptp() and p.is_multicast()
+
+    def test_multicast_group_classification(self):
+        p = Packet(dst="mcast:probe", src="m", payload=None, vlan=100)
+        assert p.is_multicast() and not p.is_gptp()
+
+    def test_unicast_classification(self):
+        p = Packet(dst="c1_1", src="m", payload=None)
+        assert not p.is_multicast()
+
+    def test_packet_ids_unique(self):
+        a = Packet(dst="x", src="y", payload=None)
+        b = Packet(dst="x", src="y", payload=None)
+        assert a.packet_id != b.packet_id
+
+    def test_copy_for_forwarding_preserves_fields_fresh_identity(self):
+        p = Packet(dst="mcast:g", src="s", payload={"k": 1}, vlan=7, hops=2)
+        c = p.copy_for_forwarding()
+        assert (c.dst, c.src, c.vlan, c.hops) == (p.dst, p.src, p.vlan, p.hops)
+        assert c.payload is p.payload
+        assert c.packet_id != p.packet_id
+
+
+class TestLink:
+    def test_delivery_after_base_delay(self):
+        sim = Simulator()
+        a, b, pa, pb, link = wire(sim)
+        pa.transmit(Packet(dst="b", src="a", payload="hi"))
+        sim.run()
+        assert len(b.received) == 1
+        t, pkt = b.received[0]
+        assert t == 1000
+        assert pkt.payload == "hi"
+
+    def test_full_duplex_both_directions(self):
+        sim = Simulator()
+        a, b, pa, pb, link = wire(sim)
+        pa.transmit(Packet(dst="b", src="a", payload=1))
+        pb.transmit(Packet(dst="a", src="b", payload=2))
+        sim.run()
+        assert len(a.received) == 1 and len(b.received) == 1
+
+    def test_jitter_bounded_and_recorded(self):
+        sim = Simulator()
+        model = LinkModel(base_delay=500, jitter=200)
+        a, b, pa, pb, link = wire(sim, model=model)
+        for _ in range(200):
+            pa.transmit(Packet(dst="b", src="a", payload=None))
+        sim.run()
+        delays = [t for t, _ in b.received]
+        assert all(500 <= d <= 700 for d in delays)
+        assert link.min_observed >= 500
+        assert link.max_observed <= 700
+        assert link.packets_carried == 200
+
+    def test_link_down_drops_packets(self):
+        sim = Simulator()
+        a, b, pa, pb, link = wire(sim)
+        link.set_up(False)
+        pa.transmit(Packet(dst="b", src="a", payload=None))
+        sim.run()
+        assert b.received == []
+
+    def test_min_max_delay_properties(self):
+        m = LinkModel(base_delay=100, jitter=30)
+        assert m.min_delay == 100
+        assert m.max_delay == 130
+
+
+class TestPort:
+    def test_double_attach_raises(self):
+        sim = Simulator()
+        a, b, pa, pb, link = wire(sim)
+        c = Sink(sim, "c")
+        pc = Port(c, "p0")
+        with pytest.raises(RuntimeError):
+            Link(sim, pa, pc, LinkModel(), random.Random(0))
+
+    def test_unconnected_transmit_is_noop(self):
+        sim = Simulator()
+        p = Port(Sink(sim, "x"), "p0")
+        p.transmit(Packet(dst="y", src="x", payload=None))
+        assert p.tx_packets == 0
+
+    def test_counters(self):
+        sim = Simulator()
+        a, b, pa, pb, link = wire(sim)
+        pa.transmit(Packet(dst="b", src="a", payload=None))
+        sim.run()
+        assert pa.tx_packets == 1
+        assert pb.rx_packets == 1
+        assert pa.full_name == "a.p0"

@@ -1,0 +1,163 @@
+"""Unit tests for the TSN switch."""
+
+import random
+
+import pytest
+
+from repro.network.link import Link, LinkModel
+from repro.network.packet import GPTP_MULTICAST, Packet
+from repro.network.port import Port
+from repro.network.switch import MAX_HOPS, SwitchModel, TsnSwitch
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceLog
+
+
+class Host:
+    def __init__(self, sim, name):
+        self.sim = sim
+        self.name = name
+        self.received = []
+
+    def on_receive(self, port, packet):
+        self.received.append((self.sim.now, packet))
+
+
+def make_switch(sim, name="sw1", trace=None, **model_kwargs):
+    defaults = dict(residence_base=500, residence_jitter=0, timestamp_jitter=0.0)
+    defaults.update(model_kwargs)
+    return TsnSwitch(sim, name, random.Random(1), SwitchModel(**defaults), trace)
+
+
+def attach_host(sim, sw, host_name, seed=2):
+    host = Host(sim, host_name)
+    hp = Port(host, "p0")
+    sp = sw.new_port(f"vm_{host_name}")
+    Link(sim, hp, sp, LinkModel(base_delay=100, jitter=0), random.Random(seed))
+    return host, hp, sp
+
+
+class TestVlanFlooding:
+    def test_floods_to_members_except_ingress(self):
+        sim = Simulator()
+        sw = make_switch(sim)
+        h1, p1, s1 = attach_host(sim, sw, "h1")
+        h2, p2, s2 = attach_host(sim, sw, "h2")
+        h3, p3, s3 = attach_host(sim, sw, "h3")
+        sw.set_vlan_members(100, [s1, s2, s3])
+        p1.transmit(Packet(dst="mcast:probe", src="h1", payload="x", vlan=100))
+        sim.run()
+        assert len(h2.received) == 1 and len(h3.received) == 1
+        assert h1.received == []  # not reflected
+        # link(100) + residence(500) + link(100)
+        assert h2.received[0][0] == 700
+
+    def test_non_member_port_excluded(self):
+        sim = Simulator()
+        sw = make_switch(sim)
+        h1, p1, s1 = attach_host(sim, sw, "h1")
+        h2, p2, s2 = attach_host(sim, sw, "h2")
+        h3, p3, s3 = attach_host(sim, sw, "h3")
+        sw.set_vlan_members(100, [s1, s2])
+        p1.transmit(Packet(dst="mcast:probe", src="h1", payload="x", vlan=100))
+        sim.run()
+        assert len(h2.received) == 1
+        assert h3.received == []
+
+    def test_unknown_vlan_dropped(self):
+        sim = Simulator()
+        sw = make_switch(sim)
+        h1, p1, s1 = attach_host(sim, sw, "h1")
+        h2, p2, s2 = attach_host(sim, sw, "h2")
+        sw.set_vlan_members(100, [s1, s2])
+        p1.transmit(Packet(dst="mcast:probe", src="h1", payload="x", vlan=999))
+        sim.run()
+        assert h2.received == []
+
+    def test_hop_count_incremented(self):
+        sim = Simulator()
+        sw = make_switch(sim)
+        h1, p1, s1 = attach_host(sim, sw, "h1")
+        h2, p2, s2 = attach_host(sim, sw, "h2")
+        sw.set_vlan_members(1, [s1, s2])
+        p1.transmit(Packet(dst="mcast:probe", src="h1", payload=None, vlan=1))
+        sim.run()
+        assert h2.received[0][1].hops == 1
+
+    def test_hop_limit_drops_loopers(self):
+        sim = Simulator()
+        trace = TraceLog()
+        sw = make_switch(sim, trace=trace)
+        h1, p1, s1 = attach_host(sim, sw, "h1")
+        h2, p2, s2 = attach_host(sim, sw, "h2")
+        sw.set_vlan_members(1, [s1, s2])
+        pkt = Packet(dst="mcast:probe", src="h1", payload=None, vlan=1, hops=MAX_HOPS)
+        p1.transmit(pkt)
+        sim.run()
+        assert h2.received == []
+        assert sw.dropped_hop_limit == 1
+        assert trace.count(category="switch.drop_hop_limit") == 1
+
+
+class TestUnicastFdb:
+    def test_static_route_followed(self):
+        sim = Simulator()
+        sw = make_switch(sim)
+        h1, p1, s1 = attach_host(sim, sw, "h1")
+        h2, p2, s2 = attach_host(sim, sw, "h2")
+        sw.add_fdb("h2", s2)
+        p1.transmit(Packet(dst="h2", src="h1", payload="u"))
+        sim.run()
+        assert len(h2.received) == 1
+
+    def test_unknown_unicast_dropped(self):
+        sim = Simulator()
+        sw = make_switch(sim)
+        h1, p1, s1 = attach_host(sim, sw, "h1")
+        h2, p2, s2 = attach_host(sim, sw, "h2")
+        p1.transmit(Packet(dst="nowhere", src="h1", payload=None))
+        sim.run()
+        assert h2.received == []
+
+    def test_foreign_port_rejected_in_config(self):
+        sim = Simulator()
+        sw1 = make_switch(sim, "sw1")
+        sw2 = make_switch(sim, "sw2")
+        foreign = sw2.new_port("x")
+        with pytest.raises(ValueError):
+            sw1.add_fdb("h", foreign)
+        with pytest.raises(ValueError):
+            sw1.set_vlan_members(1, [foreign])
+
+
+class TestGptpTermination:
+    def test_gptp_frames_go_to_handler_not_forwarded(self):
+        sim = Simulator()
+        sw = make_switch(sim)
+        h1, p1, s1 = attach_host(sim, sw, "h1")
+        h2, p2, s2 = attach_host(sim, sw, "h2")
+        sw.set_vlan_members(0, [s1, s2])
+        seen = []
+        sw.set_gptp_handler(lambda port, pkt, ts: seen.append((port, pkt, ts)))
+        p1.transmit(Packet(dst=GPTP_MULTICAST, src="h1", payload="sync"))
+        sim.run()
+        assert len(seen) == 1
+        assert seen[0][0] is s1
+        assert h2.received == []  # never bridged
+
+    def test_gptp_without_handler_is_dropped(self):
+        sim = Simulator()
+        sw = make_switch(sim)
+        h1, p1, s1 = attach_host(sim, sw, "h1")
+        p1.transmit(Packet(dst=GPTP_MULTICAST, src="h1", payload="sync"))
+        sim.run()  # must not raise
+
+    def test_timestamp_uses_switch_clock(self):
+        sim = Simulator()
+        sw = make_switch(sim)
+        h1, p1, s1 = attach_host(sim, sw, "h1")
+        captured = []
+        sw.set_gptp_handler(lambda port, pkt, ts: captured.append(ts))
+        p1.transmit(Packet(dst=GPTP_MULTICAST, src="h1", payload=None))
+        sim.run()
+        # rx at true t=100; switch clock drifts by at most ~5ppm → ts ≈ 100.
+        assert captured and abs(captured[0] - 100) < 10

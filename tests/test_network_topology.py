@@ -1,0 +1,102 @@
+"""Unit tests for the mesh topology builder."""
+
+import random
+
+import pytest
+
+from repro.network.nic import Nic, NicModel
+from repro.network.topology import MeshModel, build_mesh
+from repro.sim.kernel import Simulator
+
+
+def build(sim=None, n=4, seed=11):
+    sim = sim or Simulator()
+    rng = random.Random(seed)
+    topo = build_mesh(sim, rng, MeshModel(n_devices=n))
+    return sim, rng, topo
+
+
+class TestMeshConstruction:
+    def test_four_switches_six_trunks(self):
+        sim, rng, topo = build()
+        assert topo.switch_names() == ["sw1", "sw2", "sw3", "sw4"]
+        assert len(topo.trunks) == 6
+
+    def test_trunk_lookup_is_symmetric(self):
+        sim, rng, topo = build()
+        assert topo.trunk("sw1", "sw3") is topo.trunk("sw3", "sw1")
+
+    def test_trunk_ports_named_consistently(self):
+        sim, rng, topo = build()
+        port = topo.trunk_port("sw2", "sw4")
+        assert port.owner.name == "sw2"
+        assert port.peer.owner.name == "sw4"
+
+    def test_link_parameters_within_model_ranges(self):
+        sim, rng, topo = build()
+        m = topo.model
+        for link in topo.trunks.values():
+            assert m.trunk_base_range[0] <= link.model.base_delay <= m.trunk_base_range[1]
+            assert m.trunk_jitter_range[0] <= link.model.jitter <= m.trunk_jitter_range[1]
+
+
+class TestNicAttachment:
+    def attach(self, topo, sim, rng, name, sw):
+        nic = Nic(sim, name, random.Random(99), NicModel())
+        topo.attach_nic(nic, sw, rng)
+        return nic
+
+    def test_attach_and_lookup(self):
+        sim, rng, topo = build()
+        nic = self.attach(topo, sim, rng, "c1_1", "sw1")
+        assert topo.nic_switch["c1_1"] == "sw1"
+        assert topo.access_port("c1_1").owner.name == "sw1"
+        assert nic.port.connected
+
+    def test_double_attach_rejected(self):
+        sim, rng, topo = build()
+        nic = self.attach(topo, sim, rng, "c1_1", "sw1")
+        with pytest.raises(ValueError):
+            topo.attach_nic(nic, "sw2", rng)
+
+
+class TestPathAnalysis:
+    def full_testbed(self):
+        sim, rng, topo = build()
+        for dev in range(1, 5):
+            for vm in (1, 2):
+                nic = Nic(sim, f"c{dev}_{vm}", random.Random(dev * 10 + vm), NicModel())
+                topo.attach_nic(nic, f"sw{dev}", rng)
+        return sim, topo
+
+    def test_same_device_path_is_two_links_one_switch(self):
+        sim, topo = self.full_testbed()
+        links, switches = topo.path_links("c1_1", "c1_2")
+        assert len(links) == 2 and len(switches) == 1
+        assert topo.path_bounds("c1_1", "c1_2").hops == 2
+
+    def test_cross_device_path_is_three_links_two_switches(self):
+        sim, topo = self.full_testbed()
+        links, switches = topo.path_links("c1_1", "c3_2")
+        assert len(links) == 3 and len(switches) == 2
+        assert topo.path_bounds("c1_1", "c3_2").hops == 3
+
+    def test_path_bounds_ordering(self):
+        sim, topo = self.full_testbed()
+        b = topo.path_bounds("c2_1", "c4_1")
+        assert b.min_delay < b.max_delay
+        assert b.spread == b.max_delay - b.min_delay
+
+    def test_global_bounds_span_same_regime_as_paper(self):
+        sim, topo = self.full_testbed()
+        d_min, d_max = topo.global_delay_bounds()
+        # Paper experiment 1: d_min=4120ns, d_max=9188ns. Our calibration
+        # must land in the same few-microsecond regime.
+        assert 2_000 <= d_min <= 6_000
+        assert 6_000 <= d_max <= 13_000
+        assert d_max > d_min
+
+    def test_global_bounds_require_nics(self):
+        sim, rng, topo = build()
+        with pytest.raises(RuntimeError):
+            topo.global_delay_bounds()

@@ -1,0 +1,82 @@
+"""Probe service + responder behaviour on the full testbed."""
+
+import pytest
+
+from repro.experiments.testbed import Testbed, TestbedConfig
+from repro.sim.timebase import MINUTES, SECONDS
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    tb = Testbed(TestbedConfig(seed=41))
+    tb.run_until(2 * MINUTES)
+    return tb
+
+
+class TestProbeFlow:
+    def test_one_probe_per_second_after_start(self, testbed):
+        # measurement_start = 30 s; 2 min run → ~90 probes.
+        assert 85 <= testbed.probe_service.probes_sent <= 92
+
+    def test_every_receiver_responds(self, testbed):
+        for name, responder in testbed.responders.items():
+            assert responder.responses > 0, name
+
+    def test_records_match_probe_count(self, testbed):
+        assert len(testbed.series.records) <= testbed.probe_service.probes_sent
+        assert len(testbed.series.records) >= testbed.probe_service.probes_sent - 2
+
+    def test_measurement_vm_failure_pauses_series(self):
+        tb = Testbed(TestbedConfig(seed=42))
+        tb.run_until(90 * SECONDS)
+        count_before = len(tb.series.records)
+        vm = tb.vms[tb.measurement_vm_name]
+        vm.fail_silent(reboot=False)
+        tb.run_until(tb.sim.now + 30 * SECONDS)
+        # The paper's series would simply gap: no probes, no records.
+        assert len(tb.series.records) <= count_before + 1
+
+    def test_receiver_failure_reduces_n_receivers(self):
+        tb = Testbed(TestbedConfig(seed=43))
+        tb.run_until(90 * SECONDS)
+        victim = tb.receiver_names[0]
+        tb.vms[victim].fail_silent(reboot=False)
+        tb.run_until(tb.sim.now + 10 * SECONDS)
+        last = tb.series.records[-1]
+        assert last.n_receivers == 5
+
+    def test_precision_uses_node_synctime_not_phc(self):
+        """A corrupted STSHMEM page must show in the measured precision.
+
+        This pins the measurement path: receivers timestamp with the node's
+        CLOCK_SYNCTIME (the dependent clock applications actually see), not
+        with their own NIC clock.
+        """
+        tb = Testbed(TestbedConfig(seed=44, vms_per_node=2))
+        tb.run_until(90 * SECONDS)
+        node = tb.nodes["dev4"]
+        active = node.active_vm()
+        active.corrupt_clock(50_000)  # +50 µs on published params
+        tb.run_until(tb.sim.now + 10 * SECONDS)
+        last = tb.series.records[-1]
+        # Two-VM nodes cannot vote the corruption out; the measured
+        # precision must expose the wrong dependent clock.
+        assert last.precision > 30_000
+
+
+class TestAttributionOnTestbed:
+    def test_spike_attribution_identifies_corrupted_node(self):
+        tb = Testbed(TestbedConfig(seed=45, keep_probe_readings=True))
+        tb.run_until(90 * SECONDS)
+        node = tb.nodes["dev4"]
+        node.active_vm().corrupt_clock(50_000)
+        tb.run_until(tb.sim.now + 10 * SECONDS)
+        record = tb.series.records[-1]
+        pair = record.extreme_pair()
+        assert pair is not None
+        # One end of the extreme pair is a dev4 VM reading the poisoned page.
+        assert any(vm.startswith("c4_") for vm in pair)
+        deviations = record.deviations_from_median()
+        worst = max(deviations, key=lambda vm: abs(deviations[vm]))
+        assert worst.startswith("c4_")
+        assert abs(deviations[worst]) > 30_000

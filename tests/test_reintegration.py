@@ -1,0 +1,104 @@
+"""Re-integration of rebooted VMs — incl. the initial-domain GM.
+
+Regression tests for the stray-grandmaster failure mode: a rebooted GM of
+the *initial* domain must not anchor its startup on itself (it would
+free-run while still transmitting, and a second rebooting GM would step
+onto the stray clock, forming a two-cluster split that defeats the pairwise
+validity check). Found by the full 24 h fault-injection run.
+"""
+
+import pytest
+
+from repro.core.aggregator import AggregatorConfig, AggregatorMode, MultiDomainAggregator
+from repro.experiments.testbed import Testbed, TestbedConfig
+from repro.sim.timebase import MICROSECONDS, MINUTES, SECONDS
+
+
+class TestReferenceSelection:
+    def make(self, rejoin, own_domain=1):
+        import random
+
+        from repro.clocks.hardware_clock import HardwareClock
+        from repro.clocks.oscillator import Oscillator, OscillatorModel
+        from repro.sim.kernel import Simulator
+
+        sim = Simulator()
+        osc = Oscillator(sim, random.Random(1),
+                         OscillatorModel(base_sigma_ppm=0.0, wander_step_ppm=0.0))
+        agg = MultiDomainAggregator(
+            sim, HardwareClock(osc),
+            AggregatorConfig(own_domain=own_domain),
+        )
+        agg.reset(rejoin=rejoin)
+        return agg
+
+    def slot(self, domain, offset):
+        from repro.core.ftshmem import StoredOffset
+        from repro.gptp.instance import OffsetSample
+
+        return StoredOffset(
+            OffsetSample(domain, f"gm{domain}", offset, 0, 0), stored_at=0
+        )
+
+    def test_cold_start_initial_gm_anchors_on_itself(self):
+        agg = self.make(rejoin=False, own_domain=1)
+        fresh = {1: self.slot(1, 0.0), 2: self.slot(2, 80_000.0),
+                 3: self.slot(3, -60_000.0), 4: self.slot(4, 30_000.0)}
+        assert agg._reference_domain(fresh) == 1
+
+    def test_rejoining_initial_gm_references_live_ensemble(self):
+        agg = self.make(rejoin=True, own_domain=1)
+        # Own domain reads 0 by definition; the others form a tight cluster
+        # far away — the live system this VM must rejoin.
+        fresh = {1: self.slot(1, 0.0), 2: self.slot(2, 540_000.0),
+                 3: self.slot(3, 540_200.0), 4: self.slot(4, 539_900.0)}
+        assert agg._reference_domain(fresh) == 2
+
+    def test_rejoin_without_consistent_cluster_falls_back(self):
+        agg = self.make(rejoin=True, own_domain=2)
+        fresh = {1: self.slot(1, 100_000.0), 2: self.slot(2, 0.0),
+                 3: self.slot(3, -300_000.0)}
+        # No two foreign domains agree: fall back to the initial domain.
+        assert agg._reference_domain(fresh) == 1
+
+    def test_redundant_vm_rejoin_ignores_stray_initial_domain(self):
+        agg = self.make(rejoin=True, own_domain=None)
+        # dom1's GM is stray (7 ms off the tight dom2/3/4 cluster): the
+        # rebooted redundant VM must follow the cluster, not dom1.
+        fresh = {1: self.slot(1, 7_000_000.0), 2: self.slot(2, 100.0),
+                 3: self.slot(3, -80.0), 4: self.slot(4, 40.0)}
+        assert agg._reference_domain(fresh) == 2
+
+
+class TestEndToEndReintegration:
+    def test_initial_domain_gm_rejoins_after_reboot(self):
+        tb = Testbed(TestbedConfig(seed=27))
+        tb.run_until(2 * MINUTES)
+        gm = tb.vms["c1_1"]
+        assert gm.aggregator.mode is AggregatorMode.FAULT_TOLERANT
+        gm.fail_silent()  # 30 s boot delay
+        tb.run_until(tb.sim.now + 31 * SECONDS)
+        assert gm.running
+        assert gm.aggregator.mode is AggregatorMode.STARTUP
+        # Within a couple of minutes it must be back in FT mode and tight.
+        tb.run_until(tb.sim.now + 3 * MINUTES)
+        assert gm.aggregator.mode is AggregatorMode.FAULT_TOLERANT
+        assert tb.gm_clock_spread() < 3 * MICROSECONDS
+        # And the precision never left the bound during re-integration.
+        bounds = tb.derive_bounds()
+        assert not tb.series.violations(bounds.bound_with_error)
+
+    def test_back_to_back_gm_reboots_no_stray_cluster(self):
+        """The exact 24h-run failure scenario, compressed."""
+        tb = Testbed(TestbedConfig(seed=28))
+        tb.run_until(2 * MINUTES)
+        tb.vms["c1_1"].fail_silent()
+        tb.run_until(tb.sim.now + 45 * SECONDS)
+        tb.vms["c2_1"].fail_silent()  # second GM reboots into the aftermath
+        tb.run_until(tb.sim.now + 5 * MINUTES)
+        for name in ("c1_1", "c2_1"):
+            assert tb.vms[name].aggregator.mode is AggregatorMode.FAULT_TOLERANT
+        assert tb.gm_clock_spread() < 3 * MICROSECONDS
+        bounds = tb.derive_bounds()
+        late = [r.precision for r in tb.series.records if r.time > 2 * MINUTES]
+        assert max(late) <= bounds.bound_with_error

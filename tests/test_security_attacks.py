@@ -1,0 +1,99 @@
+"""Tests for the steered attack variants (ramp / oscillation)."""
+
+import pytest
+
+from repro.experiments.testbed import Testbed, TestbedConfig
+from repro.security.attacks import OscillatingAttack, RampAttack
+from repro.sim.timebase import MICROSECONDS, MINUTES, SECONDS
+
+
+def converged_testbed(seed):
+    tb = Testbed(TestbedConfig(seed=seed, kernel_policy="identical"))
+    tb.run_until(2 * MINUTES)
+    return tb
+
+
+class TestRampAttack:
+    def test_single_ramping_gm_is_masked(self):
+        tb = converged_testbed(seed=61)
+        attack = RampAttack(
+            tb.sim, [tb.vms["c4_1"]], step_per_update=-100, trace=tb.trace
+        )
+        attack.launch()
+        tb.run_until(tb.sim.now + 5 * MINUTES)
+        bounds = tb.derive_bounds()
+        late = [r.precision for r in tb.series.records if r.time > 2 * MINUTES]
+        # One walker among four: trimmed/invalidated; precision bounded.
+        assert max(late) <= bounds.bound_with_error
+
+    def test_colluding_ramp_becomes_detectable_divergence(self):
+        """No stealthy time-walk: the mutual FTA coupling compounds the pull.
+
+        The intended 0.8 ppm walk accelerates (the compromised GMs' own
+        clocks chase the fallen ensemble while re-shifting their origins)
+        until the servos saturate — and the measured precision leaves the
+        bound, i.e. the attack becomes *visible* instead of silent.
+        """
+        tb = converged_testbed(seed=62)
+        ensemble_err_before = tb.vms["c2_1"].nic.clock.time() - tb.sim.now
+        attack = RampAttack(
+            tb.sim, [tb.vms["c4_1"], tb.vms["c1_1"]],
+            step_per_update=-100,  # nominally 0.8 ppm
+            trace=tb.trace,
+        )
+        attack.launch()
+        tb.run_until(tb.sim.now + 8 * MINUTES)
+        bounds = tb.derive_bounds()
+        late = [r.precision for r in tb.series.records if r.time > 5 * MINUTES]
+        # The divergence shows up in the measured precision (detectable)...
+        assert max(late) > bounds.bound_with_error
+        # ...and the ensemble walked orders of magnitude beyond both the
+        # nominal ramp (0.8 ppm) and unforced drift (5 ppm).
+        ensemble_err_after = tb.vms["c2_1"].nic.clock.time() - tb.sim.now
+        walked = abs(ensemble_err_after - ensemble_err_before)
+        unforced = 8 * 60 * 5_000  # 8 min at the 5 ppm oscillator cap, ns
+        assert walked > 10 * unforced
+
+    def test_attack_requires_victims(self):
+        tb = converged_testbed(seed=63)
+        with pytest.raises(ValueError):
+            RampAttack(tb.sim, [])
+
+    def test_stop_freezes_shift(self):
+        tb = converged_testbed(seed=64)
+        vm = tb.vms["c3_1"]
+        attack = RampAttack(tb.sim, [vm], step_per_update=-50)
+        attack.launch()
+        tb.run_until(tb.sim.now + 30 * SECONDS)
+        attack.stop()
+        frozen = vm.stack.instances[3].malicious_origin_shift
+        tb.run_until(tb.sim.now + 30 * SECONDS)
+        assert vm.stack.instances[3].malicious_origin_shift == frozen
+
+
+class TestOscillatingAttack:
+    def test_pi_loop_absorbs_oscillation(self):
+        tb = converged_testbed(seed=65)
+        attack = OscillatingAttack(
+            tb.sim, [tb.vms["c4_1"]], amplitude=10 * MICROSECONDS,
+            period_updates=16,
+        )
+        attack.launch()
+        tb.run_until(tb.sim.now + 4 * MINUTES)
+        bounds = tb.derive_bounds()
+        late = [r.precision for r in tb.series.records if r.time > 2 * MINUTES]
+        # A single oscillating GM alternates between being trimmed at either
+        # extreme: masked.
+        assert max(late) <= bounds.bound_with_error
+
+    def test_shift_alternates(self):
+        tb = converged_testbed(seed=66)
+        attack = OscillatingAttack(
+            tb.sim, [tb.vms["c4_1"]], amplitude=5_000, period_updates=4,
+        )
+        attack.launch()
+        seen = set()
+        for _ in range(8):
+            tb.run_until(tb.sim.now + 250 * 1_000_000)
+            seen.add(tb.vms["c4_1"].stack.instances[4].malicious_origin_shift)
+        assert seen == {5_000, -5_000}

@@ -1,0 +1,61 @@
+"""Tests for the service VM."""
+
+import pytest
+
+from repro.experiments.testbed import Testbed, TestbedConfig
+from repro.hypervisor.service_vm import ServiceVm
+from repro.sim.timebase import SECONDS
+
+
+@pytest.fixture()
+def testbed():
+    tb = Testbed(TestbedConfig(seed=71))
+    tb.run_until(60 * SECONDS)
+    return tb
+
+
+class TestServiceVm:
+    def test_health_snapshot(self, testbed):
+        node = testbed.nodes["dev2"]
+        svc = ServiceVm(testbed.sim, node, trace=testbed.trace)
+        svc.start()
+        snap = svc.health_snapshot()
+        assert snap["node"] == "dev2"
+        assert snap["active_writer"] == "c2_1"
+        assert snap["stshmem_generation"] > 0
+        assert set(snap["clock_sync_vms"]) == {"c2_1", "c2_2"}
+        assert snap["clock_sync_vms"]["c2_1"]["mode"] == "FAULT_TOLERANT"
+
+    def test_reads_dependent_clock(self, testbed):
+        node = testbed.nodes["dev1"]
+        svc = ServiceVm(testbed.sim, node)
+        svc.start()
+        a = svc.read_synctime()
+        testbed.run_until(testbed.sim.now + SECONDS)
+        b = svc.read_synctime()
+        assert b - a == pytest.approx(SECONDS, abs=50_000)
+
+    def test_management_tasks_follow_lifecycle(self, testbed):
+        node = testbed.nodes["dev3"]
+        svc = ServiceVm(testbed.sim, node)
+        svc.start()
+        ticks = []
+        svc.add_management_task(lambda: ticks.append(testbed.sim.now),
+                                period=SECONDS, name="probe")
+        testbed.run_until(testbed.sim.now + 5 * SECONDS)
+        assert len(ticks) == 5
+        svc.fail_silent(reboot=False)
+        testbed.run_until(testbed.sim.now + 5 * SECONDS)
+        assert len(ticks) == 5  # stopped with the VM
+
+    def test_task_added_before_start_starts_with_vm(self, testbed):
+        node = testbed.nodes["dev4"]
+        svc = ServiceVm(testbed.sim, node)
+        ticks = []
+        svc.add_management_task(lambda: ticks.append(1), period=SECONDS,
+                                name="late")
+        testbed.run_until(testbed.sim.now + 2 * SECONDS)
+        assert ticks == []  # VM not started yet
+        svc.start()
+        testbed.run_until(testbed.sim.now + 3 * SECONDS)
+        assert len(ticks) == 3

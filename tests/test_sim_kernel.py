@@ -1,0 +1,136 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+
+
+def test_events_dispatch_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(300, order.append, "c")
+    sim.schedule(100, order.append, "a")
+    sim.schedule(200, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 300
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(50, order.append, 1)
+    sim.schedule(50, order.append, 2)
+    sim.schedule(50, order.append, 3)
+    sim.run()
+    assert order == [1, 2, 3]
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator(start_time=1000)
+    fired = []
+    sim.schedule_at(1500, fired.append, "x")
+    sim.run()
+    assert fired == ["x"]
+    assert sim.now == 1500
+
+
+def test_schedule_in_past_raises():
+    sim = Simulator(start_time=1000)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(999, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(100, fired.append, "x")
+    sim.schedule(50, handle.cancel)
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.schedule(100, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert sim.pending_events == 0
+    sim.run()
+
+
+def test_run_until_stops_at_boundary_and_advances_now():
+    sim = Simulator()
+    fired = []
+    sim.schedule(100, fired.append, "early")
+    sim.schedule(5000, fired.append, "late")
+    dispatched = sim.run_until(1000)
+    assert dispatched == 1
+    assert fired == ["early"]
+    assert sim.now == 1000
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_inclusive_of_boundary_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1000, fired.append, "at-boundary")
+    sim.run_until(1000)
+    assert fired == ["at-boundary"]
+
+
+def test_run_until_past_raises():
+    sim = Simulator(start_time=500)
+    with pytest.raises(SimulationError):
+        sim.run_until(499)
+
+
+def test_events_scheduled_during_dispatch_run():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(10, chain, n + 1)
+
+    sim.schedule(0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 30
+
+
+def test_stop_interrupts_run():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, 1)
+    sim.schedule(20, sim.stop)
+    sim.schedule(30, fired.append, 2)
+    sim.run()
+    assert fired == [1]
+    assert sim.pending_events == 1
+
+
+def test_max_events_limit():
+    sim = Simulator()
+    for i in range(10):
+        sim.schedule(i, lambda: None)
+    assert sim.run(max_events=4) == 4
+    assert sim.pending_events == 6
+
+
+def test_dispatched_counter_and_peek():
+    sim = Simulator()
+    assert sim.next_event_time() is None
+    sim.schedule(42, lambda: None)
+    assert sim.next_event_time() == 42
+    sim.run()
+    assert sim.dispatched_events == 1
+
+
+def test_step_returns_false_on_empty_queue():
+    sim = Simulator()
+    assert sim.step() is False

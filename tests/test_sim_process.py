@@ -1,0 +1,93 @@
+"""Unit tests for periodic tasks."""
+
+import random
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.process import PeriodicTask
+
+
+def test_periodic_fires_every_period():
+    sim = Simulator()
+    times = []
+    task = PeriodicTask(sim, period=100, action=lambda: times.append(sim.now))
+    task.start()
+    sim.run_until(550)
+    assert times == [100, 200, 300, 400, 500]
+    assert task.ticks == 5
+
+
+def test_phase_controls_first_tick():
+    sim = Simulator()
+    times = []
+    task = PeriodicTask(sim, period=100, action=lambda: times.append(sim.now), phase=0)
+    task.start()
+    sim.run_until(250)
+    assert times == [0, 100, 200]
+
+
+def test_stop_halts_ticks_and_restart_resumes():
+    sim = Simulator()
+    times = []
+    task = PeriodicTask(sim, period=100, action=lambda: times.append(sim.now))
+    task.start()
+    sim.run_until(250)
+    task.stop()
+    assert not task.running
+    sim.run_until(600)
+    assert times == [100, 200]
+    task.start()
+    sim.run_until(900)
+    assert times == [100, 200, 700, 800, 900]
+
+
+def test_action_may_stop_its_own_task():
+    sim = Simulator()
+    count = []
+
+    def action():
+        count.append(sim.now)
+        if len(count) == 3:
+            task.stop()
+
+    task = PeriodicTask(sim, period=10, action=action)
+    task.start()
+    sim.run()
+    assert count == [10, 20, 30]
+
+
+def test_jitter_displaces_ticks_within_bound():
+    sim = Simulator()
+    times = []
+    task = PeriodicTask(
+        sim,
+        period=1000,
+        action=lambda: times.append(sim.now),
+        jitter=100,
+        rng=random.Random(7),
+    )
+    task.start()
+    sim.run_until(10_000)
+    assert len(times) >= 9
+    for i, t in enumerate(times, start=1):
+        nominal = i * 1000
+        assert nominal <= t <= nominal + 100
+
+
+def test_invalid_parameters_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        PeriodicTask(sim, period=0, action=lambda: None)
+    with pytest.raises(ValueError):
+        PeriodicTask(sim, period=10, action=lambda: None, jitter=-1)
+    with pytest.raises(ValueError):
+        PeriodicTask(sim, period=10, action=lambda: None, jitter=5)  # no rng
+
+
+def test_double_start_raises():
+    sim = Simulator()
+    task = PeriodicTask(sim, period=10, action=lambda: None)
+    task.start()
+    with pytest.raises(RuntimeError):
+        task.start()

@@ -1,0 +1,107 @@
+"""Unit tests for RNG streams, trace log, and time helpers."""
+
+import pytest
+
+from repro.sim.rng import RngRegistry
+from repro.sim.timebase import (
+    HOURS,
+    MINUTES,
+    SECONDS,
+    format_hms,
+    from_ppb,
+    from_ppm,
+    from_seconds,
+    parse_hms,
+    to_ppb,
+    to_ppm,
+    to_seconds,
+)
+from repro.sim.trace import TraceLog
+
+
+class TestRngRegistry:
+    def test_same_seed_same_name_same_stream(self):
+        a = RngRegistry(123).stream("x")
+        b = RngRegistry(123).stream("x")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_names_are_independent(self):
+        reg = RngRegistry(123)
+        assert reg.stream("x").random() != reg.stream("y").random()
+
+    def test_creation_order_does_not_matter(self):
+        r1 = RngRegistry(9)
+        r1.stream("a")
+        v1 = r1.stream("b").random()
+        r2 = RngRegistry(9)
+        v2 = r2.stream("b").random()  # "a" never created
+        assert v1 == v2
+
+    def test_stream_is_cached(self):
+        reg = RngRegistry(1)
+        assert reg.stream("s") is reg.stream("s")
+
+    def test_fork_derives_independent_registry(self):
+        reg = RngRegistry(5)
+        child1 = reg.fork("arm-1")
+        child2 = reg.fork("arm-2")
+        assert child1.master_seed != child2.master_seed
+        assert child1.stream("x").random() != child2.stream("x").random()
+        # Forks are themselves deterministic.
+        again = RngRegistry(5).fork("arm-1")
+        assert again.stream("x").random() == RngRegistry(5).fork("arm-1").stream("x").random()
+
+
+class TestTraceLog:
+    def test_emit_and_query_by_category(self):
+        log = TraceLog()
+        log.emit(10, "fault.fail_silent", "c1_1", reason="shutdown")
+        log.emit(20, "hypervisor.takeover", "dev1")
+        assert len(log) == 2
+        faults = log.query(category="fault.fail_silent")
+        assert len(faults) == 1
+        assert faults[0].fields["reason"] == "shutdown"
+
+    def test_query_by_prefix_source_and_window(self):
+        log = TraceLog()
+        log.emit(10, "fault.fail_silent", "c1_1")
+        log.emit(20, "fault.reboot", "c1_1")
+        log.emit(30, "fault.fail_silent", "c2_1")
+        assert len(log.query(prefix="fault.")) == 3
+        assert len(log.query(prefix="fault.", source="c1_1")) == 2
+        assert len(log.query(start=15, end=30)) == 1
+        assert log.count(prefix="fault.") == 3
+        assert log.count(category="fault.reboot") == 1
+
+    def test_categories_sorted_unique(self):
+        log = TraceLog()
+        log.emit(1, "b", "s")
+        log.emit(2, "a", "s")
+        log.emit(3, "b", "s")
+        assert log.categories() == ["a", "b"]
+
+    def test_str_renders_hms(self):
+        log = TraceLog()
+        rec = log.emit(21 * MINUTES + 42 * SECONDS, "attack.exploit", "c4_1", cve="CVE-2018-18955")
+        assert "[00:21:42]" in str(rec)
+        assert "CVE-2018-18955" in str(rec)
+
+
+class TestTimebase:
+    def test_round_trips(self):
+        assert to_seconds(from_seconds(0.125)) == pytest.approx(0.125)
+        assert from_seconds(1.0) == SECONDS
+        assert to_ppm(from_ppm(5.0)) == pytest.approx(5.0)
+        assert to_ppb(from_ppb(37.5)) == pytest.approx(37.5)
+
+    def test_format_and_parse_hms(self):
+        t = 6 * HOURS + 45 * MINUTES + 49 * SECONDS
+        assert format_hms(t) == "06:45:49"
+        assert parse_hms("06:45:49") == t
+        assert parse_hms("21:42") == 21 * MINUTES + 42 * SECONDS
+
+    def test_parse_hms_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_hms("1:2:3:4")
+        with pytest.raises(ValueError):
+            parse_hms("00:99:00")

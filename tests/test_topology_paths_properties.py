@@ -1,0 +1,67 @@
+"""Property-based tests on topology path analysis and the latency survey."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.measurement.latency import LatencySurvey
+from repro.network.nic import Nic, NicModel
+from repro.network.topology import MeshModel, build_mesh
+from repro.sim.kernel import Simulator
+
+
+def build_testbed(seed, n_devices=4, vms_per_device=2):
+    sim = Simulator()
+    rng = random.Random(seed)
+    topo = build_mesh(sim, rng, MeshModel(n_devices=n_devices))
+    for dev in range(1, n_devices + 1):
+        for vm in range(1, vms_per_device + 1):
+            nic = Nic(sim, f"c{dev}_{vm}",
+                      random.Random(seed + dev * 10 + vm), NicModel())
+            topo.attach_nic(nic, f"sw{dev}", rng)
+    return topo
+
+
+class TestPathProperties:
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_path_bounds_symmetric(self, seed):
+        topo = build_testbed(seed)
+        a, b = "c1_1", "c3_2"
+        ab = topo.path_bounds(a, b)
+        ba = topo.path_bounds(b, a)
+        assert (ab.min_delay, ab.max_delay) == (ba.min_delay, ba.max_delay)
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_same_device_paths_shorter_than_cross_device(self, seed):
+        topo = build_testbed(seed)
+        local = topo.path_bounds("c2_1", "c2_2")
+        remote = topo.path_bounds("c2_1", "c4_1")
+        assert local.hops < remote.hops
+        # A 2-hop min can't exceed a 3-hop max in this mesh model.
+        assert local.min_delay < remote.max_delay
+
+    @given(seed=st.integers(0, 500), n=st.integers(3, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_global_bounds_envelope_every_pair(self, seed, n):
+        topo = build_testbed(seed, n_devices=n)
+        d_min, d_max = topo.global_delay_bounds()
+        names = sorted(topo.nic_switch)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                bounds = topo.path_bounds(a, b)
+                assert d_min <= bounds.min_delay
+                assert bounds.max_delay <= d_max
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=10, deadline=None)
+    def test_survey_consistent_with_nominal_bounds(self, seed):
+        topo = build_testbed(seed)
+        survey = LatencySurvey(topo).survey()
+        d_min, d_max = topo.global_delay_bounds()
+        # Without traffic the survey equals nominal; with traffic it can
+        # only tighten inward.
+        assert survey.d_min >= d_min
+        assert survey.d_max <= d_max
+        assert survey.reading_error >= 0

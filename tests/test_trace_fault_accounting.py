@@ -1,0 +1,75 @@
+"""End-to-end fault accounting: trace totals equal component counters.
+
+The §III-C counts (tx timeouts, deadline misses, fail-silent events,
+takeovers) are reported from the trace log; these tests pin that the trace
+agrees with the per-component counters, so the numbers in EXPERIMENTS.md
+cannot silently drift from what actually happened.
+"""
+
+import pytest
+
+from repro.experiments.fault_injection import (
+    FaultInjectionExperimentConfig,
+    run_fault_injection_experiment,
+)
+from repro.experiments.testbed import Testbed, TestbedConfig
+from repro.faults.transient import calibrate_transients
+from repro.sim.timebase import MINUTES
+
+
+class TestAccountingConsistency:
+    @pytest.fixture(scope="class")
+    def run(self):
+        config = FaultInjectionExperimentConfig(seed=77).scaled(0.1)
+        return run_fault_injection_experiment(config)
+
+    def test_summary_totals_consistent(self, run):
+        s = run.injections
+        assert s["fail_silent_total"] == s["gm_failures"] + s["redundant_failures"]
+        assert s["fail_silent_total"] > 0
+
+    def test_transient_counts_nonnegative(self, run):
+        assert run.tx_timeouts >= 0
+        assert run.deadline_misses >= 0
+
+    def test_takeovers_at_most_detections(self, run):
+        assert run.takeovers <= run.injections["fail_silent_total"] + 2
+
+
+class TestTraceVsCounters:
+    def test_nic_counters_equal_trace_counts(self):
+        tb = Testbed(
+            TestbedConfig(seed=78, transients=calibrate_transients(
+                target_tx_timeouts_24h=400_000,  # aggressive for a short run
+                target_deadline_misses_24h=120_000,
+            ))
+        )
+        tb.run_until(3 * MINUTES)
+        trace_timeouts = tb.trace.count(category="ptp4l.tx_timeout")
+        trace_misses = tb.trace.count(category="ptp4l.deadline_miss")
+        nic_timeouts = sum(vm.nic.tx_timestamp_timeouts for vm in tb.vms.values())
+        nic_misses = sum(vm.nic.deadline_misses for vm in tb.vms.values())
+        assert trace_timeouts == nic_timeouts
+        assert trace_misses == nic_misses
+        assert trace_timeouts > 0
+        assert trace_misses > 0
+
+    def test_fail_silent_trace_equals_vm_counters(self):
+        tb = Testbed(TestbedConfig(seed=79))
+        tb.run_until(MINUTES)
+        tb.vms["c1_2"].fail_silent()
+        tb.vms["c3_1"].fail_silent()
+        tb.run_until(tb.sim.now + MINUTES)
+        assert tb.trace.count(category="fault.fail_silent") == sum(
+            vm.fail_silent_count for vm in tb.vms.values()
+        )
+
+    def test_takeover_trace_equals_vm_counters(self):
+        tb = Testbed(TestbedConfig(seed=80))
+        tb.run_until(MINUTES)
+        active = tb.nodes["dev4"].active_vm()
+        active.fail_silent()
+        tb.run_until(tb.sim.now + 5_000_000_000)
+        assert tb.trace.count(category="hypervisor.takeover") == sum(
+            vm.takeovers for vm in tb.vms.values()
+        )
