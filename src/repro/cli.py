@@ -190,6 +190,27 @@ def cmd_linkfail(args: argparse.Namespace) -> int:
     return 0 if result.violations == 0 and result.recovered else 1
 
 
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _executor_kwargs(args: argparse.Namespace) -> Dict[str, Any]:
+    """Map the shared ``--workers``/``--no-cache`` flags to study kwargs."""
+    from repro.parallel import ResultsCache
+
+    workers = getattr(args, "workers", 0)
+    kwargs: Dict[str, Any] = {
+        "executor": "process" if workers and workers > 1 else "serial",
+        "max_workers": workers if workers and workers > 1 else None,
+    }
+    if not getattr(args, "no_cache", False):
+        kwargs["cache"] = ResultsCache(args.cache_dir)
+    return kwargs
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.sweeps import (
         render_rows,
@@ -207,7 +228,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         "threshold": sweep_validity_threshold,
     }
     rows = runners[args.study](
-        seed=args.seed, duration=round(args.duration * SECONDS)
+        seed=args.seed, duration=round(args.duration * SECONDS),
+        **_executor_kwargs(args),
     )
     payload = {"study": args.study, "rows": [r.as_dict() for r in rows]}
     _emit(args, render_rows(rows), payload)
@@ -218,7 +240,8 @@ def cmd_montecarlo(args: argparse.Namespace) -> int:
     from repro.experiments.montecarlo import run_monte_carlo
 
     seeds = list(range(args.base_seed, args.base_seed + args.runs))
-    study = run_monte_carlo(seeds=seeds, hours=args.hours)
+    study = run_monte_carlo(seeds=seeds, hours=args.hours,
+                            **_executor_kwargs(args))
     payload = {
         "seeds": seeds,
         "bounded_rate": study.bounded_rate,
@@ -326,12 +349,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_linkfail)
 
+    def add_executor_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", type=_nonnegative_int, default=0,
+                       metavar="N",
+                       help="shard arms across N worker processes "
+                            "(0/1 = serial, the default)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="recompute every arm instead of reusing "
+                            "cached per-arm results")
+        p.add_argument("--cache-dir", default=".repro_cache",
+                       help="results cache location "
+                            "(default: %(default)s)")
+
     p = sub.add_parser("sweep", help="design-space parameter sweeps")
     p.add_argument("study", choices=["domains", "interval", "aggregation",
                                      "threshold"])
     p.add_argument("--seed", type=int, default=9)
     p.add_argument("--duration", type=float, default=120.0,
                    help="seconds of simulated time per point")
+    add_executor_flags(p)
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_sweep)
 
@@ -340,6 +376,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--base-seed", type=int, default=100)
     p.add_argument("--hours", type=float, default=0.1,
                    help="compressed simulated hours per run")
+    add_executor_flags(p)
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_montecarlo)
 

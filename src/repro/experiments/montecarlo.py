@@ -7,19 +7,32 @@ probe violate Π + γ, what do the per-seed precision statistics look like,
 how stable are the masked-fault counts.
 
 The study uses independently forked RNG universes per seed, so arms are
-statistically independent and individually reproducible.
+statistically independent and individually reproducible — which also makes
+them embarrassingly parallel. ``run_monte_carlo`` accepts an ``executor=``
+strategy: ``"serial"`` (default) runs in-process; ``"process"`` shards the
+seeds across a :class:`repro.parallel.WorkerPool` in chunks, with results
+collected in seed order so the parallel study is bit-identical to the
+serial one. An optional :class:`repro.parallel.ResultsCache` keyed by
+``(config-hash, seed)`` skips seeds whose configuration has not changed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.stats import percentile
 from repro.experiments.fault_injection import (
     FaultInjectionExperimentConfig,
     FaultInjectionResult,
     run_fault_injection_experiment,
+)
+from repro.parallel import (
+    ResultsCache,
+    TaskSpec,
+    WorkerPool,
+    config_fingerprint,
+    default_chunk_size,
 )
 
 
@@ -83,36 +96,111 @@ class MonteCarloResult:
         return "\n".join(lines)
 
 
+# ----------------------------------------------------------------------
+# Per-seed execution (shared verbatim by the serial and process paths)
+# ----------------------------------------------------------------------
+def _seed_config(
+    base: FaultInjectionExperimentConfig, seed: int, hours: float
+) -> FaultInjectionExperimentConfig:
+    """The fully scaled configuration of one arm — also its cache identity."""
+    return FaultInjectionExperimentConfig(
+        duration=base.duration,
+        seed=seed,
+        injector=base.injector,
+        transients=base.transients,
+        aggregate_bucket=base.aggregate_bucket,
+        timeline_window=base.timeline_window,
+    ).scaled(hours)
+
+
+def _outcome_of(seed: int, result: FaultInjectionResult) -> SeedOutcome:
+    return SeedOutcome(
+        seed=seed,
+        bounded=result.bounded,
+        violations=result.violations,
+        mean_ns=result.distribution.mean,
+        max_ns=result.distribution.maximum,
+        injections=result.injections["fail_silent_total"],
+        takeovers=result.takeovers,
+    )
+
+
+def _run_seed_chunk(
+    configs: Sequence[FaultInjectionExperimentConfig],
+    runner: Callable[..., FaultInjectionResult],
+) -> List[SeedOutcome]:
+    """Worker task: run one chunk of scaled per-seed configs, in order.
+
+    Module-level (picklable) so it survives the ``spawn`` start method.
+    Only the compact :class:`SeedOutcome` rows cross the process boundary —
+    the full per-run record series stays in the worker.
+    """
+    return [_outcome_of(config.seed, runner(config)) for config in configs]
+
+
+def _cache_key(config: FaultInjectionExperimentConfig,
+               runner: Callable[..., FaultInjectionResult]) -> str:
+    runner_id = getattr(runner, "__qualname__", repr(runner))
+    return config_fingerprint("montecarlo", runner_id, config, config.seed)
+
+
 def run_monte_carlo(
     seeds: Sequence[int],
     base_config: Optional[FaultInjectionExperimentConfig] = None,
     hours: float = 0.25,
     runner: Callable[..., FaultInjectionResult] = run_fault_injection_experiment,
+    executor: str = "serial",
+    max_workers: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    cache: Optional[ResultsCache] = None,
 ) -> MonteCarloResult:
-    """Run the (compressed) fault-injection experiment across seeds."""
+    """Run the (compressed) fault-injection experiment across seeds.
+
+    Parameters
+    ----------
+    executor:
+        ``"serial"`` runs every arm in-process; ``"process"`` shards the
+        seeds across worker processes in chunks of
+        ``~n_seeds / (4 * workers)``. Both produce identical results.
+    max_workers:
+        Worker count for the process executor (default: CPU count).
+    task_timeout:
+        Per-chunk wall-clock budget in seconds; a wedged worker is killed
+        and its chunk retried once on a fresh process.
+    cache:
+        Optional :class:`ResultsCache`; hits skip the arm entirely.
+    """
     if not seeds:
         raise ValueError("need at least one seed")
+    if executor not in ("serial", "process"):
+        raise ValueError(f"unknown executor {executor!r}")
     base = base_config or FaultInjectionExperimentConfig()
-    outcomes: List[SeedOutcome] = []
-    for seed in seeds:
-        config = FaultInjectionExperimentConfig(
-            duration=base.duration,
-            seed=seed,
-            injector=base.injector,
-            transients=base.transients,
-            aggregate_bucket=base.aggregate_bucket,
-            timeline_window=base.timeline_window,
-        ).scaled(hours)
-        result = runner(config)
-        outcomes.append(
-            SeedOutcome(
-                seed=seed,
-                bounded=result.bounded,
-                violations=result.violations,
-                mean_ns=result.distribution.mean,
-                max_ns=result.distribution.maximum,
-                injections=result.injections["fail_silent_total"],
-                takeovers=result.takeovers,
-            )
+    configs = [_seed_config(base, seed, hours) for seed in seeds]
+
+    by_seed: Dict[int, SeedOutcome] = {}
+    to_run: List[FaultInjectionExperimentConfig] = []
+    for config in configs:
+        cached = cache.get(_cache_key(config, runner)) if cache else None
+        if cached is not None:
+            by_seed[config.seed] = SeedOutcome(**cached)
+        else:
+            to_run.append(config)
+
+    if to_run and executor == "process":
+        workers = max_workers or WorkerPool().max_workers
+        chunk = default_chunk_size(len(to_run), workers)
+        chunks = [to_run[i:i + chunk] for i in range(0, len(to_run), chunk)]
+        pool = WorkerPool(max_workers=workers, task_timeout=task_timeout)
+        chunk_outcomes = pool.map(
+            [TaskSpec(fn=_run_seed_chunk, args=(c, runner)) for c in chunks]
         )
-    return MonteCarloResult(outcomes=outcomes)
+        fresh = [o for chunk_result in chunk_outcomes for o in chunk_result]
+    else:
+        fresh = _run_seed_chunk(to_run, runner)
+
+    for config, outcome in zip(to_run, fresh):
+        by_seed[outcome.seed] = outcome
+        if cache:
+            cache.put(_cache_key(config, runner), asdict(outcome))
+
+    return MonteCarloResult(outcomes=[by_seed[seed] for seed in seeds])

@@ -15,6 +15,13 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.aggregator import AggregatorConfig
 from repro.experiments.testbed import Testbed, TestbedConfig
+from repro.parallel import (
+    ResultsCache,
+    TaskSpec,
+    WorkerPool,
+    config_fingerprint,
+    default_chunk_size,
+)
 from repro.sim.timebase import MILLISECONDS, MINUTES
 
 
@@ -67,22 +74,101 @@ def _measure(testbed: Testbed, duration: int, warmup_records: int) -> SweepRow:
     )
 
 
+def _run_sweep_point(
+    config: TestbedConfig, duration: int, warmup_records: int
+) -> SweepRow:
+    """Worker task: one sweep arm. Module-level so it pickles under spawn.
+
+    The parent materializes ``make_config(value)`` before dispatch, so only
+    the frozen :class:`TestbedConfig` dataclass crosses the process
+    boundary — the (often lambda) factory never has to be picklable.
+    """
+    return _measure(Testbed(config), duration, warmup_records)
+
+
+def _sweep_cache_key(config: TestbedConfig, duration: int,
+                     warmup_records: int) -> str:
+    return config_fingerprint("sweep", config, duration, warmup_records)
+
+
 def sweep(
     parameter: str,
     values: Sequence[Any],
     make_config: Callable[[Any], TestbedConfig],
     duration: int = 2 * MINUTES,
     warmup_records: int = 30,
+    executor: str = "serial",
+    max_workers: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    cache: Optional[ResultsCache] = None,
 ) -> List[SweepRow]:
-    """Generic sweep: build/run one testbed per value."""
+    """Generic sweep: build/run one testbed per value.
+
+    ``executor="process"`` runs the arms on a
+    :class:`repro.parallel.WorkerPool` (results stay in ``values`` order);
+    a :class:`ResultsCache` skips arms whose configuration is unchanged
+    since a previous run, so tweaking one parameter value only recomputes
+    the new arms.
+    """
     if not values:
         raise ValueError("sweep needs at least one value")
-    rows: List[SweepRow] = []
-    for value in values:
-        testbed = Testbed(make_config(value))
-        row = _measure(testbed, duration, warmup_records)
-        rows.append(replace(row, parameter=parameter, value=value))
-    return rows
+    if executor not in ("serial", "process"):
+        raise ValueError(f"unknown executor {executor!r}")
+    configs = [make_config(value) for value in values]
+
+    measured: Dict[int, SweepRow] = {}
+    to_run: List[int] = []
+    for i, config in enumerate(configs):
+        cached = cache.get(_sweep_cache_key(config, duration,
+                                            warmup_records)) if cache else None
+        if cached is not None:
+            measured[i] = SweepRow(**cached)
+        else:
+            to_run.append(i)
+
+    if to_run and executor == "process":
+        workers = max_workers or WorkerPool().max_workers
+        chunk = default_chunk_size(len(to_run), workers)
+        index_chunks = [to_run[i:i + chunk]
+                        for i in range(0, len(to_run), chunk)]
+        pool = WorkerPool(max_workers=workers, task_timeout=task_timeout)
+        chunk_rows = pool.map(
+            [
+                TaskSpec(fn=_run_sweep_chunk,
+                         args=([configs[i] for i in idxs],
+                               duration, warmup_records))
+                for idxs in index_chunks
+            ]
+        )
+        fresh = [
+            (i, row)
+            for idxs, rows_ in zip(index_chunks, chunk_rows)
+            for i, row in zip(idxs, rows_)
+        ]
+    else:
+        fresh = [
+            (i, _run_sweep_point(configs[i], duration, warmup_records))
+            for i in to_run
+        ]
+
+    for i, row in fresh:
+        measured[i] = row
+        if cache:
+            cache.put(
+                _sweep_cache_key(configs[i], duration, warmup_records),
+                row.as_dict(),
+            )
+    return [
+        replace(measured[i], parameter=parameter, value=value)
+        for i, value in enumerate(values)
+    ]
+
+
+def _run_sweep_chunk(
+    configs: Sequence[TestbedConfig], duration: int, warmup_records: int
+) -> List[SweepRow]:
+    """Worker task: a chunk of sweep arms, preserving chunk order."""
+    return [_run_sweep_point(c, duration, warmup_records) for c in configs]
 
 
 # ----------------------------------------------------------------------

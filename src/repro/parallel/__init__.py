@@ -1,0 +1,40 @@
+"""Parallel execution engine for multi-seed and multi-point studies.
+
+The experiments in :mod:`repro.experiments` are embarrassingly parallel —
+every Monte-Carlo seed and every sweep point builds its own testbed with an
+independently forked RNG universe — yet the seed runner executed them
+strictly serially. This package supplies the missing machinery:
+
+* :class:`~repro.parallel.pool.WorkerPool` — a spawn-safe multiprocessing
+  pool with picklable task specs, per-task timeouts, retry-once-on-crash
+  robustness, and *ordered* result collection so parallel output is
+  bit-identical to the serial path.
+* :class:`~repro.parallel.cache.ResultsCache` — an on-disk results cache
+  keyed by ``(config-hash, seed)`` under ``.repro_cache/`` so re-running a
+  study with one changed parameter only recomputes the changed arms.
+
+``experiments/montecarlo.py`` and ``experiments/sweeps.py`` accept an
+``executor=`` strategy (``"serial"`` default, ``"process"`` opt-in) built on
+these primitives; the CLI exposes ``--workers`` / ``--no-cache``.
+"""
+
+from repro.parallel.cache import ResultsCache, config_fingerprint
+from repro.parallel.pool import (
+    TaskCrashError,
+    TaskFailedError,
+    TaskSpec,
+    TaskTimeoutError,
+    WorkerPool,
+    default_chunk_size,
+)
+
+__all__ = [
+    "ResultsCache",
+    "TaskCrashError",
+    "TaskFailedError",
+    "TaskSpec",
+    "TaskTimeoutError",
+    "WorkerPool",
+    "config_fingerprint",
+    "default_chunk_size",
+]

@@ -1,0 +1,141 @@
+"""On-disk results cache for experiment arms.
+
+Re-running a sweep with one changed parameter should only recompute the
+changed arms. Every cacheable unit (one Monte-Carlo seed, one sweep point)
+is keyed by a SHA-256 fingerprint of its *full* configuration — the frozen
+dataclass ``repr`` covers every knob, so any parameter change, however
+small, produces a new key and a clean miss. Values are JSON documents under
+``.repro_cache/`` (two-level fan-out directories, atomic writes), so the
+cache survives process crashes and is safe to share between the serial and
+process executors.
+
+Invalidation is purely key-based: there is no TTL. Delete the cache root
+(or pass ``--no-cache``) after changing *code* rather than configuration —
+the fingerprint sees parameters, not simulator source. ``SCHEMA_VERSION``
+is baked into every key so cache layout changes never read stale entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import warnings
+from typing import Any, Optional
+
+#: Bump when the cached payload shape changes; old entries become misses.
+SCHEMA_VERSION = 1
+
+#: Default cache root, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def config_fingerprint(*parts: Any) -> str:
+    """SHA-256 hex digest of the ``repr`` of every part, order-sensitive.
+
+    Frozen dataclass reprs are deterministic functions of their field
+    values (nested dataclasses included), which makes them a stable,
+    dependency-free serialization for hashing:
+
+    >>> a = config_fingerprint(("x", 1.5))
+    >>> a == config_fingerprint(("x", 1.5))
+    True
+    >>> a == config_fingerprint(("x", 1.6))
+    False
+    """
+    digest = hashlib.sha256()
+    digest.update(f"schema={SCHEMA_VERSION}".encode("utf-8"))
+    for part in parts:
+        digest.update(b"\x1f")
+        digest.update(repr(part).encode("utf-8"))
+    return digest.hexdigest()
+
+
+class ResultsCache:
+    """A tiny content-addressed JSON store.
+
+    >>> import tempfile
+    >>> cache = ResultsCache(tempfile.mkdtemp())
+    >>> key = config_fingerprint("mc", 101)
+    >>> cache.get(key) is None
+    True
+    >>> cache.put(key, {"seed": 101, "bounded": True})
+    >>> cache.get(key)["seed"]
+    101
+    """
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR) -> None:
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+        self.disabled = False
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def get(self, key: str) -> Optional[Any]:
+        """Return the cached payload, or ``None`` on a miss.
+
+        A corrupt entry (interrupted write on an old filesystem, manual
+        edit) is deleted and reported as a miss rather than poisoning the
+        study.
+        """
+        if self.disabled:
+            return None
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, OSError):
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Any) -> None:
+        """Store a JSON-serializable payload atomically (tmp + rename).
+
+        Caching is an optimization: if the cache root is unwritable (path
+        collides with a file, disk full, permissions), the cache disables
+        itself with a warning instead of killing a multi-hour study on the
+        first write.
+        """
+        if self.disabled:
+            return
+        path = self._path(key)
+        tmp = None
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=os.path.dirname(path), suffix=".tmp"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, separators=(",", ":"))
+            os.replace(tmp, path)
+        except OSError as exc:
+            if tmp is not None:
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
+            self.disabled = True
+            warnings.warn(
+                f"results cache at {self.root!r} is unwritable ({exc}); "
+                "caching disabled for this run",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultsCache(root={self.root!r}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )

@@ -24,10 +24,12 @@ class EventHandle:
 
     The kernel never removes cancelled entries from the heap eagerly;
     cancellation just marks the handle and the dispatcher skips it. This is
-    the standard lazy-deletion trick and keeps ``cancel`` O(1).
+    the standard lazy-deletion trick and keeps ``cancel`` O(1). The handle
+    keeps a back-reference to its simulator while queued so cancellation can
+    maintain the kernel's live-event counter without a heap scan.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
 
     def __init__(
         self,
@@ -35,16 +37,23 @@ class EventHandle:
         seq: int,
         callback: Callable[..., None],
         args: Tuple[Any, ...],
+        sim: Optional["Simulator"] = None,
     ) -> None:
         self.time = time
         self.seq = seq
         self.callback: Optional[Callable[..., None]] = callback
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing; safe to call more than once."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            sim = self._sim
+            if sim is not None:
+                sim._live -= 1
+                self._sim = None
         self.callback = None
         self.args = ()
 
@@ -80,6 +89,27 @@ class Simulator:
         self._queue: List[EventHandle] = []
         self._seq: int = 0
         self._dispatched: int = 0
+        self._live: int = 0
+        self._running = False
+        self._stopped = False
+
+    def reset(self, start_time: int = 0) -> None:
+        """Return the kernel to a pristine post-construction state.
+
+        Cancels every queued event (so outstanding :class:`EventHandle`
+        references become inert) and rewinds time and the counters. Worker
+        processes that reuse one :class:`Simulator` across tasks call this
+        between runs; the kernel holds no OS resources (no threads, locks,
+        or file handles), so a reset instance is also safe to use after a
+        ``fork``/``spawn`` into a child process.
+        """
+        for handle in self._queue:
+            handle.cancel()
+        self._queue.clear()
+        self.now = start_time
+        self._seq = 0
+        self._dispatched = 0
+        self._live = 0
         self._running = False
         self._stopped = False
 
@@ -102,9 +132,10 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time} ns; current time is {self.now} ns"
             )
-        handle = EventHandle(time, self._seq, callback, args)
+        handle = EventHandle(time, self._seq, callback, args, sim=self)
         self._seq += 1
         heapq.heappush(self._queue, handle)
+        self._live += 1
         return handle
 
     # ------------------------------------------------------------------
@@ -123,6 +154,8 @@ class Simulator:
             callback, args = handle.callback, handle.args
             handle.callback = None
             handle.args = ()
+            handle._sim = None  # a late cancel() must not double-decrement
+            self._live -= 1
             assert callback is not None
             callback(*args)
             self._dispatched += 1
@@ -180,8 +213,13 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for h in self._queue if not h.cancelled)
+        """Number of live (non-cancelled) events still queued.
+
+        O(1): maintained as a counter incremented on push and decremented on
+        dispatch/cancel, rather than scanning the heap (which made every
+        ``repr``/monitor probe O(n) in queue depth).
+        """
+        return self._live
 
     @property
     def dispatched_events(self) -> int:

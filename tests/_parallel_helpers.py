@@ -1,0 +1,48 @@
+"""Module-level task functions for the WorkerPool tests.
+
+Worker tasks must be picklable under the ``spawn`` start method, so they
+live here (a plain module, not a test file) rather than as closures inside
+the tests.
+"""
+
+import os
+import time
+
+
+def square(x):
+    return x * x
+
+
+def slow_square(x, delay):
+    time.sleep(delay)
+    return x * x
+
+
+def raise_value_error(message):
+    raise ValueError(message)
+
+
+def crash(code=13):
+    """Die without reporting a result — simulates a segfault/OOM-kill."""
+    os._exit(code)
+
+
+def crash_once_then(marker_path, value):
+    """Crash on the first attempt, succeed on the retry.
+
+    Uses a filesystem marker because worker processes share no memory.
+    """
+    if not os.path.exists(marker_path):
+        with open(marker_path, "w"):
+            pass
+        os._exit(23)
+    return value
+
+
+def hang_once_then(marker_path, value, hang_seconds=60.0):
+    """Wedge on the first attempt, succeed on the retry."""
+    if not os.path.exists(marker_path):
+        with open(marker_path, "w"):
+            pass
+        time.sleep(hang_seconds)
+    return value

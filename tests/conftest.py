@@ -1,0 +1,35 @@
+"""Test-tier plumbing: the ``slow``/``fast`` marker split.
+
+The tier-1 command (``python -m pytest -x -q``) excludes ``slow`` tests by
+default via the ``-m "not slow"`` in ``addopts`` (pyproject.toml). Two ways
+to run the full suite:
+
+* ``python -m pytest --runslow`` — clears the default marker filter.
+* ``python -m pytest -m "slow or not slow"`` — a later ``-m`` overrides
+  the one from ``addopts``.
+
+Every test not marked ``slow`` is automatically tagged ``fast``, so the
+fast tier can also be selected explicitly with ``-m fast``.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="run the slow tier too (clears the default -m 'not slow')",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--runslow") and config.option.markexpr == "not slow":
+        config.option.markexpr = ""
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        if item.get_closest_marker("slow") is None:
+            item.add_marker(pytest.mark.fast)

@@ -37,6 +37,7 @@ class TestSyntheticTraces:
         assert report.worst_reintegration is None
 
 
+@pytest.mark.slow
 class TestOnRealRun:
     def test_full_testbed_convergence_times(self):
         tb = Testbed(TestbedConfig(seed=51))

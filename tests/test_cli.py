@@ -72,6 +72,7 @@ class TestExperimentCommands:
         assert payload["second_attack_violates"] is True
         assert payload["compromised"] == ["c4_1", "c1_1"]
 
+    @pytest.mark.slow
     def test_faults_compressed_run(self, capsys):
         code = main(["faults", "--hours", "0.1", "--compress", "--seed", "4",
                      "--json"])
@@ -109,6 +110,7 @@ class TestMonteCarloCommand:
 
 
 class TestLinkFailCommand:
+    @pytest.mark.slow
     def test_linkfail_json(self, capsys):
         code = main(["linkfail", "--seed", "12", "--json"])
         payload = json.loads(capsys.readouterr().out)

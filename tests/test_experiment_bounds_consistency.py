@@ -15,6 +15,7 @@ from repro.sim.timebase import MINUTES
 class TestBoundEnvelopesMeasurement:
     @given(seed=st.integers(1, 10_000))
     @settings(max_examples=5, deadline=None)
+    @pytest.mark.slow
     def test_steady_state_precision_within_bound_any_seed(self, seed):
         tb = Testbed(TestbedConfig(seed=seed))
         tb.run_until(2 * MINUTES)

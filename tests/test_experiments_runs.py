@@ -63,6 +63,7 @@ class TestCyberExperiment:
             run_cyber_experiment(config)
 
 
+@pytest.mark.slow
 class TestFaultInjectionExperiment:
     @pytest.fixture(scope="class")
     def result(self):
@@ -119,6 +120,7 @@ class TestBaselines:
         # in the ablation bench. Here we check the attack went through.
         assert result.precisions
 
+    @pytest.mark.slow
     def test_client_only_gms_drift_apart(self):
         client_only = run_client_only_baseline(duration=8 * MINUTES, seed=5)
         full = run_full_architecture(duration=8 * MINUTES, seed=5)

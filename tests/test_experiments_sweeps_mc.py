@@ -63,6 +63,7 @@ class TestSweepFramework:
         assert d["parameter"] == "p" and d["max_precision_ns"] == 3.0
 
 
+@pytest.mark.slow
 class TestMonteCarlo:
     @pytest.fixture(scope="class")
     def study(self):

@@ -63,6 +63,7 @@ class TestFaultInjector:
         sim.run_until(hours * HOURS)
         return sim, trace, nodes, injector
 
+    @pytest.mark.slow
     def test_gm_rotation_sequential_across_devices(self):
         sim, trace, nodes, injector = self.run_injector(hours=3)
         gm_records = injector.performed("gm")
@@ -70,6 +71,7 @@ class TestFaultInjector:
         victims = [r.vm for r in gm_records[:4]]
         assert victims == ["c1_1", "c2_1", "c3_1", "c4_1"]
 
+    @pytest.mark.slow
     def test_rates_in_paper_regime(self):
         sim, trace, nodes, injector = self.run_injector(hours=4)
         s = injector.summary()
@@ -79,6 +81,7 @@ class TestFaultInjector:
         assert s["redundant_failures"] >= 4
         assert s["fail_silent_total"] == s["gm_failures"] + s["redundant_failures"]
 
+    @pytest.mark.slow
     def test_never_both_vms_of_node_down_at_injection(self):
         """Replay the trace: at each injection, the sibling was running."""
         sim, trace, nodes, injector = self.run_injector(
@@ -107,6 +110,7 @@ class TestFaultInjector:
                 f"{vm} injected at {record.time} while {sibling} down"
             )
 
+    @pytest.mark.slow
     def test_min_gap_between_redundant_failures_per_node(self):
         sim, trace, nodes, injector = self.run_injector(
             hours=3, redundant_rate_per_hour=50.0
@@ -118,6 +122,7 @@ class TestFaultInjector:
             gaps = [b - a for a, b in zip(times, times[1:])]
             assert all(g >= 5 * MINUTES for g in gaps)
 
+    @pytest.mark.slow
     def test_excluded_vm_never_injected(self):
         sim, trace, nodes, injector = self.run_injector(
             hours=3, exclude=("c2_2",), redundant_rate_per_hour=10.0
@@ -135,6 +140,7 @@ class TestFaultInjector:
         with pytest.raises(RuntimeError):
             injector.start()
 
+    @pytest.mark.slow
     def test_skips_are_recorded_not_performed(self):
         sim, trace, nodes, injector = self.run_injector(
             hours=4, redundant_rate_per_hour=12.0, boot_delay=45 * MINUTES,

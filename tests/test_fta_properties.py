@@ -1,0 +1,153 @@
+"""Property-based tests for the aggregation functions in ``core/fta.py``.
+
+Three classes of law, checked over randomized inputs with hypothesis:
+
+* **Containment** — every aggregator's output lies within
+  ``[min(used), max(used)]`` (and hence within the input range).
+* **Permutation invariance** — reading order never matters; only the
+  multiset of clock readings does.
+* **Byzantine containment** — with ``N = 2f + 1`` readings of which one is
+  arbitrarily faulty, the FTA aggregate never leaves the correct readings'
+  spread (the Kopetz–Ochsenreiter masking guarantee the paper's FTA relies
+  on).
+"""
+
+import math
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.core.fta import (  # noqa: E402
+    AGGREGATORS,
+    fault_tolerant_average,
+    fault_tolerant_midpoint,
+    median_aggregate,
+)
+
+# Bounded magnitudes keep float error well below the assertion tolerance;
+# ±1e12 ns is ±1000 s of clock offset, far beyond anything physical.
+readings = st.lists(
+    st.floats(min_value=-1e12, max_value=1e12,
+              allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=16,
+)
+small_f = st.integers(min_value=0, max_value=4)
+
+
+def _tol(values):
+    """Absolute float-summation slack for a mean over ``values``."""
+    return 1e-3 + 1e-9 * max(abs(v) for v in values)
+
+
+class TestContainment:
+    @given(values=readings, f=small_f, name=st.sampled_from(sorted(AGGREGATORS)))
+    @settings(max_examples=200, deadline=None)
+    def test_value_within_used_span(self, values, f, name):
+        result = AGGREGATORS[name](values, f)
+        tol = _tol(values)
+        assert result.used, "at least one reading must survive trimming"
+        assert min(result.used) - tol <= result.value <= max(result.used) + tol
+
+    @given(values=readings, f=small_f, name=st.sampled_from(sorted(AGGREGATORS)))
+    @settings(max_examples=200, deadline=None)
+    def test_partition_preserves_multiset(self, values, f, name):
+        result = AGGREGATORS[name](values, f)
+        recombined = sorted(
+            list(result.dropped_low) + list(result.used)
+            + list(result.dropped_high)
+        )
+        assert recombined == sorted(values)
+        # Trimming is symmetric and ordered.
+        if result.dropped_low:
+            assert max(result.dropped_low) <= min(result.used)
+        if result.dropped_high:
+            assert max(result.used) <= min(result.dropped_high)
+
+    @given(values=readings, f=small_f)
+    @settings(max_examples=200, deadline=None)
+    def test_fta_never_drops_everything(self, values, f):
+        result = fault_tolerant_average(values, f)
+        assert len(result.used) >= 1
+        assert len(result.dropped_low) == len(result.dropped_high) <= f
+
+
+class TestPermutationInvariance:
+    @given(
+        values=readings,
+        f=small_f,
+        name=st.sampled_from(sorted(AGGREGATORS)),
+        data=st.data(),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_shuffled_input_same_result(self, values, f, name, data):
+        shuffled = data.draw(st.permutations(values))
+        a = AGGREGATORS[name](values, f)
+        b = AGGREGATORS[name](shuffled, f)
+        assert a.value == b.value or math.isclose(
+            a.value, b.value, rel_tol=0.0, abs_tol=_tol(values)
+        )
+        assert a.used == b.used
+        assert a.dropped_low == b.dropped_low
+        assert a.dropped_high == b.dropped_high
+
+
+class TestByzantineContainment:
+    """With N = 2f + 1 readings, one Byzantine value is always masked."""
+
+    @given(
+        f=st.integers(min_value=1, max_value=4),
+        correct=st.data(),
+        byzantine=st.floats(min_value=-1e15, max_value=1e15,
+                            allow_nan=False, allow_infinity=False),
+        position=st.integers(min_value=0),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_single_byzantine_stays_inside_correct_spread(
+        self, f, correct, byzantine, position
+    ):
+        correct_values = correct.draw(
+            st.lists(
+                st.floats(min_value=-1e9, max_value=1e9,
+                          allow_nan=False, allow_infinity=False),
+                min_size=2 * f,
+                max_size=2 * f,
+            )
+        )
+        values = list(correct_values)
+        values.insert(position % (len(values) + 1), byzantine)
+        assert len(values) == 2 * f + 1
+        lo, hi = min(correct_values), max(correct_values)
+        tol = _tol(values)
+        for aggregate in (fault_tolerant_average, fault_tolerant_midpoint):
+            result = aggregate(values, f)
+            assert lo - tol <= result.value <= hi + tol, (
+                f"{aggregate.__name__} moved outside the correct spread: "
+                f"{result.value} not in [{lo}, {hi}]"
+            )
+
+    @given(
+        correct=st.lists(
+            st.floats(min_value=-1e9, max_value=1e9,
+                      allow_nan=False, allow_infinity=False),
+            min_size=2, max_size=2,
+        ),
+        byzantine=st.floats(min_value=-1e15, max_value=1e15,
+                            allow_nan=False, allow_infinity=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_paper_n4_case_one_faulty_gm(self, correct, byzantine):
+        # The paper's N=4, f=1 testbed with one GM down: 3 live readings,
+        # one of them Byzantine. The FTA keeps the middle reading, which is
+        # always inside the two correct readings' spread.
+        result = fault_tolerant_average(correct + [byzantine], f=1)
+        tol = _tol(correct + [byzantine])
+        assert min(correct) - tol <= result.value <= max(correct) + tol
+
+    def test_median_is_degenerate_fta(self):
+        values = [3.0, 1.0, 2.0, 100.0, -7.0]
+        assert median_aggregate(values).value == fault_tolerant_average(
+            values, f=2
+        ).value

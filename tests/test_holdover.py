@@ -15,6 +15,7 @@ def result():
     return run_holdover_experiment(HoldoverConfig(seed=14))
 
 
+@pytest.mark.slow
 class TestHoldover:
     def test_engines_coast_instead_of_crashing(self, result):
         assert result.coasting_engines > 0

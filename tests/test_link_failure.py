@@ -13,6 +13,7 @@ def result():
     return run_link_failure_experiment(LinkFailureConfig(seed=12))
 
 
+@pytest.mark.slow
 class TestLinkFailure:
     def test_exactly_the_crossing_domains_silenced(self, result):
         # Trunk sw1–sw3 down: dev3's VMs lose dom1 (tree sw1→sw3), dev1's

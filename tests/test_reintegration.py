@@ -71,6 +71,7 @@ class TestReferenceSelection:
 
 
 class TestEndToEndReintegration:
+    @pytest.mark.slow
     def test_initial_domain_gm_rejoins_after_reboot(self):
         tb = Testbed(TestbedConfig(seed=27))
         tb.run_until(2 * MINUTES)
@@ -88,6 +89,7 @@ class TestEndToEndReintegration:
         bounds = tb.derive_bounds()
         assert not tb.series.violations(bounds.bound_with_error)
 
+    @pytest.mark.slow
     def test_back_to_back_gm_reboots_no_stray_cluster(self):
         """The exact 24h-run failure scenario, compressed."""
         tb = Testbed(TestbedConfig(seed=28))

@@ -14,6 +14,7 @@ def converged_testbed(seed):
 
 
 class TestRampAttack:
+    @pytest.mark.slow
     def test_single_ramping_gm_is_masked(self):
         tb = converged_testbed(seed=61)
         attack = RampAttack(
@@ -26,6 +27,7 @@ class TestRampAttack:
         # One walker among four: trimmed/invalidated; precision bounded.
         assert max(late) <= bounds.bound_with_error
 
+    @pytest.mark.slow
     def test_colluding_ramp_becomes_detectable_divergence(self):
         """No stealthy time-walk: the mutual FTA coupling compounds the pull.
 
@@ -72,6 +74,7 @@ class TestRampAttack:
 
 
 class TestOscillatingAttack:
+    @pytest.mark.slow
     def test_pi_loop_absorbs_oscillation(self):
         tb = converged_testbed(seed=65)
         attack = OscillatingAttack(

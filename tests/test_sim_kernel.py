@@ -134,3 +134,71 @@ def test_dispatched_counter_and_peek():
 def test_step_returns_false_on_empty_queue():
     sim = Simulator()
     assert sim.step() is False
+
+
+# ----------------------------------------------------------------------
+# O(1) live-event counter and reset()
+# ----------------------------------------------------------------------
+def test_pending_counter_tracks_cancellations():
+    sim = Simulator()
+    handles = [sim.schedule(10 * (i + 1), lambda: None) for i in range(5)]
+    assert sim.pending_events == 5
+    handles[2].cancel()
+    assert sim.pending_events == 4
+    handles[2].cancel()  # double-cancel must not double-decrement
+    assert sim.pending_events == 4
+    sim.run()
+    assert sim.pending_events == 0
+    assert sim.dispatched_events == 4
+
+
+def test_cancel_after_dispatch_does_not_underflow_counter():
+    sim = Simulator()
+    handle = sim.schedule(5, lambda: None)
+    other = sim.schedule(10, lambda: None)
+    sim.step()
+    assert sim.pending_events == 1
+    handle.cancel()  # already ran: a late cancel is a no-op for the counter
+    assert sim.pending_events == 1
+    other.cancel()
+    assert sim.pending_events == 0
+
+
+def test_pending_counter_matches_heap_scan():
+    # The counter must agree with an exhaustive scan at every step.
+    import random as stdlib_random
+
+    rng = stdlib_random.Random(7)
+    sim = Simulator()
+    handles = []
+    for _ in range(200):
+        action = rng.random()
+        if action < 0.5 or not handles:
+            handles.append(sim.schedule(rng.randint(0, 100), lambda: None))
+        elif action < 0.75:
+            handles.pop(rng.randrange(len(handles))).cancel()
+        else:
+            sim.step()
+        scan = sum(1 for h in sim._queue if not h.cancelled)
+        assert sim.pending_events == scan
+    sim.run()
+    assert sim.pending_events == 0
+
+
+def test_reset_restores_pristine_state():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, "a")
+    handle = sim.schedule(20, fired.append, "b")
+    sim.step()
+    sim.reset()
+    assert sim.now == 0
+    assert sim.pending_events == 0
+    assert sim.dispatched_events == 0
+    assert sim.next_event_time() is None
+    # Handles from before the reset are inert.
+    handle.cancel()
+    assert sim.pending_events == 0
+    sim.schedule(5, fired.append, "c")
+    sim.run()
+    assert fired == ["a", "c"]

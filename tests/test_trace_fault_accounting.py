@@ -17,6 +17,7 @@ from repro.faults.transient import calibrate_transients
 from repro.sim.timebase import MINUTES
 
 
+@pytest.mark.slow
 class TestAccountingConsistency:
     @pytest.fixture(scope="class")
     def run(self):

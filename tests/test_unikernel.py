@@ -47,6 +47,7 @@ class TestUnikernelTestbed:
         tb.run_until(down_at + 2 * SECONDS)
         assert vm.running, "a unikernel VM reboots within seconds"
 
+    @pytest.mark.slow
     def test_attack_bounces_off_unikernel_fleet(self):
         # The identical-kernel attack of Fig. 3a against unikernel GMs: the
         # Linux LPE exploit lands nowhere, so even 'identical' stacks
