@@ -1,0 +1,16 @@
+"""Version-compatibility helpers.
+
+The project supports Python 3.9+, but several hot-path dataclasses want
+``slots=True`` (lower per-instance memory, faster attribute access), which
+the ``dataclass`` decorator only grew in 3.10. ``SLOTTED`` expands to
+``{"slots": True}`` where available and to nothing on 3.9, so call sites
+write ``@dataclass(frozen=True, **SLOTTED)`` once and get the optimization
+wherever the interpreter can provide it.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict
+
+SLOTTED: Dict[str, Any] = {"slots": True} if sys.version_info >= (3, 10) else {}

@@ -74,6 +74,20 @@ class Oscillator:
         self._last_true = sim.now
         self._elapsed = 0.0
         self._rate = self._clamped_rate()  # cached; refreshed on wander steps
+        # _advance() runs on every clock read; precompute the model-derived
+        # constants and bind the RNG method once instead of per call.
+        self._step_sigma = from_ppm(model.wander_step_ppm)
+        self._interval = model.wander_interval
+        self._bound = max_frac
+        self._gauss = rng.gauss
+        # Next wander boundary strictly after _last_true, so the common
+        # within-segment read is a single comparison. With wander disabled
+        # there is no boundary at all.
+        if self._step_sigma == 0.0:
+            self._next_boundary: float = float("inf")
+        else:
+            interval = self._interval
+            self._next_boundary = (sim.now // interval + 1) * interval
 
     # ------------------------------------------------------------------
     def rate_error(self) -> float:
@@ -101,17 +115,22 @@ class Oscillator:
         operation in the whole simulator.
         """
         now = self.sim.now
-        if now == self._last_true:
+        last = self._last_true
+        if now == last:
             return
-        step_sigma = from_ppm(self.model.wander_step_ppm)
-        if step_sigma == 0.0:
-            # Constant-rate fast path (also used by test fixtures).
-            self._elapsed += (now - self._last_true) * (1.0 + self._rate)
+        # Common case in a busy simulation: the next wander boundary (cached
+        # as an invariant: smallest boundary strictly after _last_true) is
+        # still ahead, so the whole span is one constant-rate segment. With
+        # wander disabled the boundary is +inf and this is the only path.
+        if now < self._next_boundary:
+            self._elapsed += (now - last) * (1.0 + self._rate)
             self._last_true = now
             return
-        interval = self.model.wander_interval
-        bound = from_ppm(self.model.max_rate_ppm)
-        t = self._last_true
+        step_sigma = self._step_sigma
+        interval = self._interval
+        bound = self._bound
+        gauss = self._gauss
+        t = last
         while t < now:
             # Next wander boundary strictly after t.
             boundary = ((t // interval) + 1) * interval
@@ -119,11 +138,12 @@ class Oscillator:
             self._elapsed += (segment_end - t) * (1.0 + self._rate)
             t = segment_end
             if t == boundary:
-                self._wander += self.rng.gauss(0.0, step_sigma)
+                self._wander += gauss(0.0, step_sigma)
                 # Keep the walk itself bounded so it cannot saturate forever.
                 self._wander = max(-bound, min(bound, self._wander))
                 self._rate = self._clamped_rate()
         self._last_true = now
+        self._next_boundary = (now // interval + 1) * interval
 
     def __repr__(self) -> str:
         return (

@@ -149,6 +149,15 @@ class MultiDomainAggregator:
         self._aggregate_fn = AGGREGATORS[config.aggregation]
         self.last_result: Optional[AggregationResult] = None
         self.last_valid_flags: Dict[int, bool] = {}
+        # Hot-path bindings: handle_offset runs once per received FollowUp.
+        self._sync_interval = config.sync_interval
+        self._staleness = config.validity.staleness
+        if config.validity_mode == "majority":
+            from repro.core.gm_voting import assess_majority
+
+            self._assess = assess_majority
+        else:
+            self._assess = assess_validity
 
     # ------------------------------------------------------------------
     # OffsetSink interface — called by every ptp4l instance
@@ -157,7 +166,9 @@ class MultiDomainAggregator:
         """Store a domain's offset; run the gate check of eq. 2.1."""
         now = self.clock.time()
         self.shmem.store(sample, now)
-        if self.shmem.gate_open(now, self.config.sync_interval):
+        # Inline of shmem.gate_open (eq. 2.1): one check per stored offset.
+        last = self.shmem.adjust_last
+        if last is None or last + self._sync_interval <= now:
             self._adjust(now)
 
     # ------------------------------------------------------------------
@@ -165,7 +176,7 @@ class MultiDomainAggregator:
     # ------------------------------------------------------------------
     def _adjust(self, now: int) -> None:
         self.shmem.close_gate(now)
-        fresh = self.shmem.fresh_offsets(now, self.config.validity.staleness)
+        fresh = self.shmem.fresh_offsets(now, self._staleness)
         if self.mode is AggregatorMode.STARTUP:
             self._adjust_startup(fresh)
         else:
@@ -194,17 +205,13 @@ class MultiDomainAggregator:
             self._enter_fault_tolerant()
 
     def _adjust_fault_tolerant(self, fresh: Dict[int, "object"]) -> None:
-        if self.config.validity_mode == "majority":
-            from repro.core.gm_voting import assess_majority
-
-            flags = assess_majority(fresh, self.config.validity)
-        else:
-            flags = assess_validity(fresh, self.config.validity)
-        self.shmem.valid = {
-            d: flags.get(d, False) for d in self.config.domains
-        }
-        self.last_valid_flags = dict(self.shmem.valid)
-        offsets = [fresh[d].offset for d in sorted(fresh) if flags[d]]
+        flags = self._assess(fresh, self.config.validity)
+        # Both views get the same (never mutated in place) dict — one build
+        # per gate instead of a build plus a copy.
+        valid = {d: flags.get(d, False) for d in self.config.domains}
+        self.shmem.valid = valid
+        self.last_valid_flags = valid
+        offsets = [fresh[d].sample.offset for d in sorted(fresh) if flags[d]]
         if not offsets:
             self.coasts += 1  # nothing trustworthy: free-run this interval
             return

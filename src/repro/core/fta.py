@@ -16,10 +16,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
+from repro._compat import SLOTTED
 
-@dataclass(frozen=True)
+
+@dataclass(**SLOTTED)
 class AggregationResult:
     """Outcome of one aggregation.
+
+    A value object: treat as immutable. One is created per aggregation
+    gate on the hot path, so it is not frozen (frozen construction is ~4×
+    more expensive).
 
     Attributes
     ----------
@@ -59,10 +65,10 @@ def fault_tolerant_average(values: Sequence[float], f: int) -> AggregationResult
     drop = min(f, (len(ordered) - 1) // 2)
     used = tuple(ordered[drop: len(ordered) - drop])
     return AggregationResult(
-        value=sum(used) / len(used),
-        used=used,
-        dropped_low=tuple(ordered[:drop]),
-        dropped_high=tuple(ordered[len(ordered) - drop:]),
+        sum(used) / len(used),
+        used,
+        tuple(ordered[:drop]),
+        tuple(ordered[len(ordered) - drop:]),
     )
 
 

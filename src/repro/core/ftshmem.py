@@ -21,11 +21,18 @@ from typing import Dict, Optional
 
 from repro.gptp.instance import OffsetSample
 from repro.gptp.servo import PiServo
+from repro._compat import SLOTTED
 
 
-@dataclass(frozen=True)
+@dataclass(**SLOTTED)
 class StoredOffset:
-    """One domain's slot in FTSHMEM."""
+    """One domain's slot in FTSHMEM.
+
+    A value object: treat as immutable. One is created per offset store
+    (the hottest allocation of the aggregation path), so it is not frozen
+    — frozen dataclass construction routes every field through
+    ``object.__setattr__``.
+    """
 
     sample: OffsetSample
     stored_at: int  # local PHC time of the store
@@ -55,15 +62,16 @@ class FtShmem:
         """Write one domain's latest offset (last writer wins)."""
         if sample.domain not in self.valid:
             raise KeyError(f"domain {sample.domain} not part of this region")
-        self.offsets[sample.domain] = StoredOffset(sample=sample, stored_at=now)
+        self.offsets[sample.domain] = StoredOffset(sample, now)
         self.stores += 1
 
     def fresh_offsets(self, now: int, staleness: int) -> Dict[int, StoredOffset]:
         """Slots younger than ``staleness`` ns (excludes fail-silent GMs)."""
+        cutoff = now - staleness  # age(now) <= staleness, without the call
         return {
             d: slot
             for d, slot in self.offsets.items()
-            if slot.age(now) <= staleness
+            if slot.stored_at >= cutoff
         }
 
     def gate_open(self, now: int, sync_interval: int) -> bool:

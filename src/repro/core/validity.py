@@ -62,12 +62,18 @@ def assess_validity(
     domains = sorted(fresh)
     if len(domains) <= 1:
         return {d: True for d in domains}
+    # Plain nested loops rather than per-domain generator expressions: this
+    # runs once per aggregation gate and the genexpr frames dominated it.
+    threshold = config.threshold
+    offsets = [fresh[d].sample.offset for d in domains]
+    n = len(domains)
     flags: Dict[int, bool] = {}
-    for d in domains:
-        mine = fresh[d].offset
-        flags[d] = any(
-            abs(mine - fresh[other].offset) <= config.threshold
-            for other in domains
-            if other != d
-        )
+    for i in range(n):
+        mine = offsets[i]
+        ok = False
+        for j in range(n):
+            if j != i and abs(mine - offsets[j]) <= threshold:
+                ok = True
+                break
+        flags[domains[i]] = ok
     return flags

@@ -39,9 +39,10 @@ from repro.network.port import Port
 from repro.network.switch import TsnSwitch
 from repro.sim.kernel import Simulator
 from repro.sim.trace import TraceLog
+from repro._compat import SLOTTED
 
 
-@dataclass
+@dataclass(**SLOTTED)
 class _RelayState:
     """Per (domain, sequence) relay bookkeeping."""
 
@@ -52,10 +53,16 @@ class _RelayState:
 
 @dataclass(frozen=True)
 class _DomainPorts:
-    """Static per-domain role assignment on this bridge."""
+    """Static per-domain role assignment on this bridge.
+
+    ``egress`` caches, per master port, the bindings the per-Sync relay
+    path needs — ``(port name, port.transmit, transport name)`` — so the
+    transmit hot path does no dict/attribute chasing.
+    """
 
     slave_port: str
     master_ports: Tuple[str, ...]
+    egress: Tuple[Tuple[str, object, str], ...] = ()
 
 
 class TimeAwareBridge:
@@ -83,6 +90,10 @@ class TimeAwareBridge:
         self.sync_relayed = 0
         self.follow_up_relayed = 0
         self.follow_up_dropped = 0
+        # Hot-path bindings: every relayed Sync/FollowUp posts one kernel
+        # event per egress port after a sampled residence delay.
+        self._post = sim.post
+        self._residence = switch.residence_delay
         switch.set_gptp_handler(self._on_gptp)
 
     # ------------------------------------------------------------------
@@ -108,7 +119,12 @@ class TimeAwareBridge:
                 raise ValueError(f"unknown port {name!r} on {self.switch.name}")
             self.enable_port(name)
         self._domains[domain] = _DomainPorts(
-            slave_port=slave_port, master_ports=tuple(master_ports)
+            slave_port=slave_port,
+            master_ports=tuple(master_ports),
+            egress=tuple(
+                (name, self.switch.ports[name].transmit, self.transports[name].name)
+                for name in master_ports
+            ),
         )
         self._relay.setdefault(domain, {})
 
@@ -121,9 +137,16 @@ class TimeAwareBridge:
     # Ingress dispatch
     # ------------------------------------------------------------------
     def _on_gptp(self, port: Port, packet: Packet, rx_ts: int) -> None:
+        # Sync/FollowUp dominate ingress volume; test for them first. The
+        # message classes are disjoint, so the check order is behaviourally
+        # irrelevant.
         message = packet.payload
         name = port.name
-        if isinstance(message, PdelayReq):
+        if isinstance(message, Sync):
+            self._relay_sync(name, message, rx_ts)
+        elif isinstance(message, FollowUp):
+            self._relay_follow_up(name, message)
+        elif isinstance(message, PdelayReq):
             responder = self.responders.get(name)
             if responder is not None:
                 responder.on_request(message, rx_ts)
@@ -135,10 +158,6 @@ class TimeAwareBridge:
             initiator = self.initiators.get(name)
             if initiator is not None and message.requester == initiator.transport.name:
                 initiator.on_response_follow_up(message)
-        elif isinstance(message, Sync):
-            self._relay_sync(name, message, rx_ts)
-        elif isinstance(message, FollowUp):
-            self._relay_follow_up(name, message)
 
     # ------------------------------------------------------------------
     # Sync/FollowUp regeneration
@@ -150,25 +169,17 @@ class TimeAwareBridge:
         states = self._relay[message.domain]
         states[message.sequence_id] = _RelayState(rx_ts=rx_ts)
         self._prune(states, message.sequence_id)
-        for egress in ports.master_ports:
-            self.sim.schedule(
-                self.switch.residence_delay(),
-                self._transmit_sync,
-                message,
-                egress,
-            )
+        for eg in ports.egress:
+            self._post(self._residence(), self._transmit_sync, message, eg)
 
-    def _transmit_sync(self, message: Sync, egress: str) -> None:
+    def _transmit_sync(self, message: Sync, eg: tuple) -> None:
         states = self._relay[message.domain]
         state = states.get(message.sequence_id)
         if state is None:
             return
         tx_ts = self.switch.timestamp()
-        state.tx_ts[egress] = tx_ts
-        out = Packet(
-            dst=GPTP_MULTICAST, src=self.transports[egress].name, payload=message
-        )
-        self.switch.ports[egress].transmit(out)
+        state.tx_ts[eg[0]] = tx_ts
+        eg[1](Packet(GPTP_MULTICAST, eg[2], message))
         self.sync_relayed += 1
 
     def _relay_follow_up(self, ingress: str, message: FollowUp) -> None:
@@ -189,26 +200,23 @@ class TimeAwareBridge:
             message.correction_field
             + message.rate_ratio * ingress_pdelay.link_delay
         )
-        for egress in ports.master_ports:
-            tx_ts = state.tx_ts.get(egress)
+        for eg in ports.egress:
+            tx_ts = state.tx_ts.get(eg[0])
             if tx_ts is None:
                 # FollowUp overtook the Sync egress (possible under extreme
                 # queueing): retry shortly instead of dropping the interval.
-                self.sim.schedule(
-                    self.switch.residence_delay(),
-                    self._retry_follow_up,
-                    message,
-                    egress,
+                self._post(
+                    self._residence(), self._retry_follow_up, message, eg
                 )
                 continue
-            self._transmit_follow_up(message, egress, state, base_correction, rate_ratio_out)
+            self._transmit_follow_up(message, eg, state, base_correction, rate_ratio_out)
 
-    def _retry_follow_up(self, message: FollowUp, egress: str) -> None:
+    def _retry_follow_up(self, message: FollowUp, eg: tuple) -> None:
         ports = self._domains.get(message.domain)
         state = self._relay[message.domain].get(message.sequence_id)
         if ports is None or state is None:
             return
-        tx_ts = state.tx_ts.get(egress)
+        tx_ts = state.tx_ts.get(eg[0])
         if tx_ts is None:
             self.follow_up_dropped += 1
             return
@@ -221,33 +229,26 @@ class TimeAwareBridge:
             message.correction_field
             + message.rate_ratio * ingress_pdelay.link_delay
         )
-        self._transmit_follow_up(message, egress, state, base_correction, rate_ratio_out)
+        self._transmit_follow_up(message, eg, state, base_correction, rate_ratio_out)
 
     def _transmit_follow_up(
         self,
         message: FollowUp,
-        egress: str,
+        eg: tuple,
         state: _RelayState,
         base_correction: float,
         rate_ratio_out: float,
     ) -> None:
-        residence = state.tx_ts[egress] - state.rx_ts
+        residence = state.tx_ts[eg[0]] - state.rx_ts
         out_message = FollowUp(
-            domain=message.domain,
-            sequence_id=message.sequence_id,
-            gm_identity=message.gm_identity,
-            precise_origin_timestamp=message.precise_origin_timestamp,
-            correction_field=base_correction + rate_ratio_out * residence,
-            rate_ratio=rate_ratio_out,
+            message.domain,
+            message.sequence_id,
+            message.gm_identity,
+            message.precise_origin_timestamp,
+            base_correction + rate_ratio_out * residence,
+            rate_ratio_out,
         )
-        out = Packet(
-            dst=GPTP_MULTICAST, src=self.transports[egress].name, payload=out_message
-        )
-        self.sim.schedule(
-            self.switch.residence_delay(),
-            self.switch.ports[egress].transmit,
-            out,
-        )
+        self._post(self._residence(), eg[1], Packet(GPTP_MULTICAST, eg[2], out_message))
         self.follow_up_relayed += 1
 
     def _prune(self, states: Dict[int, _RelayState], newest: int) -> None:

@@ -40,19 +40,24 @@ from repro.gptp.messages import (
 from repro.gptp.pdelay import PdelayInitiator, PdelayResponder
 from repro.gptp.transport import NicTransport
 from repro.network.nic import Nic
-from repro.network.packet import Packet
+from repro.network.packet import GPTP_MULTICAST, Packet
 from repro.sim.kernel import Simulator
 from repro.sim.process import PeriodicTask
 from repro.sim.timebase import MILLISECONDS
 from repro.sim.trace import TraceLog
+from repro._compat import SLOTTED
 
 
-@dataclass(frozen=True)
+@dataclass(**SLOTTED)
 class OffsetSample:
     """One measured GM offset at one slave.
 
     ``offset`` follows the LinuxPTP convention ``slave − master``: positive
     means the local clock is ahead of the grandmaster.
+
+    Treat as immutable. Not ``frozen``: one sample is allocated per received
+    FollowUp, and frozen construction costs ~4× (every field goes through
+    ``object.__setattr__``).
     """
 
     domain: int
@@ -107,6 +112,9 @@ class Ptp4lInstance:
         self._last_launch: Optional[int] = None
         self._pending_sync: Dict[int, int] = {}  # seq -> rx_ts
         self._running = False
+        # Hot-path bindings: one timeout post per received Sync.
+        self._post = sim.post
+        self._follow_up_timeout = config.follow_up_timeout
         self._gm_task: Optional[PeriodicTask] = None
         if is_gm:
             self._ensure_gm_task()
@@ -200,12 +208,7 @@ class Ptp4lInstance:
     def _send_follow_up(self, seq: int, tx_ts: int) -> None:
         origin = tx_ts + self.malicious_origin_shift
         follow_up = FollowUp(
-            domain=self.config.number,
-            sequence_id=seq,
-            gm_identity=self.transport.name,
-            precise_origin_timestamp=origin,
-            correction_field=0.0,
-            rate_ratio=1.0,
+            self.config.number, seq, self.transport.name, origin, 0.0, 1.0
         )
         self.transport.send(follow_up)
         self.follow_up_sent += 1
@@ -213,13 +216,7 @@ class Ptp4lInstance:
         # definition; feeding it keeps the FTA's view complete (classic
         # FTA includes the local clock's self-difference).
         self.sink.handle_offset(
-            OffsetSample(
-                domain=self.config.number,
-                gm_identity=self.transport.name,
-                offset=0.0,
-                origin_timestamp=origin,
-                local_rx_timestamp=tx_ts,
-            )
+            OffsetSample(self.config.number, self.transport.name, 0.0, origin, tx_ts)
         )
 
     # ------------------------------------------------------------------
@@ -231,8 +228,8 @@ class Ptp4lInstance:
             return  # our own domain's Sync reflected by mis-wiring: ignore
         self._pending_sync[message.sequence_id] = rx_ts
         # Bound matching state: discard if the FollowUp never shows.
-        self.sim.schedule(
-            self.config.follow_up_timeout,
+        self._post(
+            self._follow_up_timeout,
             self._pending_sync.pop,
             message.sequence_id,
             None,
@@ -258,11 +255,11 @@ class Ptp4lInstance:
         self.offsets_computed += 1
         self.sink.handle_offset(
             OffsetSample(
-                domain=self.config.number,
-                gm_identity=message.gm_identity,
-                offset=offset,
-                origin_timestamp=message.precise_origin_timestamp,
-                local_rx_timestamp=rx_ts,
+                self.config.number,
+                message.gm_identity,
+                offset,
+                message.precise_origin_timestamp,
+                rx_ts,
             )
         )
 
@@ -339,18 +336,14 @@ class GptpStack:
 
     # ------------------------------------------------------------------
     def _on_rx(self, packet: Packet, rx_ts: int) -> None:
-        if not packet.is_gptp() or not self._started:
+        # Inline of packet.is_gptp(): this runs for every received frame.
+        if packet.dst != GPTP_MULTICAST or not self._started:
             return
+        # Sync/FollowUp dominate ingress volume; test for them first. The
+        # message classes are disjoint, so the check order is behaviourally
+        # irrelevant.
         message = packet.payload
-        if isinstance(message, PdelayReq):
-            self.pdelay_responder.on_request(message, rx_ts)
-        elif isinstance(message, PdelayResp):
-            if message.requester == self.transport.name:
-                self.pdelay_initiator.on_response(message, rx_ts)
-        elif isinstance(message, PdelayRespFollowUp):
-            if message.requester == self.transport.name:
-                self.pdelay_initiator.on_response_follow_up(message)
-        elif isinstance(message, Sync):
+        if isinstance(message, Sync):
             instance = self.instances.get(message.domain)
             if instance is not None:
                 instance.on_sync(message, rx_ts)
@@ -358,6 +351,14 @@ class GptpStack:
             instance = self.instances.get(message.domain)
             if instance is not None:
                 instance.on_follow_up(message)
+        elif isinstance(message, PdelayReq):
+            self.pdelay_responder.on_request(message, rx_ts)
+        elif isinstance(message, PdelayResp):
+            if message.requester == self.transport.name:
+                self.pdelay_initiator.on_response(message, rx_ts)
+        elif isinstance(message, PdelayRespFollowUp):
+            if message.requester == self.transport.name:
+                self.pdelay_initiator.on_response_follow_up(message)
         elif isinstance(message, Announce):
             if self.announce_handler is not None:
                 self.announce_handler(message, rx_ts)

@@ -7,14 +7,23 @@ The paper's multi-domain extension rides entirely on standard messages: each
 gPTP domain carries its own Sync/FollowUp stream, distinguished by the
 ``domain`` field, exactly as multiple ptp4l instances bound to distinct
 domain numbers would see on a real NIC.
+
+All message types are value objects and must be treated as immutable —
+bridges share one instance across every egress port. ``Sync`` and
+``FollowUp`` are created on the per-interval hot path (thousands per
+simulated second), so they are *not* ``frozen``: the frozen machinery routes
+every field through ``object.__setattr__`` and makes construction ~4× more
+expensive. The cold control-plane messages keep ``frozen=True``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro._compat import SLOTTED
 
-@dataclass(frozen=True)
+
+@dataclass(**SLOTTED)
 class Sync:
     """Two-step Sync: an event message carrying no time of its own.
 
@@ -33,7 +42,7 @@ class Sync:
     gm_identity: str
 
 
-@dataclass(frozen=True)
+@dataclass(**SLOTTED)
 class FollowUp:
     """FollowUp for a two-step Sync.
 
@@ -60,7 +69,7 @@ class FollowUp:
     rate_ratio: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class PdelayReq:
     """Peer-delay request (event message, timestamped both ends)."""
 
@@ -68,7 +77,7 @@ class PdelayReq:
     requester: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class PdelayResp:
     """Peer-delay response, carrying the request's receipt time t2."""
 
@@ -78,7 +87,7 @@ class PdelayResp:
     request_receipt_timestamp: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class PdelayRespFollowUp:
     """Peer-delay response follow-up, carrying the response's origin time t3."""
 
@@ -88,7 +97,7 @@ class PdelayRespFollowUp:
     response_origin_timestamp: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class Announce:
     """Announce message (used only by the BMCA extension).
 

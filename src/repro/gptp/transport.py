@@ -51,7 +51,7 @@ class NicTransport:
         launch_time: Optional[int] = None,
         on_tx_timestamp: Optional[TxTimestampCallback] = None,
     ) -> None:
-        packet = Packet(dst=GPTP_MULTICAST, src=self.name, payload=message)
+        packet = Packet(GPTP_MULTICAST, self.name, message)
         self.nic.send(packet, launch_time=launch_time, on_tx_timestamp=on_tx_timestamp)
 
 
@@ -79,7 +79,7 @@ class SwitchPortTransport:
         launch_time: Optional[int] = None,
         on_tx_timestamp: Optional[TxTimestampCallback] = None,
     ) -> None:
-        packet = Packet(dst=GPTP_MULTICAST, src=self.name, payload=message)
+        packet = Packet(GPTP_MULTICAST, self.name, message)
         tx_ts = self.switch.timestamp()
         self.port.transmit(packet)
         if on_tx_timestamp is not None:

@@ -76,6 +76,21 @@ class Link:
         self.min_observed: Optional[int] = None
         self.max_observed: Optional[int] = None
         self.up = True
+        # Hot-path locals: one delay draw and one kernel post per packet;
+        # binding the methods and model scalars once keeps the per-packet
+        # cost to the draw itself. The uniform draw is inlined as the same
+        # rejection sampling ``randint(0, jitter)`` performs internally
+        # (identical getrandbits consumption, identical values), skipping
+        # three layers of pure-Python argument checking per packet.
+        self._base_delay = model.base_delay
+        self._jitter = model.jitter
+        self._randint = rng.randint
+        self._getrandbits = rng.getrandbits
+        self._jitter_n = model.jitter + 1
+        self._jitter_bits = self._jitter_n.bit_length()
+        self._post = sim.post
+        self._deliver_a = a.deliver
+        self._deliver_b = b.deliver
         a._attach(self, b)
         b._attach(self, a)
 
@@ -84,20 +99,34 @@ class Link:
         """Deliver ``packet`` to the opposite endpoint after a sampled delay."""
         if not self.up:
             return
-        to_port = self.b if from_port is self.a else self.a
-        delay = self.sample_delay()
+        if self._jitter == 0:
+            delay = self._base_delay
+        else:
+            # Inline of randint(0, jitter): rejection-sample jitter_bits
+            # until the value falls below jitter + 1. Bit-identical to the
+            # library call on the same RNG stream.
+            n = self._jitter_n
+            getrandbits = self._getrandbits
+            r = getrandbits(self._jitter_bits)
+            while r >= n:
+                r = getrandbits(self._jitter_bits)
+            delay = self._base_delay + r
         self.packets_carried += 1
         if self.min_observed is None or delay < self.min_observed:
             self.min_observed = delay
         if self.max_observed is None or delay > self.max_observed:
             self.max_observed = delay
-        self.sim.schedule(delay, to_port.deliver, packet)
+        self._post(
+            delay,
+            self._deliver_b if from_port is self.a else self._deliver_a,
+            packet,
+        )
 
     def sample_delay(self) -> int:
         """Draw one one-way delay."""
-        if self.model.jitter == 0:
-            return self.model.base_delay
-        return self.model.base_delay + self.rng.randint(0, self.model.jitter)
+        if self._jitter == 0:
+            return self._base_delay
+        return self._base_delay + self._randint(0, self._jitter)
 
     def set_up(self, up: bool) -> None:
         """Administratively enable/disable the link (drops in-flight none)."""

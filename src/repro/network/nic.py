@@ -23,7 +23,17 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from math import cos as _cos, log as _log, pi as _pi, sin as _sin, sqrt as _sqrt
 from typing import Callable, List, Optional
+
+#: Constants for the inlined ``random.gauss`` draw in :meth:`Nic.timestamp`.
+#: ``random.gauss`` keeps its spare Box–Muller variate in the instance
+#: attribute ``gauss_next`` (stable across CPython 3.9–3.13); the inline
+#: replicates the library algorithm bit-for-bit on the same state, and the
+#: import-time check falls back to the library call if the attribute ever
+#: disappears.
+_TWOPI = 2.0 * _pi
+_HAS_GAUSS_NEXT = hasattr(random.Random(0), "gauss_next")
 
 from repro.clocks.hardware_clock import HardwareClock
 from repro.clocks.oscillator import Oscillator, OscillatorModel
@@ -101,11 +111,19 @@ class Nic:
         self.clock = HardwareClock(self.oscillator, name=f"{name}.phc")
         self.port = Port(self, "p0")
         self._rx_handlers: List[RxHandler] = []
+        self._rx_snapshot: tuple = ()  # immutable fan-out list for on_receive
         self.enabled = True
         self.tx_count = 0
         self.rx_count = 0
         self.tx_timestamp_timeouts = 0
         self.deadline_misses = 0
+        # Hot-path bindings: every rx/tx reads the PHC with gauss noise and
+        # posts follow-on events; resolve the methods and model scalars once.
+        self._gauss = rng.gauss
+        self._random = rng.random
+        self._post = sim.post
+        self._clock_time = self.clock.time
+        self._ts_jitter = model.timestamp_jitter
 
     # ------------------------------------------------------------------
     # Receive path
@@ -113,18 +131,24 @@ class Nic:
     def attach_rx_handler(self, handler: RxHandler) -> None:
         """Register a consumer for (packet, hardware rx timestamp)."""
         self._rx_handlers.append(handler)
+        self._rx_snapshot = tuple(self._rx_handlers)
 
     def detach_rx_handler(self, handler: RxHandler) -> None:
         """Remove a previously registered consumer."""
         self._rx_handlers.remove(handler)
+        self._rx_snapshot = tuple(self._rx_handlers)
 
     def on_receive(self, port: Port, packet: Packet) -> None:
-        """Port callback: hardware-timestamp and fan out to handlers."""
+        """Port callback: hardware-timestamp and fan out to handlers.
+
+        Iterates an immutable snapshot so handlers may attach/detach during
+        delivery without copying the handler list on every packet.
+        """
         if not self.enabled:
             return
         self.rx_count += 1
         rx_ts = self.timestamp()
-        for handler in list(self._rx_handlers):
+        for handler in self._rx_snapshot:
             handler(packet, rx_ts)
 
     # ------------------------------------------------------------------
@@ -161,7 +185,7 @@ class Nic:
         now_phc = self.clock.time()
         missed = now_phc + self.model.launch_tolerance >= launch_time
         if not missed and self.model.deadline_miss_prob > 0:
-            missed = self.rng.random() < self.model.deadline_miss_prob
+            missed = self._random() < self.model.deadline_miss_prob
         if missed:
             record.deadline_missed = True
             self.deadline_misses += 1
@@ -180,9 +204,27 @@ class Nic:
 
     def timestamp(self) -> int:
         """Read the PHC with white timestamp noise applied."""
-        jitter = self.model.timestamp_jitter
-        noise = self.rng.gauss(0.0, jitter) if jitter > 0 else 0.0
-        return round(self.clock.time() + noise)
+        jitter = self._ts_jitter
+        if jitter > 0:
+            # Draw the noise before reading the clock: the PHC read may
+            # advance oscillator wander on the same RNG stream, and the
+            # draw interleaving is part of the deterministic schedule.
+            if _HAS_GAUSS_NEXT:
+                # Inline of rng.gauss(0.0, jitter): Box–Muller with the
+                # cached second variate, identical draws on the same state.
+                rng = self.rng
+                z = rng.gauss_next
+                rng.gauss_next = None
+                if z is None:
+                    x2pi = rng.random() * _TWOPI
+                    g2rad = _sqrt(-2.0 * _log(1.0 - rng.random()))
+                    z = _cos(x2pi) * g2rad
+                    rng.gauss_next = _sin(x2pi) * g2rad
+                noise = z * jitter
+            else:
+                noise = self._gauss(0.0, jitter)
+            return round(self._clock_time() + noise)
+        return self._clock_time()
 
     def set_enabled(self, enabled: bool) -> None:
         """Power the NIC data path on/off (VM fail-silent / reboot)."""
@@ -203,20 +245,16 @@ class Nic:
             return
         if (
             self.model.tx_timestamp_fail_prob > 0
-            and self.rng.random() < self.model.tx_timestamp_fail_prob
+            and self._random() < self.model.tx_timestamp_fail_prob
         ):
             record.timed_out = True
             self.tx_timestamp_timeouts += 1
             if self.trace is not None:
                 self.trace.emit(self.sim.now, "ptp4l.tx_timeout", self.name)
-            self.sim.schedule(
-                self.model.tx_timestamp_timeout, on_tx_timestamp, None
-            )
+            self._post(self.model.tx_timestamp_timeout, on_tx_timestamp, None)
         else:
             record.tx_timestamp = tx_ts
-            self.sim.schedule(
-                self.model.tx_timestamp_latency, on_tx_timestamp, tx_ts
-            )
+            self._post(self.model.tx_timestamp_latency, on_tx_timestamp, tx_ts)
 
     def _schedule_at_phc_time(self, phc_target: int, fn, *args) -> None:
         """Run ``fn`` when this NIC's PHC reads ``phc_target``.
@@ -227,11 +265,11 @@ class Nic:
         """
 
         def attempt(depth: int) -> None:
-            remaining = phc_target - self.clock.time()
+            remaining = phc_target - self._clock_time()
             if remaining <= self.model.launch_tolerance or depth >= 6:
                 fn(*args)
                 return
-            self.sim.schedule(max(1, round(remaining)), attempt, depth + 1)
+            self._post(max(1, round(remaining)), attempt, depth + 1)
 
         attempt(0)
 

@@ -12,6 +12,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro._compat import SLOTTED
+
 #: Link-local multicast used by IEEE 802.1AS. Frames to this address are
 #: never forwarded by bridges; each hop consumes and regenerates them.
 GPTP_MULTICAST = "01:80:C2:00:00:0E"
@@ -19,7 +21,7 @@ GPTP_MULTICAST = "01:80:C2:00:00:0E"
 _packet_ids = itertools.count()
 
 
-@dataclass
+@dataclass(**SLOTTED)
 class Packet:
     """One frame in flight.
 
@@ -47,7 +49,7 @@ class Packet:
     payload: Any
     vlan: Optional[int] = None
     size_bytes: int = 128
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    packet_id: int = field(default_factory=_packet_ids.__next__)
     hops: int = 0
 
     def is_gptp(self) -> bool:

@@ -34,6 +34,8 @@ class Port:
         self.peer: Optional["Port"] = None
         self.rx_packets = 0
         self.tx_packets = 0
+        # deliver() runs once per received packet; resolve the handler once.
+        self._on_receive = owner.on_receive
 
     @property
     def full_name(self) -> str:
@@ -61,7 +63,7 @@ class Port:
     def deliver(self, packet: "Packet") -> None:
         """Called by the link when a packet arrives."""
         self.rx_packets += 1
-        self.owner.on_receive(self, packet)
+        self._on_receive(self, packet)
 
     def __repr__(self) -> str:
         peer = self.peer.full_name if self.peer else None

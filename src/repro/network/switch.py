@@ -23,11 +23,17 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from math import cos as _cos, log as _log, pi as _pi, sin as _sin, sqrt as _sqrt
 from typing import Callable, Dict, List, Optional
+
+#: See :mod:`repro.network.nic` — constants for the inlined ``random.gauss``
+#: draw in :meth:`TsnSwitch.timestamp`, with an import-time fallback guard.
+_TWOPI = 2.0 * _pi
+_HAS_GAUSS_NEXT = hasattr(random.Random(0), "gauss_next")
 
 from repro.clocks.hardware_clock import HardwareClock
 from repro.clocks.oscillator import Oscillator, OscillatorModel
-from repro.network.packet import Packet
+from repro.network.packet import GPTP_MULTICAST, Packet
 from repro.network.port import Port
 from repro.sim.kernel import Simulator
 from repro.sim.trace import TraceLog
@@ -84,6 +90,20 @@ class TsnSwitch:
         self._gptp_handler: Optional[GptpHandler] = None
         self.dropped_hop_limit = 0
         self.forwarded = 0
+        # Hot-path bindings: ingress timestamping and store-and-forward run
+        # per packet; bind the RNG methods and model scalars once.
+        self._gauss = rng.gauss
+        self._randint = rng.randint
+        self._getrandbits = rng.getrandbits
+        self._post = sim.post
+        self._clock_time = self.clock.time
+        self._ts_jitter = model.timestamp_jitter
+        self._residence_base = model.residence_base
+        self._residence_jitter = model.residence_jitter
+        # Inlined randint(0, residence_jitter) state: same rejection
+        # sampling the library performs, minus the per-call checking.
+        self._residence_n = model.residence_jitter + 1
+        self._residence_bits = self._residence_n.bit_length()
 
     # ------------------------------------------------------------------
     # Configuration
@@ -118,25 +138,48 @@ class TsnSwitch:
     # ------------------------------------------------------------------
     def timestamp(self) -> int:
         """Read the switch PHC with white timestamp noise applied."""
-        jitter = self.model.timestamp_jitter
-        noise = self.rng.gauss(0.0, jitter) if jitter > 0 else 0.0
-        return round(self.clock.time() + noise)
+        jitter = self._ts_jitter
+        if jitter > 0:
+            # Draw the noise before reading the clock: the PHC read may
+            # advance oscillator wander on the same RNG stream, and the
+            # draw interleaving is part of the deterministic schedule.
+            if _HAS_GAUSS_NEXT:
+                # Inline of rng.gauss(0.0, jitter): Box–Muller with the
+                # cached second variate, identical draws on the same state.
+                rng = self.rng
+                z = rng.gauss_next
+                rng.gauss_next = None
+                if z is None:
+                    x2pi = rng.random() * _TWOPI
+                    g2rad = _sqrt(-2.0 * _log(1.0 - rng.random()))
+                    z = _cos(x2pi) * g2rad
+                    rng.gauss_next = _sin(x2pi) * g2rad
+                noise = z * jitter
+            else:
+                noise = self._gauss(0.0, jitter)
+            return round(self._clock_time() + noise)
+        return self._clock_time()
 
     def residence_delay(self) -> int:
         """Sample one store-and-forward residence delay."""
-        extra = (
-            self.rng.randint(0, self.model.residence_jitter)
-            if self.model.residence_jitter > 0
-            else 0
-        )
-        return self.model.residence_base + extra
+        if self._residence_jitter > 0:
+            # Inline of randint(0, jitter): bit-identical rejection sampling
+            # on the same RNG stream, minus three pure-Python call layers.
+            n = self._residence_n
+            getrandbits = self._getrandbits
+            r = getrandbits(self._residence_bits)
+            while r >= n:
+                r = getrandbits(self._residence_bits)
+            return self._residence_base + r
+        return self._residence_base
 
     # ------------------------------------------------------------------
     # Data path
     # ------------------------------------------------------------------
     def on_receive(self, port: Port, packet: Packet) -> None:
         """Dispatch an ingress packet per the forwarding rules above."""
-        if packet.is_gptp():
+        # Inline of packet.is_gptp(): this runs for every ingress frame.
+        if packet.dst == GPTP_MULTICAST:
             rx_ts = self.timestamp()
             if self._gptp_handler is not None:
                 self._gptp_handler(port, packet, rx_ts)
@@ -167,12 +210,12 @@ class TsnSwitch:
         clone = packet.copy_for_forwarding()
         clone.hops += 1
         self.forwarded += 1
-        self.sim.schedule(self.residence_delay(), out_port.transmit, clone)
+        self._post(self.residence_delay(), out_port.transmit, clone)
 
     def transmit_gptp(self, out_port: Port, packet: Packet, delay: int = 0) -> None:
         """Egress path for bridge-regenerated gPTP frames."""
         if delay > 0:
-            self.sim.schedule(delay, out_port.transmit, packet)
+            self._post(delay, out_port.transmit, packet)
         else:
             out_port.transmit(packet)
 

@@ -5,6 +5,14 @@ the hypervisor monitor (125 ms), phc2sys, the measurement VM's 1 Hz probes,
 grandmaster Sync transmission — with optional per-tick jitter and a start
 phase. Tasks can be stopped and restarted, which the VM lifecycle uses when a
 fail-silent fault kills a VM and it later reboots.
+
+Jitter-free tasks ride the kernel's first-class repeating timer
+(:meth:`~repro.sim.kernel.Simulator.schedule_periodic`), which reuses one
+:class:`EventHandle` across every tick instead of allocating a fresh handle
+and heap entry per re-arm. Jittered tasks keep the self-rescheduling path
+because each tick's fire time needs a fresh uniform draw. Both paths consume
+sequence numbers and RNG values identically to the historical
+self-rescheduling implementation, so dispatch order is unchanged.
 """
 
 from __future__ import annotations
@@ -69,6 +77,15 @@ class PeriodicTask:
         """Arm the task; first tick fires ``phase`` ns from now."""
         if self.running:
             raise RuntimeError(f"task {self.name!r} already running")
+        if self.jitter == 0:
+            # Kernel-managed repeating timer: one reused handle, one heap
+            # tuple per tick, seq consumed after the action — identical
+            # ordering to the self-rescheduling path below.
+            self._next_nominal = None
+            self._handle = self.sim.schedule_periodic(
+                self.period, self._tick_periodic, start=self.sim.now + self.phase
+            )
+            return
         self._next_nominal = self.sim.now + self.phase
         self._arm()
 
@@ -85,6 +102,11 @@ class PeriodicTask:
         return self._handle is not None and not self._handle.cancelled
 
     # ------------------------------------------------------------------
+    def _tick_periodic(self) -> None:
+        """Kernel-timer tick: bookkeeping only, the kernel re-arms."""
+        self.ticks += 1
+        self.action()
+
     def _arm(self) -> None:
         assert self._next_nominal is not None
         fire_at = self._next_nominal

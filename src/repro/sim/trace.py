@@ -3,12 +3,21 @@
 Components append :class:`TraceRecord` entries (time, category, source, plus
 free-form fields) rather than printing. Experiments and the Fig. 5 timeline
 extraction query the log by category/source/time-window after the run.
+
+The log maintains per-category indexes and counters at ``emit`` time, so
+``query(category=...)`` walks only matching records (O(matches)) and
+``count(...)`` is O(1) per category — the hypervisor monitor and the figure
+extractors call these *during* long runs, where a full-log scan per call
+was quadratic overall. Hot loops whose records are not needed for a given
+study can be dropped at the source with :meth:`TraceLog.disable_prefix`,
+which skips the :class:`TraceRecord` allocation entirely.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.sim.timebase import format_hms
 
@@ -36,8 +45,15 @@ class TraceRecord:
     fields: Dict[str, Any] = field(default_factory=dict)
 
     def __str__(self) -> str:
-        extras = " ".join(f"{k}={v}" for k, v in sorted(self.fields.items()))
-        return f"[{format_hms(self.time)}] {self.category} {self.source} {extras}"
+        # Debug dumps render the same records repeatedly; cache the string
+        # so the per-call field sort happens once per record. Records are
+        # frozen and their payload is never mutated after emit.
+        cached = self.__dict__.get("_rendered")
+        if cached is None:
+            extras = " ".join(f"{k}={v}" for k, v in sorted(self.fields.items()))
+            cached = f"[{format_hms(self.time)}] {self.category} {self.source} {extras}"
+            object.__setattr__(self, "_rendered", cached)
+        return cached
 
 
 class TraceLog:
@@ -45,20 +61,94 @@ class TraceLog:
 
     def __init__(self) -> None:
         self._records: List[TraceRecord] = []
+        #: category -> positions into ``_records`` (ascending = emit order).
+        self._index: Dict[str, List[int]] = {}
+        #: category -> record count; mirrors ``_index`` but survives as the
+        #: O(1) backing store for :meth:`count`.
+        self._counts: Dict[str, int] = {}
+        #: Category prefixes dropped at emit (no record is allocated).
+        self._disabled: Tuple[str, ...] = ()
 
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
     def emit(
         self, time: int, category: str, source: str, **fields: Any
-    ) -> TraceRecord:
-        """Append a record and return it."""
+    ) -> Optional[TraceRecord]:
+        """Append a record and return it.
+
+        Returns ``None`` — without allocating a :class:`TraceRecord` — when
+        ``category`` matches a disabled prefix (see :meth:`disable_prefix`).
+        """
+        if self._disabled:
+            for prefix in self._disabled:
+                if category.startswith(prefix):
+                    return None
+        records = self._records
         record = TraceRecord(time=time, category=category, source=source, fields=fields)
-        self._records.append(record)
+        positions = self._index.get(category)
+        if positions is None:
+            self._index[category] = [len(records)]
+            self._counts[category] = 1
+        else:
+            positions.append(len(records))
+            self._counts[category] += 1
+        records.append(record)
         return record
 
+    def disable_prefix(self, prefix: str) -> None:
+        """Drop future records whose category starts with ``prefix``.
+
+        A filter for hot-loop categories a study does not consume; disabled
+        emits cost one tuple scan and no allocation. Already-recorded
+        entries are unaffected.
+        """
+        if prefix and prefix not in self._disabled:
+            self._disabled = self._disabled + (prefix,)
+
+    def enable_prefix(self, prefix: str) -> None:
+        """Remove a prefix previously passed to :meth:`disable_prefix`."""
+        self._disabled = tuple(p for p in self._disabled if p != prefix)
+
+    @property
+    def disabled_prefixes(self) -> Tuple[str, ...]:
+        """Category prefixes currently dropped at emit."""
+        return self._disabled
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._records)
 
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self._records)
+
+    def _candidate_positions(
+        self, category: Optional[str], prefix: Optional[str]
+    ) -> Optional[Iterator[int]]:
+        """Emit-ordered positions matching the category/prefix filters.
+
+        ``None`` means "every record" (no category filter given).
+        """
+        if category is not None:
+            if prefix is not None and not category.startswith(prefix):
+                return iter(())
+            return iter(self._index.get(category, ()))
+        if prefix is not None:
+            lists = [
+                positions
+                for cat, positions in self._index.items()
+                if cat.startswith(prefix)
+            ]
+            if not lists:
+                return iter(())
+            if len(lists) == 1:
+                return iter(lists[0])
+            # Per-category position lists are ascending; merging them
+            # restores global emit order in O(matches · log k).
+            return heapq.merge(*lists)
+        return None
 
     def query(
         self,
@@ -72,14 +162,18 @@ class TraceLog:
 
         ``category`` matches exactly; ``prefix`` matches a category prefix
         (``prefix="fault."`` catches all fault kinds). ``start``/``end`` bound
-        the half-open window ``[start, end)``.
+        the half-open window ``[start, end)``. Results are in emit order.
         """
+        records = self._records
+        positions = self._candidate_positions(category, prefix)
+        candidates: Iterator[TraceRecord] = (
+            iter(records) if positions is None
+            else (records[i] for i in positions)
+        )
+        if source is None and start is None and end is None:
+            return list(candidates)
         out: List[TraceRecord] = []
-        for record in self._records:
-            if category is not None and record.category != category:
-                continue
-            if prefix is not None and not record.category.startswith(prefix):
-                continue
+        for record in candidates:
             if source is not None and record.source != source:
                 continue
             if start is not None and record.time < start:
@@ -90,9 +184,24 @@ class TraceLog:
         return out
 
     def count(self, category: Optional[str] = None, prefix: Optional[str] = None) -> int:
-        """Count records matching a category or category prefix."""
-        return len(self.query(category=category, prefix=prefix))
+        """Count records matching a category or category prefix.
+
+        O(1) for an exact category, O(#categories) for a prefix — the
+        per-category counters are maintained at emit time, so no record
+        list is materialized.
+        """
+        if category is not None:
+            if prefix is not None and not category.startswith(prefix):
+                return 0
+            return self._counts.get(category, 0)
+        if prefix is not None:
+            return sum(
+                count
+                for cat, count in self._counts.items()
+                if cat.startswith(prefix)
+            )
+        return len(self._records)
 
     def categories(self) -> List[str]:
         """Sorted list of distinct categories seen so far."""
-        return sorted({record.category for record in self._records})
+        return sorted(self._counts)

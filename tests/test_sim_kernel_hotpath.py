@@ -1,0 +1,296 @@
+"""Hot-path kernel behavior: periodic timers, lazy deletion, trace indexes.
+
+These pin the invariants the low-allocation event loop must keep:
+
+* ``schedule_periodic`` is dispatch-order-identical to the self-rescheduling
+  callback pattern it replaces (including sequence-number tie-breaking);
+* ``stop()`` interrupts ``run_until`` mid-horizon;
+* bursts of identically-timestamped events dispatch in insertion order
+  across both the handle path and the handle-less fast path;
+* mass cancellation compacts the heap and releases the cancelled
+  callbacks (no reference cycle retains a torn-down VM);
+* the trace log's per-category counters and prefix filters agree with
+  exhaustive scans.
+"""
+
+import gc
+import weakref
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.trace import TraceLog
+
+
+# ----------------------------------------------------------------------
+# schedule_periodic
+# ----------------------------------------------------------------------
+def test_periodic_fires_on_the_interval_grid():
+    sim = Simulator()
+    ticks = []
+    sim.schedule_periodic(100, lambda: ticks.append(sim.now))
+    sim.run_until(450)
+    assert ticks == [100, 200, 300, 400]
+
+
+def test_periodic_start_controls_first_dispatch():
+    sim = Simulator(start_time=1000)
+    ticks = []
+    sim.schedule_periodic(100, lambda: ticks.append(sim.now), start=1030)
+    sim.run_until(1300)
+    assert ticks == [1030, 1130, 1230]
+
+
+def test_periodic_cancel_stops_the_timer():
+    sim = Simulator()
+    ticks = []
+    handle = sim.schedule_periodic(10, lambda: ticks.append(sim.now))
+    sim.run_until(35)
+    handle.cancel()
+    sim.run_until(100)
+    assert ticks == [10, 20, 30]
+    assert sim.pending_events == 0
+
+
+def test_periodic_cancel_from_inside_callback():
+    sim = Simulator()
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        if count[0] == 3:
+            timer.cancel()
+
+    timer = sim.schedule_periodic(10, tick)
+    sim.run_until(1000)
+    assert count[0] == 3
+
+
+def test_periodic_rejects_bad_parameters():
+    sim = Simulator(start_time=500)
+    with pytest.raises(SimulationError):
+        sim.schedule_periodic(0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_periodic(-5, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_periodic(10, lambda: None, start=499)
+
+
+def test_periodic_matches_self_rescheduling_dispatch_order():
+    """The reused-handle timer must tie-break exactly like the hand-rolled
+    ``work(); sim.schedule(interval, tick)`` pattern: same dispatch order,
+    same sequence-number consumption, against identical competing events."""
+    PERIOD = 100
+    HORIZON = 1000
+
+    def competing_load(sim, order):
+        # Events that collide with every tick instant, scheduled both
+        # before and after the timer exists, to exercise seq tie-breaking.
+        for k in range(1, 6):
+            sim.schedule_at(k * PERIOD, order.append, f"pre{k}")
+
+    # Reference: self-rescheduling callback (one seq per re-arm, consumed
+    # after the tick body).
+    ref_sim = Simulator()
+    ref_order = []
+    competing_load(ref_sim, ref_order)
+
+    def ref_tick():
+        ref_order.append(f"tick@{ref_sim.now}")
+        ref_sim.schedule(PERIOD, ref_tick)
+        ref_order.append(("seq-after-tick", ref_sim._seq))
+
+    ref_sim.schedule(PERIOD, ref_tick)
+    for k in range(1, 6):
+        ref_sim.schedule_at(k * PERIOD, ref_order.append, f"post{k}")
+    ref_sim.run_until(HORIZON)
+
+    # Under test: the kernel-owned periodic timer.
+    per_sim = Simulator()
+    per_order = []
+    competing_load(per_sim, per_order)
+
+    def per_tick():
+        per_order.append(f"tick@{per_sim.now}")
+        per_order.append(("seq-after-tick", per_sim._seq + 1))
+
+    per_sim.schedule_periodic(PERIOD, per_tick)
+    for k in range(1, 6):
+        per_sim.schedule_at(k * PERIOD, per_order.append, f"post{k}")
+    per_sim.run_until(HORIZON)
+
+    # The re-arm consumes its seq after the callback returns, so the
+    # interleaving with same-instant competitors is bit-identical. (The
+    # +1 above accounts for the seq being taken just after per_tick exits,
+    # where ref_tick takes it inside the body.)
+    assert [e for e in per_order if not isinstance(e, tuple)] == [
+        e for e in ref_order if not isinstance(e, tuple)
+    ]
+    assert per_order == ref_order
+    assert per_sim.dispatched_events == ref_sim.dispatched_events
+
+
+# ----------------------------------------------------------------------
+# run_until edges
+# ----------------------------------------------------------------------
+def test_stop_inside_run_until_freezes_time_and_queue():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, 1)
+    sim.schedule(20, sim.stop)
+    sim.schedule(30, fired.append, 2)
+    dispatched = sim.run_until(1000)
+    assert fired == [1]
+    assert dispatched == 2  # the event and the stop itself
+    assert sim.now == 20  # horizon NOT applied after a stop
+    assert sim.pending_events == 1
+    # The run can be resumed and picks up exactly where it stopped.
+    sim.run_until(1000)
+    assert fired == [1, 2]
+    assert sim.now == 1000
+
+
+def test_run_until_identical_timestamp_burst_preserves_insertion_order():
+    sim = Simulator()
+    order = []
+    cancelled = []
+    T = 500
+    for i in range(50):
+        if i % 3 == 0:
+            sim.post(T, order.append, ("post", i))  # handle-less fast path
+        elif i % 3 == 1:
+            sim.schedule_at(T, order.append, ("sched", i))
+        else:
+            cancelled.append(sim.schedule_at(T, order.append, ("dead", i)))
+    for handle in cancelled:
+        handle.cancel()
+    dispatched = sim.run_until(T)
+    expected = [("post", i) if i % 3 == 0 else ("sched", i)
+                for i in range(50) if i % 3 != 2]
+    assert order == expected
+    assert dispatched == len(expected)
+    assert sim.now == T
+    assert sim.pending_events == 0
+
+
+# ----------------------------------------------------------------------
+# Lazy deletion: compaction and reference release
+# ----------------------------------------------------------------------
+def test_mass_cancellation_compacts_the_heap():
+    sim = Simulator()
+    keep = [sim.schedule(10_000 + i, lambda: None) for i in range(10)]
+    doomed = [sim.schedule(20_000 + i, lambda: None) for i in range(500)]
+    assert len(sim._queue) == 510
+    for handle in doomed:
+        handle.cancel()
+    # Dead entries must not linger until they surface at the heap top:
+    # cancellation compacts once the majority of the queue is dead.
+    assert sim.pending_events == 10
+    assert len(sim._queue) < 64, "cancelled entries were retained"
+    sim.run()
+    assert sim.dispatched_events == 10
+    assert keep  # handles stay valid through compaction
+
+
+def test_cancelled_events_release_their_callbacks():
+    """Tearing down a VM by cancelling its timers must actually free it.
+
+    With pure lazy deletion a far-future cancelled entry pins its callback
+    (and through the bound method, the whole VM object graph) until the
+    heap drains — which for teardown-at-end workloads is never.
+    """
+
+    class FakeVm:
+        def __init__(self, sim):
+            self.sim = sim  # reference cycle: VM -> sim -> queue -> VM
+            self.timers = [
+                sim.schedule(10**12 + i, self.on_timer) for i in range(100)
+            ]
+
+        def on_timer(self):
+            pass
+
+    sim = Simulator()
+    sim.schedule(50, lambda: None)  # unrelated survivor
+    vm = FakeVm(sim)
+    ref = weakref.ref(vm)
+    for handle in vm.timers:
+        handle.cancel()
+    del vm
+    gc.collect()
+    assert ref() is None, "cancelled timers still retain the VM"
+    sim.run()
+    assert sim.dispatched_events == 1
+
+
+def test_reset_drops_cancelled_and_live_entries():
+    sim = Simulator()
+    live = [sim.schedule(100 + i, lambda: None) for i in range(5)]
+    dead = [sim.schedule(200 + i, lambda: None) for i in range(5)]
+    for handle in dead:
+        handle.cancel()
+    sim.reset()
+    assert sim.pending_events == 0
+    assert len(sim._queue) == 0
+    assert sim.next_event_time() is None
+    # Stale handles from before the reset must not corrupt the counter.
+    for handle in live + dead:
+        handle.cancel()
+    assert sim.pending_events == 0
+
+
+# ----------------------------------------------------------------------
+# Trace indexes and counters
+# ----------------------------------------------------------------------
+def test_trace_count_matches_exhaustive_scan():
+    log = TraceLog()
+    categories = ["fault.fail_silent", "fault.transient", "ptp4l.tx_timeout",
+                  "fault.fail_silent", "hypervisor.takeover", "fault.transient",
+                  "fault.fail_silent"]
+    for i, cat in enumerate(categories):
+        log.emit(i * 10, cat, f"c{i % 3}")
+    assert log.count("fault.fail_silent") == 3
+    assert log.count("fault.transient") == 2
+    assert log.count("nope") == 0
+    assert log.count(prefix="fault.") == 5
+    assert log.count(prefix="") == len(categories)
+    assert log.count() == len(categories)
+    for cat in set(categories):
+        assert log.count(cat) == sum(1 for c in categories if c == cat)
+
+
+def test_trace_prefix_query_preserves_emit_order():
+    log = TraceLog()
+    # Interleave categories so the per-category index merge is exercised.
+    for i in range(30):
+        log.emit(i, f"fault.kind{i % 3}", "dev")
+        log.emit(i, "other.noise", "dev")
+    matched = log.query(prefix="fault.")
+    assert [r.time for r in matched] == list(range(30))
+    assert all(r.category.startswith("fault.") for r in matched)
+
+
+def test_trace_disable_prefix_skips_allocation_and_counting():
+    log = TraceLog()
+    log.emit(0, "pdelay.round", "nic0")
+    log.disable_prefix("pdelay.")
+    assert log.emit(1, "pdelay.round", "nic0") is None
+    assert log.emit(2, "pdelay.timeout", "nic0") is None
+    record = log.emit(3, "fault.fail_silent", "c1_1")
+    assert record is not None
+    assert log.count("pdelay.round") == 1  # pre-disable record remains
+    assert len(log) == 2
+    assert log.disabled_prefixes == ("pdelay.",)
+    log.enable_prefix("pdelay.")
+    assert log.emit(4, "pdelay.round", "nic0") is not None
+    assert log.count("pdelay.round") == 2
+
+
+def test_trace_record_str_is_cached_and_stable():
+    log = TraceLog()
+    record = log.emit(3_600_000_000_000, "fault.fail_silent", "c2_1",
+                      domain=2, reason="injected")
+    first = str(record)
+    assert "fault.fail_silent" in first
+    assert "domain=2" in first and "reason=injected" in first
+    assert str(record) is first  # rendered once, cached thereafter
