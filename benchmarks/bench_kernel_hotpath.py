@@ -22,6 +22,12 @@ non-zero when events/second regressed by more than ``REGRESSION_TOLERANCE``
 is only meaningful as a same-machine regression baseline, which is why the
 tolerance is wide.
 
+``--metrics PATH`` runs one extra, *untimed* round with a
+:class:`repro.metrics.MetricsRegistry` attached and writes the metrics
+document (manifest + instrument snapshots) to ``PATH`` — the timed rounds
+stay uninstrumented so the committed reference is never polluted by
+observer overhead.
+
 Environment knobs:
 
 * ``REPRO_BENCH_KERNEL_SECONDS`` — simulated seconds per round (default 40)
@@ -55,18 +61,55 @@ DEFAULT_OUT = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__fil
                            "BENCH_kernel.json")
 
 
-def run_once() -> tuple:
+def run_once(metrics=None) -> tuple:
     """One cold testbed run; returns (wall seconds, events dispatched)."""
-    testbed = Testbed(TestbedConfig(seed=SEED))
+    testbed = Testbed(TestbedConfig(seed=SEED), metrics=metrics)
     t0 = time.perf_counter()
     testbed.run_until(SIM_SECONDS * SECONDS)
     wall = time.perf_counter() - t0
+    if metrics is not None:
+        testbed.publish_metrics()
     return wall, testbed.sim.dispatched_events
 
 
+def run_metrics_round(path: str, timed_events: int) -> None:
+    """One extra instrumented round; writes the metrics document to path."""
+    from repro.metrics import MetricsRegistry, RunManifest, write_metrics_json
+
+    registry = MetricsRegistry()
+    wall, events = run_once(metrics=registry)
+    if events != timed_events:
+        raise SystemExit(
+            f"metrics round dispatched {events} events, timed rounds "
+            f"{timed_events} — attaching a registry must not perturb the run"
+        )
+    write_metrics_json(path, registry, RunManifest(
+        experiment="bench_kernel_hotpath",
+        config_fingerprint=f"seed={SEED},sim_seconds={SIM_SECONDS}",
+        seeds=[SEED],
+        sim_duration_ns=SIM_SECONDS * SECONDS,
+        wall_time_s=wall,
+        events_dispatched=events,
+    ))
+    print(f"metrics round: {wall:.3f} s, wrote {path}")
+
+
 def main(argv) -> int:
-    args = [a for a in argv[1:] if a != "--check"]
-    check = "--check" in argv[1:]
+    args = []
+    check = False
+    metrics_path = None
+    rest = list(argv[1:])
+    while rest:
+        arg = rest.pop(0)
+        if arg == "--check":
+            check = True
+        elif arg == "--metrics":
+            if not rest:
+                print("--metrics needs a PATH argument")
+                return 2
+            metrics_path = rest.pop(0)
+        else:
+            args.append(arg)
     out_path = args[0] if args else DEFAULT_OUT
 
     config = TestbedConfig(seed=SEED)
@@ -128,6 +171,9 @@ def main(argv) -> int:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
     print(f"wrote {out_path}")
+
+    if metrics_path is not None:
+        run_metrics_round(metrics_path, events)
     return status
 
 

@@ -1,0 +1,93 @@
+"""Observer overhead of the metrics layer on the kernel hot path.
+
+Runs the same 4-domain testbed slice as ``bench_kernel_hotpath.py`` twice —
+once with no registry attached (the default everywhere) and once fully
+instrumented — and reports the wall-clock overhead of each against the
+other. Event counts must match exactly both ways: a registry is a passive
+observer and must never perturb the simulation.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_metrics_overhead.py [--check]
+
+``--check`` exits non-zero when the *enabled* run costs more than
+``ENABLED_TOLERANCE`` (25%) over the disabled run — the guarded-emit
+design keeps instruments to a bisect/int-increment per event, so anything
+beyond that means an allocation or a lock crept onto the hot path. The
+disabled path's own cost (one attribute load + ``None`` check per guard)
+is covered by ``bench_kernel_hotpath.py --check`` against the committed
+reference.
+
+Environment knobs:
+
+* ``REPRO_BENCH_METRICS_SECONDS`` — simulated seconds per round (default 20)
+* ``REPRO_BENCH_METRICS_ROUNDS``  — rounds, best-of (default 3)
+* ``REPRO_BENCH_METRICS_SEED``    — testbed seed (default 1)
+"""
+
+import os
+import sys
+import time
+
+from repro.experiments.testbed import Testbed, TestbedConfig
+from repro.metrics import MetricsRegistry
+from repro.sim.timebase import SECONDS
+
+SIM_SECONDS = int(os.environ.get("REPRO_BENCH_METRICS_SECONDS", "20"))
+ROUNDS = int(os.environ.get("REPRO_BENCH_METRICS_ROUNDS", "3"))
+SEED = int(os.environ.get("REPRO_BENCH_METRICS_SEED", "1"))
+
+#: Maximum tolerated slowdown of the instrumented run vs the plain run.
+ENABLED_TOLERANCE = 0.25
+
+
+def run_once(instrumented: bool) -> tuple:
+    registry = MetricsRegistry() if instrumented else None
+    testbed = Testbed(TestbedConfig(seed=SEED), metrics=registry)
+    t0 = time.perf_counter()
+    testbed.run_until(SIM_SECONDS * SECONDS)
+    wall = time.perf_counter() - t0
+    return wall, testbed.sim.dispatched_events
+
+
+def best_of(instrumented: bool) -> tuple:
+    best_wall, events = run_once(instrumented)
+    for _ in range(ROUNDS - 1):
+        wall, events_i = run_once(instrumented)
+        if events_i != events:
+            raise SystemExit(f"non-deterministic event count: "
+                             f"{events_i} != {events}")
+        best_wall = min(best_wall, wall)
+    return best_wall, events
+
+
+def main(argv) -> int:
+    check = "--check" in argv[1:]
+    print(f"metrics overhead bench: seed {SEED}, {SIM_SECONDS} simulated s, "
+          f"best of {ROUNDS}")
+
+    off_wall, off_events = best_of(instrumented=False)
+    on_wall, on_events = best_of(instrumented=True)
+    if on_events != off_events:
+        print(f"event count diverged with metrics on: "
+              f"{on_events} != {off_events}")
+        return 1
+
+    overhead = on_wall / off_wall - 1.0
+    print(f"  metrics off: {off_wall:6.3f} s "
+          f"({off_events / off_wall:10.0f} ev/s)")
+    print(f"  metrics on:  {on_wall:6.3f} s "
+          f"({on_events / on_wall:10.0f} ev/s)")
+    print(f"  enabled overhead: {overhead:+.1%} "
+          f"(tolerance {ENABLED_TOLERANCE:.0%})")
+
+    if check and overhead > ENABLED_TOLERANCE:
+        print("--check: REGRESSION — instrumented run exceeds tolerance")
+        return 1
+    if check:
+        print("--check: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -57,6 +57,68 @@ def render_histogram(result: HistogramResult, width: int = 50) -> str:
     return "\n".join(lines)
 
 
+def render_metrics(document: dict, width: int = 30) -> str:
+    """Text rendering of a metrics export document.
+
+    Accepts the dict produced by :func:`repro.metrics.metrics_document`
+    (or loaded back from its JSON file): manifest header, then one line per
+    counter/gauge, then a summary row plus an ASCII bar chart per
+    histogram (empty buckets skipped).
+    """
+    lines: List[str] = []
+    manifest = document.get("manifest")
+    if manifest:
+        lines.append(
+            f"run: {manifest.get('experiment')} "
+            f"fingerprint={str(manifest.get('config_fingerprint'))[:12]} "
+            f"seeds={manifest.get('seeds')}"
+        )
+        if manifest.get("wall_time_s") is not None:
+            eps = manifest.get("events_per_sec")
+            lines.append(
+                f"wall: {manifest['wall_time_s']:.2f} s"
+                + (f", {eps:,.0f} events/s" if eps else "")
+            )
+    metrics = document.get("metrics", {})
+    scalars = {
+        name: snap for name, snap in metrics.items()
+        if snap["type"] in ("counter", "gauge")
+    }
+    if scalars:
+        lines.append("")
+        pad = max(len(name) for name in scalars)
+        for name in sorted(scalars):
+            value = scalars[name]["value"]
+            shown = "-" if value is None else (
+                f"{value:,.1f}" if isinstance(value, float) else f"{value:,}"
+            )
+            lines.append(f"{name:<{pad}}  {shown:>14} ({scalars[name]['type']})")
+    for name in sorted(metrics):
+        snap = metrics[name]
+        if snap["type"] != "histogram":
+            continue
+        lines.append("")
+        if not snap["n"]:
+            lines.append(f"{name}: (no observations)")
+            continue
+        lines.append(
+            f"{name}: n={snap['n']} mean={snap['mean']:.1f} "
+            f"p50={snap['p50']:.0f} p99={snap['p99']:.0f} "
+            f"min={snap['min']:.0f} max={snap['max']:.0f}"
+        )
+        peak = max(snap["counts"]) or 1
+        edges = snap["edges"]
+        for i, count in enumerate(snap["counts"]):
+            if count == 0:
+                continue
+            label = (
+                f"<= {edges[i]:g}" if i < len(edges) else f"> {edges[-1]:g}"
+            )
+            bar = "#" * max(1, round(width * count / peak))
+            lines.append(f"  {label:>14} {count:>9} {bar}")
+    return "\n".join(lines) if lines else "(no metrics)"
+
+
 def render_timeline(timeline: EventTimeline) -> str:
     """Fig. 5's marker list as text."""
     symbols = {

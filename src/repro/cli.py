@@ -19,6 +19,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import Any, Dict, List, Optional
 
 from repro.analysis.report import render_histogram, render_series, render_timeline
@@ -101,7 +102,23 @@ def cmd_faults(args: argparse.Namespace) -> int:
             seed=args.seed,
             injector=base.injector,
         )
-    result = run_fault_injection_experiment(config)
+    registry = _metrics_registry(args)
+    result = run_fault_injection_experiment(config, metrics=registry)
+    if registry is not None:
+        from repro.metrics import RunManifest
+        from repro.parallel import config_fingerprint
+
+        wall = registry.histograms.get("experiment.run_wall_s")
+        events = registry.counters.get("experiment.events_dispatched")
+        _write_metrics(args, registry, RunManifest(
+            experiment="fault_injection",
+            config_fingerprint=config_fingerprint("faults", config),
+            seeds=[args.seed],
+            sim_duration_ns=config.duration,
+            wall_time_s=wall.sum if wall is not None else None,
+            events_dispatched=events.value if events is not None else None,
+            extra={"hours": args.hours, "compress": bool(args.compress)},
+        ))
     payload = {
         "hours": args.hours,
         "bounded": result.bounded,
@@ -190,6 +207,27 @@ def cmd_linkfail(args: argparse.Namespace) -> int:
     return 0 if result.violations == 0 and result.recovered else 1
 
 
+def _metrics_registry(args: argparse.Namespace):
+    """A fresh registry when ``--metrics PATH`` was given, else ``None``."""
+    if not getattr(args, "metrics", None):
+        return None
+    from repro.metrics import MetricsRegistry
+
+    return MetricsRegistry()
+
+
+def _write_metrics(args: argparse.Namespace, registry, manifest=None) -> None:
+    if registry is None:
+        return
+    from repro.metrics import write_metrics_csv, write_metrics_json
+
+    if args.metrics.endswith(".csv"):
+        write_metrics_csv(args.metrics, registry, manifest)
+    else:
+        write_metrics_json(args.metrics, registry, manifest)
+    print(f"metrics written to {args.metrics}", file=sys.stderr)
+
+
 def _nonnegative_int(text: str) -> int:
     value = int(text)
     if value < 0:
@@ -227,10 +265,29 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         "aggregation": sweep_aggregation,
         "threshold": sweep_validity_threshold,
     }
+    registry = _metrics_registry(args)
+    duration = round(args.duration * SECONDS)
+    wall_start = time.perf_counter()
     rows = runners[args.study](
-        seed=args.seed, duration=round(args.duration * SECONDS),
-        **_executor_kwargs(args),
+        seed=args.seed, duration=duration,
+        metrics=registry, **_executor_kwargs(args),
     )
+    if registry is not None:
+        from repro.metrics import RunManifest
+        from repro.parallel import config_fingerprint
+
+        events = registry.counters.get("experiment.events_dispatched")
+        _write_metrics(args, registry, RunManifest(
+            experiment=f"sweep:{args.study}",
+            config_fingerprint=config_fingerprint(
+                "sweep-cli", args.study, args.seed, duration
+            ),
+            seeds=[args.seed],
+            sim_duration_ns=duration,
+            wall_time_s=time.perf_counter() - wall_start,
+            events_dispatched=events.value if events is not None else None,
+            extra={"points": len(rows)},
+        ))
     payload = {"study": args.study, "rows": [r.as_dict() for r in rows]}
     _emit(args, render_rows(rows), payload)
     return 0
@@ -240,8 +297,10 @@ def cmd_montecarlo(args: argparse.Namespace) -> int:
     from repro.experiments.montecarlo import run_monte_carlo
 
     seeds = list(range(args.base_seed, args.base_seed + args.runs))
+    registry = _metrics_registry(args)
     study = run_monte_carlo(seeds=seeds, hours=args.hours,
-                            **_executor_kwargs(args))
+                            metrics=registry, **_executor_kwargs(args))
+    _write_metrics(args, registry, study.manifest)
     payload = {
         "seeds": seeds,
         "bounded_rate": study.bounded_rate,
@@ -326,6 +385,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--series", action="store_true")
     p.add_argument("--histogram", action="store_true")
     p.add_argument("--timeline", action="store_true")
+    p.add_argument("--metrics", metavar="PATH",
+                   help="record run metrics and write them to PATH "
+                        "(.csv → CSV, anything else → JSON)")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_faults)
 
@@ -360,6 +422,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cache-dir", default=".repro_cache",
                        help="results cache location "
                             "(default: %(default)s)")
+        p.add_argument("--metrics", metavar="PATH",
+                       help="record run metrics and write them to PATH "
+                            "(.csv → CSV, anything else → JSON)")
 
     p = sub.add_parser("sweep", help="design-space parameter sweeps")
     p.add_argument("study", choices=["domains", "interval", "aggregation",

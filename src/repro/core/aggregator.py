@@ -128,6 +128,7 @@ class MultiDomainAggregator:
         name: str = "aggregator",
         trace: Optional[TraceLog] = None,
         on_mode_change: Optional[Callable[[AggregatorMode], None]] = None,
+        metrics=None,
     ) -> None:
         if config.aggregation not in AGGREGATORS:
             raise ValueError(f"unknown aggregation {config.aggregation!r}")
@@ -140,7 +141,7 @@ class MultiDomainAggregator:
         self.trace = trace
         self.on_mode_change = on_mode_change
         self.mode = AggregatorMode.STARTUP
-        self.servo = PiServo(config.servo, interval=config.sync_interval)
+        self.servo = PiServo(config.servo, interval=config.sync_interval, metrics=metrics)
         self.shmem = FtShmem(list(config.domains), self.servo)
         self.aggregations = 0
         self.coasts = 0
@@ -158,6 +159,20 @@ class MultiDomainAggregator:
             self._assess = assess_majority
         else:
             self._assess = assess_validity
+        # Observability (optional MetricsRegistry); instruments cached so
+        # the per-gate enabled path is attribute loads, not dict lookups.
+        self._metrics = metrics
+        if metrics is not None:
+            self._m_gate_fires = metrics.counter("aggregator.gate_fires")
+            self._m_coasts = metrics.counter("aggregator.coasts")
+            self._m_fta_dropped = metrics.counter("aggregator.fta_dropped")
+            self._m_mode_transitions = metrics.counter("aggregator.mode_transitions")
+            self._m_gate_latency = metrics.histogram("aggregator.gate_latency_ns")
+            self._m_offset_error = metrics.histogram("aggregator.offset_error_ns")
+            self._m_valid_domains = metrics.histogram(
+                "aggregator.valid_domains",
+                edges=list(range(len(config.domains) + 1)),
+            )
 
     # ------------------------------------------------------------------
     # OffsetSink interface — called by every ptp4l instance
@@ -175,6 +190,12 @@ class MultiDomainAggregator:
     # Adjustment path
     # ------------------------------------------------------------------
     def _adjust(self, now: int) -> None:
+        if self._metrics is not None:
+            self._m_gate_fires.inc()
+            last = self.shmem.adjust_last
+            if last is not None:
+                # Actual inter-adjustment spacing vs the nominal period S.
+                self._m_gate_latency.observe(now - last)
         self.shmem.close_gate(now)
         fresh = self.shmem.fresh_offsets(now, self._staleness)
         if self.mode is AggregatorMode.STARTUP:
@@ -186,6 +207,8 @@ class MultiDomainAggregator:
         reference = self._reference_domain(fresh)
         if reference is None:
             self.coasts += 1
+            if self._metrics is not None:
+                self._m_coasts.inc()
             return
         ref_offset = fresh[reference].offset
         self._apply_servo(ref_offset)
@@ -212,15 +235,25 @@ class MultiDomainAggregator:
         self.shmem.valid = valid
         self.last_valid_flags = valid
         offsets = [fresh[d].sample.offset for d in sorted(fresh) if flags[d]]
+        if self._metrics is not None:
+            self._m_valid_domains.observe(len(offsets))
         if not offsets:
             self.coasts += 1  # nothing trustworthy: free-run this interval
+            if self._metrics is not None:
+                self._m_coasts.inc()
             return
         result = self._aggregate_fn(offsets, self.config.f)
         self.last_result = result
+        if self._metrics is not None:
+            dropped = len(result.dropped_low) + len(result.dropped_high)
+            if dropped:
+                self._m_fta_dropped.inc(dropped)
         self._apply_servo(result.value)
 
     def _apply_servo(self, offset: float) -> None:
         self.aggregations += 1
+        if self._metrics is not None:
+            self._m_offset_error.observe(abs(offset))
         if not self.config.apply_corrections:
             return  # measure-only mode (free-running baseline)
         out = self.servo.sample(offset)
@@ -264,6 +297,8 @@ class MultiDomainAggregator:
 
     def _enter_fault_tolerant(self) -> None:
         self.mode = AggregatorMode.FAULT_TOLERANT
+        if self._metrics is not None:
+            self._m_mode_transitions.inc()
         if self.trace is not None:
             self.trace.emit(self.sim.now, "fta.ft_mode_entered", self.name)
         if self.on_mode_change is not None:
@@ -276,6 +311,8 @@ class MultiDomainAggregator:
         system (any boot after the first): startup then references the live
         ensemble instead of blindly following the initial domain.
         """
+        if self._metrics is not None and self.mode is AggregatorMode.FAULT_TOLERANT:
+            self._m_mode_transitions.inc()  # FT -> STARTUP is a transition too
         self.mode = AggregatorMode.STARTUP
         self._startup_streak = 0
         self._rejoin = rejoin

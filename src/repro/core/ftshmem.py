@@ -66,12 +66,17 @@ class FtShmem:
         self.stores += 1
 
     def fresh_offsets(self, now: int, staleness: int) -> Dict[int, StoredOffset]:
-        """Slots younger than ``staleness`` ns (excludes fail-silent GMs)."""
-        cutoff = now - staleness  # age(now) <= staleness, without the call
+        """Slots younger than ``staleness`` ns (excludes fail-silent GMs).
+
+        The boundary is exclusive: a slot of age exactly ``staleness`` is
+        already stale, matching the :meth:`StoredOffset.age`-based call
+        sites that compare ``age(now) < staleness``.
+        """
+        cutoff = now - staleness  # age(now) < staleness, without the call
         return {
             d: slot
             for d, slot in self.offsets.items()
-            if slot.stored_at >= cutoff
+            if slot.stored_at > cutoff
         }
 
     def gate_open(self, now: int, sync_interval: int) -> bool:

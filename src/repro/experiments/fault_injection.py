@@ -15,6 +15,7 @@ the derived bounds.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -126,18 +127,31 @@ class FaultInjectionResult:
         return "\n".join(lines)
 
 
+#: Wall-clock histogram edges, seconds (1-2-5 over eight decades).
+_WALL_S_BUCKETS = [
+    m * 10.0 ** d for d in range(-3, 5) for m in (1, 2, 5)
+]
+
+
 def run_fault_injection_experiment(
     config: FaultInjectionExperimentConfig = FaultInjectionExperimentConfig(),
     testbed_config: Optional[TestbedConfig] = None,
+    metrics=None,
 ) -> FaultInjectionResult:
-    """Run §III-C end to end."""
+    """Run §III-C end to end.
+
+    ``metrics`` (an optional :class:`repro.metrics.MetricsRegistry`)
+    enables in-sim instrumentation for the run plus per-run wall-time and
+    event-throughput series; it never alters the simulation itself.
+    """
+    wall_start = time.perf_counter() if metrics is not None else 0.0
     transients = config.transients or calibrate_transients()
     tb_config = testbed_config or TestbedConfig(
         seed=config.seed,
         kernel_policy="diverse",
         transients=transients,
     )
-    testbed = Testbed(tb_config)
+    testbed = Testbed(tb_config, metrics=metrics)
     injector_config = config.injector
     if testbed.measurement_vm_name not in injector_config.exclude:
         # Keep the probe stream alive, as the paper's continuous series implies.
@@ -157,6 +171,21 @@ def run_fault_injection_experiment(
     )
     injector.start()
     testbed.run_until(config.duration)
+
+    if metrics is not None:
+        testbed.publish_metrics()
+        wall = time.perf_counter() - wall_start
+        metrics.counter("experiment.runs").inc()
+        metrics.counter("experiment.events_dispatched").inc(
+            testbed.sim.dispatched_events
+        )
+        metrics.histogram(
+            "experiment.run_wall_s", edges=_WALL_S_BUCKETS
+        ).observe(wall)
+        if wall > 0:
+            metrics.gauge("experiment.events_per_sec").set(
+                testbed.sim.dispatched_events / wall
+            )
 
     bounds = testbed.derive_bounds()
     records = list(testbed.series.records)

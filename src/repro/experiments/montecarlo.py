@@ -18,15 +18,18 @@ serial one. An optional :class:`repro.parallel.ResultsCache` keyed by
 
 from __future__ import annotations
 
+import time
 from dataclasses import asdict, dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.stats import percentile
 from repro.experiments.fault_injection import (
+    _WALL_S_BUCKETS,
     FaultInjectionExperimentConfig,
     FaultInjectionResult,
     run_fault_injection_experiment,
 )
+from repro.metrics.manifest import RunManifest
 from repro.parallel import (
     ResultsCache,
     TaskSpec,
@@ -54,6 +57,9 @@ class MonteCarloResult:
     """Aggregate over all seeds."""
 
     outcomes: List[SeedOutcome]
+    #: Provenance record, populated when the study ran with a metrics
+    #: registry attached (pass it to ``write_metrics_json``).
+    manifest: Optional[RunManifest] = None
 
     @property
     def n(self) -> int:
@@ -153,6 +159,7 @@ def run_monte_carlo(
     max_workers: Optional[int] = None,
     task_timeout: Optional[float] = None,
     cache: Optional[ResultsCache] = None,
+    metrics=None,
 ) -> MonteCarloResult:
     """Run the (compressed) fault-injection experiment across seeds.
 
@@ -169,11 +176,20 @@ def run_monte_carlo(
         and its chunk retried once on a fresh process.
     cache:
         Optional :class:`ResultsCache`; hits skip the arm entirely.
+    metrics:
+        Optional :class:`repro.metrics.MetricsRegistry`. Serial arms run
+        fully instrumented (in-sim histograms accumulate across seeds);
+        process arms report per-chunk wall times only, since registries do
+        not cross the process boundary. Either way the study gains per-arm
+        timing, cache hit-rate gauges, and a :class:`RunManifest` on the
+        result. Custom ``runner`` callables used together with ``metrics``
+        must accept a ``metrics=`` keyword.
     """
     if not seeds:
         raise ValueError("need at least one seed")
     if executor not in ("serial", "process"):
         raise ValueError(f"unknown executor {executor!r}")
+    wall_start = time.perf_counter() if metrics is not None else 0.0
     base = base_config or FaultInjectionExperimentConfig()
     configs = [_seed_config(base, seed, hours) for seed in seeds]
 
@@ -195,6 +211,26 @@ def run_monte_carlo(
             [TaskSpec(fn=_run_seed_chunk, args=(c, runner)) for c in chunks]
         )
         fresh = [o for chunk_result in chunk_outcomes for o in chunk_result]
+        if metrics is not None:
+            chunk_hist = metrics.histogram(
+                "montecarlo.chunk_seconds", edges=_WALL_S_BUCKETS
+            )
+            for seconds in pool.task_seconds:
+                chunk_hist.observe(seconds)
+    elif metrics is not None:
+        # Serial + metrics: run arm by arm (identical semantics to the
+        # chunk helper) so each arm gets an individual timing sample and
+        # the in-sim instruments of every run land in one registry.
+        arm_hist = metrics.histogram(
+            "montecarlo.arm_seconds", edges=_WALL_S_BUCKETS
+        )
+        fresh = []
+        for config in to_run:
+            arm_start = time.perf_counter()
+            fresh.append(
+                _outcome_of(config.seed, runner(config, metrics=metrics))
+            )
+            arm_hist.observe(time.perf_counter() - arm_start)
     else:
         fresh = _run_seed_chunk(to_run, runner)
 
@@ -203,4 +239,28 @@ def run_monte_carlo(
         if cache:
             cache.put(_cache_key(config, runner), asdict(outcome))
 
-    return MonteCarloResult(outcomes=[by_seed[seed] for seed in seeds])
+    manifest = None
+    if metrics is not None:
+        if cache is not None:
+            lookups = cache.hits + cache.misses
+            metrics.gauge("cache.hits").set(cache.hits)
+            metrics.gauge("cache.misses").set(cache.misses)
+            metrics.gauge("cache.hit_rate").set(
+                cache.hits / lookups if lookups else 0.0
+            )
+            metrics.gauge("cache.disabled").set(int(cache.disabled))
+        events = metrics.counters.get("experiment.events_dispatched")
+        manifest = RunManifest(
+            experiment="monte_carlo",
+            config_fingerprint=_cache_key(base, runner),
+            seeds=list(seeds),
+            sim_duration_ns=configs[0].duration if configs else None,
+            wall_time_s=time.perf_counter() - wall_start,
+            events_dispatched=events.value if events is not None else None,
+            extra={"hours": hours, "executor": executor,
+                   "cached_arms": len(seeds) - len(to_run)},
+        )
+
+    return MonteCarloResult(
+        outcomes=[by_seed[seed] for seed in seeds], manifest=manifest
+    )

@@ -10,6 +10,7 @@ CLI's ``sweep`` command print the assembled table.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -75,7 +76,7 @@ def _measure(testbed: Testbed, duration: int, warmup_records: int) -> SweepRow:
 
 
 def _run_sweep_point(
-    config: TestbedConfig, duration: int, warmup_records: int
+    config: TestbedConfig, duration: int, warmup_records: int, metrics=None
 ) -> SweepRow:
     """Worker task: one sweep arm. Module-level so it pickles under spawn.
 
@@ -83,7 +84,15 @@ def _run_sweep_point(
     the frozen :class:`TestbedConfig` dataclass crosses the process
     boundary — the (often lambda) factory never has to be picklable.
     """
-    return _measure(Testbed(config), duration, warmup_records)
+    testbed = Testbed(config, metrics=metrics)
+    row = _measure(testbed, duration, warmup_records)
+    if metrics is not None:
+        testbed.publish_metrics()
+        metrics.counter("experiment.runs").inc()
+        metrics.counter("experiment.events_dispatched").inc(
+            testbed.sim.dispatched_events
+        )
+    return row
 
 
 def _sweep_cache_key(config: TestbedConfig, duration: int,
@@ -101,6 +110,7 @@ def sweep(
     max_workers: Optional[int] = None,
     task_timeout: Optional[float] = None,
     cache: Optional[ResultsCache] = None,
+    metrics=None,
 ) -> List[SweepRow]:
     """Generic sweep: build/run one testbed per value.
 
@@ -108,7 +118,9 @@ def sweep(
     :class:`repro.parallel.WorkerPool` (results stay in ``values`` order);
     a :class:`ResultsCache` skips arms whose configuration is unchanged
     since a previous run, so tweaking one parameter value only recomputes
-    the new arms.
+    the new arms. With a ``metrics`` registry attached, serial arms run
+    fully instrumented and every arm contributes a timing sample; process
+    arms report per-chunk wall times (registries stay in-process).
     """
     if not values:
         raise ValueError("sweep needs at least one value")
@@ -145,6 +157,26 @@ def sweep(
             for idxs, rows_ in zip(index_chunks, chunk_rows)
             for i, row in zip(idxs, rows_)
         ]
+        if metrics is not None:
+            from repro.experiments.fault_injection import _WALL_S_BUCKETS
+
+            chunk_hist = metrics.histogram(
+                "sweep.chunk_seconds", edges=_WALL_S_BUCKETS
+            )
+            for seconds in pool.task_seconds:
+                chunk_hist.observe(seconds)
+    elif metrics is not None:
+        from repro.experiments.fault_injection import _WALL_S_BUCKETS
+
+        arm_hist = metrics.histogram("sweep.arm_seconds", edges=_WALL_S_BUCKETS)
+        fresh = []
+        for i in to_run:
+            arm_start = time.perf_counter()
+            fresh.append(
+                (i, _run_sweep_point(configs[i], duration, warmup_records,
+                                     metrics=metrics))
+            )
+            arm_hist.observe(time.perf_counter() - arm_start)
     else:
         fresh = [
             (i, _run_sweep_point(configs[i], duration, warmup_records))
@@ -158,6 +190,14 @@ def sweep(
                 _sweep_cache_key(configs[i], duration, warmup_records),
                 row.as_dict(),
             )
+    if metrics is not None and cache is not None:
+        lookups = cache.hits + cache.misses
+        metrics.gauge("cache.hits").set(cache.hits)
+        metrics.gauge("cache.misses").set(cache.misses)
+        metrics.gauge("cache.hit_rate").set(
+            cache.hits / lookups if lookups else 0.0
+        )
+        metrics.gauge("cache.disabled").set(int(cache.disabled))
     return [
         replace(measured[i], parameter=parameter, value=value)
         for i, value in enumerate(values)

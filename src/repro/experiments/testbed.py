@@ -122,9 +122,17 @@ class Testbed:
 
     __test__ = False  # not a pytest test class despite the name
 
-    def __init__(self, config: TestbedConfig = TestbedConfig()) -> None:
+    def __init__(
+        self, config: TestbedConfig = TestbedConfig(), metrics=None
+    ) -> None:
+        # Metrics are a constructor argument, not a TestbedConfig field:
+        # the frozen config is the cache fingerprint, and attaching an
+        # observer must never change what an arm's results hash to.
         self.config = config
+        self.metrics = metrics
         self.sim = Simulator()
+        if metrics is not None:
+            self.sim.attach_metrics(metrics)
         self.trace = TraceLog()
         self.rng = RngRegistry(config.seed)
         self.topology: MeshTopology
@@ -219,6 +227,7 @@ class Testbed:
                 f"dev{x}",
                 self.rng.stream(f"node.dev{x}.tsc"),
                 trace=self.trace,
+                metrics=self.metrics,
             )
             self.nodes[node.name] = node
             domain_numbers = {d.number for d in self.domains}
@@ -387,6 +396,14 @@ class Testbed:
     def run_until(self, time: int) -> None:
         """Advance the simulation."""
         self.sim.run_until(time)
+
+    def publish_metrics(self) -> None:
+        """Flush post-hoc gauges into the attached registry (if any)."""
+        if self.metrics is None:
+            return
+        self.sim.publish_metrics()
+        self.metrics.gauge("testbed.probes_recorded").set(len(self.series.records))
+        self.metrics.gauge("testbed.trace_records").set(len(self.trace))
 
     def gm_clock_spread(self) -> float:
         """Max pairwise PHC difference across running GMs (diagnostics)."""

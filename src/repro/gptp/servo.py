@@ -79,7 +79,12 @@ class ServoOutput:
 class PiServo:
     """The PI servo proper. One instance per disciplined clock."""
 
-    def __init__(self, config: ServoConfig = ServoConfig(), interval: int = 125_000_000) -> None:
+    def __init__(
+        self,
+        config: ServoConfig = ServoConfig(),
+        interval: int = 125_000_000,
+        metrics=None,
+    ) -> None:
         self.config = config
         self.interval = interval
         seconds = to_seconds(interval)
@@ -94,6 +99,28 @@ class PiServo:
         self.state = ServoState.UNLOCKED
         self.drift = 0.0  # integrator, ppb
         self.samples = 0
+        # Observability (optional MetricsRegistry); instruments are cached
+        # here so the enabled path pays dictionary lookups only once.
+        self._metrics = metrics
+        if metrics is not None:
+            from repro.metrics.registry import PPB_BUCKETS
+
+            self._m_steps = metrics.counter("servo.steps")
+            self._m_clamps = metrics.counter("servo.clamps")
+            self._m_frequency = metrics.histogram(
+                "servo.frequency_ppb", edges=PPB_BUCKETS
+            )
+            self._m_drift = metrics.gauge("servo.drift_ppb")
+
+    def _emit(self, out: ServoOutput) -> ServoOutput:
+        """Record one output (guarded; the disabled path never gets here)."""
+        if out.step_ns:
+            self._m_steps.inc()
+        if abs(out.frequency_ppb) >= self.config.max_frequency:
+            self._m_clamps.inc()
+        self._m_frequency.observe(out.frequency_ppb)
+        self._m_drift.set(self.drift)
+        return out
 
     def sample(self, offset_ns: float) -> ServoOutput:
         """Feed one (aggregated) master offset; get the frequency to apply.
@@ -110,31 +137,38 @@ class PiServo:
         cfg = self.config
 
         if self.state is ServoState.UNLOCKED:
-            self.state = ServoState.JUMP if abs(offset_ns) > cfg.first_step_threshold else ServoState.LOCKED
-            if self.state is ServoState.JUMP:
-                # Step the clock by -offset and restart clean.
-                self.state = ServoState.LOCKED
-                return ServoOutput(
+            if abs(offset_ns) > cfg.first_step_threshold:
+                # Step the clock by -offset and *stay unlocked*: LinuxPTP's
+                # pi.c resets its sample count after a step, so the next
+                # sample re-enters the estimation path (priming the
+                # integrator, or stepping again if the residual is still
+                # gross) instead of slewing a large leftover by PI alone.
+                out = ServoOutput(
                     state=ServoState.JUMP,
                     frequency_ppb=self._clamp(-self.drift),
                     step_ns=-round(offset_ns),
                 )
-            # Prime the integrator with the first observation.
+                return out if self._metrics is None else self._emit(out)
+            # Prime the integrator with the first in-bound observation.
+            self.state = ServoState.LOCKED
             self.drift = self._clamp(self.drift + self.ki * offset_ns)
             freq = self.drift + self.kp * offset_ns
-            return ServoOutput(state=ServoState.LOCKED, frequency_ppb=self._clamp(-freq))
+            out = ServoOutput(state=ServoState.LOCKED, frequency_ppb=self._clamp(-freq))
+            return out if self._metrics is None else self._emit(out)
 
         if cfg.step_threshold and abs(offset_ns) > cfg.step_threshold:
             # Re-step on gross error (disabled by default, as in LinuxPTP).
-            return ServoOutput(
+            out = ServoOutput(
                 state=ServoState.JUMP,
                 frequency_ppb=self._clamp(-self.drift),
                 step_ns=-round(offset_ns),
             )
+            return out if self._metrics is None else self._emit(out)
 
         self.drift = self._clamp(self.drift + self.ki * offset_ns)
         freq = self.drift + self.kp * offset_ns
-        return ServoOutput(state=ServoState.LOCKED, frequency_ppb=self._clamp(-freq))
+        out = ServoOutput(state=ServoState.LOCKED, frequency_ppb=self._clamp(-freq))
+        return out if self._metrics is None else self._emit(out)
 
     def reset(self) -> None:
         """Forget all state (VM reboot)."""

@@ -84,6 +84,7 @@ class ClockSyncVm(Vm):
         stshmem: StShmem,
         rng: random.Random,
         trace: Optional[TraceLog] = None,
+        metrics=None,
     ) -> None:
         super().__init__(sim, name, trace=trace, boot_delay=config.boot_delay)
         self.config = config
@@ -104,6 +105,7 @@ class ClockSyncVm(Vm):
             config.aggregator,
             name=f"{name}.fta",
             trace=trace,
+            metrics=metrics,
         )
         self.stack = GptpStack(sim, self.nic, rng, trace)
         for domain_config in config.domains:

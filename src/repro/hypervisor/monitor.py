@@ -45,8 +45,13 @@ def vote_faulty(
 
     Each VM's parameters are evaluated at the same raw-timebase instant;
     a VM is faulty if its implied synchronized time differs from the
-    majority's median by more than ``threshold``. With fewer than three
-    candidates no majority exists and nothing is flagged.
+    majority's median by more than ``threshold`` — and only if a *strict
+    majority* of the candidates actually clusters around that median.
+    With fewer than three candidates no majority exists and nothing is
+    flagged; likewise an even split (e.g. two colluding VMs against two
+    honest ones) puts the median between the clusters, leaves no majority
+    behind it, and flags nothing — flagging everyone would fail the active
+    writer over onto an equally-flagged backup.
     """
     if len(candidates) < 3:
         return set()
@@ -58,7 +63,10 @@ def vote_faulty(
         if n % 2
         else (ordered[n // 2 - 1] + ordered[n // 2]) / 2.0
     )
-    return {vm for vm, value in values.items() if abs(value - median) > threshold}
+    within = {vm for vm, value in values.items() if abs(value - median) <= threshold}
+    if 2 * len(within) <= len(values):
+        return set()  # no strict majority cluster: a tie proves nothing
+    return set(values) - within
 
 
 class DependentClockMonitor:
@@ -74,6 +82,7 @@ class DependentClockMonitor:
         vote_threshold: float = 10 * MICROSECONDS,
         trace: Optional[TraceLog] = None,
         name: str = "monitor",
+        metrics=None,
     ) -> None:
         if not vms:
             raise ValueError("monitor needs at least one clock sync VM")
@@ -88,9 +97,30 @@ class DependentClockMonitor:
         self.detections = 0
         self.vote_detections = 0
         self.takeovers_issued = 0
+        #: Stalls (outages with no running backup), counted once per stall.
         self.no_backup_events = 0
+        #: Monitor ticks spent retrying a failover with no backup available.
+        self.no_backup_ticks = 0
+        #: Duration of the most recent no-backup stall, ns (first failed
+        #: failover attempt to the tick the system recovered).
+        self.last_no_backup_recovery_ns: Optional[int] = None
         self._last_generation: Optional[int] = None
         self._stale_count = 0
+        self._stale_since: Optional[int] = None
+        self._no_backup_since: Optional[int] = None
+        # Observability (optional MetricsRegistry), cached instruments.
+        self._metrics = metrics
+        if metrics is not None:
+            self._m_detections = metrics.counter("hypervisor.detections")
+            self._m_takeovers = metrics.counter("hypervisor.takeovers")
+            self._m_no_backup_events = metrics.counter("hypervisor.no_backup_events")
+            self._m_no_backup_ticks = metrics.counter("hypervisor.no_backup_ticks")
+            self._m_failover_latency = metrics.histogram(
+                "hypervisor.failover_latency_ns"
+            )
+            self._m_recovery_latency = metrics.histogram(
+                "hypervisor.no_backup_recovery_ns"
+            )
         self._task = PeriodicTask(sim, period=period, action=self._tick, name=name)
 
     def start(self) -> None:
@@ -113,18 +143,30 @@ class DependentClockMonitor:
         if self._last_generation is None or generation != self._last_generation:
             self._last_generation = generation
             self._stale_count = 0
+            if self._no_backup_since is not None:
+                # The silent writer resumed on its own mid-stall.
+                self._record_recovery(self.sim.now)
+            self._stale_since = None
             return
         self._stale_count += 1
         if self._stale_count < self.stale_ticks:
             return
-        # The active writer went silent: fail it over.
-        self._stale_count = 0
-        self.detections += 1
+        # The active writer went silent: fail it over. The stale counter is
+        # NOT reset here — a failed failover (no running backup) leaves it
+        # at/above the detection bound so the very next tick retries,
+        # instead of silently waiting another full stale_ticks window while
+        # a freshly booted VM sits idle.
         failed = self.stshmem.active_writer
-        if self.trace is not None:
-            self.trace.emit(
-                self.sim.now, "hypervisor.stale_detected", self.name, vm=failed
-            )
+        if self._stale_count == self.stale_ticks:
+            # First tick at the staleness bound: one detection per outage.
+            self.detections += 1
+            if self._metrics is not None:
+                self._m_detections.inc()
+            self._stale_since = self.sim.now
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now, "hypervisor.stale_detected", self.name, vm=failed
+                )
         self._failover(exclude={failed} if failed else set())
 
     def _check_vote(self) -> bool:
@@ -162,22 +204,64 @@ class DependentClockMonitor:
         self.vote_detections += 1
         if active in flagged:
             self.detections += 1
+            if self._metrics is not None:
+                self._m_detections.inc()
             self._failover(exclude=flagged)
             return True
         return False
 
-    def _failover(self, exclude: set) -> None:
+    def _failover(self, exclude: set) -> bool:
         backup = self._pick_backup(exclude=exclude)
+        now = self.sim.now
         if backup is None:
-            self.no_backup_events += 1
-            if self.trace is not None:
-                self.trace.emit(self.sim.now, "hypervisor.no_backup", self.name)
-            return
+            self.no_backup_ticks += 1
+            if self._metrics is not None:
+                self._m_no_backup_ticks.inc()
+            if self._no_backup_since is None:
+                # Entering a stall: count it once; retries are counted in
+                # no_backup_ticks and tried again every monitor period.
+                self._no_backup_since = now
+                self.no_backup_events += 1
+                if self._metrics is not None:
+                    self._m_no_backup_events.inc()
+                if self.trace is not None:
+                    self.trace.emit(now, "hypervisor.no_backup", self.name)
+            return False
         self.stshmem.set_active_writer(backup.name)
         self._last_generation = None  # re-arm against the new writer
         self._stale_count = 0
         self.takeovers_issued += 1
+        if self._metrics is not None:
+            self._m_takeovers.inc()
+        if self._no_backup_since is not None:
+            self._record_recovery(now)
+        if self._stale_since is not None:
+            self._observe_failover_latency(now - self._stale_since)
+            self._stale_since = None
         backup.takeover_interrupt()
+        return True
+
+    def _record_recovery(self, now: int) -> None:
+        """Close a no-backup stall and keep its recovery latency."""
+        self.last_no_backup_recovery_ns = now - self._no_backup_since
+        self._no_backup_since = None
+        if self._metrics is not None:
+            self._m_recovery_latency.observe(self.last_no_backup_recovery_ns)
+        if self.trace is not None:
+            self.trace.emit(
+                now, "hypervisor.no_backup_recovered", self.name,
+                latency_ns=self.last_no_backup_recovery_ns,
+            )
+
+    def _observe_failover_latency(self, latency_ns: int) -> None:
+        """Record one detection-to-takeover latency (§III's failover time)."""
+        if self._metrics is not None:
+            self._m_failover_latency.observe(latency_ns)
+        if self.trace is not None:
+            self.trace.emit(
+                self.sim.now, "hypervisor.failover_latency", self.name,
+                latency_ns=latency_ns,
+            )
 
     @staticmethod
     def _synchronized(aggregator) -> bool:

@@ -39,10 +39,12 @@ class EcdNode:
         timebase_model: OscillatorModel = OscillatorModel(),
         monitor_period: int = 125 * MILLISECONDS,
         trace: Optional[TraceLog] = None,
+        metrics=None,
     ) -> None:
         self.sim = sim
         self.name = name
         self.trace = trace
+        self.metrics = metrics
         self.timebase = Oscillator(sim, rng, timebase_model, name=f"{name}.tsc")
         self.synctime_clock = SyncTimeClock(self.timebase)
         self.stshmem = StShmem(sim, self.synctime_clock, name=f"{name}.stshmem")
@@ -55,7 +57,10 @@ class EcdNode:
         self, name: str, config: ClockSyncVmConfig, rng: random.Random
     ) -> ClockSyncVm:
         """Create a clock synchronization VM on this node."""
-        vm = ClockSyncVm(self.sim, name, config, self.stshmem, rng, self.trace)
+        vm = ClockSyncVm(
+            self.sim, name, config, self.stshmem, rng, self.trace,
+            metrics=self.metrics,
+        )
         self.clock_sync_vms.append(vm)
         return vm
 
@@ -70,6 +75,7 @@ class EcdNode:
             period=self.monitor_period,
             trace=self.trace,
             name=f"{self.name}.monitor",
+            metrics=self.metrics,
         )
         self.monitor.start()
 

@@ -1,0 +1,41 @@
+"""Run-wide metrics & observability.
+
+Disabled by default: every instrumented component takes ``metrics=None``
+and guards each emission, so the cost without a registry is one ``None``
+check (the :class:`~repro.sim.trace.TraceLog` pattern). Attach a
+:class:`MetricsRegistry` to a testbed or experiment entry point to collect
+counters, gauges, and nanosecond histograms, then export them (plus a
+:class:`RunManifest`) with :func:`write_metrics_json` /
+:func:`write_metrics_csv`.
+"""
+
+from repro.metrics.export import (
+    load_metrics_json,
+    metrics_document,
+    write_metrics_csv,
+    write_metrics_json,
+)
+from repro.metrics.manifest import METRICS_SCHEMA_VERSION, RunManifest
+from repro.metrics.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    PPB_BUCKETS,
+    default_ns_buckets,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PPB_BUCKETS",
+    "default_ns_buckets",
+    "RunManifest",
+    "METRICS_SCHEMA_VERSION",
+    "metrics_document",
+    "write_metrics_json",
+    "write_metrics_csv",
+    "load_metrics_json",
+]

@@ -1,0 +1,85 @@
+"""JSON/CSV export of a metrics registry.
+
+The JSON document is the canonical form: ``{"manifest": {...},
+"metrics": {name: snapshot}}``. The CSV form flattens every instrument to
+one row per summary statistic — handy for spreadsheet-side comparisons of
+nightly runs, lossy for histograms (bucket counts stay JSON-only).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+import tempfile
+from typing import Optional
+
+from repro.metrics.manifest import RunManifest
+from repro.metrics.registry import MetricsRegistry
+
+
+def metrics_document(
+    registry: MetricsRegistry, manifest: Optional[RunManifest] = None
+) -> dict:
+    """The canonical export payload."""
+    return {
+        "manifest": manifest.to_dict() if manifest is not None else None,
+        "metrics": registry.snapshot(),
+    }
+
+
+def _atomic_write(path: str, write_body) -> None:
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8", newline="") as fh:
+            write_body(fh)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def write_metrics_json(
+    path: str, registry: MetricsRegistry, manifest: Optional[RunManifest] = None
+) -> None:
+    """Write the canonical JSON document atomically (tmp + rename)."""
+    document = metrics_document(registry, manifest)
+    _atomic_write(
+        path, lambda fh: json.dump(document, fh, indent=2, sort_keys=True)
+    )
+
+
+def write_metrics_csv(
+    path: str, registry: MetricsRegistry, manifest: Optional[RunManifest] = None
+) -> None:
+    """Write one row per instrument statistic: ``name,kind,stat,value``."""
+    rows = []
+    for name, snap in registry.snapshot().items():
+        kind = snap["type"]
+        if kind == "histogram":
+            for stat in ("n", "sum", "min", "max", "mean", "p50", "p99"):
+                rows.append((name, kind, stat, snap[stat]))
+        else:
+            rows.append((name, kind, "value", snap["value"]))
+    if manifest is not None:
+        for stat, value in sorted(manifest.to_dict().items()):
+            if isinstance(value, (int, float, str)) or value is None:
+                rows.append(("manifest", "manifest", stat, value))
+
+    def body(fh):
+        writer = csv.writer(fh)
+        writer.writerow(("name", "kind", "stat", "value"))
+        writer.writerows(rows)
+
+    _atomic_write(path, body)
+
+
+def load_metrics_json(path: str) -> dict:
+    """Read back a document written by :func:`write_metrics_json`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)

@@ -1,0 +1,49 @@
+"""Per-run manifest: what ran, with which knobs, how fast.
+
+A manifest travels next to the metric series in every export so a results
+file is self-describing: the configuration fingerprint ties it back to the
+exact experiment arms (the same SHA-256 the results cache keys on), the
+seed list makes the run reproducible, and the wall-time/throughput figures
+let regressions in the harness itself show up in dashboards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Bump when the exported metrics document shape changes.
+METRICS_SCHEMA_VERSION = 1
+
+
+@dataclass
+class RunManifest:
+    """Provenance record for one experiment run."""
+
+    experiment: str
+    config_fingerprint: str
+    seeds: List[int] = field(default_factory=list)
+    sim_duration_ns: Optional[int] = None
+    wall_time_s: Optional[float] = None
+    events_dispatched: Optional[int] = None
+    schema_version: int = METRICS_SCHEMA_VERSION
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def events_per_sec(self) -> Optional[float]:
+        if not self.wall_time_s or self.events_dispatched is None:
+            return None
+        return self.events_dispatched / self.wall_time_s
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment": self.experiment,
+            "config_fingerprint": self.config_fingerprint,
+            "seeds": list(self.seeds),
+            "sim_duration_ns": self.sim_duration_ns,
+            "wall_time_s": self.wall_time_s,
+            "events_dispatched": self.events_dispatched,
+            "events_per_sec": self.events_per_sec,
+            "schema_version": self.schema_version,
+            "extra": dict(self.extra),
+        }

@@ -82,6 +82,9 @@ class ResultsCache:
         study.
         """
         if self.disabled:
+            # Still a miss: hit/miss accounting must stay meaningful (and
+            # exportable as metrics) even after the cache disables itself.
+            self.misses += 1
             return None
         path = self._path(key)
         try:

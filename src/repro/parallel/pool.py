@@ -107,6 +107,7 @@ class _Running:
     process: multiprocessing.process.BaseProcess
     conn: Connection
     deadline: Optional[float]
+    started: float
 
 
 class WorkerPool:
@@ -147,6 +148,11 @@ class WorkerPool:
         self.max_workers = max_workers or os.cpu_count() or 1
         self.task_timeout = task_timeout
         self.retries = retries
+        #: Wall-clock seconds of every *successful* attempt, in completion
+        #: order, accumulated across :meth:`map` calls — the per-arm timing
+        #: the metrics layer exports (launch overhead included, so it
+        #: reflects what the study actually paid per arm).
+        self.task_seconds: List[float] = []
         self._ctx = multiprocessing.get_context(start_method)
 
     # ------------------------------------------------------------------
@@ -193,12 +199,9 @@ class WorkerPool:
         )
         process.start()
         child_conn.close()  # parent keeps only the receive end
-        deadline = (
-            time.monotonic() + self.task_timeout
-            if self.task_timeout is not None
-            else None
-        )
-        return _Running(index, spec, attempt, process, parent_conn, deadline)
+        started = time.monotonic()
+        deadline = started + self.task_timeout if self.task_timeout is not None else None
+        return _Running(index, spec, attempt, process, parent_conn, deadline, started)
 
     def _collect(
         self,
@@ -261,6 +264,7 @@ class WorkerPool:
         if ok:
             results[slot.index] = payload
             errors.pop(slot.index, None)
+            self.task_seconds.append(time.monotonic() - slot.started)
         else:
             # Deterministic task exception: no retry, keep the child traceback.
             errors[slot.index] = TaskFailedError(

@@ -137,6 +137,10 @@ class Simulator:
         self._live: int = 0
         self._running = False
         self._stopped = False
+        # Observability (attach_metrics): None means fully disabled — the
+        # scheduling paths then pay one short-circuited None check each.
+        self._metrics = None
+        self._queue_hwm: int = 0
 
     def reset(self, start_time: int = 0) -> None:
         """Return the kernel to a pristine post-construction state.
@@ -162,6 +166,7 @@ class Simulator:
         self._live = 0
         self._running = False
         self._stopped = False
+        self._queue_hwm = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -187,6 +192,8 @@ class Simulator:
         handle = EventHandle(time, seq, callback, args, sim=self)
         _heappush(self._queue, (time, seq, handle, None, None))
         self._live += 1
+        if self._metrics is not None and self._live > self._queue_hwm:
+            self._queue_hwm = self._live
         return handle
 
     def post(self, delay: int, callback: Callable[..., None], *args: Any) -> None:
@@ -204,6 +211,8 @@ class Simulator:
         self._seq = seq + 1
         _heappush(self._queue, (time, seq, None, callback, args))
         self._live += 1
+        if self._metrics is not None and self._live > self._queue_hwm:
+            self._queue_hwm = self._live
 
     def post_at(self, time: int, callback: Callable[..., None], *args: Any) -> None:
         """Absolute-time variant of :meth:`post`."""
@@ -215,6 +224,8 @@ class Simulator:
         self._seq = seq + 1
         _heappush(self._queue, (time, seq, None, callback, args))
         self._live += 1
+        if self._metrics is not None and self._live > self._queue_hwm:
+            self._queue_hwm = self._live
 
     def schedule_periodic(
         self,
@@ -248,6 +259,8 @@ class Simulator:
         handle = EventHandle(first, seq, callback, args, sim=self, interval=interval)
         _heappush(self._queue, (first, seq, handle, None, None))
         self._live += 1
+        if self._metrics is not None and self._live > self._queue_hwm:
+            self._queue_hwm = self._live
         return handle
 
     # ------------------------------------------------------------------
@@ -431,6 +444,34 @@ class Simulator:
             if entry[2] is None or not entry[2].cancelled
         ]
         heapq.heapify(queue)
+
+    def attach_metrics(self, registry) -> None:
+        """Enable kernel observability against ``registry``.
+
+        Only the queue high-water mark costs anything while attached (one
+        extra comparison per scheduled event); everything else is read from
+        counters the kernel maintains anyway and published on demand by
+        :meth:`publish_metrics`. Metrics never influence dispatch order, so
+        attaching a registry leaves runs (and traces) bit-identical.
+        """
+        self._metrics = registry
+        self._queue_hwm = self._live
+
+    def publish_metrics(self) -> None:
+        """Export the kernel's counters as gauges (no-op when detached).
+
+        The high-water mark is tracked against the push-side ``_live``
+        counter, which the inlined run loops settle in bulk — it is exact
+        for the queue growth that matters and conservatively high by at
+        most the events already dispatched within the current burst.
+        """
+        registry = self._metrics
+        if registry is None:
+            return
+        registry.gauge("kernel.events_dispatched").set(self._dispatched)
+        registry.gauge("kernel.queue_depth_hwm").set(self._queue_hwm)
+        registry.gauge("kernel.pending_events").set(self._live)
+        registry.gauge("kernel.sim_now_ns").set(self.now)
 
     @property
     def pending_events(self) -> int:

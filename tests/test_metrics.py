@@ -1,0 +1,192 @@
+"""Unit tests for the metrics layer: instruments, registry, manifest,
+JSON/CSV export, and the text rendering."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.report import render_metrics
+from repro.metrics import (
+    METRICS_SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    PPB_BUCKETS,
+    RunManifest,
+    default_ns_buckets,
+    load_metrics_json,
+    metrics_document,
+    write_metrics_csv,
+    write_metrics_json,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+        assert c.snapshot() == {"type": "counter", "value": 6}
+
+    def test_gauge_set_and_high_water(self):
+        g = Gauge("g")
+        assert g.value is None
+        g.set(3.0)
+        g.max(1.0)
+        assert g.value == 3.0
+        g.max(7.0)
+        assert g.value == 7.0
+        assert g.snapshot() == {"type": "gauge", "value": 7.0}
+
+    def test_default_buckets_are_sorted_125_decades(self):
+        edges = default_ns_buckets()
+        assert edges == sorted(edges)
+        assert edges[:3] == [1.0, 2.0, 5.0]
+        assert edges[-1] == 5e9
+        assert PPB_BUCKETS == sorted(PPB_BUCKETS)
+
+    def test_histogram_rejects_bad_edges(self):
+        with pytest.raises(ValueError):
+            Histogram("h", [])
+        with pytest.raises(ValueError):
+            Histogram("h", [10.0, 1.0])
+
+    def test_histogram_buckets_are_inclusive_upper_bounds(self):
+        h = Histogram("h", [10.0, 20.0])
+        h.observe(10.0)   # == first edge -> first bucket
+        h.observe(10.5)   # -> second bucket
+        h.observe(20.0)   # == last edge -> second bucket
+        h.observe(21.0)   # -> overflow
+        assert h.counts == [1, 2, 1]
+        assert h.n == 4
+        assert h.min == 10.0 and h.max == 21.0
+        assert h.mean == pytest.approx(61.5 / 4)
+
+    def test_histogram_quantiles(self):
+        h = Histogram("h", [1.0, 2.0, 5.0])
+        assert h.quantile(0.5) is None  # empty
+        for value in (0.5, 1.5, 1.5, 4.0):
+            h.observe(value)
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(0.5) == 2.0
+        assert h.quantile(1.0) == 5.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_overflow_quantile_reports_observed_max(self):
+        h = Histogram("h", [1.0])
+        h.observe(123.0)
+        assert h.quantile(0.99) == 123.0
+
+    def test_snapshot_shape(self):
+        h = Histogram("h", [1.0, 2.0])
+        h.observe(1.5)
+        snap = h.snapshot()
+        assert snap["type"] == "histogram"
+        assert snap["n"] == 1
+        assert snap["edges"] == [1.0, 2.0]
+        assert snap["counts"] == [0, 1, 0]
+        assert snap["p50"] == 2.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_histogram_edges_fixed_at_creation(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", edges=[1.0, 2.0])
+        assert reg.histogram("h", edges=[9.0]) is h
+        assert h.edges == [1.0, 2.0]
+
+    def test_snapshot_covers_every_instrument(self):
+        reg = MetricsRegistry()
+        reg.counter("z.count").inc()
+        reg.gauge("a.gauge").set(1.0)
+        reg.histogram("m.hist").observe(3.0)
+        snap = reg.snapshot()
+        assert set(snap) == {"z.count", "a.gauge", "m.hist"}
+        assert snap["z.count"]["type"] == "counter"
+        assert snap["m.hist"]["n"] == 1
+
+
+class TestManifest:
+    def test_events_per_sec_derivation(self):
+        m = RunManifest(experiment="x", config_fingerprint="f",
+                        wall_time_s=2.0, events_dispatched=100)
+        assert m.events_per_sec == 50.0
+        assert RunManifest("x", "f").events_per_sec is None
+        assert RunManifest("x", "f", wall_time_s=0.0,
+                           events_dispatched=5).events_per_sec is None
+
+    def test_to_dict_is_json_ready(self):
+        m = RunManifest(experiment="x", config_fingerprint="f",
+                        seeds=[1, 2], extra={"hours": 0.1})
+        d = m.to_dict()
+        assert d["schema_version"] == METRICS_SCHEMA_VERSION
+        assert d["seeds"] == [1, 2]
+        json.dumps(d)  # must not raise
+
+
+class TestExport:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.counter("runs").inc(2)
+        reg.gauge("rate").set(0.5)
+        reg.histogram("lat", edges=[1.0, 10.0]).observe(3.0)
+        manifest = RunManifest(experiment="unit", config_fingerprint="abc",
+                               seeds=[7], wall_time_s=1.0,
+                               events_dispatched=10)
+        return reg, manifest
+
+    def test_json_round_trip(self, tmp_path):
+        reg, manifest = self._populated()
+        path = str(tmp_path / "m.json")
+        write_metrics_json(path, reg, manifest)
+        doc = load_metrics_json(path)
+        assert doc == metrics_document(reg, manifest)
+        assert doc["manifest"]["experiment"] == "unit"
+        assert doc["metrics"]["lat"]["n"] == 1
+        assert not [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+
+    def test_json_without_manifest(self, tmp_path):
+        reg, _ = self._populated()
+        path = str(tmp_path / "m.json")
+        write_metrics_json(path, reg)
+        assert load_metrics_json(path)["manifest"] is None
+
+    def test_csv_rows(self, tmp_path):
+        reg, manifest = self._populated()
+        path = str(tmp_path / "m.csv")
+        write_metrics_csv(path, reg, manifest)
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        assert lines[0] == "name,kind,stat,value"
+        assert "runs,counter,value,2" in lines
+        assert "rate,gauge,value,0.5" in lines
+        assert "lat,histogram,n,1" in lines
+        assert "manifest,manifest,experiment,unit" in lines
+        # histograms flatten to exactly the seven summary stats
+        assert sum(1 for l in lines if l.startswith("lat,")) == 7
+
+
+class TestRenderMetrics:
+    def test_renders_every_section(self):
+        reg, manifest = TestExport()._populated()
+        reg.histogram("empty")
+        text = render_metrics(metrics_document(reg, manifest))
+        assert "run: unit" in text
+        assert "events/s" in text
+        assert "runs" in text and "rate" in text
+        assert "lat: n=1" in text
+        assert "#" in text  # at least one histogram bar
+        assert "empty: (no observations)" in text
+
+    def test_empty_document(self):
+        assert render_metrics({"manifest": None, "metrics": {}}) == "(no metrics)"
