@@ -9,6 +9,11 @@ evaluation workflow:
 * ``repro-sim faults`` — run the §III-C fault injection (Fig. 4/5).
 * ``repro-sim baselines`` — run the baseline comparison.
 * ``repro-sim vulnerabilities`` — query the kernel/CVE database.
+* ``repro-sim scenarios`` — list/show the named scenario registry.
+
+Every experiment subcommand accepts ``--scenario NAME|path.json`` to run on
+a registered or file-based :class:`repro.scenarios.ScenarioSpec` instead of
+the paper's default mesh4 testbed.
 
 All numeric output is plain text; ``--json`` emits machine-readable results
 for downstream plotting.
@@ -46,11 +51,25 @@ def _emit(args: argparse.Namespace, text: str, payload: Dict[str, Any]) -> None:
         print(text)
 
 
+def _scenario_of(args: argparse.Namespace):
+    """The resolved :class:`ScenarioSpec` of ``--scenario``, or ``None``."""
+    ref = getattr(args, "scenario", None)
+    if not ref:
+        return None
+    from repro.scenarios import resolve_scenario
+
+    return resolve_scenario(ref)
+
+
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
 def cmd_survey(args: argparse.Namespace) -> int:
-    testbed = Testbed(TestbedConfig(seed=args.seed))
+    spec = _scenario_of(args)
+    testbed = Testbed(
+        spec.testbed_config(seed=args.seed)
+        if spec is not None else TestbedConfig(seed=args.seed)
+    )
     testbed.run_until(round(args.warmup * SECONDS))
     bounds = testbed.derive_bounds()
     payload = {
@@ -69,7 +88,7 @@ def cmd_cyber(args: argparse.Namespace) -> int:
     config = CyberExperimentConfig(
         kernel_policy=args.policy, seed=args.seed
     ).scaled(args.scale)
-    result = run_cyber_experiment(config)
+    result = run_cyber_experiment(config, scenario=_scenario_of(args))
     payload = {
         "policy": args.policy,
         "compromised": result.compromised,
@@ -91,7 +110,8 @@ def cmd_cyber(args: argparse.Namespace) -> int:
 
 
 def cmd_faults(args: argparse.Namespace) -> int:
-    base = FaultInjectionExperimentConfig(seed=args.seed)
+    spec = _scenario_of(args)
+    base = FaultInjectionExperimentConfig(seed=args.seed, scenario=spec)
     if args.hours >= 24 and not args.compress:
         config = base
     elif args.compress:
@@ -101,6 +121,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
             duration=round(args.hours * HOURS),
             seed=args.seed,
             injector=base.injector,
+            scenario=spec,
         )
     registry = _metrics_registry(args)
     result = run_fault_injection_experiment(config, metrics=registry)
@@ -117,6 +138,8 @@ def cmd_faults(args: argparse.Namespace) -> int:
             sim_duration_ns=config.duration,
             wall_time_s=wall.sum if wall is not None else None,
             events_dispatched=events.value if events is not None else None,
+            scenario=spec.name if spec else None,
+            scenario_fingerprint=spec.fingerprint() if spec else None,
             extra={"hours": args.hours, "compress": bool(args.compress)},
         ))
     payload = {
@@ -149,11 +172,14 @@ def cmd_faults(args: argparse.Namespace) -> int:
 
 def cmd_baselines(args: argparse.Namespace) -> int:
     duration = round(args.minutes * MINUTES)
+    spec = _scenario_of(args)
     results = [
-        run_full_architecture(duration=duration, seed=args.seed),
-        run_client_only_baseline(duration=duration, seed=args.seed),
+        run_full_architecture(duration=duration, seed=args.seed, scenario=spec),
+        run_client_only_baseline(duration=duration, seed=args.seed,
+                                 scenario=spec),
         run_single_domain_baseline(
-            duration=duration, seed=args.seed, gm_fails_at=duration // 2
+            duration=duration, seed=args.seed, gm_fails_at=duration // 2,
+            scenario=spec,
         ),
     ]
     text = "\n\n".join(r.to_text() for r in results)
@@ -175,7 +201,9 @@ def cmd_export(args: argparse.Namespace) -> int:
         run_fault_injection_experiment,
     )
 
-    config = FaultInjectionExperimentConfig(seed=args.seed)
+    config = FaultInjectionExperimentConfig(
+        seed=args.seed, scenario=_scenario_of(args)
+    )
     if args.hours < 24:
         config = config.scaled(args.hours)
     result = run_fault_injection_experiment(config)
@@ -194,7 +222,11 @@ def cmd_linkfail(args: argparse.Namespace) -> int:
     )
 
     result = run_link_failure_experiment(
-        LinkFailureConfig(seed=args.seed, trunk=tuple(args.trunk))
+        LinkFailureConfig(
+            seed=args.seed,
+            trunk=tuple(args.trunk) if args.trunk else None,
+        ),
+        scenario=_scenario_of(args),
     )
     payload = {
         "trunk": list(result.config.trunk),
@@ -254,7 +286,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         render_rows,
         sweep_aggregation,
         sweep_domain_count,
+        sweep_fault_budget,
+        sweep_hop_count,
         sweep_sync_interval,
+        sweep_topology,
         sweep_validity_threshold,
     )
     from repro.sim.timebase import SECONDS
@@ -264,12 +299,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         "interval": sweep_sync_interval,
         "aggregation": sweep_aggregation,
         "threshold": sweep_validity_threshold,
+        "topology": sweep_topology,
+        "hopcount": sweep_hop_count,
+        "faultbudget": sweep_fault_budget,
     }
+    spec = _scenario_of(args)
     registry = _metrics_registry(args)
     duration = round(args.duration * SECONDS)
     wall_start = time.perf_counter()
     rows = runners[args.study](
-        seed=args.seed, duration=duration,
+        seed=args.seed, duration=duration, scenario=spec,
         metrics=registry, **_executor_kwargs(args),
     )
     if registry is not None:
@@ -280,12 +319,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         _write_metrics(args, registry, RunManifest(
             experiment=f"sweep:{args.study}",
             config_fingerprint=config_fingerprint(
-                "sweep-cli", args.study, args.seed, duration
+                "sweep-cli", args.study, args.seed, duration,
+                spec.fingerprint() if spec else None,
             ),
             seeds=[args.seed],
             sim_duration_ns=duration,
             wall_time_s=time.perf_counter() - wall_start,
             events_dispatched=events.value if events is not None else None,
+            scenario=spec.name if spec else None,
+            scenario_fingerprint=spec.fingerprint() if spec else None,
             extra={"points": len(rows)},
         ))
     payload = {"study": args.study, "rows": [r.as_dict() for r in rows]}
@@ -294,11 +336,18 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_montecarlo(args: argparse.Namespace) -> int:
+    from repro.experiments.fault_injection import (
+        FaultInjectionExperimentConfig as _FIConfig,
+    )
     from repro.experiments.montecarlo import run_monte_carlo
 
+    spec = _scenario_of(args)
     seeds = list(range(args.base_seed, args.base_seed + args.runs))
     registry = _metrics_registry(args)
     study = run_monte_carlo(seeds=seeds, hours=args.hours,
+                            base_config=(
+                                _FIConfig(scenario=spec) if spec else None
+                            ),
                             metrics=registry, **_executor_kwargs(args))
     _write_metrics(args, registry, study.manifest)
     payload = {
@@ -318,6 +367,39 @@ def cmd_montecarlo(args: argparse.Namespace) -> int:
     }
     _emit(args, study.to_text(), payload)
     return 0 if study.bounded_rate == 1.0 else 1
+
+
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.scenarios import list_scenarios, resolve_scenario
+
+    if args.action == "list":
+        specs = list_scenarios()
+        lines = [
+            f"{spec.name:<12} {spec.topology:<5} N={spec.n_devices} "
+            f"M={spec.effective_domains} f={spec.f} "
+            f"fp={spec.fingerprint()[:12]}  {spec.description}"
+            for spec in specs
+        ]
+        payload = {
+            spec.name: {
+                "topology": spec.topology,
+                "n_devices": spec.n_devices,
+                "n_domains": spec.effective_domains,
+                "f": spec.f,
+                "fingerprint": spec.fingerprint(),
+                "description": spec.description,
+            }
+            for spec in specs
+        }
+        _emit(args, "\n".join(lines), payload)
+        return 0
+    # action == "show"
+    spec = resolve_scenario(args.name)
+    doc = spec.to_dict()
+    doc["fingerprint"] = spec.fingerprint()
+    doc["trunks"] = [list(pair) for pair in spec.trunk_pairs()]
+    _emit(args, json.dumps(doc, indent=2, sort_keys=True), doc)
+    return 0
 
 
 def cmd_vulnerabilities(args: argparse.Namespace) -> int:
@@ -361,9 +443,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_scenario_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--scenario", metavar="NAME|PATH",
+                       help="run on a registered scenario or a JSON spec "
+                            "file instead of the paper's mesh4 testbed "
+                            "(see 'repro-sim scenarios list')")
+
     p = sub.add_parser("survey", help="latency survey + §III-A3 bound derivation")
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--warmup", type=float, default=30.0, help="seconds")
+    add_scenario_flag(p)
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_survey)
 
@@ -374,6 +463,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="timeline compression (1.0 = the paper's hour)")
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--series", action="store_true")
+    add_scenario_flag(p)
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_cyber)
 
@@ -388,12 +478,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", metavar="PATH",
                    help="record run metrics and write them to PATH "
                         "(.csv → CSV, anything else → JSON)")
+    add_scenario_flag(p)
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser("baselines", help="architecture vs baselines")
     p.add_argument("--minutes", type=float, default=8.0)
     p.add_argument("--seed", type=int, default=1)
+    add_scenario_flag(p)
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_baselines)
 
@@ -401,13 +493,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("output", help="output directory")
     p.add_argument("--hours", type=float, default=0.25)
     p.add_argument("--seed", type=int, default=1)
+    add_scenario_flag(p)
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_export)
 
     p = sub.add_parser("linkfail", help="trunk-failure experiment")
-    p.add_argument("--trunk", nargs=2, default=["sw1", "sw3"],
-                   metavar=("A", "B"))
+    p.add_argument("--trunk", nargs=2, default=None,
+                   metavar=("A", "B"),
+                   help="victim trunk (default: first trunk not touching "
+                        "the measurement switch — sw1 sw3 on the mesh)")
     p.add_argument("--seed", type=int, default=1)
+    add_scenario_flag(p)
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_linkfail)
 
@@ -428,10 +524,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sweep", help="design-space parameter sweeps")
     p.add_argument("study", choices=["domains", "interval", "aggregation",
-                                     "threshold"])
+                                     "threshold", "topology", "hopcount",
+                                     "faultbudget"])
     p.add_argument("--seed", type=int, default=9)
     p.add_argument("--duration", type=float, default=120.0,
                    help="seconds of simulated time per point")
+    add_scenario_flag(p)
     add_executor_flags(p)
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_sweep)
@@ -441,9 +539,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--base-seed", type=int, default=100)
     p.add_argument("--hours", type=float, default=0.1,
                    help="compressed simulated hours per run")
+    add_scenario_flag(p)
     add_executor_flags(p)
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_montecarlo)
+
+    p = sub.add_parser("scenarios", help="named scenario registry")
+    scen_sub = p.add_subparsers(dest="action", required=True)
+    pl = scen_sub.add_parser("list", help="list registered scenarios")
+    pl.add_argument("--json", action="store_true")
+    pl.set_defaults(func=cmd_scenarios)
+    ps = scen_sub.add_parser("show", help="dump one scenario as JSON")
+    ps.add_argument("name", help="registered name or path to a spec file")
+    ps.add_argument("--json", action="store_true")
+    ps.set_defaults(func=cmd_scenarios)
 
     p = sub.add_parser("vulnerabilities", help="kernel/CVE database queries")
     p.add_argument("--kernel", help="list CVEs affecting one kernel")

@@ -15,7 +15,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Tuple
 
 from repro.core.aggregator import AggregatorConfig
@@ -48,6 +48,15 @@ class BaselineResult:
         return "\n".join(lines)
 
 
+def _scenario_base(scenario, seed: int) -> TestbedConfig:
+    """Anchor config for a baseline arm: a scenario's, or the paper mesh4."""
+    if scenario is None:
+        return TestbedConfig(seed=seed)
+    from repro.scenarios import resolve_scenario
+
+    return resolve_scenario(scenario).testbed_config(seed=seed)
+
+
 def _collect(testbed: Testbed, duration: int, spread_samples: int = 60) -> BaselineResult:
     """Run a built testbed, sampling the GM clock spread along the way."""
     spread_series: List[Tuple[int, float]] = []
@@ -74,14 +83,17 @@ def run_single_domain_baseline(
     gm_fails_at: Optional[int] = None,
     byzantine_at: Optional[int] = None,
     origin_shift: int = -24 * MICROSECONDS,
+    scenario=None,
 ) -> BaselineResult:
     """Plain single-domain 802.1AS, optionally with a failing/Byzantine GM.
 
     With ``n_domains=1`` there is nothing to aggregate: f must be 0 and the
-    single GM is a single point of failure, which is the point.
+    single GM is a single point of failure, which is the point. A
+    ``scenario`` supplies the network shape; its M and f are overridden by
+    the single-domain premise.
     """
-    config = TestbedConfig(
-        seed=seed,
+    config = replace(
+        _scenario_base(scenario, seed),
         n_domains=1,
         aggregator=AggregatorConfig(
             domains=(1,), f=0, initial_domain=1, startup_confirmations=4
@@ -109,7 +121,7 @@ def run_single_domain_baseline(
 
 
 def run_client_only_baseline(
-    duration: int = 10 * MINUTES, seed: int = 1
+    duration: int = 10 * MINUTES, seed: int = 1, scenario=None
 ) -> BaselineResult:
     """Kyriakakis-style: clients aggregate, GMs free-run.
 
@@ -117,7 +129,9 @@ def run_client_only_baseline(
     within Π — compare against :func:`run_full_architecture` over the same
     duration.
     """
-    testbed = Testbed(TestbedConfig(seed=seed, aggregate_on_gms=False))
+    testbed = Testbed(
+        replace(_scenario_base(scenario, seed), aggregate_on_gms=False)
+    )
     result = _collect(testbed, duration)
     result.label = "client-only aggregation (free-running GMs)"
     result.bounds = testbed.derive_bounds()
@@ -125,10 +139,10 @@ def run_client_only_baseline(
 
 
 def run_full_architecture(
-    duration: int = 10 * MINUTES, seed: int = 1
+    duration: int = 10 * MINUTES, seed: int = 1, scenario=None
 ) -> BaselineResult:
     """The paper's architecture, for side-by-side comparison."""
-    testbed = Testbed(TestbedConfig(seed=seed))
+    testbed = Testbed(_scenario_base(scenario, seed))
     result = _collect(testbed, duration)
     result.label = "multi-domain FTA (this paper)"
     result.bounds = testbed.derive_bounds()

@@ -120,15 +120,32 @@ class CyberResult:
 
 
 def run_cyber_experiment(
-    config: CyberExperimentConfig = CyberExperimentConfig(),
+    config: Optional[CyberExperimentConfig] = None,
     testbed_config: Optional[TestbedConfig] = None,
+    scenario=None,
 ) -> CyberResult:
-    """Run §III-B end to end and evaluate the attack windows."""
+    """Run §III-B end to end and evaluate the attack windows.
+
+    ``scenario`` (a spec, registered name, or JSON path) supplies the
+    testbed when ``testbed_config`` is not given; the experiment's
+    ``kernel_policy`` knob overrides the scenario's, since identical-vs-
+    diverse is the variable under test here.
+    """
+    config = config if config is not None else CyberExperimentConfig()
     if not config.first_attack < config.second_attack < config.duration:
         raise ValueError("attack times must be ordered and inside the run")
-    tb_config = testbed_config or TestbedConfig(
-        seed=config.seed, kernel_policy=config.kernel_policy
-    )
+    if testbed_config is not None:
+        tb_config = testbed_config
+    elif scenario is not None:
+        from repro.scenarios import resolve_scenario
+
+        tb_config = resolve_scenario(scenario).testbed_config(
+            seed=config.seed, kernel_policy=config.kernel_policy
+        )
+    else:
+        tb_config = TestbedConfig(
+            seed=config.seed, kernel_policy=config.kernel_policy
+        )
     testbed = Testbed(tb_config)
     attacker = Attacker(
         testbed.sim,

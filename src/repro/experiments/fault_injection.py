@@ -15,6 +15,7 @@ the derived bounds.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -28,6 +29,7 @@ from repro.measurement.bounds import ExperimentBounds
 from repro.measurement.precision import PrecisionRecord
 from repro.sim.timebase import HOURS, MINUTES, SECONDS, format_hms
 from repro.experiments.testbed import Testbed, TestbedConfig
+from repro.scenarios import ScenarioSpec
 
 
 @dataclass(frozen=True)
@@ -46,6 +48,8 @@ class FaultInjectionExperimentConfig:
     transients: Optional[TransientFaultPlan] = None  # None → paper calibration
     aggregate_bucket: int = 120 * SECONDS
     timeline_window: int = 1 * HOURS
+    #: Optional scenario the testbed is built from (None → paper mesh4).
+    scenario: Optional[ScenarioSpec] = None
 
     def scaled(self, hours: float) -> "FaultInjectionExperimentConfig":
         """A shorter run with the fault schedule compressed to match.
@@ -78,6 +82,7 @@ class FaultInjectionExperimentConfig:
             transients=self.transients,
             aggregate_bucket=max(10 * SECONDS, round(self.aggregate_bucket * factor)),
             timeline_window=max(5 * MINUTES, round(self.timeline_window * factor)),
+            scenario=self.scenario,
         )
 
 
@@ -134,23 +139,36 @@ _WALL_S_BUCKETS = [
 
 
 def run_fault_injection_experiment(
-    config: FaultInjectionExperimentConfig = FaultInjectionExperimentConfig(),
+    config: Optional[FaultInjectionExperimentConfig] = None,
     testbed_config: Optional[TestbedConfig] = None,
     metrics=None,
 ) -> FaultInjectionResult:
     """Run §III-C end to end.
 
+    The testbed comes from ``testbed_config`` when given, else from
+    ``config.scenario``, else from the paper's mesh4 defaults. A scenario
+    without its own fault plan still gets the paper-calibrated transient
+    pressure — this is the fault-injection experiment.
+
     ``metrics`` (an optional :class:`repro.metrics.MetricsRegistry`)
     enables in-sim instrumentation for the run plus per-run wall-time and
     event-throughput series; it never alters the simulation itself.
     """
+    config = config if config is not None else FaultInjectionExperimentConfig()
     wall_start = time.perf_counter() if metrics is not None else 0.0
     transients = config.transients or calibrate_transients()
-    tb_config = testbed_config or TestbedConfig(
-        seed=config.seed,
-        kernel_policy="diverse",
-        transients=transients,
-    )
+    if testbed_config is not None:
+        tb_config = testbed_config
+    elif config.scenario is not None:
+        tb_config = config.scenario.testbed_config(seed=config.seed)
+        if tb_config.transients is None:
+            tb_config = dataclasses.replace(tb_config, transients=transients)
+    else:
+        tb_config = TestbedConfig(
+            seed=config.seed,
+            kernel_policy="diverse",
+            transients=transients,
+        )
     testbed = Testbed(tb_config, metrics=metrics)
     injector_config = config.injector
     if testbed.measurement_vm_name not in injector_config.exclude:

@@ -15,7 +15,7 @@ recovery after the link comes back.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.measurement.bounds import ExperimentBounds
@@ -25,10 +25,15 @@ from repro.experiments.testbed import Testbed, TestbedConfig
 
 @dataclass(frozen=True)
 class LinkFailureConfig:
-    """Scenario parameters."""
+    """Experiment parameters.
+
+    ``trunk=None`` picks the first trunk (in topology construction order)
+    not incident to the measurement switch — on the paper's mesh that is
+    sw1–sw3, and the same rule finds a legal victim on every shape.
+    """
 
     seed: int = 1
-    trunk: Tuple[str, str] = ("sw1", "sw3")
+    trunk: Optional[Tuple[str, str]] = ("sw1", "sw3")
     settle: int = 2 * MINUTES
     outage: int = 3 * MINUTES
     recovery: int = 3 * MINUTES
@@ -82,19 +87,43 @@ def _stale_domains(testbed: Testbed) -> Dict[str, Set[int]]:
 
 
 def run_link_failure_experiment(
-    config: LinkFailureConfig = LinkFailureConfig(),
+    config: Optional[LinkFailureConfig] = None,
     testbed_config: Optional[TestbedConfig] = None,
+    scenario=None,
 ) -> LinkFailureResult:
-    """Run the scenario end to end."""
+    """Run the experiment end to end.
+
+    ``scenario`` (a spec, registered name, or JSON path) supplies the
+    testbed when ``testbed_config`` is not given.
+    """
+    config = config if config is not None else LinkFailureConfig()
+    if testbed_config is None and scenario is not None:
+        from repro.scenarios import resolve_scenario
+
+        testbed_config = resolve_scenario(scenario).testbed_config(
+            seed=config.seed
+        )
     testbed = Testbed(testbed_config or TestbedConfig(seed=config.seed))
     sw_m = f"sw{testbed.config.measurement_device}"
-    if sw_m in config.trunk:
+    victim = config.trunk
+    if victim is None:
+        victim = next(
+            (pair for pair in testbed.topology.trunks if sw_m not in pair),
+            None,
+        )
+        if victim is None:
+            raise ValueError(
+                "every trunk is incident to the measurement switch "
+                f"({sw_m}); no legal victim trunk on this topology"
+            )
+        config = replace(config, trunk=victim)
+    if sw_m in victim:
         raise ValueError(
-            f"trunk {config.trunk} carries the measurement VLAN ({sw_m}); "
+            f"trunk {victim} carries the measurement VLAN ({sw_m}); "
             "pick a trunk not incident to the measurement device"
         )
     testbed.run_until(config.settle)
-    trunk = testbed.topology.trunk(*config.trunk)
+    trunk = testbed.topology.trunk(*victim)
     trunk.set_up(False)
     outage_start = testbed.sim.now
     testbed.run_until(outage_start + config.outage)

@@ -116,6 +116,7 @@ def _seed_config(
         transients=base.transients,
         aggregate_bucket=base.aggregate_bucket,
         timeline_window=base.timeline_window,
+        scenario=base.scenario,
     ).scaled(hours)
 
 
@@ -257,6 +258,10 @@ def run_monte_carlo(
             sim_duration_ns=configs[0].duration if configs else None,
             wall_time_s=time.perf_counter() - wall_start,
             events_dispatched=events.value if events is not None else None,
+            scenario=base.scenario.name if base.scenario else None,
+            scenario_fingerprint=(
+                base.scenario.fingerprint() if base.scenario else None
+            ),
             extra={"hours": hours, "executor": executor,
                    "cached_arms": len(seeds) - len(to_run)},
         )

@@ -16,6 +16,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.aggregator import AggregatorConfig
 from repro.experiments.testbed import Testbed, TestbedConfig
+from repro.scenarios import ScenarioSpec, resolve_scenario
 from repro.parallel import (
     ResultsCache,
     TaskSpec,
@@ -214,26 +215,47 @@ def _run_sweep_chunk(
 # ----------------------------------------------------------------------
 # Canned sweeps for the DESIGN.md design choices
 # ----------------------------------------------------------------------
+def _base_config(scenario, seed: int) -> TestbedConfig:
+    """The sweep's anchor configuration: a scenario's, or the paper mesh4.
+
+    ``scenario`` takes a spec, a registered name, or a JSON path (anything
+    :func:`repro.scenarios.resolve_scenario` accepts); each canned sweep
+    then varies exactly one axis off the anchor via ``dataclasses.replace``.
+    """
+    if scenario is None:
+        return TestbedConfig(seed=seed)
+    return resolve_scenario(scenario).testbed_config(seed=seed)
+
+
 def sweep_domain_count(
-    values: Sequence[int] = (4, 5, 6), seed: int = 9, **kwargs
+    values: Sequence[int] = (4, 5, 6), seed: int = 9, scenario=None, **kwargs
 ) -> List[SweepRow]:
     """u(N, f) tightens the bound as domains are added."""
+    base = _base_config(scenario, seed)
     return sweep(
         "n_domains",
         values,
-        lambda n: TestbedConfig(seed=seed, n_devices=n),
+        lambda n: replace(base, n_devices=n, n_domains=None),
         **kwargs,
     )
 
 
 def sweep_sync_interval(
-    values_ms: Sequence[float] = (62.5, 125.0, 250.0), seed: int = 9, **kwargs
+    values_ms: Sequence[float] = (62.5, 125.0, 250.0), seed: int = 9,
+    scenario=None, **kwargs
 ) -> List[SweepRow]:
     """Γ = 2·r_max·S scales the bound with the interval."""
+    base = _base_config(scenario, seed)
     return sweep(
         "sync_interval_ms",
         values_ms,
-        lambda ms: TestbedConfig(seed=seed, sync_interval=round(ms * MILLISECONDS)),
+        lambda ms: replace(
+            base,
+            sync_interval=round(ms * MILLISECONDS),
+            aggregator=replace(
+                base.aggregator, sync_interval=round(ms * MILLISECONDS)
+            ),
+        ),
         **kwargs,
     )
 
@@ -241,34 +263,108 @@ def sweep_sync_interval(
 def sweep_aggregation(
     values: Sequence[str] = ("fta", "ftm", "median", "mean"),
     seed: int = 9,
+    scenario=None,
     **kwargs,
 ) -> List[SweepRow]:
     """Fault-free steady state is similar across aggregation functions."""
+    base = _base_config(scenario, seed)
     return sweep(
         "aggregation",
         values,
-        lambda name: TestbedConfig(
-            seed=seed, aggregator=AggregatorConfig(aggregation=name)
+        lambda name: replace(
+            base, aggregator=replace(base.aggregator, aggregation=name)
         ),
         **kwargs,
     )
 
 
 def sweep_validity_threshold(
-    values_us: Sequence[float] = (1.0, 5.0, 20.0), seed: int = 9, **kwargs
+    values_us: Sequence[float] = (1.0, 5.0, 20.0), seed: int = 9,
+    scenario=None, **kwargs
 ) -> List[SweepRow]:
     """Validity threshold: too tight rejects honest spread, too loose lets
     outliers in; steady state should tolerate the whole sensible range."""
     from repro.core.validity import ValidityConfig
 
+    base = _base_config(scenario, seed)
     return sweep(
         "validity_threshold_us",
         values_us,
-        lambda us: TestbedConfig(
-            seed=seed,
-            aggregator=AggregatorConfig(
-                validity=ValidityConfig(threshold=round(us * 1000))
+        lambda us: replace(
+            base,
+            aggregator=replace(
+                base.aggregator,
+                validity=ValidityConfig(threshold=round(us * 1000)),
             ),
+        ),
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Scenario-axis sweeps (topology shape, hop count, fault budget)
+# ----------------------------------------------------------------------
+def sweep_topology(
+    values: Sequence[str] = ("mesh", "ring", "line", "star"),
+    seed: int = 9,
+    scenario=None,
+    **kwargs,
+) -> List[SweepRow]:
+    """Same N/M/f across shapes: E (the delay spread) drives the bound.
+
+    The mesh keeps every VM one trunk hop from its GM; ring/line/star
+    stretch some domain trees over multiple trunks, widening [d_min, d_max]
+    and with it Π = u(N, f)·(E + Γ).
+    """
+    base = _base_config(scenario, seed)
+    return sweep(
+        "topology",
+        values,
+        lambda kind: replace(base, topology=kind),
+        **kwargs,
+    )
+
+
+def sweep_hop_count(
+    values: Sequence[int] = (4, 5, 6, 7), seed: int = 9, scenario=None,
+    **kwargs,
+) -> List[SweepRow]:
+    """Precision vs. path length on a daisy chain (diameter = N − 1 trunks).
+
+    ``values`` are device counts on a ``line`` topology; each extra device
+    adds one trunk + one switch residence to the longest GM→VM path. The
+    floor is 4: with M = N domains and f = 1 the FTA needs M ≥ 3f + 1.
+    """
+    base = _base_config(scenario, seed)
+    return sweep(
+        "line_devices",
+        values,
+        lambda n: replace(base, topology="line", n_devices=n, n_domains=None),
+        **kwargs,
+    )
+
+
+def sweep_fault_budget(
+    values: Sequence = ((1, 4), (1, 5), (2, 7), (2, 8)),
+    seed: int = 9,
+    scenario=None,
+    **kwargs,
+) -> List[SweepRow]:
+    """FTA masking budget: (f, M) points at M = 3f+1 (tight) and 3f+2.
+
+    u(N, f) = (N − 2f)/(N − 3f) blows up as M approaches the 3f+1 floor,
+    so the tight arms should show visibly looser bounds than their
+    M = 3f+2 neighbours.
+    """
+    base = _base_config(scenario, seed)
+    return sweep(
+        "(f, M)",
+        list(values),
+        lambda fm: replace(
+            base,
+            n_devices=fm[1],
+            n_domains=fm[1],
+            aggregator=replace(base.aggregator, f=fm[0]),
         ),
         **kwargs,
     )

@@ -40,7 +40,8 @@ from repro.measurement.probe import (
     ProbeResponder,
 )
 from repro.network.nic import NicModel
-from repro.network.topology import MeshModel, MeshTopology, build_mesh
+from repro.network.switch import MAX_HOPS
+from repro.network.topology import MeshModel, Topology, build_topology
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.timebase import MICROSECONDS, MILLISECONDS, SECONDS
@@ -91,6 +92,16 @@ class TestbedConfig:
         of §II-A, which needs one passthrough NIC per VM ("it is
         straightforward to realize fail-consistent behavior by adding more
         NICs").
+    topology:
+        Shape of the switch graph (``"mesh"``, ``"ring"``, ``"line"``,
+        ``"star"`` — see :data:`repro.network.topology.TOPOLOGY_BUILDERS`).
+        Per-domain spanning trees and the measurement VLAN are derived from
+        the shape; the paper's setup is the default full mesh.
+    hub_device:
+        Center device of the ``star`` topology (ignored elsewhere).
+    gm_placement:
+        Where domain x's GM lives: ``"spread"`` (device x, the paper's
+        spatially separated GMs) or ``"reversed"`` (device N+1−x).
     """
 
     # Keep pytest from trying to collect this config class.
@@ -98,6 +109,9 @@ class TestbedConfig:
 
     seed: int = 1
     n_devices: int = 4
+    topology: str = "mesh"
+    hub_device: int = 1
+    gm_placement: str = "spread"
     n_domains: Optional[int] = None
     vms_per_node: int = 2
     sync_interval: int = 125 * MILLISECONDS
@@ -123,8 +137,11 @@ class Testbed:
     __test__ = False  # not a pytest test class despite the name
 
     def __init__(
-        self, config: TestbedConfig = TestbedConfig(), metrics=None
+        self, config: Optional[TestbedConfig] = None, metrics=None
     ) -> None:
+        # The default is constructed lazily so import order can never
+        # freeze a stale class-level TestbedConfig instance.
+        config = config if config is not None else TestbedConfig()
         # Metrics are a constructor argument, not a TestbedConfig field:
         # the frozen config is the cache fingerprint, and attaching an
         # observer must never change what an arm's results hash to.
@@ -135,7 +152,7 @@ class Testbed:
             self.sim.attach_metrics(metrics)
         self.trace = TraceLog()
         self.rng = RngRegistry(config.seed)
-        self.topology: MeshTopology
+        self.topology: Topology
         self.nodes: Dict[str, EcdNode] = {}
         self.vms: Dict[str, ClockSyncVm] = {}
         self.bridges: Dict[str, TimeAwareBridge] = {}
@@ -157,10 +174,25 @@ class Testbed:
             raise ValueError(
                 f"n_domains={n_domains} must be in [1, {cfg.n_devices}]"
             )
+        # GM placement policy: device hosting domain x's grandmaster.
+        if cfg.gm_placement == "spread":
+            self._gm_device = {x: x for x in range(1, n_domains + 1)}
+        elif cfg.gm_placement == "reversed":
+            self._gm_device = {
+                x: cfg.n_devices + 1 - x for x in range(1, n_domains + 1)
+            }
+        else:
+            raise ValueError(
+                f"unknown gm_placement {cfg.gm_placement!r} "
+                "(expected 'spread' or 'reversed')"
+            )
+        self._domain_of_device = {
+            dev: dom for dom, dev in self._gm_device.items()
+        }
         self.domains = [
             DomainConfig(
                 number=x,
-                gm_identity=f"c{x}_1",
+                gm_identity=f"c{self._gm_device[x]}_1",
                 sync_interval=cfg.sync_interval,
             )
             for x in range(1, n_domains + 1)
@@ -177,7 +209,7 @@ class Testbed:
             f"sw{i + 1}": self.rng.stream(f"switch.sw{i + 1}")
             for i in range(cfg.n_devices)
         }
-        # The testbed's device count governs the mesh size; other mesh
+        # The testbed's device count governs the topology size; other link
         # parameters come from the configured model.
         mesh = MeshModel(
             n_devices=cfg.n_devices,
@@ -187,13 +219,22 @@ class Testbed:
             access_jitter_range=cfg.mesh.access_jitter_range,
             switch=cfg.mesh.switch,
         )
-        self.topology = build_mesh(
+        kwargs = {"hub_device": cfg.hub_device} if cfg.topology == "star" else {}
+        self.topology = build_topology(
+            cfg.topology,
             self.sim,
             self.rng.stream("topology"),
             mesh,
             trace=self.trace,
             switch_rngs=switch_rngs,
+            **kwargs,
         )
+        # Long switch paths (line/ring at scale) must clear the defensive
+        # per-switch traversal cap; the mesh never exceeds the default.
+        needed_hops = self.topology.max_switch_path() + 1
+        if needed_hops > MAX_HOPS:
+            for sw in self.topology.switches.values():
+                sw.hop_limit = needed_hops
 
     def _nic_model(self) -> NicModel:
         cfg = self.config
@@ -230,10 +271,10 @@ class Testbed:
                 metrics=self.metrics,
             )
             self.nodes[node.name] = node
-            domain_numbers = {d.number for d in self.domains}
             for i in range(1, cfg.vms_per_node + 1):
                 vm_name = f"c{x}_{i}"
-                is_gm = i == 1 and x in domain_numbers
+                gm_domain = self._domain_of_device.get(x) if i == 1 else None
+                is_gm = gm_domain is not None
                 default_stack = (
                     UNIKERNEL_STACK
                     if cfg.kernel_policy == "unikernel"
@@ -253,7 +294,7 @@ class Testbed:
                     startup_threshold=cfg.aggregator.startup_threshold,
                     startup_confirmations=cfg.aggregator.startup_confirmations,
                     initial_domain=cfg.aggregator.initial_domain,
-                    own_domain=x if is_gm else None,
+                    own_domain=gm_domain,
                     aggregation=cfg.aggregator.aggregation,
                     servo=cfg.aggregator.servo,
                     apply_corrections=(
@@ -263,7 +304,7 @@ class Testbed:
                     validity_mode=cfg.aggregator.validity_mode,
                 )
                 vm_config = ClockSyncVmConfig(
-                    gm_domain=x if is_gm else None,
+                    gm_domain=gm_domain,
                     kernel_version=kernel,
                     domains=tuple(self.domains),
                     aggregator=agg,
@@ -295,44 +336,50 @@ class Testbed:
                 trace=self.trace,
             )
             self.bridges[sw_name] = bridge
+        # Per domain, the static spanning tree is rooted at the GM's switch:
+        # towards the root every bridge has its one slave port (facing the
+        # tree parent; on the root, facing the GM VM itself), and masters
+        # are the trunk ports to tree children plus the local VM ports.
+        # On the full mesh every non-root switch is a direct child of the
+        # root, which reduces to the paper's one-trunk-hop configuration.
         vm_range = range(1, self.config.vms_per_node + 1)
         for domain in self.domains:
-            x = domain.number
-            root_sw = f"sw{x}"
+            root_sw = f"sw{self._gm_device[domain.number]}"
+            tree = self.topology.spanning_tree(root_sw)
             for sw_name, bridge in self.bridges.items():
                 y = int(sw_name[2:])
                 local_vm_ports = [f"vm_c{y}_{i}" for i in vm_range]
+                child_trunks = [f"to_{c}" for c in tree.children[sw_name]]
                 if sw_name == root_sw:
-                    slave = f"vm_c{x}_1"
-                    masters = [
-                        f"to_{other}"
-                        for other in self.topology.switch_names()
-                        if other != sw_name
-                    ] + [p for p in local_vm_ports if p != slave]
+                    slave = f"vm_{domain.gm_identity}"
+                    masters = child_trunks + [
+                        p for p in local_vm_ports if p != slave
+                    ]
                 else:
-                    slave = f"to_{root_sw}"
-                    masters = local_vm_ports
+                    slave = f"to_{tree.parent[sw_name]}"
+                    masters = child_trunks + local_vm_ports
                 bridge.configure_domain(domain.number, slave, masters)
 
     def _configure_measurement(self) -> None:
         cfg = self.config
         m = cfg.measurement_device
         sw_m = f"sw{m}"
-        # Measurement VLAN: star from sw_m over direct trunks, then local
-        # VM ports only — loop-free and hop-symmetric (§III-A2).
+        # Measurement VLAN: the shortest-path tree rooted at sw_m — parent
+        # trunk, child trunks, then local VM ports. Loop-free on any shape;
+        # on the full mesh this is the paper's hop-symmetric star over
+        # direct trunks (§III-A2).
+        tree = self.topology.spanning_tree(sw_m)
         vm_range = range(1, cfg.vms_per_node + 1)
         for sw_name in self.topology.switch_names():
             sw = self.topology.switch(sw_name)
             y = int(sw_name[2:])
             local_vm_ports = [sw.ports[f"vm_c{y}_{i}"] for i in vm_range]
-            if sw_name == sw_m:
-                members = [
-                    sw.ports[f"to_{other}"]
-                    for other in self.topology.switch_names()
-                    if other != sw_name
-                ] + local_vm_ports
-            else:
-                members = [sw.ports[f"to_{sw_m}"]] + local_vm_ports
+            members = []
+            parent = tree.parent[sw_name]
+            if parent is not None:
+                members.append(sw.ports[f"to_{parent}"])
+            members += [sw.ports[f"to_{c}"] for c in tree.children[sw_name]]
+            members += local_vm_ports
             sw.set_vlan_members(MEASUREMENT_VLAN, members)
         measurement_vm = self.vms[self.measurement_vm_name]
         self.probe_service = PrecisionProbeService(

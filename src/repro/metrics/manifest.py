@@ -26,6 +26,10 @@ class RunManifest:
     sim_duration_ns: Optional[int] = None
     wall_time_s: Optional[float] = None
     events_dispatched: Optional[int] = None
+    #: Scenario identity (name + canonical-JSON SHA-256) when the run was
+    #: driven by a :class:`repro.scenarios.ScenarioSpec`.
+    scenario: Optional[str] = None
+    scenario_fingerprint: Optional[str] = None
     schema_version: int = METRICS_SCHEMA_VERSION
     extra: Dict[str, object] = field(default_factory=dict)
 
@@ -44,6 +48,8 @@ class RunManifest:
             "wall_time_s": self.wall_time_s,
             "events_dispatched": self.events_dispatched,
             "events_per_sec": self.events_per_sec,
+            "scenario": self.scenario,
+            "scenario_fingerprint": self.scenario_fingerprint,
             "schema_version": self.schema_version,
             "extra": dict(self.extra),
         }

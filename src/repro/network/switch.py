@@ -74,13 +74,17 @@ class TsnSwitch:
         sim: Simulator,
         name: str,
         rng: random.Random,
-        model: SwitchModel = SwitchModel(),
+        model: Optional[SwitchModel] = None,
         trace: Optional[TraceLog] = None,
     ) -> None:
+        model = model if model is not None else SwitchModel()
         self.sim = sim
         self.name = name
         self.rng = rng
         self.model = model
+        #: Per-switch traversal cap; topologies with long switch paths
+        #: (line/ring scenarios) raise it above the defensive default.
+        self.hop_limit = MAX_HOPS
         self.trace = trace
         self.oscillator = Oscillator(sim, rng, model.oscillator, name=f"{name}.osc")
         self.clock = HardwareClock(self.oscillator, name=f"{name}.phc")
@@ -185,7 +189,7 @@ class TsnSwitch:
                 self._gptp_handler(port, packet, rx_ts)
             return
 
-        if packet.hops >= MAX_HOPS:
+        if packet.hops >= self.hop_limit:
             self.dropped_hop_limit += 1
             if self.trace is not None:
                 self.trace.emit(

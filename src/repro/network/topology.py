@@ -1,20 +1,29 @@
-"""Testbed topology builder (Fig. 2 of the paper).
+"""Network topology layer: pluggable shapes over TSN switches.
 
-Four edge devices, each with an integrated TSN switch; the switches form a
-full mesh (redundant paths between every pair of devices). Each clock
-synchronization VM's passthrough NIC attaches to its device's switch.
+The paper's testbed (Fig. 2) is a full mesh of four edge devices; the
+reproduction generalizes the shape into a small family of builders — mesh,
+ring, line (daisy chain), star — all producing :class:`Topology` objects
+with the same contract:
 
-Link base delays are drawn per link from a configurable range so the testbed
-has the same kind of latency spread the paper's cabling exhibits; the
-resulting d_min/d_max over node pairs drive the reading error
-E = d_max − d_min and with it the precision bound Π = 2(E + Γ).
+* switches, inter-switch trunks, and NIC access links;
+* deterministic BFS **spanning trees** rooted at any switch, from which the
+  per-domain slave/master port roles (external port configuration) and the
+  measurement-VLAN membership are derived for arbitrary hop counts;
+* **path analysis** (`path_links`/`path_bounds`/`global_delay_bounds`) over
+  shortest paths, driving the reading error E = d_max − d_min and with it
+  the precision bound Π = 2(E + Γ).
+
+Link base delays are drawn per link from configurable ranges so every shape
+has the same kind of latency spread the paper's cabling exhibits. For the
+mesh the construction order — and therefore every RNG draw — is identical
+to the original 4-device builder, keeping fixed-seed runs byte-identical.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.network.link import Link, LinkModel
 from repro.network.nic import Nic
@@ -26,11 +35,12 @@ from repro.sim.trace import TraceLog
 
 @dataclass(frozen=True)
 class MeshModel:
-    """Parameter ranges for the generated mesh.
+    """Parameter ranges for a generated topology (any shape).
 
-    Base delays/jitters are drawn uniformly per link; NIC-to-switch links are
-    shorter than inter-switch trunks, as on the real devices (internal wiring
-    vs. external cabling).
+    Base delays/jitters are drawn uniformly per link; NIC-to-switch links
+    are shorter than inter-switch trunks, as on the real devices (internal
+    wiring vs. external cabling). Historically named for the paper's mesh;
+    the ring/line/star builders draw from the same ranges.
     """
 
     n_devices: int = 4
@@ -39,6 +49,10 @@ class MeshModel:
     access_base_range: Tuple[int, int] = (1_300, 1_700)
     access_jitter_range: Tuple[int, int] = (150, 300)
     switch: SwitchModel = SwitchModel(residence_base=700, residence_jitter=300)
+
+
+#: Alias for readers arriving from the scenario layer.
+TopologyModel = MeshModel
 
 
 @dataclass
@@ -55,16 +69,53 @@ class PathBounds:
         return self.max_delay - self.min_delay
 
 
-class MeshTopology:
-    """The built network: switches, trunks, and NIC attachments."""
+@dataclass(frozen=True)
+class SpanningTree:
+    """A deterministic BFS tree over the switch graph, rooted anywhere.
 
-    def __init__(self, sim: Simulator, model: MeshModel) -> None:
+    ``children`` preserves the BFS discovery order (neighbors visited in
+    natural switch order), which downstream consumers rely on for
+    deterministic event schedules.
+    """
+
+    root: str
+    parent: Dict[str, Optional[str]]
+    children: Dict[str, Tuple[str, ...]]
+    depth: Dict[str, int]
+
+    def path_to_root(self, sw: str) -> List[str]:
+        """Switches from ``sw`` up to (and including) the root."""
+        path = [sw]
+        while self.parent[path[-1]] is not None:
+            path.append(self.parent[path[-1]])  # type: ignore[arg-type]
+        return path
+
+
+def _switch_key(name: str) -> Tuple[int, str]:
+    """Natural sort key: sw2 before sw10 (lexicographic ties broken by name)."""
+    return (len(name), name)
+
+
+class Topology:
+    """A built network: switches, trunks, and NIC attachments.
+
+    Shape-agnostic: all path analysis and tree derivation runs over the
+    trunk adjacency via deterministic BFS, so it holds for any connected
+    shape a builder produces.
+    """
+
+    #: Shape tag; builders set it ("mesh", "ring", "line", "star").
+    kind = "generic"
+
+    def __init__(self, sim: Simulator, model: Optional[MeshModel] = None) -> None:
         self.sim = sim
-        self.model = model
+        self.model = model if model is not None else MeshModel()
         self.switches: Dict[str, TsnSwitch] = {}
         self.trunks: Dict[Tuple[str, str], Link] = {}
         self.access_links: Dict[str, Link] = {}
         self.nic_switch: Dict[str, str] = {}
+        self._adjacency: Optional[Dict[str, List[str]]] = None
+        self._trees: Dict[str, SpanningTree] = {}
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -74,8 +125,8 @@ class MeshTopology:
         return self.switches[name]
 
     def switch_names(self) -> List[str]:
-        """Sorted switch names."""
-        return sorted(self.switches)
+        """Switch names in natural order."""
+        return sorted(self.switches, key=_switch_key)
 
     def trunk(self, a: str, b: str) -> Link:
         """The inter-switch link between switches ``a`` and ``b``."""
@@ -90,6 +141,29 @@ class MeshTopology:
         """Switch port facing the named NIC."""
         sw = self.switches[self.nic_switch[nic_name]]
         return sw.ports[f"vm_{nic_name}"]
+
+    def add_trunk(self, a: str, b: str, rng: random.Random) -> Link:
+        """Wire two switches with a fresh trunk drawn from the model ranges."""
+        if (a, b) in self.trunks or (b, a) in self.trunks:
+            raise ValueError(f"trunk {a}<->{b} already exists")
+        pa = self.switches[a].new_port(f"to_{b}")
+        pb = self.switches[b].new_port(f"to_{a}")
+        lo, hi = self.model.trunk_base_range
+        jlo, jhi = self.model.trunk_jitter_range
+        link = Link(
+            self.sim,
+            pa,
+            pb,
+            LinkModel(
+                base_delay=rng.randint(lo, hi), jitter=rng.randint(jlo, jhi)
+            ),
+            rng,
+            name=f"{a}<->{b}",
+        )
+        self.trunks[(a, b)] = link
+        self._adjacency = None
+        self._trees.clear()
+        return link
 
     def attach_nic(
         self, nic: Nic, switch_name: str, rng: random.Random
@@ -116,21 +190,97 @@ class MeshTopology:
         return link
 
     # ------------------------------------------------------------------
+    # Graph analysis
+    # ------------------------------------------------------------------
+    def adjacency(self) -> Dict[str, List[str]]:
+        """Trunk adjacency, neighbor lists in natural order (cached)."""
+        if self._adjacency is None:
+            adj: Dict[str, List[str]] = {name: [] for name in self.switches}
+            for a, b in self.trunks:
+                adj[a].append(b)
+                adj[b].append(a)
+            for neighbors in adj.values():
+                neighbors.sort(key=_switch_key)
+            self._adjacency = adj
+        return self._adjacency
+
+    def spanning_tree(self, root: str) -> SpanningTree:
+        """Deterministic BFS spanning tree rooted at ``root`` (cached).
+
+        Raises if the trunk graph does not reach every switch — every
+        supported shape is connected, so a miss means a broken builder or
+        hand-written scenario.
+        """
+        cached = self._trees.get(root)
+        if cached is not None:
+            return cached
+        if root not in self.switches:
+            raise KeyError(f"unknown switch {root!r}")
+        adj = self.adjacency()
+        parent: Dict[str, Optional[str]] = {root: None}
+        children: Dict[str, List[str]] = {name: [] for name in self.switches}
+        depth: Dict[str, int] = {root: 0}
+        frontier = [root]
+        while frontier:
+            next_frontier: List[str] = []
+            for sw in frontier:
+                for neighbor in adj[sw]:
+                    if neighbor in parent:
+                        continue
+                    parent[neighbor] = sw
+                    children[sw].append(neighbor)
+                    depth[neighbor] = depth[sw] + 1
+                    next_frontier.append(neighbor)
+            frontier = next_frontier
+        if len(parent) != len(self.switches):
+            missing = sorted(set(self.switches) - set(parent), key=_switch_key)
+            raise RuntimeError(
+                f"switch graph is disconnected: {missing} unreachable from {root}"
+            )
+        tree = SpanningTree(
+            root=root,
+            parent=parent,
+            children={sw: tuple(kids) for sw, kids in children.items()},
+            depth=depth,
+        )
+        self._trees[root] = tree
+        return tree
+
+    def switch_path(self, a: str, b: str) -> List[str]:
+        """Shortest switch sequence from ``a`` to ``b`` (deterministic)."""
+        tree = self.spanning_tree(a)
+        if b not in tree.parent:
+            raise KeyError(f"unknown switch {b!r}")
+        return list(reversed(tree.path_to_root(b)))
+
+    def max_switch_path(self) -> int:
+        """Diameter of the switch graph in switches traversed (≥ 1)."""
+        names = self.switch_names()
+        if not names:
+            return 0
+        worst = 1
+        for name in names:
+            tree = self.spanning_tree(name)
+            worst = max(worst, max(tree.depth.values()) + 1)
+        return worst
+
+    # ------------------------------------------------------------------
     # Path analysis
     # ------------------------------------------------------------------
     def path_links(self, nic_a: str, nic_b: str) -> Tuple[List[Link], List[TsnSwitch]]:
         """Links and switches traversed from ``nic_a`` to ``nic_b``.
 
-        With a full mesh and static shortest-path configuration this is
-        access → (trunk) → access: two or three links, one or two switches.
+        Access link → trunks along the shortest switch path → access link;
+        the switch list covers every store-and-forward traversal.
         """
         sw_a = self.nic_switch[nic_a]
         sw_b = self.nic_switch[nic_b]
+        path = self.switch_path(sw_a, sw_b)
         links = [self.access_links[nic_a]]
-        switches = [self.switches[sw_a]]
-        if sw_a != sw_b:
-            links.append(self.trunk(sw_a, sw_b))
-            switches.append(self.switches[sw_b])
+        switches = [self.switches[path[0]]]
+        for prev, here in zip(path, path[1:]):
+            links.append(self.trunk(prev, here))
+            switches.append(self.switches[here])
         links.append(self.access_links[nic_b])
         return links, switches
 
@@ -161,10 +311,54 @@ class MeshTopology:
         return d_min, d_max
 
 
+class MeshTopology(Topology):
+    """Full mesh: every switch pair shares a trunk (the paper's Fig. 2)."""
+
+    kind = "mesh"
+
+
+class RingTopology(Topology):
+    """Ring: sw1–sw2–…–swN–sw1. Per-domain trees split the ring both ways."""
+
+    kind = "ring"
+
+
+class LineTopology(Topology):
+    """Line / daisy chain: sw1–sw2–…–swN. Maximal hop spread per device count."""
+
+    kind = "line"
+
+
+class StarTopology(Topology):
+    """Star: a hub switch trunked to every other device's switch."""
+
+    kind = "star"
+
+    def __init__(
+        self, sim: Simulator, model: Optional[MeshModel] = None, hub: str = "sw1"
+    ) -> None:
+        super().__init__(sim, model)
+        self.hub = hub
+
+
+def _make_switches(
+    topo: Topology,
+    sim: Simulator,
+    rng: random.Random,
+    trace: Optional[TraceLog],
+    switch_rngs: Optional[Dict[str, random.Random]],
+) -> List[str]:
+    names = [f"sw{i + 1}" for i in range(topo.model.n_devices)]
+    for name in names:
+        sw_rng = switch_rngs[name] if switch_rngs else rng
+        topo.switches[name] = TsnSwitch(sim, name, sw_rng, topo.model.switch, trace)
+    return names
+
+
 def build_mesh(
     sim: Simulator,
     rng: random.Random,
-    model: MeshModel = MeshModel(),
+    model: Optional[MeshModel] = None,
     trace: Optional[TraceLog] = None,
     switch_rngs: Optional[Dict[str, random.Random]] = None,
 ) -> MeshTopology:
@@ -178,7 +372,7 @@ def build_mesh(
         Stream for drawing link parameters (and switch behaviour when
         ``switch_rngs`` is not given).
     model:
-        Mesh parameter ranges.
+        Link/switch parameter ranges (default: :class:`MeshModel`).
     trace:
         Optional trace log handed to every switch.
     switch_rngs:
@@ -186,25 +380,94 @@ def build_mesh(
         is decoupled from topology generation.
     """
     topo = MeshTopology(sim, model)
-    names = [f"sw{i + 1}" for i in range(model.n_devices)]
-    for name in names:
-        sw_rng = switch_rngs[name] if switch_rngs else rng
-        topo.switches[name] = TsnSwitch(sim, name, sw_rng, model.switch, trace)
+    names = _make_switches(topo, sim, rng, trace, switch_rngs)
     for i, a in enumerate(names):
         for b in names[i + 1:]:
-            pa = topo.switches[a].new_port(f"to_{b}")
-            pb = topo.switches[b].new_port(f"to_{a}")
-            lo, hi = model.trunk_base_range
-            jlo, jhi = model.trunk_jitter_range
-            link = Link(
-                sim,
-                pa,
-                pb,
-                LinkModel(
-                    base_delay=rng.randint(lo, hi), jitter=rng.randint(jlo, jhi)
-                ),
-                rng,
-                name=f"{a}<->{b}",
-            )
-            topo.trunks[(a, b)] = link
+            topo.add_trunk(a, b, rng)
     return topo
+
+
+def build_ring(
+    sim: Simulator,
+    rng: random.Random,
+    model: Optional[MeshModel] = None,
+    trace: Optional[TraceLog] = None,
+    switch_rngs: Optional[Dict[str, random.Random]] = None,
+) -> RingTopology:
+    """Create ``n_devices`` switches in a cycle (needs at least 3)."""
+    topo = RingTopology(sim, model)
+    if topo.model.n_devices < 3:
+        raise ValueError("a ring needs at least 3 devices")
+    names = _make_switches(topo, sim, rng, trace, switch_rngs)
+    for i, a in enumerate(names):
+        topo.add_trunk(a, names[(i + 1) % len(names)], rng)
+    return topo
+
+
+def build_line(
+    sim: Simulator,
+    rng: random.Random,
+    model: Optional[MeshModel] = None,
+    trace: Optional[TraceLog] = None,
+    switch_rngs: Optional[Dict[str, random.Random]] = None,
+) -> LineTopology:
+    """Create ``n_devices`` switches daisy-chained (needs at least 2)."""
+    topo = LineTopology(sim, model)
+    if topo.model.n_devices < 2:
+        raise ValueError("a line needs at least 2 devices")
+    names = _make_switches(topo, sim, rng, trace, switch_rngs)
+    for a, b in zip(names, names[1:]):
+        topo.add_trunk(a, b, rng)
+    return topo
+
+
+def build_star(
+    sim: Simulator,
+    rng: random.Random,
+    model: Optional[MeshModel] = None,
+    trace: Optional[TraceLog] = None,
+    switch_rngs: Optional[Dict[str, random.Random]] = None,
+    hub_device: int = 1,
+) -> StarTopology:
+    """Create ``n_devices`` switches, all trunked to device ``hub_device``."""
+    topo = StarTopology(sim, model, hub=f"sw{hub_device}")
+    if topo.model.n_devices < 2:
+        raise ValueError("a star needs at least 2 devices")
+    if not 1 <= hub_device <= topo.model.n_devices:
+        raise ValueError(f"hub_device={hub_device} outside 1..{topo.model.n_devices}")
+    names = _make_switches(topo, sim, rng, trace, switch_rngs)
+    hub = names[hub_device - 1]
+    for name in names:
+        if name != hub:
+            topo.add_trunk(hub, name, rng)
+    return topo
+
+
+#: Shape name → builder. Scenario specs select by key; new shapes register
+#: here and become available to every experiment and the CLI at once.
+TOPOLOGY_BUILDERS: Dict[str, Callable[..., Topology]] = {
+    "mesh": build_mesh,
+    "ring": build_ring,
+    "line": build_line,
+    "star": build_star,
+}
+
+
+def build_topology(
+    kind: str,
+    sim: Simulator,
+    rng: random.Random,
+    model: Optional[MeshModel] = None,
+    trace: Optional[TraceLog] = None,
+    switch_rngs: Optional[Dict[str, random.Random]] = None,
+    **kwargs: object,
+) -> Topology:
+    """Build a topology by shape name (see :data:`TOPOLOGY_BUILDERS`)."""
+    try:
+        builder = TOPOLOGY_BUILDERS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology kind {kind!r}; "
+            f"known: {sorted(TOPOLOGY_BUILDERS)}"
+        ) from None
+    return builder(sim, rng, model, trace=trace, switch_rngs=switch_rngs, **kwargs)

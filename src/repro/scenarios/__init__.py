@@ -1,0 +1,43 @@
+"""Declarative scenario layer.
+
+A scenario is a frozen, fingerprintable description of one experimental
+setup — topology shape/size N, gPTP domain count M, fault hypothesis f, GM
+placement, link model, kernel policy, optional fault plan — that every
+experiment and the CLI can consume instead of hand-building testbeds.
+
+>>> from repro.scenarios import get_scenario
+>>> spec = get_scenario("ring")
+>>> config = spec.testbed_config(seed=7)   # → TestbedConfig
+>>> spec.fingerprint()[:8]                 # scenario-addressed caching
+'...'
+"""
+
+from repro.scenarios.spec import (
+    SCENARIO_SCHEMA_VERSION,
+    FaultPlanSpec,
+    LinkSpec,
+    ScenarioSpec,
+    dump_scenario,
+    load_scenario,
+)
+from repro.scenarios.registry import (
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    resolve_scenario,
+    scenario_names,
+)
+
+__all__ = [
+    "SCENARIO_SCHEMA_VERSION",
+    "FaultPlanSpec",
+    "LinkSpec",
+    "ScenarioSpec",
+    "dump_scenario",
+    "load_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "resolve_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,107 @@
+"""Named scenario registry.
+
+Built-ins cover the paper's exact setup (``paper-mesh4``) plus the shapes
+the related work motivates: G-SINC's topology diversity (ring, line, star)
+and a scaled ``mesh8`` exercising a larger N/M with f = 2 (Jiang et al.'s
+resilience bounds frame precision as a function of f against the number of
+reference paths).
+
+``resolve_scenario`` accepts either a registered name or a path to a JSON
+spec file, so the CLI's ``--scenario`` flag takes both.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Union
+
+from repro.scenarios.spec import ScenarioSpec, load_scenario
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
+    """Add a spec under its name; re-registration requires ``replace``."""
+    if not replace and spec.name in _REGISTRY:
+        raise ValueError(f"scenario {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Fetch a registered scenario by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {scenario_names()}"
+        ) from None
+
+
+def scenario_names() -> List[str]:
+    """Sorted registered names."""
+    return sorted(_REGISTRY)
+
+
+def list_scenarios() -> List[ScenarioSpec]:
+    """All registered specs, sorted by name."""
+    return [_REGISTRY[name] for name in scenario_names()]
+
+
+def resolve_scenario(ref: Union[str, ScenarioSpec]) -> ScenarioSpec:
+    """A spec from a spec, a registered name, or a JSON file path."""
+    if isinstance(ref, ScenarioSpec):
+        return ref
+    if ref in _REGISTRY:
+        return _REGISTRY[ref]
+    if ref.endswith(".json") or os.path.sep in ref or os.path.exists(ref):
+        return load_scenario(ref)
+    raise KeyError(
+        f"unknown scenario {ref!r} (not a registered name, and no such "
+        f"file); known: {scenario_names()}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Built-ins
+# ----------------------------------------------------------------------
+register_scenario(ScenarioSpec(
+    name="paper-mesh4",
+    topology="mesh",
+    n_devices=4,
+    f=1,
+    description="the paper's §III-A1 testbed: 4-device full mesh, M=4, f=1",
+))
+
+register_scenario(ScenarioSpec(
+    name="ring",
+    topology="ring",
+    n_devices=4,
+    f=1,
+    description="4-device ring: per-domain trees split the cycle both ways",
+))
+
+register_scenario(ScenarioSpec(
+    name="line",
+    topology="line",
+    n_devices=4,
+    f=1,
+    description="4-device daisy chain: maximal hop spread per device count",
+))
+
+register_scenario(ScenarioSpec(
+    name="star",
+    topology="star",
+    n_devices=5,
+    hub_device=1,
+    f=1,
+    description="5-device star: every path crosses the hub switch (sw1)",
+))
+
+register_scenario(ScenarioSpec(
+    name="mesh8",
+    topology="mesh",
+    n_devices=8,
+    f=2,
+    description="scaled full mesh: N=M=8 domains, f=2 fault hypothesis",
+))

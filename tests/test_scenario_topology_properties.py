@@ -1,0 +1,180 @@
+"""Topology/domain-tree invariants, checked on every registered scenario.
+
+The scenario layer promises that for *any* shape the testbed derives legal
+external port configuration: per domain a spanning tree rooted at the GM's
+switch, exactly one slave port per non-root bridge, every VM reachable, and
+physically consistent path bounds. These properties are what the golden
+mesh4 equivalence cannot cover — they pin the generalization itself.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.testbed import Testbed
+from repro.network.topology import (
+    MeshModel,
+    TOPOLOGY_BUILDERS,
+    build_topology,
+)
+from repro.scenarios import get_scenario, list_scenarios, scenario_names
+from repro.sim.kernel import Simulator
+
+SCENARIOS = scenario_names()
+
+
+@pytest.fixture(scope="module")
+def testbeds():
+    """One built (not run) testbed per registered scenario."""
+    return {
+        spec.name: (spec, Testbed(spec.testbed_config(seed=5)))
+        for spec in list_scenarios()
+    }
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+class TestDomainTrees:
+    def test_every_domain_on_every_bridge(self, testbeds, name):
+        spec, tb = testbeds[name]
+        for domain in tb.domains:
+            for sw_name, bridge in tb.bridges.items():
+                assert domain.number in bridge._domains, (
+                    f"{name}: bridge {sw_name} missing domain {domain.number}"
+                )
+
+    def test_one_slave_port_per_bridge_toward_gm(self, testbeds, name):
+        spec, tb = testbeds[name]
+        for domain in tb.domains:
+            root_sw = f"sw{tb._gm_device[domain.number]}"
+            tree = tb.topology.spanning_tree(root_sw)
+            for sw_name, bridge in tb.bridges.items():
+                ports = bridge._domains[domain.number]
+                if sw_name == root_sw:
+                    # The root's slave port faces the GM VM itself.
+                    assert ports.slave_port == f"vm_{domain.gm_identity}"
+                else:
+                    # Every other bridge listens toward its tree parent.
+                    assert ports.slave_port == f"to_{tree.parent[sw_name]}"
+                # A port is either the slave or a master, never both.
+                assert ports.slave_port not in ports.master_ports
+
+    def test_trees_acyclic_and_rooted(self, testbeds, name):
+        spec, tb = testbeds[name]
+        switches = tb.topology.switch_names()
+        for domain in tb.domains:
+            root_sw = f"sw{tb._gm_device[domain.number]}"
+            tree = tb.topology.spanning_tree(root_sw)
+            for sw_name in switches:
+                hops, cursor = 0, sw_name
+                while cursor != root_sw:
+                    cursor = tree.parent[cursor]
+                    hops += 1
+                    assert hops <= len(switches), (
+                        f"{name}: cycle following parents from {sw_name}"
+                    )
+                assert tree.depth[sw_name] == hops
+
+    def test_every_vm_port_covered(self, testbeds, name):
+        """Each VM hears each domain: its access port is a master port of
+        the local bridge (or the GM's own slave port on the root)."""
+        spec, tb = testbeds[name]
+        for domain in tb.domains:
+            root_sw = f"sw{tb._gm_device[domain.number]}"
+            for vm_name in tb.vms:
+                sw_name = tb.topology.nic_switch[vm_name]
+                ports = tb.bridges[sw_name]._domains[domain.number]
+                port = f"vm_{vm_name}"
+                if sw_name == root_sw and vm_name == domain.gm_identity:
+                    assert ports.slave_port == port
+                else:
+                    assert port in ports.master_ports
+
+    def test_child_trunks_are_master_ports(self, testbeds, name):
+        spec, tb = testbeds[name]
+        for domain in tb.domains:
+            root_sw = f"sw{tb._gm_device[domain.number]}"
+            tree = tb.topology.spanning_tree(root_sw)
+            for sw_name, bridge in tb.bridges.items():
+                ports = bridge._domains[domain.number]
+                for child in tree.children[sw_name]:
+                    assert f"to_{child}" in ports.master_ports
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+class TestPathBounds:
+    def test_min_le_max_and_positive(self, testbeds, name):
+        spec, tb = testbeds[name]
+        vms = sorted(tb.vms)
+        for i, a in enumerate(vms):
+            for b in vms[i + 1:]:
+                bounds = tb.topology.path_bounds(a, b)
+                assert 0 < bounds.min_delay <= bounds.max_delay
+
+    def test_spread_grows_with_hops(self, testbeds, name):
+        """Jitter accumulates per link/switch: a path over more hops has at
+        least as many jitter sources, so max spread grows with hop count."""
+        spec, tb = testbeds[name]
+        vms = sorted(tb.vms)
+        by_hops = {}
+        for i, a in enumerate(vms):
+            for b in vms[i + 1:]:
+                bounds = tb.topology.path_bounds(a, b)
+                by_hops.setdefault(bounds.hops, []).append(bounds)
+        jitter_floor = spec.links.residence_jitter  # per extra switch
+        hop_counts = sorted(by_hops)
+        for lo, hi in zip(hop_counts, hop_counts[1:]):
+            max_spread_lo = max(b.spread for b in by_hops[lo])
+            max_spread_hi = max(b.spread for b in by_hops[hi])
+            assert max_spread_hi >= max_spread_lo + (hi - lo) * jitter_floor
+
+    def test_global_bounds_cover_every_pair(self, testbeds, name):
+        spec, tb = testbeds[name]
+        d_min, d_max = tb.topology.global_delay_bounds()
+        vms = sorted(tb.vms)
+        for i, a in enumerate(vms):
+            for b in vms[i + 1:]:
+                bounds = tb.topology.path_bounds(a, b)
+                assert d_min <= bounds.min_delay
+                assert d_max >= bounds.max_delay
+
+
+class TestSpanningTreeProperties:
+    @given(
+        kind=st.sampled_from(sorted(TOPOLOGY_BUILDERS)),
+        n=st.integers(3, 9),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_bfs_tree_invariants(self, kind, n, seed):
+        sim = Simulator()
+        rng = random.Random(seed)
+        topo = build_topology(kind, sim, rng, MeshModel(n_devices=n))
+        names = topo.switch_names()
+        for root in names:
+            tree = topo.spanning_tree(root)
+            assert tree.root == root
+            assert tree.parent[root] is None
+            assert tree.depth[root] == 0
+            # Every switch reached, every parent edge a real trunk.
+            assert set(tree.parent) == set(names)
+            for child, parent in tree.parent.items():
+                if parent is None:
+                    continue
+                assert topo.trunk(child, parent) is not None
+                assert tree.depth[child] == tree.depth[parent] + 1
+                assert child in tree.children[parent]
+
+    @given(n=st.integers(3, 8), seed=st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_tree_is_shortest_path(self, n, seed):
+        """BFS depth equals the trunk-hop distance used by switch_path."""
+        sim = Simulator()
+        rng = random.Random(seed)
+        topo = build_topology("ring", sim, rng, MeshModel(n_devices=n))
+        names = topo.switch_names()
+        for root in names:
+            tree = topo.spanning_tree(root)
+            for sw in names:
+                path = topo.switch_path(root, sw)
+                assert tree.depth[sw] == len(path) - 1

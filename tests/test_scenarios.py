@@ -1,0 +1,209 @@
+"""Scenario layer: registry, JSON round-trip, fingerprints, CLI surface."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.testbed import TestbedConfig
+from repro.scenarios import (
+    SCENARIO_SCHEMA_VERSION,
+    FaultPlanSpec,
+    LinkSpec,
+    ScenarioSpec,
+    dump_scenario,
+    get_scenario,
+    list_scenarios,
+    load_scenario,
+    register_scenario,
+    resolve_scenario,
+    scenario_names,
+)
+
+
+class TestRegistry:
+    def test_builtin_names(self):
+        names = scenario_names()
+        assert len(names) >= 5
+        for expected in ("paper-mesh4", "ring", "line", "star", "mesh8"):
+            assert expected in names
+
+    def test_list_matches_get(self):
+        for spec in list_scenarios():
+            assert get_scenario(spec.name) is spec
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("no-such-scenario")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario(ScenarioSpec(name="ring"))
+
+    def test_resolve_passthrough_and_name(self):
+        spec = get_scenario("ring")
+        assert resolve_scenario(spec) is spec
+        assert resolve_scenario("ring") is spec
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(KeyError, match="not a registered name"):
+            resolve_scenario("definitely-not-registered")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", ["paper-mesh4", "ring", "line", "star",
+                                      "mesh8"])
+    def test_dict_round_trip(self, name):
+        spec = get_scenario(name)
+        doc = spec.to_dict()
+        assert doc["schema_version"] == SCENARIO_SCHEMA_VERSION
+        assert ScenarioSpec.from_dict(doc) == spec
+
+    def test_file_round_trip(self, tmp_path):
+        spec = ScenarioSpec(
+            name="custom-ring6",
+            topology="ring",
+            n_devices=6,
+            f=1,
+            fault_plan=FaultPlanSpec(tx_timestamp_fail_prob=0.001),
+            links=LinkSpec(trunk_base_range=(1000, 1200)),
+            description="six-device ring with transients",
+        )
+        path = tmp_path / "ring6.json"
+        dump_scenario(spec, str(path))
+        loaded = load_scenario(str(path))
+        assert loaded == spec
+        assert loaded.fingerprint() == spec.fingerprint()
+        # The CLI-facing resolver accepts the file path too.
+        assert resolve_scenario(str(path)) == spec
+
+    def test_unknown_keys_rejected(self):
+        doc = get_scenario("ring").to_dict()
+        doc["surprise"] = 1
+        with pytest.raises(ValueError, match="unknown scenario keys"):
+            ScenarioSpec.from_dict(doc)
+
+    def test_wrong_schema_version_rejected(self):
+        doc = get_scenario("ring").to_dict()
+        doc["schema_version"] = SCENARIO_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema"):
+            ScenarioSpec.from_dict(doc)
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        spec = get_scenario("ring")
+        assert spec.fingerprint() == spec.fingerprint()
+
+    def test_distinct_scenarios_distinct_fingerprints(self):
+        prints = {spec.fingerprint() for spec in list_scenarios()}
+        assert len(prints) == len(list_scenarios())
+
+    def test_any_field_change_changes_fingerprint(self):
+        import dataclasses
+
+        spec = get_scenario("ring")
+        bumped = dataclasses.replace(spec, sync_interval=spec.sync_interval * 2)
+        assert bumped.fingerprint() != spec.fingerprint()
+
+
+class TestValidation:
+    def test_ring_needs_three_devices(self):
+        with pytest.raises(ValueError, match="ring"):
+            ScenarioSpec(name="x", topology="ring", n_devices=2, f=0)
+
+    def test_unknown_topology(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            ScenarioSpec(name="x", topology="torus")
+
+    def test_fta_floor(self):
+        # u_factor's Byzantine condition: M >= 3f + 1.
+        with pytest.raises(ValueError, match="M >= 4"):
+            ScenarioSpec(name="x", n_devices=3, f=1)
+        ScenarioSpec(name="x", n_devices=4, f=1)  # boundary is legal
+
+    def test_measurement_device_in_range(self):
+        with pytest.raises(ValueError, match="measurement_device"):
+            ScenarioSpec(name="x", n_devices=4, measurement_device=5)
+
+    def test_gm_placement_checked(self):
+        with pytest.raises(ValueError, match="gm_placement"):
+            ScenarioSpec(name="x", gm_placement="random")
+
+
+class TestTestbedMapping:
+    def test_paper_mesh4_is_default_config(self):
+        # The tentpole equivalence: the named paper scenario materializes
+        # the exact pre-scenario default configuration.
+        assert get_scenario("paper-mesh4").testbed_config(seed=5) == \
+            TestbedConfig(seed=5)
+
+    def test_overrides_apply_last(self):
+        config = get_scenario("ring").testbed_config(
+            seed=2, kernel_policy="identical"
+        )
+        assert config.kernel_policy == "identical"
+        assert config.topology == "ring"
+
+    def test_fault_plan_materializes_transients(self):
+        spec = ScenarioSpec(
+            name="x", fault_plan=FaultPlanSpec(deadline_miss_prob=0.5)
+        )
+        config = spec.testbed_config()
+        assert config.transients is not None
+        assert config.transients.deadline_miss_prob == 0.5
+
+    @pytest.mark.parametrize("name,count", [
+        ("paper-mesh4", 6), ("ring", 4), ("line", 3), ("star", 4),
+        ("mesh8", 28),
+    ])
+    def test_trunk_pairs_per_shape(self, name, count):
+        assert len(get_scenario(name).trunk_pairs()) == count
+
+
+class TestScenarioCli:
+    def test_scenarios_list(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+
+    def test_scenarios_list_json(self, capsys):
+        assert main(["scenarios", "list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ring"]["topology"] == "ring"
+        assert len(payload) >= 5
+
+    def test_scenarios_show(self, capsys):
+        assert main(["scenarios", "show", "star"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["topology"] == "star"
+        assert doc["fingerprint"] == get_scenario("star").fingerprint()
+        assert ["sw1", "sw2"] in doc["trunks"]
+
+    def test_scenario_flag_parses_everywhere(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for argv in (
+            ["survey", "--scenario", "ring"],
+            ["cyber", "--scenario", "ring"],
+            ["faults", "--scenario", "ring"],
+            ["baselines", "--scenario", "ring"],
+            ["export", "out", "--scenario", "ring"],
+            ["linkfail", "--scenario", "ring"],
+            ["sweep", "topology", "--scenario", "ring"],
+            ["montecarlo", "--scenario", "ring"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.scenario == "ring"
+
+    def test_python_dash_m_entry_point(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "scenarios", "list"],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0
+        assert "paper-mesh4" in proc.stdout
