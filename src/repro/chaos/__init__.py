@@ -1,0 +1,21 @@
+"""Declarative chaos plans and their runtime orchestrator."""
+
+from repro.chaos.orchestrator import ChaosOrchestrator
+from repro.chaos.plan import (
+    CHAOS_ACTIONS,
+    ChaosPlan,
+    ChaosStage,
+    dump_plan,
+    load_plan,
+    single_loss_plan,
+)
+
+__all__ = [
+    "CHAOS_ACTIONS",
+    "ChaosOrchestrator",
+    "ChaosPlan",
+    "ChaosStage",
+    "dump_plan",
+    "load_plan",
+    "single_loss_plan",
+]

@@ -1,0 +1,174 @@
+"""Runtime execution of chaos plans.
+
+The orchestrator is the chaos-side sibling of
+:class:`~repro.faults.injector.FaultInjector`: built by the testbed when a
+:class:`~repro.chaos.plan.ChaosPlan` is configured, it schedules every
+stage at its absolute simulation time and applies the action — attaching
+:class:`~repro.network.impairments.LinkImpairment` runtimes (each with its
+own named RNG stream, so chaos never perturbs link jitter or any other
+component's draws), flapping links, or launching steered attacks from
+:mod:`repro.security.attacks`.
+
+Every executed stage emits a ``chaos.stage`` trace record, giving the
+invariant monitor and post-hoc analysis an exact timeline of what was done
+to the network and when.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.chaos.plan import ChaosPlan, ChaosStage
+from repro.network.impairments import LinkImpairment
+from repro.security.attacks import OscillatingAttack, RampAttack, _SteeredAttack
+
+if TYPE_CHECKING:
+    from repro.hypervisor.clock_sync_vm import ClockSyncVm
+    from repro.network.link import Link
+    from repro.network.topology import Topology
+    from repro.sim.kernel import Simulator
+    from repro.sim.rng import RngRegistry
+    from repro.sim.trace import TraceLog
+
+
+class ChaosOrchestrator:
+    """Schedules and applies the stages of one chaos plan."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        topology: "Topology",
+        plan: ChaosPlan,
+        rng: "RngRegistry",
+        vms: Dict[str, "ClockSyncVm"],
+        trace: Optional["TraceLog"] = None,
+        metrics=None,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.plan = plan
+        self.rng = rng
+        self.vms = vms
+        self.trace = trace
+        self.metrics = metrics
+        self.stages_executed = 0
+        self.impairments: Dict[str, LinkImpairment] = {}
+        self.attacks: List[_SteeredAttack] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule every stage at its absolute simulation time."""
+        if self._started:
+            raise RuntimeError("chaos orchestrator already started")
+        self._started = True
+        for stage in self.plan.stages:
+            self.sim.schedule_at(stage.at, self._run_stage, stage)
+
+    # ------------------------------------------------------------------
+    def resolve_links(self, selectors) -> List["Link"]:
+        """Expand link selectors against the topology (see plan docstring)."""
+        topo = self.topology
+        seen: Dict[int, "Link"] = {}
+
+        def add(link: "Link") -> None:
+            seen.setdefault(id(link), link)
+
+        for sel in selectors:
+            if sel == "*":
+                for key in sorted(topo.trunks):
+                    add(topo.trunks[key])
+            elif sel.startswith("nic:"):
+                add(topo.access_links[sel[4:]])
+            elif sel.startswith("device:"):
+                sw = f"sw{sel[7:]}" if not sel[7:].startswith("sw") else sel[7:]
+                found = False
+                for (a, b) in sorted(topo.trunks):
+                    if sw in (a, b):
+                        add(topo.trunks[(a, b)])
+                        found = True
+                for nic_name in sorted(topo.nic_switch):
+                    if topo.nic_switch[nic_name] == sw:
+                        add(topo.access_links[nic_name])
+                        found = True
+                if not found:
+                    raise KeyError(f"selector {sel!r}: no links touch {sw}")
+            elif "-" in sel:
+                a, b = sel.split("-", 1)
+                add(topo.trunk(a, b))
+            else:
+                raise KeyError(f"unrecognized link selector {sel!r}")
+        return list(seen.values())
+
+    # ------------------------------------------------------------------
+    def _run_stage(self, stage: ChaosStage) -> None:
+        self.stages_executed += 1
+        if stage.action == "impair":
+            for link in self.resolve_links(stage.links):
+                imp = self.impairments.get(link.name)
+                if imp is None or imp.spec != stage.impairment:
+                    imp = LinkImpairment(
+                        stage.impairment,
+                        self.rng.stream(f"impairment.{link.name}"),
+                        link_name=link.name,
+                        trace=self.trace,
+                        metrics=self.metrics,
+                    )
+                    self.impairments[link.name] = imp
+                link.attach_impairment(imp)
+        elif stage.action == "clear":
+            for link in self.resolve_links(stage.links):
+                link.detach_impairment()
+        elif stage.action == "link_down":
+            for link in self.resolve_links(stage.links):
+                link.set_up(False)
+        elif stage.action == "link_up":
+            for link in self.resolve_links(stage.links):
+                link.set_up(True)
+        elif stage.action == "attack":
+            victims = [self.vms[name] for name in stage.victims]
+            if stage.attack == "ramp":
+                attack: _SteeredAttack = RampAttack(
+                    self.sim, victims, trace=self.trace,
+                    step_per_update=stage.step_per_update,
+                )
+            else:
+                attack = OscillatingAttack(
+                    self.sim, victims, trace=self.trace,
+                    amplitude=stage.amplitude,
+                    period_updates=stage.period_updates,
+                )
+            attack.launch()
+            self.attacks.append(attack)
+        elif stage.action == "attack_stop":
+            for attack in self.attacks:
+                attack.stop()
+        if self.trace is not None:
+            self.trace.emit(
+                self.sim.now, "chaos.stage", self.plan.name,
+                action=stage.action,
+                links=",".join(stage.links),
+                attack=stage.attack or "",
+            )
+
+    # ------------------------------------------------------------------
+    def link_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-link impairment counter snapshot (for result reporting)."""
+        return {
+            name: imp.stats() for name, imp in sorted(self.impairments.items())
+        }
+
+    def summary(self) -> Dict[str, object]:
+        """Aggregate counters for manifests and text reports."""
+        totals = {"seen": 0, "dropped": 0, "duplicated": 0, "reordered": 0,
+                  "congestion_delayed": 0}
+        for imp in self.impairments.values():
+            for key, value in imp.stats().items():
+                totals[key] += value
+        return {
+            "plan": self.plan.name,
+            "stages_executed": self.stages_executed,
+            "links_impaired": len(self.impairments),
+            "attacks_launched": len(self.attacks),
+            **totals,
+        }

@@ -1,0 +1,212 @@
+"""Declarative chaos plans.
+
+A :class:`ChaosPlan` is a serializable schedule of timed stages that
+degrade a running testbed: attach/detach link impairments, flap links, or
+launch the steered attacks from :mod:`repro.security.attacks`. Plans ride
+on :class:`~repro.scenarios.spec.ScenarioSpec` next to the fault plan, are
+part of the scenario fingerprint (and hence every results-cache key), and
+are executed by :class:`~repro.chaos.orchestrator.ChaosOrchestrator`.
+
+Link selectors
+--------------
+Each stage names its target links declaratively; the orchestrator resolves
+the selectors against the built topology at run time:
+
+``"*"``
+    every inter-switch trunk
+``"sw1-sw3"``
+    one trunk, either endpoint order
+``"nic:c2_1"``
+    the access link of that NIC
+``"device:3"``
+    every link incident to switch ``sw3`` — its trunks plus the access
+    links of all NICs attached to it
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.network.impairments import ImpairmentSpec
+from repro.sim.timebase import SECONDS
+
+#: Stage actions understood by the orchestrator.
+CHAOS_ACTIONS = (
+    "impair", "clear", "link_down", "link_up", "attack", "attack_stop",
+)
+
+#: Steered attack kinds (see :mod:`repro.security.attacks`).
+ATTACK_KINDS = ("ramp", "oscillate")
+
+CHAOS_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ChaosStage:
+    """One timed action of a chaos plan.
+
+    Attributes
+    ----------
+    at:
+        Simulation time (ns) the action fires.
+    action:
+        One of :data:`CHAOS_ACTIONS`.
+    links:
+        Link selectors (see module docstring); required for the link
+        actions, ignored for attack actions.
+    impairment:
+        The spec to attach (``impair`` only).
+    attack:
+        ``"ramp"`` or ``"oscillate"`` (``attack`` only).
+    victims:
+        VM names to compromise (``attack`` only).
+    step_per_update / amplitude / period_updates:
+        Attack steering parameters, passed through to the attack class.
+    """
+
+    at: int
+    action: str
+    links: Tuple[str, ...] = ()
+    impairment: Optional[ImpairmentSpec] = None
+    attack: Optional[str] = None
+    victims: Tuple[str, ...] = ()
+    step_per_update: int = -100
+    amplitude: int = 10_000
+    period_updates: int = 16
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"stage time must be nonnegative, got {self.at}")
+        if self.action not in CHAOS_ACTIONS:
+            raise ValueError(
+                f"unknown chaos action {self.action!r}; "
+                f"expected one of {CHAOS_ACTIONS}"
+            )
+        if not isinstance(self.links, tuple):
+            object.__setattr__(self, "links", tuple(self.links))
+        if not isinstance(self.victims, tuple):
+            object.__setattr__(self, "victims", tuple(self.victims))
+        if self.action in ("impair", "clear", "link_down", "link_up"):
+            if not self.links:
+                raise ValueError(f"{self.action} stage needs link selectors")
+        if self.action == "impair":
+            if self.impairment is None:
+                raise ValueError("impair stage needs an impairment spec")
+        if self.action == "attack":
+            if self.attack not in ATTACK_KINDS:
+                raise ValueError(
+                    f"attack stage needs kind in {ATTACK_KINDS}, "
+                    f"got {self.attack!r}"
+                )
+            if not self.victims:
+                raise ValueError("attack stage needs victim VM names")
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"at": self.at, "action": self.action}
+        if self.links:
+            doc["links"] = list(self.links)
+        if self.impairment is not None:
+            doc["impairment"] = self.impairment.to_dict()
+        if self.attack is not None:
+            doc["attack"] = self.attack
+            doc["victims"] = list(self.victims)
+            doc["step_per_update"] = self.step_per_update
+            doc["amplitude"] = self.amplitude
+            doc["period_updates"] = self.period_updates
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "ChaosStage":
+        doc = dict(doc)
+        unknown = set(doc) - {f.name for f in dataclasses.fields(cls)}
+        if unknown:
+            raise ValueError(f"unknown chaos stage keys: {sorted(unknown)}")
+        imp = doc.get("impairment")
+        if isinstance(imp, dict):
+            doc["impairment"] = ImpairmentSpec.from_dict(imp)
+        if "links" in doc:
+            doc["links"] = tuple(doc["links"])
+        if "victims" in doc:
+            doc["victims"] = tuple(doc["victims"])
+        return cls(**doc)
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A named, ordered schedule of chaos stages."""
+
+    name: str
+    stages: Tuple[ChaosStage, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("chaos plan needs a name")
+        if not isinstance(self.stages, tuple):
+            object.__setattr__(self, "stages", tuple(self.stages))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": CHAOS_SCHEMA_VERSION,
+            "name": self.name,
+            "stages": [s.to_dict() for s in self.stages],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "ChaosPlan":
+        doc = dict(doc)
+        version = doc.pop("schema_version", CHAOS_SCHEMA_VERSION)
+        if version != CHAOS_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported chaos plan schema_version {version} "
+                f"(this build reads {CHAOS_SCHEMA_VERSION})"
+            )
+        unknown = set(doc) - {"name", "stages"}
+        if unknown:
+            raise ValueError(f"unknown chaos plan keys: {sorted(unknown)}")
+        stages = tuple(
+            ChaosStage.from_dict(s) if isinstance(s, dict) else s
+            for s in doc.get("stages", ())
+        )
+        return cls(name=doc["name"], stages=stages)
+
+
+def load_plan(path: Union[str, Path]) -> ChaosPlan:
+    """Read a chaos plan from a JSON file."""
+    with open(path, encoding="utf-8") as fh:
+        return ChaosPlan.from_dict(json.load(fh))
+
+
+def dump_plan(plan: ChaosPlan, path: Union[str, Path]) -> None:
+    """Write a chaos plan to a JSON file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(plan.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def single_loss_plan(
+    loss: float,
+    start: int = 60 * SECONDS,
+    end: Optional[int] = None,
+    links: Tuple[str, ...] = ("*",),
+    name: Optional[str] = None,
+) -> ChaosPlan:
+    """Canned plan: Bernoulli loss on ``links`` from ``start`` (to ``end``).
+
+    The ``sweep lossrate`` arm and the CLI ``--loss`` shortcut both build
+    this shape; keeping it a library function makes the sweep's cache key
+    depend only on (loss, window, links).
+    """
+    stages = [
+        ChaosStage(at=start, action="impair", links=links,
+                   impairment=ImpairmentSpec(loss=loss)),
+    ]
+    if end is not None:
+        stages.append(ChaosStage(at=end, action="clear", links=links))
+    return ChaosPlan(
+        name=name or f"loss-{loss:g}",
+        stages=tuple(stages),
+    )

@@ -8,6 +8,8 @@ evaluation workflow:
 * ``repro-sim cyber`` — run the §III-B attack experiment (Fig. 3a/3b).
 * ``repro-sim faults`` — run the §III-C fault injection (Fig. 4/5).
 * ``repro-sim baselines`` — run the baseline comparison.
+* ``repro-sim chaos`` — run a declarative chaos plan (packet loss, link
+  flaps, attacks) under the online invariant monitor.
 * ``repro-sim vulnerabilities`` — query the kernel/CVE database.
 * ``repro-sim scenarios`` — list/show the named scenario registry.
 
@@ -140,10 +142,13 @@ def cmd_faults(args: argparse.Namespace) -> int:
             events_dispatched=events.value if events is not None else None,
             scenario=spec.name if spec else None,
             scenario_fingerprint=spec.fingerprint() if spec else None,
+            verdict=result.verdict.status,
+            verdict_detail=result.verdict.to_dict(),
             extra={"hours": args.hours, "compress": bool(args.compress)},
         ))
     payload = {
         "hours": args.hours,
+        "verdict": result.verdict.to_dict(),
         "bounded": result.bounded,
         "violations": result.violations,
         "avg_ns": result.distribution.mean,
@@ -209,10 +214,69 @@ def cmd_export(args: argparse.Namespace) -> int:
     result = run_fault_injection_experiment(config)
     written = write_experiment_bundle(args.output, result)
     payload = {"output": args.output, "files": written,
-               "bounded": result.bounded}
+               "bounded": result.bounded,
+               "verdict": result.verdict.status}
     _emit(args, "wrote " + ", ".join(f"{k} ({v} rows)" for k, v in written.items()),
           payload)
     return 0 if result.bounded else 1
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import load_plan, single_loss_plan
+    from repro.experiments.chaos import (
+        ChaosExperimentConfig,
+        run_chaos_experiment,
+    )
+    from repro.monitoring import FAIL, PASS
+
+    if args.plan and args.loss is not None:
+        print("use --plan or --loss, not both", file=sys.stderr)
+        return 2
+    spec = _scenario_of(args)
+    plan = None
+    if args.plan:
+        plan = load_plan(args.plan)
+    elif args.loss is not None:
+        plan = single_loss_plan(
+            args.loss,
+            start=round(args.loss_start * SECONDS),
+            end=(round(args.loss_end * SECONDS)
+                 if args.loss_end is not None else None),
+        )
+    config = ChaosExperimentConfig(
+        duration=round(args.duration * SECONDS),
+        seed=args.seed,
+        scenario=spec,
+        plan=plan,
+    )
+    registry = _metrics_registry(args)
+    wall_start = time.perf_counter()
+    result = run_chaos_experiment(config, metrics=registry)
+    if registry is not None:
+        from repro.metrics import RunManifest
+        from repro.parallel import config_fingerprint
+
+        events = registry.counters.get("experiment.events_dispatched")
+        _write_metrics(args, registry, RunManifest(
+            experiment="chaos",
+            config_fingerprint=config_fingerprint("chaos", config),
+            seeds=[args.seed],
+            sim_duration_ns=config.duration,
+            wall_time_s=time.perf_counter() - wall_start,
+            events_dispatched=events.value if events is not None else None,
+            scenario=spec.name if spec else None,
+            scenario_fingerprint=spec.fingerprint() if spec else None,
+            verdict=result.verdict.status,
+            verdict_detail=result.verdict.to_dict(),
+            extra={
+                "plan": result.chaos_summary.get("plan"),
+                "violations": [v.to_dict() for v in result.violations],
+            },
+        ))
+    _emit(args, result.to_text(), result.to_dict())
+    if result.verdict.status == FAIL:
+        return 2
+    return 0 if result.verdict.status == PASS else 1
 
 
 def cmd_linkfail(args: argparse.Namespace) -> int:
@@ -234,6 +298,7 @@ def cmd_linkfail(args: argparse.Namespace) -> int:
         "max_during_outage_ns": result.max_precision_during_outage,
         "violations": result.violations,
         "recovered": result.recovered,
+        "verdict": result.verdict.to_dict(),
     }
     _emit(args, result.to_text(), payload)
     return 0 if result.violations == 0 and result.recovered else 1
@@ -288,10 +353,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         sweep_domain_count,
         sweep_fault_budget,
         sweep_hop_count,
+        sweep_loss_rate,
         sweep_sync_interval,
         sweep_topology,
         sweep_validity_threshold,
     )
+    from repro.monitoring import worst_status
     from repro.sim.timebase import SECONDS
 
     runners = {
@@ -302,6 +369,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         "topology": sweep_topology,
         "hopcount": sweep_hop_count,
         "faultbudget": sweep_fault_budget,
+        "lossrate": sweep_loss_rate,
     }
     spec = _scenario_of(args)
     registry = _metrics_registry(args)
@@ -328,9 +396,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             events_dispatched=events.value if events is not None else None,
             scenario=spec.name if spec else None,
             scenario_fingerprint=spec.fingerprint() if spec else None,
+            verdict=worst_status(r.verdict for r in rows),
+            verdict_detail={
+                "rows": {f"{r.parameter}={r.value}": r.verdict for r in rows},
+            },
             extra={"points": len(rows)},
         ))
-    payload = {"study": args.study, "rows": [r.as_dict() for r in rows]}
+    payload = {
+        "study": args.study,
+        "verdict": worst_status(r.verdict for r in rows),
+        "rows": [r.as_dict() for r in rows],
+    }
     _emit(args, render_rows(rows), payload)
     return 0
 
@@ -353,6 +429,7 @@ def cmd_montecarlo(args: argparse.Namespace) -> int:
     payload = {
         "seeds": seeds,
         "bounded_rate": study.bounded_rate,
+        "verdict": study.verdict,
         "mean_of_means_ns": study.mean_of_means(),
         "worst_max_ns": study.worst_max(),
         "outcomes": [
@@ -361,6 +438,7 @@ def cmd_montecarlo(args: argparse.Namespace) -> int:
                 "violations": o.violations,
                 "mean_ns": o.mean_ns,
                 "max_ns": o.max_ns,
+                "verdict": o.verdict,
             }
             for o in study.outcomes
         ],
@@ -497,6 +575,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_export)
 
+    p = sub.add_parser("chaos", help="chaos plan under the invariant monitor")
+    p.add_argument("--plan", metavar="PATH",
+                   help="declarative chaos plan JSON "
+                        "(see repro.chaos.dump_plan)")
+    p.add_argument("--loss", type=float, default=None, metavar="P",
+                   help="shortcut: impair every trunk with Bernoulli "
+                        "loss rate P instead of loading a plan")
+    p.add_argument("--loss-start", type=float, default=60.0,
+                   help="seconds before the --loss impairment attaches "
+                        "(default: %(default)s)")
+    p.add_argument("--loss-end", type=float, default=None,
+                   help="seconds at which the --loss impairment clears "
+                        "(default: never)")
+    p.add_argument("--duration", type=float, default=480.0,
+                   help="seconds of simulated time (default: %(default)s)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--metrics", metavar="PATH",
+                   help="record run metrics and write them to PATH "
+                        "(.csv → CSV, anything else → JSON)")
+    add_scenario_flag(p)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_chaos)
+
     p = sub.add_parser("linkfail", help="trunk-failure experiment")
     p.add_argument("--trunk", nargs=2, default=None,
                    metavar=("A", "B"),
@@ -525,7 +626,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="design-space parameter sweeps")
     p.add_argument("study", choices=["domains", "interval", "aggregation",
                                      "threshold", "topology", "hopcount",
-                                     "faultbudget"])
+                                     "faultbudget", "lossrate"])
     p.add_argument("--seed", type=int, default=9)
     p.add_argument("--duration", type=float, default=120.0,
                    help="seconds of simulated time per point")

@@ -30,6 +30,11 @@ from repro.experiments.link_failure import (
     LinkFailureResult,
     run_link_failure_experiment,
 )
+from repro.experiments.chaos import (
+    ChaosExperimentConfig,
+    ChaosResult,
+    run_chaos_experiment,
+)
 from repro.experiments.montecarlo import (
     MonteCarloResult,
     SeedOutcome,
@@ -41,6 +46,7 @@ from repro.experiments.sweeps import (
     sweep,
     sweep_aggregation,
     sweep_domain_count,
+    sweep_loss_rate,
     sweep_sync_interval,
     sweep_validity_threshold,
 )
@@ -78,11 +84,15 @@ __all__ = [
     "MonteCarloResult",
     "SeedOutcome",
     "run_monte_carlo",
+    "ChaosExperimentConfig",
+    "ChaosResult",
+    "run_chaos_experiment",
     "SweepRow",
     "render_rows",
     "sweep",
     "sweep_domain_count",
     "sweep_sync_interval",
     "sweep_aggregation",
+    "sweep_loss_rate",
     "sweep_validity_threshold",
 ]

@@ -1,0 +1,209 @@
+"""The chaos experiment: run a scenario under a declarative chaos plan.
+
+Where the fault-injection experiment (§III-C) exercises the *modelled*
+fault hypothesis — fail-silent VM shutdowns plus calibrated transient
+software faults — the chaos experiment degrades the network itself:
+packet loss (random or bursty), duplication, reordering, delay asymmetry,
+congestion, link flaps, and steered attacks, all scheduled by a
+:class:`repro.chaos.plan.ChaosPlan`. The online invariant monitor watches
+the run and the result carries its verdict: PASS when every safety
+property held, DEGRADED when resilience margin was consumed (domains
+knocked out, slow failovers) but the synctime bound still held, FAIL when
+the bound itself broke.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.chaos.plan import ChaosPlan
+from repro.faults.injector import FaultInjectionConfig, FaultInjector
+from repro.measurement.bounds import ExperimentBounds
+from repro.monitoring.invariants import (
+    InvariantMonitor,
+    InvariantSpec,
+    InvariantViolation,
+    Verdict,
+)
+from repro.scenarios import ScenarioSpec
+from repro.sim.timebase import MINUTES, SECONDS, format_hms
+from repro.experiments.testbed import Testbed, TestbedConfig
+
+
+@dataclass(frozen=True)
+class ChaosExperimentConfig:
+    """Parameters of one chaos run."""
+
+    duration: int = 8 * MINUTES
+    seed: int = 1
+    #: Scenario the testbed is built from (None → paper mesh4).
+    scenario: Optional[ScenarioSpec] = None
+    #: Chaos plan; overrides the scenario's own plan when both are set.
+    plan: Optional[ChaosPlan] = None
+    invariants: InvariantSpec = InvariantSpec()
+    #: Optional fail-silent fault pressure on top of the chaos (None → no
+    #: injector; chaos-only runs isolate the network degradation).
+    injector: Optional[FaultInjectionConfig] = None
+
+    def resolved_plan(self) -> Optional[ChaosPlan]:
+        if self.plan is not None:
+            return self.plan
+        if self.scenario is not None:
+            return self.scenario.chaos_plan
+        return None
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one chaos run, centred on the monitor's verdict."""
+
+    config: ChaosExperimentConfig
+    bounds: ExperimentBounds
+    verdict: Verdict
+    violations: List[InvariantViolation]
+    chaos_summary: Dict[str, object]
+    link_stats: Dict[str, Dict[str, int]]
+    probes: int
+    mean_precision: float
+    max_precision: float
+    max_precision_at: int
+    bound_violations: int
+    injections: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def bounded(self) -> bool:
+        return self.bound_violations == 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "plan": self.chaos_summary.get("plan"),
+            "verdict": self.verdict.to_dict(),
+            "violations": [v.to_dict() for v in self.violations],
+            "chaos": dict(self.chaos_summary),
+            "links": {k: dict(v) for k, v in self.link_stats.items()},
+            "probes": self.probes,
+            "mean_precision_ns": self.mean_precision,
+            "max_precision_ns": self.max_precision,
+            "bound_ns": self.bounds.bound_with_error,
+            "bound_violations": self.bound_violations,
+            "injections": dict(self.injections),
+        }
+
+    def to_text(self) -> str:
+        cs = self.chaos_summary
+        lines = [
+            f"chaos experiment, {self.config.duration / SECONDS:.0f} s, "
+            f"plan {cs.get('plan', '-')!s}",
+            self.bounds.describe(),
+            f"precision: avg={self.mean_precision:.0f}ns "
+            f"max={self.max_precision:.0f}ns at "
+            f"{format_hms(self.max_precision_at)} over {self.probes} probes "
+            f"({'within' if self.bounded else 'VIOLATES'} "
+            f"Π+γ={self.bounds.bound_with_error:.0f}ns; "
+            f"{self.bound_violations} violations)",
+            f"chaos: {cs.get('stages_executed', 0)} stages, "
+            f"{cs.get('links_impaired', 0)} links impaired, "
+            f"{cs.get('dropped', 0)} dropped / {cs.get('duplicated', 0)} "
+            f"duplicated / {cs.get('reordered', 0)} reordered of "
+            f"{cs.get('seen', 0)} packets",
+        ]
+        if self.injections:
+            lines.append(
+                f"fail-silent injections: {self.injections.get('fail_silent_total', 0)}"
+            )
+        for name, stats in sorted(self.link_stats.items()):
+            if stats["seen"]:
+                lines.append(
+                    f"  {name}: {stats['dropped']}/{stats['seen']} dropped "
+                    f"({100.0 * stats['dropped'] / stats['seen']:.1f}%)"
+                )
+        lines.append(self.verdict.describe())
+        if self.verdict.counts:
+            per_inv = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.verdict.counts.items())
+            )
+            lines.append(f"violation episodes: {per_inv}")
+        transitions = self.verdict.timeline
+        if len(transitions) > 1:
+            lines.append(
+                "status timeline: "
+                + " -> ".join(
+                    f"{s}@{format_hms(t)}" for t, s in transitions
+                )
+            )
+        return "\n".join(lines)
+
+
+def run_chaos_experiment(
+    config: Optional[ChaosExperimentConfig] = None,
+    metrics=None,
+) -> ChaosResult:
+    """Run one scenario under its chaos plan with the monitor attached."""
+    config = config if config is not None else ChaosExperimentConfig()
+    wall_start = time.perf_counter() if metrics is not None else 0.0
+    if config.scenario is not None:
+        tb_config = config.scenario.testbed_config(seed=config.seed)
+    else:
+        tb_config = TestbedConfig(seed=config.seed)
+    plan = config.resolved_plan()
+    if plan is not None and tb_config.chaos is not plan:
+        tb_config = dataclasses.replace(tb_config, chaos=plan)
+    testbed = Testbed(tb_config, metrics=metrics)
+
+    injections: Dict[str, int] = {}
+    injector = None
+    if config.injector is not None:
+        injector_config = config.injector
+        if testbed.measurement_vm_name not in injector_config.exclude:
+            injector_config = dataclasses.replace(
+                injector_config,
+                exclude=tuple(injector_config.exclude)
+                + (testbed.measurement_vm_name,),
+            )
+        injector = FaultInjector(
+            testbed.sim,
+            list(testbed.nodes.values()),
+            injector_config,
+            testbed.rng.stream("fault-injector"),
+            testbed.trace,
+        )
+        injector.start()
+
+    monitor = InvariantMonitor(testbed, config.invariants, metrics=metrics)
+    monitor.start()
+    testbed.run_until(config.duration)
+
+    if injector is not None:
+        injections = injector.summary()
+    if metrics is not None:
+        testbed.publish_metrics()
+        wall = time.perf_counter() - wall_start
+        metrics.counter("experiment.runs").inc()
+        if wall > 0:
+            metrics.gauge("experiment.events_per_sec").set(
+                testbed.sim.dispatched_events / wall
+            )
+
+    bounds = testbed.derive_bounds()
+    precisions = [r.precision for r in testbed.series.records]
+    worst = testbed.series.max_record()
+    chaos = testbed.chaos
+    return ChaosResult(
+        config=config,
+        bounds=bounds,
+        verdict=monitor.verdict(),
+        violations=list(monitor.violations),
+        chaos_summary=chaos.summary() if chaos is not None else {},
+        link_stats=chaos.link_stats() if chaos is not None else {},
+        probes=len(precisions),
+        mean_precision=sum(precisions) / len(precisions) if precisions else 0.0,
+        max_precision=worst.precision if worst else 0.0,
+        max_precision_at=worst.time if worst else 0,
+        bound_violations=len(
+            testbed.series.violations(bounds.bound_with_error)
+        ),
+        injections=injections,
+    )

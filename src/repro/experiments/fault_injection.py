@@ -27,6 +27,7 @@ from repro.faults.injector import FaultInjectionConfig, FaultInjector
 from repro.faults.transient import TransientFaultPlan, calibrate_transients
 from repro.measurement.bounds import ExperimentBounds
 from repro.measurement.precision import PrecisionRecord
+from repro.monitoring.invariants import InvariantMonitor, InvariantSpec, Verdict
 from repro.sim.timebase import HOURS, MINUTES, SECONDS, format_hms
 from repro.experiments.testbed import Testbed, TestbedConfig
 from repro.scenarios import ScenarioSpec
@@ -50,6 +51,9 @@ class FaultInjectionExperimentConfig:
     timeline_window: int = 1 * HOURS
     #: Optional scenario the testbed is built from (None → paper mesh4).
     scenario: Optional[ScenarioSpec] = None
+    #: Online invariant monitor configuration (always attached; the
+    #: monitor is draw-free and state-free, so it never perturbs results).
+    invariants: InvariantSpec = InvariantSpec()
 
     def scaled(self, hours: float) -> "FaultInjectionExperimentConfig":
         """A shorter run with the fault schedule compressed to match.
@@ -83,6 +87,7 @@ class FaultInjectionExperimentConfig:
             aggregate_bucket=max(10 * SECONDS, round(self.aggregate_bucket * factor)),
             timeline_window=max(5 * MINUTES, round(self.timeline_window * factor)),
             scenario=self.scenario,
+            invariants=self.invariants,
         )
 
 
@@ -103,6 +108,7 @@ class FaultInjectionResult:
     violations: int
     max_precision: float
     max_precision_at: int
+    verdict: Verdict = field(default_factory=Verdict)
 
     @property
     def bounded(self) -> bool:
@@ -128,6 +134,7 @@ class FaultInjectionResult:
             f"takeovers: {self.takeovers}",
             f"transient faults: {self.tx_timeouts} tx-timestamp timeouts, "
             f"{self.deadline_misses} deadline misses",
+            self.verdict.describe(),
         ]
         return "\n".join(lines)
 
@@ -188,6 +195,8 @@ def run_fault_injection_experiment(
         testbed.trace,
     )
     injector.start()
+    monitor = InvariantMonitor(testbed, config.invariants, metrics=metrics)
+    monitor.start()
     testbed.run_until(config.duration)
 
     if metrics is not None:
@@ -233,4 +242,5 @@ def run_fault_injection_experiment(
         violations=len(testbed.series.violations(bounds.bound_with_error)),
         max_precision=worst.precision if worst else 0.0,
         max_precision_at=max_at,
+        verdict=monitor.verdict(),
     )

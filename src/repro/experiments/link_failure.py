@@ -19,6 +19,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.measurement.bounds import ExperimentBounds
+from repro.monitoring.invariants import InvariantMonitor, Verdict
 from repro.sim.timebase import MINUTES, SECONDS
 from repro.experiments.testbed import Testbed, TestbedConfig
 
@@ -50,6 +51,7 @@ class LinkFailureResult:
     max_precision_after_recovery: float
     violations: int
     recovered: bool
+    verdict: Verdict = field(default_factory=Verdict)
 
     def to_text(self) -> str:
         """Summary block."""
@@ -65,6 +67,7 @@ class LinkFailureResult:
             f"max Π* during outage:  {self.max_precision_during_outage:.0f} ns",
             f"max Π* after recovery: {self.max_precision_after_recovery:.0f} ns",
             f"violations: {self.violations}  recovered: {self.recovered}",
+            self.verdict.describe(),
         ]
         return "\n".join(lines)
 
@@ -122,6 +125,8 @@ def run_link_failure_experiment(
             f"trunk {victim} carries the measurement VLAN ({sw_m}); "
             "pick a trunk not incident to the measurement device"
         )
+    monitor = InvariantMonitor(testbed)
+    monitor.start()
     testbed.run_until(config.settle)
     trunk = testbed.topology.trunk(*victim)
     trunk.set_up(False)
@@ -153,4 +158,5 @@ def run_link_failure_experiment(
         max_precision_after_recovery=max(after) if after else 0.0,
         violations=len(testbed.series.violations(bounds.bound_with_error)),
         recovered=recovered,
+        verdict=monitor.verdict(),
     )

@@ -19,7 +19,7 @@ serial one. An optional :class:`repro.parallel.ResultsCache` keyed by
 from __future__ import annotations
 
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.stats import percentile
@@ -30,6 +30,7 @@ from repro.experiments.fault_injection import (
     run_fault_injection_experiment,
 )
 from repro.metrics.manifest import RunManifest
+from repro.monitoring.invariants import DEGRADED, FAIL, PASS, worst_status
 from repro.parallel import (
     ResultsCache,
     TaskSpec,
@@ -50,6 +51,22 @@ class SeedOutcome:
     max_ns: float
     injections: int
     takeovers: int
+    #: Online invariant-monitor outcome of this arm (PASS/DEGRADED/FAIL).
+    verdict: str = PASS
+
+
+#: Interning map for verdict strings. Outcomes that crossed a pickle
+#: boundary (process workers, the results cache) carry equal-but-distinct
+#: status strings; rebinding them to the module constants keeps
+#: ``pickle.dumps`` of a study byte-identical across executors.
+_CANONICAL_STATUS = {PASS: PASS, DEGRADED: DEGRADED, FAIL: FAIL}
+
+
+def _canonical(outcome: SeedOutcome) -> SeedOutcome:
+    canon = _CANONICAL_STATUS.get(outcome.verdict, outcome.verdict)
+    if canon is outcome.verdict:
+        return outcome
+    return replace(outcome, verdict=canon)
 
 
 @dataclass
@@ -88,6 +105,11 @@ class MonteCarloResult:
         """Percentile of the per-run maxima."""
         return percentile([o.max_ns for o in self.outcomes], q)
 
+    @property
+    def verdict(self) -> str:
+        """Worst per-arm monitor verdict across the study."""
+        return worst_status(o.verdict for o in self.outcomes)
+
     def to_text(self) -> str:
         """Study summary block."""
         lines = [
@@ -98,8 +120,22 @@ class MonteCarloResult:
             f"per-run max: p50={self.max_percentile(50):.0f} ns "
             f"p90={self.max_percentile(90):.0f} ns worst={self.worst_max():.0f} ns",
             f"masked fail-silent faults across runs: {self.total_masked_faults}",
+            f"verdict: {self.verdict} (worst arm; "
+            + ", ".join(
+                f"{status}={count}" for status, count in sorted(
+                    _status_counts(self.outcomes).items()
+                )
+            )
+            + ")",
         ]
         return "\n".join(lines)
+
+
+def _status_counts(outcomes: List[SeedOutcome]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for outcome in outcomes:
+        counts[outcome.verdict] = counts.get(outcome.verdict, 0) + 1
+    return counts
 
 
 # ----------------------------------------------------------------------
@@ -117,6 +153,7 @@ def _seed_config(
         aggregate_bucket=base.aggregate_bucket,
         timeline_window=base.timeline_window,
         scenario=base.scenario,
+        invariants=base.invariants,
     ).scaled(hours)
 
 
@@ -129,6 +166,7 @@ def _outcome_of(seed: int, result: FaultInjectionResult) -> SeedOutcome:
         max_ns=result.distribution.maximum,
         injections=result.injections["fail_silent_total"],
         takeovers=result.takeovers,
+        verdict=result.verdict.status,
     )
 
 
@@ -199,7 +237,7 @@ def run_monte_carlo(
     for config in configs:
         cached = cache.get(_cache_key(config, runner)) if cache else None
         if cached is not None:
-            by_seed[config.seed] = SeedOutcome(**cached)
+            by_seed[config.seed] = _canonical(SeedOutcome(**cached))
         else:
             to_run.append(config)
 
@@ -236,7 +274,7 @@ def run_monte_carlo(
         fresh = _run_seed_chunk(to_run, runner)
 
     for config, outcome in zip(to_run, fresh):
-        by_seed[outcome.seed] = outcome
+        by_seed[outcome.seed] = _canonical(outcome)
         if cache:
             cache.put(_cache_key(config, runner), asdict(outcome))
 
@@ -262,6 +300,10 @@ def run_monte_carlo(
             scenario_fingerprint=(
                 base.scenario.fingerprint() if base.scenario else None
             ),
+            verdict=worst_status(o.verdict for o in by_seed.values()),
+            verdict_detail={
+                "arms": _status_counts(list(by_seed.values())),
+            },
             extra={"hours": hours, "executor": executor,
                    "cached_arms": len(seeds) - len(to_run)},
         )

@@ -14,8 +14,10 @@ import time
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.chaos.plan import single_loss_plan
 from repro.core.aggregator import AggregatorConfig
 from repro.experiments.testbed import Testbed, TestbedConfig
+from repro.monitoring.invariants import DEGRADED, PASS, InvariantMonitor
 from repro.scenarios import ScenarioSpec, resolve_scenario
 from repro.parallel import (
     ResultsCache,
@@ -24,7 +26,7 @@ from repro.parallel import (
     config_fingerprint,
     default_chunk_size,
 )
-from repro.sim.timebase import MILLISECONDS, MINUTES
+from repro.sim.timebase import MILLISECONDS, MINUTES, SECONDS
 
 
 @dataclass(frozen=True)
@@ -37,6 +39,9 @@ class SweepRow:
     avg_precision_ns: float
     max_precision_ns: float
     converged: bool
+    #: Online invariant-monitor outcome of the arm; a non-converged arm
+    #: with a clean monitor still reads DEGRADED.
+    verdict: str = PASS
 
     def as_dict(self) -> Dict[str, Any]:
         """Plain-dict form for CSV/JSON emission."""
@@ -47,10 +52,13 @@ class SweepRow:
             "avg_precision_ns": self.avg_precision_ns,
             "max_precision_ns": self.max_precision_ns,
             "converged": self.converged,
+            "verdict": self.verdict,
         }
 
 
 def _measure(testbed: Testbed, duration: int, warmup_records: int) -> SweepRow:
+    monitor = InvariantMonitor(testbed, metrics=testbed.metrics)
+    monitor.start()
     testbed.run_until(duration)
     bounds = testbed.derive_bounds()
     records = testbed.series.records[warmup_records:]
@@ -66,6 +74,9 @@ def _measure(testbed: Testbed, duration: int, warmup_records: int) -> SweepRow:
         worst = max(precisions)
     else:
         avg = worst = float("nan")
+    verdict = monitor.verdict().status
+    if not converged and verdict == PASS:
+        verdict = DEGRADED
     return SweepRow(
         parameter="",
         value=None,
@@ -73,6 +84,7 @@ def _measure(testbed: Testbed, duration: int, warmup_records: int) -> SweepRow:
         avg_precision_ns=avg,
         max_precision_ns=worst,
         converged=converged,
+        verdict=verdict,
     )
 
 
@@ -370,19 +382,46 @@ def sweep_fault_budget(
     )
 
 
+def sweep_loss_rate(
+    values: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.4),
+    seed: int = 9,
+    scenario=None,
+    loss_start: int = 45 * SECONDS,
+    **kwargs,
+) -> List[SweepRow]:
+    """Per-link Bernoulli loss on every trunk vs. achieved precision.
+
+    gPTP's per-interval Sync/FollowUp pairs mean a lost frame only delays
+    the next correction by one interval; the FTA then masks domains whose
+    corrections stale out. The interesting output is the verdict column:
+    where does graceful degradation (DEGRADED) start, and does the bound
+    itself ever break (FAIL)? Loss starts after FT convergence
+    (``loss_start``) so every arm measures the impaired steady state, not
+    a cold start that never converges.
+    """
+    base = _base_config(scenario, seed)
+
+    def cfg(loss: float) -> TestbedConfig:
+        if loss <= 0.0:
+            return base
+        return replace(base, chaos=single_loss_plan(loss, start=loss_start))
+
+    return sweep("loss_rate", values, cfg, **kwargs)
+
+
 def render_rows(rows: Sequence[SweepRow]) -> str:
     """Text table of sweep outcomes."""
     if not rows:
         return "(empty sweep)"
     header = (
         f"{rows[0].parameter:>22} {'Π[ns]':>10} {'avg Π*[ns]':>12} "
-        f"{'max Π*[ns]':>12} {'converged':>10}"
+        f"{'max Π*[ns]':>12} {'converged':>10} {'verdict':>9}"
     )
     lines = [header]
     for row in rows:
         lines.append(
             f"{str(row.value):>22} {row.bound_ns:>10.0f} "
             f"{row.avg_precision_ns:>12.1f} {row.max_precision_ns:>12.1f} "
-            f"{str(row.converged):>10}"
+            f"{str(row.converged):>10} {row.verdict:>9}"
         )
     return "\n".join(lines)

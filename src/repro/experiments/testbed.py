@@ -26,6 +26,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.chaos.orchestrator import ChaosOrchestrator
+from repro.chaos.plan import ChaosPlan
 from repro.core.aggregator import AggregatorConfig
 from repro.faults.transient import TransientFaultPlan
 from repro.gptp.bridge import TimeAwareBridge
@@ -120,6 +122,10 @@ class TestbedConfig:
     measurement_start: int = 30 * SECONDS
     initial_offset_spread: int = 100 * MICROSECONDS
     transients: Optional[TransientFaultPlan] = None
+    #: Optional declarative chaos schedule; an orchestrator is built and
+    #: started with the testbed. Part of the frozen config (and thus every
+    #: cache fingerprint) because chaos changes what the run computes.
+    chaos: Optional[ChaosPlan] = None
     aggregator: AggregatorConfig = AggregatorConfig()
     mesh: MeshModel = MeshModel()
     boot_delay: int = 30 * SECONDS
@@ -162,6 +168,7 @@ class Testbed:
         self.responders: Dict[str, ProbeResponder] = {}
         self.kernel_of: Dict[str, str] = {}
         self.node_of_vm: Dict[str, EcdNode] = {}
+        self.chaos: Optional[ChaosOrchestrator] = None
         self._build()
 
     # ------------------------------------------------------------------
@@ -400,6 +407,17 @@ class Testbed:
             max(self.sim.now, self.config.measurement_start),
             self.probe_service.start,
         )
+        if self.config.chaos is not None:
+            self.chaos = ChaosOrchestrator(
+                self.sim,
+                self.topology,
+                self.config.chaos,
+                self.rng,
+                self.vms,
+                trace=self.trace,
+                metrics=self.metrics,
+            )
+            self.chaos.start()
 
     # ------------------------------------------------------------------
     # Accessors

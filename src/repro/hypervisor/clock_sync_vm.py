@@ -97,7 +97,7 @@ class ClockSyncVm(Vm):
         #: Fail-consistent fault injection: ns added to every published
         #: offset (a VM providing *wrong* parameters instead of none).
         self.param_corruption: int = 0
-        self.nic = Nic(sim, name, rng, config.nic, trace)
+        self.nic = Nic(sim, name, rng, config.nic, trace, metrics=metrics)
         self.nic.set_enabled(False)  # powered with the VM
         self.aggregator = MultiDomainAggregator(
             sim,

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 #: Bump when the exported metrics document shape changes.
-METRICS_SCHEMA_VERSION = 1
+METRICS_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -30,6 +30,12 @@ class RunManifest:
     #: driven by a :class:`repro.scenarios.ScenarioSpec`.
     scenario: Optional[str] = None
     scenario_fingerprint: Optional[str] = None
+    #: Online invariant-monitor outcome: PASS / DEGRADED / FAIL (None for
+    #: runs that attached no monitor).
+    verdict: Optional[str] = None
+    #: Structured verdict context (first violation, per-invariant counts,
+    #: status timeline) — :meth:`repro.monitoring.Verdict.to_dict`.
+    verdict_detail: Optional[Dict[str, object]] = None
     schema_version: int = METRICS_SCHEMA_VERSION
     extra: Dict[str, object] = field(default_factory=dict)
 
@@ -50,6 +56,8 @@ class RunManifest:
             "events_per_sec": self.events_per_sec,
             "scenario": self.scenario,
             "scenario_fingerprint": self.scenario_fingerprint,
+            "verdict": self.verdict,
+            "verdict_detail": self.verdict_detail,
             "schema_version": self.schema_version,
             "extra": dict(self.extra),
         }

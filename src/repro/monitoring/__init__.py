@@ -1,0 +1,23 @@
+"""Online run monitoring: invariants checked while the simulation runs."""
+
+from repro.monitoring.invariants import (
+    DEGRADED,
+    FAIL,
+    PASS,
+    InvariantMonitor,
+    InvariantSpec,
+    InvariantViolation,
+    Verdict,
+    worst_status,
+)
+
+__all__ = [
+    "DEGRADED",
+    "FAIL",
+    "PASS",
+    "InvariantMonitor",
+    "InvariantSpec",
+    "InvariantViolation",
+    "Verdict",
+    "worst_status",
+]

@@ -1,0 +1,352 @@
+"""Online invariant monitor.
+
+Post-hoc analysis tells you a run went wrong; an online monitor tells you
+*when*, *which safety property* broke first, and with what margin — while
+the run is still going. The monitor is a periodic simulation process
+attached to a built testbed that checks, every tick:
+
+``synctime_bound`` (severity FAIL)
+    Measured precision Π* must stay within the derived error bound
+    Π + γ (:func:`repro.measurement.bounds.derive_bounds`). This is the
+    paper's headline safety property; breaking it means an application
+    reading ``CLOCK_SYNCTIME`` can observe more error than guaranteed.
+``valid_floor`` (severity DEGRADED)
+    In fault-tolerant mode each aggregator must see at least M − f valid
+    domains — the FTA's operating assumption. Fewer means fault masking
+    is running without margin.
+``domain_health`` (severity DEGRADED)
+    No domain may stay invalid on a majority of fault-tolerant VMs for
+    longer than a reboot takes (``domain_unhealthy_ticks`` consecutive
+    ticks). Catches a domain knocked out by sustained impairment, which
+    the valid floor alone tolerates when M − f domains remain.
+``failover_slo`` (severity DEGRADED)
+    Dependent-clock failover latency (``hypervisor.failover_latency``
+    trace records) must stay under the SLO.
+
+Violations are episodes, not samples: an invariant entering violation
+opens one episode (one structured record, one ``invariant.violation``
+trace emit, one metrics increment) which closes when the condition
+clears, so a sustained outage doesn't flood the log at tick rate. The
+:class:`Verdict` aggregates the episodes: ``PASS`` (nothing fired),
+``DEGRADED`` (resilience margin consumed, bound still held), or ``FAIL``
+(the bound itself broke), with first-violation context and a status
+timeline for DEGRADED-then-recovered reporting.
+
+The monitor draws no randomness and mutates no simulation state, so
+attaching it never perturbs results — the same passive-observer contract
+the metrics registry keeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.core.aggregator import AggregatorMode
+from repro.sim.process import PeriodicTask
+from repro.sim.timebase import SECONDS
+
+if TYPE_CHECKING:
+    from repro.experiments.testbed import Testbed
+
+#: Verdict statuses, in increasing severity.
+PASS = "PASS"
+DEGRADED = "DEGRADED"
+FAIL = "FAIL"
+
+_SEVERITY_RANK = {PASS: 0, DEGRADED: 1, FAIL: 2}
+
+
+@dataclass(frozen=True)
+class InvariantSpec:
+    """Monitor configuration.
+
+    Attributes
+    ----------
+    period:
+        Check interval, ns.
+    failover_slo:
+        Maximum tolerated dependent-clock failover latency, ns.
+    domain_unhealthy_ticks:
+        Consecutive ticks a domain may stay invalid on a majority of
+        fault-tolerant VMs before ``domain_health`` fires. The default
+        (45 ticks at 1 s) sits above a GM reboot (30 s boot delay plus
+        staleness detection), so routine fault-injection rotations stay
+        PASS while a domain pinned down by sustained impairment does not.
+    """
+
+    period: int = 1 * SECONDS
+    failover_slo: int = 2 * SECONDS
+    domain_unhealthy_ticks: int = 45
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if self.failover_slo <= 0:
+            raise ValueError("failover_slo must be positive")
+        if self.domain_unhealthy_ticks < 1:
+            raise ValueError("domain_unhealthy_ticks must be >= 1")
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One violation episode (opened when the invariant first breaks)."""
+
+    time: int
+    invariant: str
+    severity: str
+    source: str
+    observed: float
+    bound: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "time": self.time,
+            "invariant": self.invariant,
+            "severity": self.severity,
+            "source": self.source,
+            "observed": self.observed,
+            "bound": self.bound,
+        }
+
+
+@dataclass
+class Verdict:
+    """Aggregate run outcome derived from the violation episodes."""
+
+    status: str = PASS
+    first_violation: Optional[InvariantViolation] = None
+    counts: Dict[str, int] = field(default_factory=dict)
+    #: ``(time, status)`` transitions of the *current* status, starting at
+    #: PASS; a DEGRADED-then-recovered run reads
+    #: ``[(0, PASS), (t1, DEGRADED), (t2, PASS)]`` while ``status`` stays
+    #: DEGRADED (worst-ever).
+    timeline: List[Tuple[int, str]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "status": self.status,
+            "first_violation": (
+                self.first_violation.to_dict()
+                if self.first_violation is not None else None
+            ),
+            "counts": dict(self.counts),
+            "timeline": [[t, s] for t, s in self.timeline],
+        }
+
+    def describe(self) -> str:
+        """One line for text reports and CI job summaries."""
+        if self.first_violation is None:
+            return f"verdict: {self.status}"
+        v = self.first_violation
+        return (
+            f"verdict: {self.status} — first violation {v.invariant} "
+            f"({v.severity}) at t={v.time / SECONDS:.1f}s on {v.source}: "
+            f"observed {v.observed:.0f} vs bound {v.bound:.0f}"
+        )
+
+
+def worst_status(statuses) -> str:
+    """Fold statuses to the most severe one (empty → PASS)."""
+    worst = PASS
+    for status in statuses:
+        if _SEVERITY_RANK.get(status, 0) > _SEVERITY_RANK[worst]:
+            worst = status
+    return worst
+
+
+class InvariantMonitor:
+    """Periodic in-run checker of the paper's safety properties."""
+
+    def __init__(
+        self,
+        testbed: "Testbed",
+        spec: Optional[InvariantSpec] = None,
+        metrics=None,
+    ) -> None:
+        self.testbed = testbed
+        self.spec = spec if spec is not None else InvariantSpec()
+        self.metrics = metrics
+        self.violations: List[InvariantViolation] = []
+        self.ticks = 0
+        self._bounds = testbed.derive_bounds()
+        self._bound = self._bounds.bound_with_error
+        self._m = len(testbed.domains)
+        self._f = testbed.config.aggregator.f
+        self._floor = self._m - self._f
+        # Episode state: key -> opening violation while the condition holds.
+        self._active: Dict[Tuple[str, str], InvariantViolation] = {}
+        self._series_cursor = 0
+        self._failover_cursor = 0
+        self._domain_bad_ticks: Dict[int, int] = {d.number: 0 for d in testbed.domains}
+        self._status = PASS
+        self._worst = PASS
+        self._timeline: List[Tuple[int, str]] = [(testbed.sim.now, PASS)]
+        self._task = PeriodicTask(
+            testbed.sim, period=self.spec.period, action=self._tick,
+            name="invariant-monitor",
+        )
+        if metrics is not None:
+            self._m_violations = metrics.counter("invariant.violations")
+            self._m_status = metrics.gauge("invariant.status_code")
+        else:
+            self._m_violations = None
+            self._m_status = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin checking (first tick one period from now)."""
+        self._task.start()
+
+    def stop(self) -> None:
+        self._task.stop()
+
+    # ------------------------------------------------------------------
+    def verdict(self) -> Verdict:
+        """Aggregate outcome so far (callable mid-run or after)."""
+        counts: Dict[str, int] = {}
+        for v in self.violations:
+            counts[v.invariant] = counts.get(v.invariant, 0) + 1
+        return Verdict(
+            status=self._worst,
+            first_violation=self.violations[0] if self.violations else None,
+            counts=counts,
+            timeline=list(self._timeline),
+        )
+
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        self.ticks += 1
+        self._check_synctime_bound()
+        self._check_aggregators()
+        self._check_failover_slo()
+        self._update_status()
+
+    def _check_synctime_bound(self) -> None:
+        records = self.testbed.series.records
+        worst = None
+        for record in records[self._series_cursor:]:
+            if record.precision > self._bound and (
+                worst is None or record.precision > worst.precision
+            ):
+                worst = record
+        self._series_cursor = len(records)
+        if worst is not None:
+            self._open(
+                "synctime_bound", FAIL, "measurement",
+                observed=float(worst.precision), bound=float(self._bound),
+                time=worst.time,
+            )
+        else:
+            self._close("synctime_bound", "measurement")
+
+    def _check_aggregators(self) -> None:
+        # Which domains are invalid on a majority of fault-tolerant VMs?
+        ft_vms = 0
+        invalid_votes: Dict[int, int] = {d: 0 for d in self._domain_bad_ticks}
+        for name in sorted(self.testbed.vms):
+            vm = self.testbed.vms[name]
+            agg = vm.aggregator
+            if not vm.running or agg.mode is not AggregatorMode.FAULT_TOLERANT:
+                self._close("valid_floor", name)
+                continue
+            flags = agg.last_valid_flags
+            if not flags:
+                # FT mode reached but no aggregation round completed yet —
+                # nothing to judge.
+                self._close("valid_floor", name)
+                continue
+            valid = sum(1 for ok in flags.values() if ok)
+            ft_vms += 1
+            for domain, ok in flags.items():
+                if not ok and domain in invalid_votes:
+                    invalid_votes[domain] += 1
+            if valid < self._floor:
+                self._open(
+                    "valid_floor", DEGRADED, name,
+                    observed=float(valid), bound=float(self._floor),
+                )
+            else:
+                self._close("valid_floor", name)
+
+        threshold = self.spec.domain_unhealthy_ticks
+        for domain in self._domain_bad_ticks:
+            source = f"domain{domain}"
+            unhealthy = ft_vms > 0 and invalid_votes[domain] * 2 > ft_vms
+            if unhealthy:
+                self._domain_bad_ticks[domain] += 1
+                if self._domain_bad_ticks[domain] >= threshold:
+                    self._open(
+                        "domain_health", DEGRADED, source,
+                        observed=float(self._domain_bad_ticks[domain]),
+                        bound=float(threshold),
+                    )
+            else:
+                self._domain_bad_ticks[domain] = 0
+                self._close("domain_health", source)
+
+    def _check_failover_slo(self) -> None:
+        trace = self.testbed.trace
+        n = trace.count("hypervisor.failover_latency")
+        if n == self._failover_cursor:
+            return
+        records = trace.query("hypervisor.failover_latency")
+        for record in records[self._failover_cursor:]:
+            latency = record.fields.get("latency_ns", 0)
+            if latency > self.spec.failover_slo:
+                # Failovers are point events: each over-SLO one is its own
+                # episode (open and immediately closed).
+                self._open(
+                    "failover_slo", DEGRADED, record.source,
+                    observed=float(latency), bound=float(self.spec.failover_slo),
+                    time=record.time,
+                )
+                self._close("failover_slo", record.source)
+        self._failover_cursor = n
+
+    # ------------------------------------------------------------------
+    def _open(
+        self,
+        invariant: str,
+        severity: str,
+        source: str,
+        observed: float,
+        bound: float,
+        time: Optional[int] = None,
+    ) -> None:
+        key = (invariant, source)
+        if key in self._active:
+            return
+        violation = InvariantViolation(
+            time=time if time is not None else self.testbed.sim.now,
+            invariant=invariant,
+            severity=severity,
+            source=source,
+            observed=observed,
+            bound=bound,
+        )
+        self._active[key] = violation
+        self.violations.append(violation)
+        if _SEVERITY_RANK[severity] > _SEVERITY_RANK[self._worst]:
+            self._worst = severity
+        if self._m_violations is not None:
+            self._m_violations.inc()
+            self.metrics.counter(f"invariant.{invariant}.violations").inc()
+        trace = self.testbed.trace
+        if trace is not None:
+            trace.emit(
+                self.testbed.sim.now, "invariant.violation", source,
+                invariant=invariant, severity=severity,
+                observed=observed, bound=bound,
+            )
+
+    def _close(self, invariant: str, source: str) -> None:
+        self._active.pop((invariant, source), None)
+
+    def _update_status(self) -> None:
+        status = worst_status(v.severity for v in self._active.values())
+        if status != self._status:
+            self._status = status
+            self._timeline.append((self.testbed.sim.now, status))
+            if self._m_status is not None:
+                self._m_status.set(_SEVERITY_RANK[status])

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.sim.kernel import Simulator
 
 if TYPE_CHECKING:
+    from repro.network.impairments import LinkImpairment
     from repro.network.packet import Packet
     from repro.network.port import Port
 
@@ -73,9 +74,15 @@ class Link:
         self.b = b
         self.name = name or f"{a.full_name}<->{b.full_name}"
         self.packets_carried = 0
+        self.packets_dropped = 0
         self.min_observed: Optional[int] = None
         self.max_observed: Optional[int] = None
         self.up = True
+        self.impairment: Optional["LinkImpairment"] = None
+        # Deliveries are tagged with the link's flap epoch: taking the
+        # link down bumps the epoch, so frames already in flight are
+        # discarded on arrival instead of tunnelling through the outage.
+        self._epoch = 0
         # Hot-path locals: one delay draw and one kernel post per packet;
         # binding the methods and model scalars once keeps the per-packet
         # cost to the draw itself. The uniform draw is inlined as the same
@@ -91,6 +98,8 @@ class Link:
         self._post = sim.post
         self._deliver_a = a.deliver
         self._deliver_b = b.deliver
+        self._arrive_a = self._arrival_a
+        self._arrive_b = self._arrival_b
         a._attach(self, b)
         b._attach(self, a)
 
@@ -116,11 +125,34 @@ class Link:
             self.min_observed = delay
         if self.max_observed is None or delay > self.max_observed:
             self.max_observed = delay
+        imp = self.impairment
+        if imp is not None:
+            imp.carry(self, from_port, packet, delay)
+            return
         self._post(
             delay,
-            self._deliver_b if from_port is self.a else self._deliver_a,
+            self._arrive_b if from_port is self.a else self._arrive_a,
             packet,
+            self._epoch,
         )
+
+    def deliver_after(self, delay: int, packet: "Packet", to_b: bool) -> None:
+        """Post an epoch-tagged delivery (impairment layer continuation)."""
+        self._post(
+            delay, self._arrive_b if to_b else self._arrive_a, packet, self._epoch
+        )
+
+    def _arrival_a(self, packet: "Packet", epoch: int) -> None:
+        if epoch != self._epoch:
+            self.packets_dropped += 1
+            return
+        self._deliver_a(packet)
+
+    def _arrival_b(self, packet: "Packet", epoch: int) -> None:
+        if epoch != self._epoch:
+            self.packets_dropped += 1
+            return
+        self._deliver_b(packet)
 
     def sample_delay(self) -> int:
         """Draw one one-way delay."""
@@ -129,8 +161,26 @@ class Link:
         return self._base_delay + self._randint(0, self._jitter)
 
     def set_up(self, up: bool) -> None:
-        """Administratively enable/disable the link (drops in-flight none)."""
+        """Administratively enable/disable the link.
+
+        Taking the link down invalidates every frame still in flight:
+        deliveries carry the epoch current at transmit time, a down
+        transition bumps it, and stale arrivals are discarded into
+        ``packets_dropped``.
+        """
+        if self.up and not up:
+            self._epoch += 1
         self.up = up
+
+    def attach_impairment(self, impairment: "LinkImpairment") -> None:
+        """Route subsequent packets through ``impairment``."""
+        self.impairment = impairment
+
+    def detach_impairment(self) -> Optional["LinkImpairment"]:
+        """Restore unimpaired delivery; returns the detached impairment."""
+        imp = self.impairment
+        self.impairment = None
+        return imp
 
     def __repr__(self) -> str:
         return f"Link({self.name!r}, base={self.model.base_delay}, jitter={self.model.jitter})"

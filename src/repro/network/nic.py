@@ -101,12 +101,17 @@ class Nic:
         rng: random.Random,
         model: NicModel = NicModel(),
         trace: Optional[TraceLog] = None,
+        metrics=None,
     ) -> None:
         self.sim = sim
         self.name = name
         self.rng = rng
         self.model = model
         self.trace = trace
+        self._metrics = metrics
+        if metrics is not None:
+            self._m_deadline_miss = metrics.counter("nic.deadline_misses")
+            self._m_tx_timeout = metrics.counter("nic.tx_timestamp_timeouts")
         self.oscillator = Oscillator(sim, rng, model.oscillator, name=f"{name}.osc")
         self.clock = HardwareClock(self.oscillator, name=f"{name}.phc")
         self.port = Port(self, "p0")
@@ -189,6 +194,8 @@ class Nic:
         if missed:
             record.deadline_missed = True
             self.deadline_misses += 1
+            if self._metrics is not None:
+                self._m_deadline_miss.inc()
             if self.trace is not None:
                 self.trace.emit(
                     self.sim.now, "ptp4l.deadline_miss", self.name,
@@ -249,6 +256,8 @@ class Nic:
         ):
             record.timed_out = True
             self.tx_timestamp_timeouts += 1
+            if self._metrics is not None:
+                self._m_tx_timeout.inc()
             if self.trace is not None:
                 self.trace.emit(self.sim.now, "ptp4l.tx_timeout", self.name)
             self._post(self.model.tx_timestamp_timeout, on_tx_timestamp, None)

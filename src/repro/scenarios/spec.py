@@ -22,6 +22,7 @@ import json
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.chaos.plan import ChaosPlan
 from repro.network.topology import TOPOLOGY_BUILDERS
 from repro.sim.timebase import MILLISECONDS
 
@@ -107,6 +108,11 @@ class ScenarioSpec:
         Link/NIC/switch timing parameter ranges.
     fault_plan:
         Optional transient-fault pressure (see :class:`FaultPlanSpec`).
+    chaos_plan:
+        Optional declarative chaos schedule (impairments, link flaps,
+        steered attacks); see :class:`repro.chaos.plan.ChaosPlan`. Omitted
+        from the serialized form when ``None`` so pre-chaos fingerprints
+        are unchanged.
     description:
         One line for ``repro-sim scenarios list``.
     """
@@ -124,6 +130,7 @@ class ScenarioSpec:
     kernel_policy: str = "diverse"
     links: LinkSpec = LinkSpec()
     fault_plan: Optional[FaultPlanSpec] = None
+    chaos_plan: Optional[ChaosPlan] = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -213,6 +220,11 @@ class ScenarioSpec:
             dataclasses.asdict(self.fault_plan)
             if self.fault_plan is not None else None
         )
+        # Omitted entirely when unset: scenarios that predate the chaos
+        # layer keep their historical fingerprints.
+        doc.pop("chaos_plan", None)
+        if self.chaos_plan is not None:
+            doc["chaos_plan"] = self.chaos_plan.to_dict()
         doc["schema_version"] = SCENARIO_SCHEMA_VERSION
         return doc
 
@@ -240,6 +252,9 @@ class ScenarioSpec:
         plan = doc.get("fault_plan")
         if isinstance(plan, dict):
             doc["fault_plan"] = FaultPlanSpec(**plan)
+        chaos = doc.get("chaos_plan")
+        if isinstance(chaos, dict):
+            doc["chaos_plan"] = ChaosPlan.from_dict(chaos)
         return cls(**doc)
 
     def fingerprint(self) -> str:
@@ -294,6 +309,7 @@ class ScenarioSpec:
             kernel_policy=self.kernel_policy,
             measurement_device=self.measurement_device,
             transients=transients,
+            chaos=self.chaos_plan,
             aggregator=AggregatorConfig(
                 f=self.f, sync_interval=self.sync_interval
             ),

@@ -1,0 +1,274 @@
+"""Chaos plans, orchestrator, and the chaos experiment."""
+
+import dataclasses
+
+import pytest
+
+from repro.chaos import (
+    ChaosOrchestrator,
+    ChaosPlan,
+    ChaosStage,
+    dump_plan,
+    load_plan,
+    single_loss_plan,
+)
+from repro.experiments.chaos import ChaosExperimentConfig, run_chaos_experiment
+from repro.experiments.testbed import Testbed, TestbedConfig
+from repro.monitoring import DEGRADED, FAIL, PASS
+from repro.network.impairments import ImpairmentSpec
+from repro.scenarios import resolve_scenario
+from repro.sim.timebase import MINUTES, SECONDS
+
+
+LOSS = ImpairmentSpec(loss=0.5)
+
+
+class TestPlanValidation:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosStage(at=0, action="explode", links=("*",))
+
+    def test_link_action_needs_selectors(self):
+        with pytest.raises(ValueError):
+            ChaosStage(at=0, action="link_down")
+
+    def test_impair_needs_spec(self):
+        with pytest.raises(ValueError):
+            ChaosStage(at=0, action="impair", links=("*",))
+
+    def test_attack_needs_kind_and_victims(self):
+        with pytest.raises(ValueError):
+            ChaosStage(at=0, action="attack", attack="nonsense",
+                       victims=("c1_1",))
+        with pytest.raises(ValueError):
+            ChaosStage(at=0, action="attack", attack="ramp")
+
+    def test_plan_needs_name(self):
+        with pytest.raises(ValueError):
+            ChaosPlan(name="")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosStage(at=-1, action="clear", links=("*",))
+
+
+class TestPlanSerialization:
+    def plan(self):
+        return ChaosPlan(name="kitchen-sink", stages=(
+            ChaosStage(at=10 * SECONDS, action="impair", links=("*",),
+                       impairment=LOSS),
+            ChaosStage(at=20 * SECONDS, action="link_down",
+                       links=("sw1-sw3",)),
+            ChaosStage(at=25 * SECONDS, action="link_up", links=("sw1-sw3",)),
+            ChaosStage(at=30 * SECONDS, action="attack", attack="ramp",
+                       victims=("c1_1",), step_per_update=-50),
+            ChaosStage(at=40 * SECONDS, action="attack_stop"),
+            ChaosStage(at=50 * SECONDS, action="clear", links=("*",)),
+        ))
+
+    def test_round_trip(self):
+        plan = self.plan()
+        assert ChaosPlan.from_dict(plan.to_dict()) == plan
+
+    def test_file_round_trip(self, tmp_path):
+        plan = self.plan()
+        path = tmp_path / "plan.json"
+        dump_plan(plan, path)
+        assert load_plan(path) == plan
+
+    def test_unsupported_schema_version_rejected(self):
+        doc = self.plan().to_dict()
+        doc["schema_version"] = 99
+        with pytest.raises(ValueError):
+            ChaosPlan.from_dict(doc)
+
+    def test_unknown_stage_keys_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosStage.from_dict({"at": 0, "action": "clear",
+                                  "links": ["*"], "frobnicate": 1})
+
+    def test_single_loss_plan_shape(self):
+        plan = single_loss_plan(0.25, start=45 * SECONDS, end=90 * SECONDS)
+        assert plan.name == "loss-0.25"
+        assert [s.action for s in plan.stages] == ["impair", "clear"]
+        assert plan.stages[0].impairment.loss == 0.25
+        assert plan.stages[1].at == 90 * SECONDS
+
+    def test_scenario_carries_plan_through_serialization(self):
+        base = resolve_scenario("paper-mesh4")
+        plan = single_loss_plan(0.1)
+        spec = dataclasses.replace(base, chaos_plan=plan)
+        doc = spec.to_dict()
+        assert doc["chaos_plan"]["name"] == "loss-0.1"
+        assert type(spec).from_dict(doc).chaos_plan == plan
+        # A plan-free spec stays byte-compatible with pre-chaos specs.
+        assert "chaos_plan" not in base.to_dict()
+
+    def test_plan_changes_scenario_fingerprint(self):
+        base = resolve_scenario("paper-mesh4")
+        with_plan = dataclasses.replace(
+            base, chaos_plan=single_loss_plan(0.1)
+        )
+        other_plan = dataclasses.replace(
+            base, chaos_plan=single_loss_plan(0.2)
+        )
+        assert base.fingerprint() != with_plan.fingerprint()
+        assert with_plan.fingerprint() != other_plan.fingerprint()
+
+
+class TestOrchestrator:
+    def orchestrator(self, plan=ChaosPlan(name="noop")):
+        tb = Testbed(TestbedConfig(seed=5))
+        orch = ChaosOrchestrator(
+            tb.sim, tb.topology, plan, tb.rng, tb.vms, trace=tb.trace
+        )
+        return tb, orch
+
+    def test_resolve_star_is_every_trunk(self):
+        tb, orch = self.orchestrator()
+        links = orch.resolve_links(("*",))
+        assert len(links) == len(tb.topology.trunks) == 6
+
+    def test_resolve_trunk_and_nic(self):
+        tb, orch = self.orchestrator()
+        (trunk,) = orch.resolve_links(("sw1-sw3",))
+        assert trunk is tb.topology.trunk("sw1", "sw3")
+        (access,) = orch.resolve_links(("nic:c2_1",))
+        assert access is tb.topology.access_links["c2_1"]
+
+    def test_resolve_device_takes_all_incident_links(self):
+        tb, orch = self.orchestrator()
+        links = orch.resolve_links(("device:1",))
+        # 3 trunks of sw1 on the mesh, plus the access links of the NICs
+        # homed on sw1.
+        trunks = [l for l in links if l in tb.topology.trunks.values()]
+        assert len(trunks) == 3
+        assert len(links) > 3
+
+    def test_resolve_dedups_overlapping_selectors(self):
+        tb, orch = self.orchestrator()
+        links = orch.resolve_links(("*", "sw1-sw2"))
+        assert len(links) == 6
+
+    def test_unknown_selectors_raise(self):
+        tb, orch = self.orchestrator()
+        with pytest.raises(KeyError):
+            orch.resolve_links(("gibberish",))
+        with pytest.raises(KeyError):
+            orch.resolve_links(("device:9",))
+
+    def test_stages_execute_and_restore(self):
+        plan = ChaosPlan(name="cycle", stages=(
+            ChaosStage(at=1 * SECONDS, action="impair", links=("sw1-sw2",),
+                       impairment=LOSS),
+            ChaosStage(at=2 * SECONDS, action="clear", links=("sw1-sw2",)),
+            ChaosStage(at=3 * SECONDS, action="link_down", links=("sw3-sw4",)),
+            ChaosStage(at=4 * SECONDS, action="link_up", links=("sw3-sw4",)),
+        ))
+        tb = Testbed(TestbedConfig(seed=5, chaos=plan))
+        tb.run_until(int(1.5 * SECONDS))
+        trunk = tb.topology.trunk("sw1", "sw2")
+        assert trunk.impairment is not None
+        tb.run_until(int(3.5 * SECONDS))
+        assert trunk.impairment is None
+        assert not tb.topology.trunk("sw3", "sw4").up
+        tb.run_until(5 * SECONDS)
+        assert tb.topology.trunk("sw3", "sw4").up
+        assert tb.chaos.stages_executed == 4
+        assert tb.chaos.summary()["plan"] == "cycle"
+        assert tb.trace.count("chaos.stage") == 4
+
+    def test_reimpair_same_spec_keeps_rng_stream(self):
+        plan = ChaosPlan(name="flap-impair", stages=(
+            ChaosStage(at=1 * SECONDS, action="impair", links=("sw1-sw2",),
+                       impairment=LOSS),
+            ChaosStage(at=2 * SECONDS, action="clear", links=("sw1-sw2",)),
+            ChaosStage(at=3 * SECONDS, action="impair", links=("sw1-sw2",),
+                       impairment=LOSS),
+        ))
+        tb = Testbed(TestbedConfig(seed=5, chaos=plan))
+        tb.run_until(int(1.5 * SECONDS))
+        first = tb.topology.trunk("sw1", "sw2").impairment
+        tb.run_until(4 * SECONDS)
+        assert tb.topology.trunk("sw1", "sw2").impairment is first
+
+    def test_attack_stage_launches_and_stops(self):
+        plan = ChaosPlan(name="attack", stages=(
+            ChaosStage(at=1 * SECONDS, action="attack", attack="oscillate",
+                       victims=("c1_1",), amplitude=5_000),
+            ChaosStage(at=3 * SECONDS, action="attack_stop"),
+        ))
+        tb = Testbed(TestbedConfig(seed=5, chaos=plan))
+        tb.run_until(2 * SECONDS)
+        assert len(tb.chaos.attacks) == 1
+        attack = tb.chaos.attacks[0]
+        assert attack.ticks > 0
+        assert tb.vms["c1_1"].compromised
+        tb.run_until(4 * SECONDS)
+        ticks_after_stop = attack.ticks
+        tb.run_until(5 * SECONDS)
+        assert attack.ticks == ticks_after_stop
+        assert tb.chaos.summary()["attacks_launched"] == 1
+
+    def test_double_start_rejected(self):
+        tb, orch = self.orchestrator()
+        orch.start()
+        with pytest.raises(RuntimeError):
+            orch.start()
+
+
+@pytest.mark.slow
+class TestChaosExperimentIntegration:
+    def test_five_percent_loss_is_masked_with_zero_violations(self):
+        # The architecture is designed for f=1 worth of bad time sources;
+        # 5% uniform loss on every trunk must be absorbed with the online
+        # monitor never firing and the precision bound holding throughout.
+        plan = ChaosPlan(name="loss5", stages=(
+            ChaosStage(at=30 * SECONDS, action="impair", links=("*",),
+                       impairment=ImpairmentSpec(loss=0.05)),
+        ))
+        result = run_chaos_experiment(ChaosExperimentConfig(
+            duration=4 * MINUTES, seed=3, plan=plan,
+        ))
+        assert result.verdict.status == PASS
+        assert result.violations == []
+        assert result.bounded
+        cs = result.chaos_summary
+        assert cs["dropped"] > 0
+        assert cs["dropped"] / cs["seen"] == pytest.approx(0.05, abs=0.02)
+        # Every impaired trunk saw real traffic and real loss.
+        assert len(result.link_stats) == 6
+        assert all(s["dropped"] > 0 for s in result.link_stats.values())
+
+    def test_heavy_loss_on_one_device_degrades_but_does_not_fail(self):
+        # 40% loss on every link incident to device 1 knocks that domain's
+        # distribution out repeatedly: the monitor must flag consumed
+        # resilience margin (DEGRADED) while the synctime bound still holds
+        # (not FAIL) — the FTA masks what the network throws away.
+        plan = ChaosPlan(name="dom1-heavy-loss", stages=(
+            ChaosStage(at=40 * SECONDS, action="impair", links=("device:1",),
+                       impairment=ImpairmentSpec(loss=0.4)),
+        ))
+        result = run_chaos_experiment(ChaosExperimentConfig(
+            duration=3 * MINUTES, seed=7, plan=plan,
+        ))
+        assert result.verdict.status == DEGRADED
+        assert result.verdict.status != FAIL
+        assert result.bounded  # Π+γ held even while degraded
+        first = result.verdict.first_violation
+        assert first is not None
+        assert first.invariant == "valid_floor"
+        assert first.time >= 40 * SECONDS
+        assert first.observed < first.bound
+        # The violations came from the impaired device's own VMs.
+        assert all(v.source.startswith(("c1_", "domain"))
+                   for v in result.violations)
+
+    def test_chaos_free_run_passes(self):
+        result = run_chaos_experiment(ChaosExperimentConfig(
+            duration=2 * MINUTES, seed=11,
+        ))
+        assert result.verdict.status == PASS
+        assert result.chaos_summary == {}
+        assert result.link_stats == {}
+        assert result.bounded

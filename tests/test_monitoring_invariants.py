@@ -1,0 +1,141 @@
+"""Unit tests for the online invariant monitor."""
+
+import pytest
+
+from repro.experiments.testbed import Testbed, TestbedConfig
+from repro.metrics import MetricsRegistry
+from repro.monitoring import (
+    DEGRADED,
+    FAIL,
+    PASS,
+    InvariantMonitor,
+    InvariantSpec,
+    Verdict,
+    worst_status,
+)
+from repro.sim.timebase import SECONDS
+
+
+class TestSpecAndVerdict:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            InvariantSpec(period=0)
+        with pytest.raises(ValueError):
+            InvariantSpec(failover_slo=-1)
+        with pytest.raises(ValueError):
+            InvariantSpec(domain_unhealthy_ticks=0)
+
+    def test_worst_status_folding(self):
+        assert worst_status([]) == PASS
+        assert worst_status([PASS, PASS]) == PASS
+        assert worst_status([PASS, DEGRADED, PASS]) == DEGRADED
+        assert worst_status([DEGRADED, FAIL, PASS]) == FAIL
+
+    def test_clean_verdict_describes_tersely(self):
+        assert Verdict().describe() == "verdict: PASS"
+
+    def test_verdict_round_trips_to_dict(self):
+        v = Verdict(status=PASS, timeline=[(0, PASS)])
+        doc = v.to_dict()
+        assert doc["status"] == PASS
+        assert doc["first_violation"] is None
+        assert doc["timeline"] == [[0, PASS]]
+
+
+class TestMonitorOnTestbed:
+    def monitored(self, seed=2, spec=None, metrics=None):
+        testbed = Testbed(TestbedConfig(seed=seed), metrics=metrics)
+        monitor = InvariantMonitor(testbed, spec, metrics=metrics)
+        monitor.start()
+        return testbed, monitor
+
+    def test_healthy_run_stays_pass(self):
+        testbed, monitor = self.monitored()
+        testbed.run_until(60 * SECONDS)
+        verdict = monitor.verdict()
+        assert verdict.status == PASS
+        assert verdict.first_violation is None
+        assert verdict.counts == {}
+        assert verdict.timeline == [(0, PASS)]
+        assert monitor.ticks == 60
+
+    def test_monitor_is_a_passive_observer(self):
+        # Attaching the monitor must not perturb the run: the measured
+        # series is identical with and without it.
+        plain = Testbed(TestbedConfig(seed=4))
+        plain.run_until(45 * SECONDS)
+        watched, _ = self.monitored(seed=4)
+        watched.run_until(45 * SECONDS)
+        assert [
+            (r.time, r.precision) for r in plain.series.records
+        ] == [(r.time, r.precision) for r in watched.series.records]
+
+    def test_slow_failover_opens_point_episode(self):
+        spec = InvariantSpec(failover_slo=2 * SECONDS)
+        testbed, monitor = self.monitored(spec=spec)
+        testbed.run_until(35 * SECONDS)
+        testbed.trace.emit(
+            testbed.sim.now, "hypervisor.failover_latency", "ecd1",
+            latency_ns=5 * SECONDS,
+        )
+        testbed.run_until(37 * SECONDS)
+        verdict = monitor.verdict()
+        assert verdict.status == DEGRADED
+        assert verdict.counts == {"failover_slo": 1}
+        v = verdict.first_violation
+        assert v.invariant == "failover_slo"
+        assert v.observed == 5 * SECONDS
+        assert v.bound == 2 * SECONDS
+        # Point episodes close immediately: current status is back to PASS.
+        assert verdict.timeline[-1][1] == PASS
+
+    def test_fast_failover_is_ignored(self):
+        testbed, monitor = self.monitored()
+        testbed.run_until(35 * SECONDS)
+        testbed.trace.emit(
+            testbed.sim.now, "hypervisor.failover_latency", "ecd1",
+            latency_ns=int(0.5 * SECONDS),
+        )
+        testbed.run_until(37 * SECONDS)
+        assert monitor.verdict().status == PASS
+
+    def test_episode_dedup_one_violation_until_cleared(self):
+        testbed, monitor = self.monitored()
+        monitor._open("valid_floor", DEGRADED, "c1_1", observed=2.0, bound=3.0)
+        monitor._open("valid_floor", DEGRADED, "c1_1", observed=1.0, bound=3.0)
+        assert len(monitor.violations) == 1
+        monitor._close("valid_floor", "c1_1")
+        monitor._open("valid_floor", DEGRADED, "c1_1", observed=2.0, bound=3.0)
+        assert len(monitor.violations) == 2
+
+    def test_worst_status_is_sticky_and_ranked(self):
+        testbed, monitor = self.monitored()
+        monitor._open("valid_floor", DEGRADED, "c1_1", observed=2.0, bound=3.0)
+        monitor._close("valid_floor", "c1_1")
+        monitor._open("synctime_bound", FAIL, "measurement",
+                      observed=99_999.0, bound=13_000.0)
+        monitor._close("synctime_bound", "measurement")
+        verdict = monitor.verdict()
+        assert verdict.status == FAIL  # worst-ever, not current
+        assert verdict.first_violation.invariant == "valid_floor"
+        assert verdict.counts == {"valid_floor": 1, "synctime_bound": 1}
+
+    def test_violations_reach_metrics_and_trace(self):
+        registry = MetricsRegistry()
+        testbed, monitor = self.monitored(metrics=registry)
+        testbed.run_until(2 * SECONDS)
+        monitor._open("valid_floor", DEGRADED, "c1_1", observed=2.0, bound=3.0)
+        assert registry.counters["invariant.violations"].value == 1
+        assert registry.counters["invariant.valid_floor.violations"].value == 1
+        records = testbed.trace.query("invariant.violation")
+        assert len(records) == 1
+        assert records[0].fields["invariant"] == "valid_floor"
+        assert records[0].fields["severity"] == DEGRADED
+
+    def test_stop_halts_ticking(self):
+        testbed, monitor = self.monitored()
+        testbed.run_until(5 * SECONDS)
+        monitor.stop()
+        ticks = monitor.ticks
+        testbed.run_until(10 * SECONDS)
+        assert monitor.ticks == ticks

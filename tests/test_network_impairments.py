@@ -1,0 +1,258 @@
+"""Unit and property tests for the per-link impairment layer."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.impairments import (
+    CongestionEpoch,
+    GilbertElliottSpec,
+    ImpairmentSpec,
+    LinkImpairment,
+)
+from repro.network.link import Link, LinkModel
+from repro.network.packet import Packet
+from repro.network.port import Port
+from repro.sim.kernel import Simulator
+
+
+class Sink:
+    """Minimal PortOwner that records receptions with their times."""
+
+    def __init__(self, sim, name):
+        self.sim = sim
+        self.name = name
+        self.received = []
+
+    def on_receive(self, port, packet):
+        self.received.append((self.sim.now, packet))
+
+
+def wire(sim, model=LinkModel(base_delay=1000, jitter=0), seed=1):
+    a_dev, b_dev = Sink(sim, "a"), Sink(sim, "b")
+    pa, pb = Port(a_dev, "p0"), Port(b_dev, "p0")
+    link = Link(sim, pa, pb, model, random.Random(seed))
+    return a_dev, b_dev, pa, pb, link
+
+
+def impaired(link, spec, seed=7, **kwargs):
+    imp = LinkImpairment(spec, random.Random(seed), link.name, **kwargs)
+    link.attach_impairment(imp)
+    return imp
+
+
+def send_n(sim, port, n, payload=None):
+    for i in range(n):
+        port.transmit(Packet(dst="b", src="a", payload=payload or i))
+
+
+class TestSpecValidation:
+    def test_identity_by_default(self):
+        assert ImpairmentSpec().is_identity
+
+    def test_non_identity(self):
+        assert not ImpairmentSpec(loss=0.1).is_identity
+        assert not ImpairmentSpec(delay_a_to_b=1).is_identity
+        assert not ImpairmentSpec(
+            gilbert_elliott=GilbertElliottSpec()
+        ).is_identity
+
+    def test_probability_ranges_enforced(self):
+        with pytest.raises(ValueError):
+            ImpairmentSpec(loss=1.5)
+        with pytest.raises(ValueError):
+            ImpairmentSpec(duplicate=-0.1)
+        with pytest.raises(ValueError):
+            GilbertElliottSpec(p_enter_bad=2.0)
+
+    def test_degenerate_ge_chain_rejected(self):
+        with pytest.raises(ValueError):
+            GilbertElliottSpec(p_enter_bad=0.0, p_exit_bad=0.0)
+
+    def test_bad_congestion_window_rejected(self):
+        with pytest.raises(ValueError):
+            CongestionEpoch(start=100, end=50, extra_jitter=10)
+
+    def test_round_trip(self):
+        spec = ImpairmentSpec(
+            loss=0.1,
+            gilbert_elliott=GilbertElliottSpec(p_enter_bad=0.05),
+            duplicate=0.2,
+            reorder=0.3,
+            delay_a_to_b=500,
+            congestion=(CongestionEpoch(0, 1000, 50),),
+        )
+        assert ImpairmentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError):
+            ImpairmentSpec.from_dict({"loss": 0.1, "burst": True})
+
+    def test_ge_stationary_rate_formula(self):
+        ge = GilbertElliottSpec(p_enter_bad=0.1, p_exit_bad=0.4,
+                                loss_good=0.0, loss_bad=1.0)
+        assert ge.stationary_loss_rate() == pytest.approx(0.1 / 0.5)
+
+
+class TestImpairedDelivery:
+    def test_total_loss_delivers_nothing(self):
+        sim = Simulator()
+        a, b, pa, pb, link = wire(sim)
+        imp = impaired(link, ImpairmentSpec(loss=1.0))
+        send_n(sim, pa, 50)
+        sim.run()
+        assert b.received == []
+        assert imp.packets_dropped == 50
+        assert link.packets_dropped == 50
+
+    def test_duplication_delivers_twice(self):
+        sim = Simulator()
+        a, b, pa, pb, link = wire(sim)
+        imp = impaired(
+            link, ImpairmentSpec(duplicate=1.0, duplicate_delay=200)
+        )
+        send_n(sim, pa, 20)
+        sim.run()
+        assert len(b.received) == 40
+        assert imp.packets_duplicated == 20
+        by_id = {}
+        for t, pkt in b.received:
+            by_id.setdefault(pkt.packet_id, []).append(t)
+        for times in by_id.values():
+            assert len(times) == 2
+            # Copy never beats the original, and stays within the bound.
+            assert times[0] <= times[1] <= times[0] + 200
+
+    def test_reordering_lets_later_frames_overtake(self):
+        sim = Simulator()
+        a, b, pa, pb, link = wire(sim)
+        # Hold back every other packet far enough that its successor,
+        # transmitted 10 ns later, must overtake it.
+        imp = LinkImpairment(ImpairmentSpec(reorder=0.5, reorder_delay=5000),
+                             random.Random(3), link.name)
+        link.attach_impairment(imp)
+        for i in range(100):
+            sim.post(10 * i, pa.transmit,
+                     Packet(dst="b", src="a", payload=i))
+        sim.run()
+        payloads = [pkt.payload for _, pkt in b.received]
+        assert len(payloads) == 100
+        assert imp.packets_reordered > 0
+        assert payloads != sorted(payloads)
+
+    def test_delay_asymmetry_is_per_direction(self):
+        sim = Simulator()
+        a, b, pa, pb, link = wire(sim)
+        impaired(link, ImpairmentSpec(delay_a_to_b=700))
+        pa.transmit(Packet(dst="b", src="a", payload="to_b"))
+        pb.transmit(Packet(dst="a", src="b", payload="to_a"))
+        sim.run()
+        assert b.received[0][0] == 1700  # base 1000 + offset
+        assert a.received[0][0] == 1000  # reverse direction untouched
+
+    def test_congestion_epoch_delays_only_inside_window(self):
+        sim = Simulator()
+        a, b, pa, pb, link = wire(sim)
+        imp = impaired(link, ImpairmentSpec(
+            congestion=(CongestionEpoch(start=0, end=10_000,
+                                        extra_jitter=300),),
+        ))
+        pa.transmit(Packet(dst="b", src="a", payload="inside"))
+        sim.post(20_000, pa.transmit,
+                 Packet(dst="b", src="a", payload="outside"))
+        sim.run()
+        arrivals = {pkt.payload: t for t, pkt in b.received}
+        assert 1000 <= arrivals["inside"] <= 1300
+        assert arrivals["outside"] == 21_000
+        assert imp.congestion_delayed == 1
+
+    def test_detach_restores_clean_delivery(self):
+        sim = Simulator()
+        a, b, pa, pb, link = wire(sim)
+        imp = impaired(link, ImpairmentSpec(loss=1.0))
+        send_n(sim, pa, 5)
+        sim.run()
+        assert link.detach_impairment() is imp
+        send_n(sim, pa, 5)
+        sim.run()
+        assert len(b.received) == 5
+
+    def test_counters_flow_into_metrics_registry(self):
+        from repro.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        sim = Simulator()
+        a, b, pa, pb, link = wire(sim)
+        impaired(link, ImpairmentSpec(loss=1.0), metrics=registry)
+        send_n(sim, pa, 8)
+        sim.run()
+        assert registry.counters[f"impairment.{link.name}.dropped"].value == 8
+        assert registry.counters["impairment.dropped"].value == 8
+
+
+def _arrival_times(seed, n, spec=None):
+    """Arrival-time sequence of n packets over a jittery link."""
+    sim = Simulator()
+    a, b, pa, pb, link = wire(
+        sim, model=LinkModel(base_delay=800, jitter=250), seed=seed
+    )
+    if spec is not None:
+        impaired(link, spec, seed=seed + 1)
+    for i in range(n):
+        sim.post(50 * i, pa.transmit, Packet(dst="b", src="a", payload=i))
+    sim.run()
+    return [(t, pkt.payload) for t, pkt in b.received]
+
+
+class TestImpairmentProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 60))
+    def test_identity_spec_is_byte_identical(self, seed, n):
+        # Attaching the identity impairment must not perturb the link's
+        # jitter stream or arrival times at all.
+        assert _arrival_times(seed, n) == _arrival_times(
+            seed, n, ImpairmentSpec()
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 60))
+    def test_total_loss_delivers_nothing(self, seed, n):
+        assert _arrival_times(seed, n, ImpairmentSpec(loss=1.0)) == []
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 40))
+    def test_duplication_never_beats_the_original(self, seed, n):
+        # With duplication as the only impairment, the earliest arrival of
+        # every packet is exactly the unimpaired arrival: the copy can only
+        # come later.
+        clean = _arrival_times(seed, n)
+        dup = _arrival_times(
+            seed, n, ImpairmentSpec(duplicate=1.0, duplicate_delay=400)
+        )
+        earliest = {}
+        for t, payload in dup:
+            earliest[payload] = min(t, earliest.get(payload, t))
+        assert [(earliest[p], p) for _, p in clean] == clean
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        p_enter=st.floats(0.01, 0.5),
+        p_exit=st.floats(0.2, 1.0),
+        seed=st.integers(0, 1_000),
+    )
+    def test_gilbert_elliott_converges_to_stationary_rate(
+        self, p_enter, p_exit, seed
+    ):
+        ge = GilbertElliottSpec(p_enter_bad=p_enter, p_exit_bad=p_exit)
+        imp = LinkImpairment(
+            ImpairmentSpec(gilbert_elliott=ge), random.Random(seed)
+        )
+        n = 6000
+        lost = sum(imp._lost() for _ in range(n))
+        expected = ge.stationary_loss_rate()
+        # Bursty losses are correlated: the chain decorrelates at rate
+        # p_enter + p_exit, shrinking the effective sample size.
+        eff_n = n * min(1.0, p_enter + p_exit)
+        sigma = (expected * (1.0 - expected) / eff_n) ** 0.5
+        assert abs(lost / n - expected) < max(0.05, 6.0 * sigma)

@@ -95,6 +95,30 @@ class TestLink:
         sim.run()
         assert b.received == []
 
+    def test_flap_drops_in_flight_packets(self):
+        # A frame transmitted before the outage must not tunnel through a
+        # down-then-up flap and arrive as if nothing happened.
+        sim = Simulator()
+        a, b, pa, pb, link = wire(sim)
+        pa.transmit(Packet(dst="b", src="a", payload="doomed"))
+        sim.run_until(500)  # frame is mid-flight (arrives at t=1000)
+        link.set_up(False)
+        link.set_up(True)
+        pa.transmit(Packet(dst="b", src="a", payload="fresh"))
+        sim.run()
+        assert [pkt.payload for _, pkt in b.received] == ["fresh"]
+        assert link.packets_dropped == 1
+
+    def test_flap_while_idle_drops_nothing(self):
+        sim = Simulator()
+        a, b, pa, pb, link = wire(sim)
+        link.set_up(False)
+        link.set_up(True)
+        pa.transmit(Packet(dst="b", src="a", payload="ok"))
+        sim.run()
+        assert len(b.received) == 1
+        assert link.packets_dropped == 0
+
     def test_min_max_delay_properties(self):
         m = LinkModel(base_delay=100, jitter=30)
         assert m.min_delay == 100
