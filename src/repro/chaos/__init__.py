@@ -2,20 +2,28 @@
 
 from repro.chaos.orchestrator import ChaosOrchestrator
 from repro.chaos.plan import (
+    ATTACK_KINDS,
     CHAOS_ACTIONS,
+    GM_ATTACK_KINDS,
+    LINK_ATTACK_KINDS,
     ChaosPlan,
     ChaosStage,
     dump_plan,
     load_plan,
+    merge_plans,
     single_loss_plan,
 )
 
 __all__ = [
+    "ATTACK_KINDS",
     "CHAOS_ACTIONS",
+    "GM_ATTACK_KINDS",
+    "LINK_ATTACK_KINDS",
     "ChaosOrchestrator",
     "ChaosPlan",
     "ChaosStage",
     "dump_plan",
     "load_plan",
+    "merge_plans",
     "single_loss_plan",
 ]

@@ -18,9 +18,18 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional
 
-from repro.chaos.plan import ChaosPlan, ChaosStage
+from repro.chaos.plan import GM_ATTACK_KINDS, ChaosPlan, ChaosStage
 from repro.network.impairments import LinkImpairment
-from repro.security.attacks import OscillatingAttack, RampAttack, _SteeredAttack
+from repro.security.attacks import (
+    AdaptiveAttack,
+    CollusionAttack,
+    DelayAttack,
+    OscillatingAttack,
+    RampAttack,
+    SyncSuppressionAttack,
+    WormholeAttack,
+    _SteeredAttack,
+)
 
 if TYPE_CHECKING:
     from repro.hypervisor.clock_sync_vm import ClockSyncVm
@@ -62,8 +71,31 @@ class ChaosOrchestrator:
         if self._started:
             raise RuntimeError("chaos orchestrator already started")
         self._started = True
+        self._check_attack_targets()
         for stage in self.plan.stages:
             self.sim.schedule_at(stage.at, self._run_stage, stage)
+
+    def _check_attack_targets(self) -> None:
+        """Reject attack stages naming VMs absent from this testbed.
+
+        The plan schema already rejects names that cannot be clock-sync
+        VMs; this catches the well-formed-but-missing case (e.g. ``c9_9``
+        on a four-device topology) when the testbed is built, instead of a
+        bare ``KeyError`` when the stage eventually fires.
+        """
+        for stage in self.plan.stages:
+            if stage.action != "attack" or stage.attack not in GM_ATTACK_KINDS:
+                continue
+            wanted = set(stage.victims)
+            if stage.observer is not None:
+                wanted.add(stage.observer)
+            missing = sorted(wanted - set(self.vms))
+            if missing:
+                raise ValueError(
+                    f"chaos plan {self.plan.name!r}, attack stage at "
+                    f"t={stage.at}: {', '.join(missing)} not in this "
+                    f"testbed; known VMs: {', '.join(sorted(self.vms))}"
+                )
 
     # ------------------------------------------------------------------
     def resolve_links(self, selectors) -> List["Link"]:
@@ -126,23 +158,13 @@ class ChaosOrchestrator:
             for link in self.resolve_links(stage.links):
                 link.set_up(True)
         elif stage.action == "attack":
-            victims = [self.vms[name] for name in stage.victims]
-            if stage.attack == "ramp":
-                attack: _SteeredAttack = RampAttack(
-                    self.sim, victims, trace=self.trace,
-                    step_per_update=stage.step_per_update,
-                )
-            else:
-                attack = OscillatingAttack(
-                    self.sim, victims, trace=self.trace,
-                    amplitude=stage.amplitude,
-                    period_updates=stage.period_updates,
-                )
+            attack = self._build_attack(stage)
             attack.launch()
             self.attacks.append(attack)
         elif stage.action == "attack_stop":
             for attack in self.attacks:
-                attack.stop()
+                if stage.label is None or attack.label == stage.label:
+                    attack.stop()
         if self.trace is not None:
             self.trace.emit(
                 self.sim.now, "chaos.stage", self.plan.name,
@@ -150,6 +172,51 @@ class ChaosOrchestrator:
                 links=",".join(stage.links),
                 attack=stage.attack or "",
             )
+
+    def _build_attack(self, stage: ChaosStage):
+        """Instantiate the attack an ``attack`` stage describes."""
+        kind = stage.attack
+        if kind in GM_ATTACK_KINDS:
+            victims = [self.vms[name] for name in stage.victims]
+            if kind == "ramp":
+                return RampAttack(
+                    self.sim, victims, trace=self.trace, label=stage.label,
+                    step_per_update=stage.step_per_update,
+                )
+            if kind == "oscillate":
+                return OscillatingAttack(
+                    self.sim, victims, trace=self.trace, label=stage.label,
+                    amplitude=stage.amplitude,
+                    period_updates=stage.period_updates,
+                )
+            if kind == "collude":
+                return CollusionAttack(
+                    self.sim, victims, trace=self.trace, label=stage.label,
+                    shift=stage.shift,
+                )
+            observer = self.vms[stage.observer or stage.victims[0]]
+            return AdaptiveAttack(
+                self.sim, victims, trace=self.trace, label=stage.label,
+                observer=observer, shift=stage.shift,
+            )
+        links = self.resolve_links(stage.links)
+        label = stage.label or f"{kind}@{stage.at}"
+        if kind == "suppress":
+            return SyncSuppressionAttack(
+                self.sim, links, self.rng.stream(f"attack.{label}"),
+                drop_prob=stage.drop_prob, domains=stage.domains,
+                trace=self.trace, label=stage.label,
+            )
+        if kind == "delay":
+            return DelayAttack(
+                self.sim, links, extra_delay=stage.extra_delay,
+                domains=stage.domains, trace=self.trace, label=stage.label,
+            )
+        (dest,) = self.resolve_links((stage.dest,))
+        return WormholeAttack(
+            self.sim, links, dest=dest, tunnel_delay=stage.tunnel_delay,
+            domains=stage.domains, trace=self.trace, label=stage.label,
+        )
 
     # ------------------------------------------------------------------
     def link_stats(self) -> Dict[str, Dict[str, int]]:
@@ -171,4 +238,13 @@ class ChaosOrchestrator:
             "links_impaired": len(self.impairments),
             "attacks_launched": len(self.attacks),
             **totals,
+            "packets_suppressed": sum(
+                getattr(a, "packets_suppressed", 0) for a in self.attacks
+            ),
+            "packets_delayed": sum(
+                getattr(a, "packets_delayed", 0) for a in self.attacks
+            ),
+            "packets_tunneled": sum(
+                getattr(a, "packets_tunneled", 0) for a in self.attacks
+            ),
         }

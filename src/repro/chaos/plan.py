@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import re
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
@@ -39,10 +40,31 @@ CHAOS_ACTIONS = (
     "impair", "clear", "link_down", "link_up", "attack", "attack_stop",
 )
 
-#: Steered attack kinds (see :mod:`repro.security.attacks`).
-ATTACK_KINDS = ("ramp", "oscillate")
+#: GM-side steered attack kinds (see :mod:`repro.security.attacks`); these
+#: compromise victim VMs and steer ``malicious_origin_shift``.
+GM_ATTACK_KINDS = ("ramp", "oscillate", "collude", "adaptive")
+
+#: On-path link-tap attack kinds; these occupy link impairment slots.
+LINK_ATTACK_KINDS = ("suppress", "delay", "wormhole")
+
+#: Every attack kind an ``attack`` stage accepts.
+ATTACK_KINDS = GM_ATTACK_KINDS + LINK_ATTACK_KINDS
 
 CHAOS_SCHEMA_VERSION = 1
+
+#: Names that can denote a clock-sync VM (``c<device>_<index>``); attack
+#: victims and observers are checked against this at plan-load time so a
+#: typo fails when the plan is built, not minutes into a run.
+_VM_NAME_RE = re.compile(r"^c\d+_\d+$")
+
+
+def _check_vm_names(stage_desc: str, role: str, names) -> None:
+    for name in names:
+        if not _VM_NAME_RE.match(name):
+            raise ValueError(
+                f"{stage_desc}: {role} {name!r} is not a clock-sync VM name "
+                f"(expected the c<device>_<index> form, e.g. 'c4_1')"
+            )
 
 
 @dataclass(frozen=True)
@@ -61,11 +83,26 @@ class ChaosStage:
     impairment:
         The spec to attach (``impair`` only).
     attack:
-        ``"ramp"`` or ``"oscillate"`` (``attack`` only).
+        One of :data:`ATTACK_KINDS` (``attack`` only).
     victims:
-        VM names to compromise (``attack`` only).
+        VM names to compromise (GM attack kinds only).
     step_per_update / amplitude / period_updates:
-        Attack steering parameters, passed through to the attack class.
+        Steering parameters of the ramp/oscillate attacks.
+    label:
+        Optional handle; a labelled ``attack_stop`` stops only the attack
+        launched with the same label (an unlabelled stop stops everything).
+    shift:
+        Constant origin shift of the collude/adaptive attacks, ns.
+    observer:
+        Foothold VM of the adaptive attack (defaults to the first victim).
+    domains:
+        gPTP domains a link-tap attack targets (empty = every domain).
+    drop_prob:
+        Per-frame suppression probability of the ``suppress`` kind.
+    extra_delay:
+        Added one-way Sync/Follow_Up latency of the ``delay`` kind, ns.
+    tunnel_delay / dest:
+        Replay latency and destination link selector of the ``wormhole``.
     """
 
     at: int
@@ -77,6 +114,14 @@ class ChaosStage:
     step_per_update: int = -100
     amplitude: int = 10_000
     period_updates: int = 16
+    label: Optional[str] = None
+    shift: int = -4_000
+    observer: Optional[str] = None
+    domains: Tuple[int, ...] = ()
+    drop_prob: float = 1.0
+    extra_delay: int = 0
+    tunnel_delay: int = 0
+    dest: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.at < 0:
@@ -90,6 +135,8 @@ class ChaosStage:
             object.__setattr__(self, "links", tuple(self.links))
         if not isinstance(self.victims, tuple):
             object.__setattr__(self, "victims", tuple(self.victims))
+        if not isinstance(self.domains, tuple):
+            object.__setattr__(self, "domains", tuple(self.domains))
         if self.action in ("impair", "clear", "link_down", "link_up"):
             if not self.links:
                 raise ValueError(f"{self.action} stage needs link selectors")
@@ -97,13 +144,43 @@ class ChaosStage:
             if self.impairment is None:
                 raise ValueError("impair stage needs an impairment spec")
         if self.action == "attack":
-            if self.attack not in ATTACK_KINDS:
-                raise ValueError(
-                    f"attack stage needs kind in {ATTACK_KINDS}, "
-                    f"got {self.attack!r}"
-                )
+            self._validate_attack()
+
+    def _validate_attack(self) -> None:
+        desc = f"attack stage at={self.at}"
+        if self.attack not in ATTACK_KINDS:
+            raise ValueError(
+                f"attack stage needs kind in {ATTACK_KINDS}, "
+                f"got {self.attack!r}"
+            )
+        if self.attack in GM_ATTACK_KINDS:
             if not self.victims:
                 raise ValueError("attack stage needs victim VM names")
+            _check_vm_names(desc, "victim", self.victims)
+            if self.observer is not None:
+                _check_vm_names(desc, "observer", (self.observer,))
+        else:
+            if not self.links:
+                raise ValueError(
+                    f"{self.attack} attack stage needs link selectors"
+                )
+        if self.attack == "suppress" and not 0.0 < self.drop_prob <= 1.0:
+            raise ValueError(
+                f"{desc}: drop_prob must be in (0, 1], got {self.drop_prob}"
+            )
+        if self.attack == "delay" and self.extra_delay <= 0:
+            raise ValueError(
+                f"{desc}: delay attack needs a positive extra_delay"
+            )
+        if self.attack == "wormhole":
+            if self.dest is None:
+                raise ValueError(
+                    f"{desc}: wormhole attack needs a dest link selector"
+                )
+            if self.tunnel_delay < 0:
+                raise ValueError(
+                    f"{desc}: tunnel_delay must be >= 0, got {self.tunnel_delay}"
+                )
 
     def to_dict(self) -> Dict[str, Any]:
         doc: Dict[str, Any] = {"at": self.at, "action": self.action}
@@ -117,6 +194,25 @@ class ChaosStage:
             doc["step_per_update"] = self.step_per_update
             doc["amplitude"] = self.amplitude
             doc["period_updates"] = self.period_updates
+        # Campaign-era fields ride along only when they differ from the
+        # defaults: pre-campaign plans keep their byte-identical serialized
+        # form (and hence their scenario fingerprints).
+        if self.label is not None:
+            doc["label"] = self.label
+        if self.shift != -4_000:
+            doc["shift"] = self.shift
+        if self.observer is not None:
+            doc["observer"] = self.observer
+        if self.domains:
+            doc["domains"] = list(self.domains)
+        if self.drop_prob != 1.0:
+            doc["drop_prob"] = self.drop_prob
+        if self.extra_delay:
+            doc["extra_delay"] = self.extra_delay
+        if self.tunnel_delay:
+            doc["tunnel_delay"] = self.tunnel_delay
+        if self.dest is not None:
+            doc["dest"] = self.dest
         return doc
 
     @classmethod
@@ -132,6 +228,8 @@ class ChaosStage:
             doc["links"] = tuple(doc["links"])
         if "victims" in doc:
             doc["victims"] = tuple(doc["victims"])
+        if "domains" in doc:
+            doc["domains"] = tuple(doc["domains"])
         return cls(**doc)
 
 
@@ -185,6 +283,16 @@ def dump_plan(plan: ChaosPlan, path: Union[str, Path]) -> None:
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(plan.to_dict(), fh, indent=2, sort_keys=True)
         fh.write("\n")
+
+
+def merge_plans(a: ChaosPlan, b: ChaosPlan) -> ChaosPlan:
+    """Combine two plans into one time-ordered schedule.
+
+    The sort is stable, so stages sharing a fire time keep their original
+    relative order (``a``'s before ``b``'s) — merging is deterministic.
+    """
+    stages = sorted(a.stages + b.stages, key=lambda s: s.at)
+    return ChaosPlan(name=f"{a.name}+{b.name}", stages=tuple(stages))
 
 
 def single_loss_plan(

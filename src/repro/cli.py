@@ -10,6 +10,9 @@ evaluation workflow:
 * ``repro-sim baselines`` — run the baseline comparison.
 * ``repro-sim chaos`` — run a declarative chaos plan (packet loss, link
   flaps, attacks) under the online invariant monitor.
+* ``repro-sim campaign`` — run an adversary campaign (a coordinated,
+  staged attack schedule) under the monitor; ``--colluders K`` is the
+  worst-case in-window colluding-GM shortcut.
 * ``repro-sim vulnerabilities`` — query the kernel/CVE database.
 * ``repro-sim scenarios`` — list/show the named scenario registry.
 
@@ -279,6 +282,108 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if result.verdict.status == PASS else 1
 
 
+def _design_spec(spec):
+    """The spec whose fault budget the run is judged against.
+
+    Runs without ``--scenario`` use the paper's mesh4 testbed, whose
+    design point is the registered ``paper-mesh4`` spec.
+    """
+    if spec is not None:
+        return spec
+    from repro.scenarios import get_scenario
+
+    return get_scenario("paper-mesh4")
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.experiments.chaos import (
+        ChaosExperimentConfig,
+        run_chaos_experiment,
+    )
+    from repro.monitoring import FAIL, PASS
+    from repro.security.campaigns import (
+        colluder_campaign,
+        default_gm_names,
+        load_campaign,
+    )
+
+    if (args.file is None) == (args.colluders is None):
+        print("use exactly one of --file or --colluders", file=sys.stderr)
+        return 2
+    if args.colluders is not None and args.colluders < 1:
+        print("--colluders must be >= 1", file=sys.stderr)
+        return 2
+    spec = _scenario_of(args)
+    if args.file is not None:
+        campaign = load_campaign(args.file)
+    else:
+        base = (spec.testbed_config(seed=args.seed)
+                if spec is not None else TestbedConfig(seed=args.seed))
+        gm_names = default_gm_names(
+            base.n_devices,
+            n_domains=spec.effective_domains if spec is not None else None,
+            gm_placement=base.gm_placement,
+        )
+        campaign = colluder_campaign(
+            args.colluders,
+            gm_names,
+            margin=args.margin,
+            start=round(args.start * SECONDS),
+            stop=(round(args.stop * SECONDS)
+                  if args.stop is not None else None),
+        )
+    config = ChaosExperimentConfig(
+        duration=round(args.duration * SECONDS),
+        seed=args.seed,
+        scenario=spec,
+        campaign=campaign,
+    )
+    registry = _metrics_registry(args)
+    wall_start = time.perf_counter()
+    result = run_chaos_experiment(config, metrics=registry)
+    design = _design_spec(spec)
+    campaign_info = {
+        "campaign": campaign.name,
+        "stages": len(campaign.stages),
+        "colluders": args.colluders,
+        "design_f": design.f,
+        "domains": design.effective_domains,
+        "floor_m": 3 * design.f + 1,
+    }
+    if registry is not None:
+        from repro.metrics import RunManifest
+        from repro.parallel import config_fingerprint
+
+        events = registry.counters.get("experiment.events_dispatched")
+        _write_metrics(args, registry, RunManifest(
+            experiment="campaign",
+            config_fingerprint=config_fingerprint("campaign", config),
+            seeds=[args.seed],
+            sim_duration_ns=config.duration,
+            wall_time_s=time.perf_counter() - wall_start,
+            events_dispatched=events.value if events is not None else None,
+            scenario=spec.name if spec else None,
+            scenario_fingerprint=spec.fingerprint() if spec else None,
+            verdict=result.verdict.status,
+            verdict_detail=result.verdict.to_dict(),
+            extra=dict(campaign_info, violations=[
+                v.to_dict() for v in result.violations
+            ]),
+        ))
+    payload = dict(result.to_dict())
+    payload["campaign"] = campaign_info
+    text = (
+        f"adversary campaign {campaign.name!r}: {len(campaign.stages)} "
+        f"stage(s) against design f={design.f} "
+        f"(M={design.effective_domains} >= 3f+1={3 * design.f + 1})\n"
+        + result.to_text()
+    )
+    _emit(args, text, payload)
+    if result.verdict.status == FAIL:
+        return 2
+    return 0 if result.verdict.status == PASS else 1
+
+
 def cmd_linkfail(args: argparse.Namespace) -> int:
     from repro.experiments.link_failure import (
         LinkFailureConfig,
@@ -348,8 +453,10 @@ def _executor_kwargs(args: argparse.Namespace) -> Dict[str, Any]:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.sweeps import (
+        breaking_point,
         render_rows,
         sweep_aggregation,
+        sweep_attack_budget,
         sweep_domain_count,
         sweep_fault_budget,
         sweep_hop_count,
@@ -370,15 +477,31 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         "hopcount": sweep_hop_count,
         "faultbudget": sweep_fault_budget,
         "lossrate": sweep_loss_rate,
+        "attackbudget": sweep_attack_budget,
     }
     spec = _scenario_of(args)
     registry = _metrics_registry(args)
-    duration = round(args.duration * SECONDS)
+    duration_s = args.duration
+    if duration_s is None:
+        # The attackbudget FAIL needs minutes of differential-bias
+        # integration (k=2 on the paper mesh breaks the bound at
+        # t ≈ 800 s); the other canned studies measure steady state.
+        duration_s = 900.0 if args.study == "attackbudget" else 120.0
+    duration = round(duration_s * SECONDS)
     wall_start = time.perf_counter()
     rows = runners[args.study](
         seed=args.seed, duration=duration, scenario=spec,
         metrics=registry, **_executor_kwargs(args),
     )
+    budget = None
+    if args.study == "attackbudget":
+        design = _design_spec(spec)
+        budget = dict(
+            breaking_point(rows),
+            design_f=design.f,
+            domains=design.effective_domains,
+            floor_m=3 * design.f + 1,
+        )
     if registry is not None:
         from repro.metrics import RunManifest
         from repro.parallel import config_fingerprint
@@ -400,14 +523,36 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             verdict_detail={
                 "rows": {f"{r.parameter}={r.value}": r.verdict for r in rows},
             },
-            extra={"points": len(rows)},
+            extra=(
+                {"points": len(rows)} if budget is None
+                else dict(
+                    points=len(rows),
+                    f_actual=budget["f_actual"],
+                    first_fail_colluders=budget["first_fail"],
+                    design_f=budget["design_f"],
+                    domains=budget["domains"],
+                    floor_m=budget["floor_m"],
+                )
+            ),
         ))
     payload = {
         "study": args.study,
         "verdict": worst_status(r.verdict for r in rows),
         "rows": [r.as_dict() for r in rows],
     }
-    _emit(args, render_rows(rows), payload)
+    text = render_rows(rows)
+    if budget is not None:
+        payload["breaking_point"] = budget
+        held = (budget["f_actual"] is not None
+                and budget["f_actual"] >= budget["design_f"])
+        text += (
+            f"\nbreaking point: f_actual={budget['f_actual']} vs design "
+            f"f={budget['design_f']} (M={budget['domains']} >= "
+            f"3f+1={budget['floor_m']}), first FAIL at "
+            f"k={budget['first_fail']} colluders -> "
+            f"{'floor holds' if held else 'FLOOR VIOLATED'}"
+        )
+    _emit(args, text, payload)
     return 0
 
 
@@ -598,6 +743,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_chaos)
 
+    p = sub.add_parser("campaign",
+                       help="adversary campaign under the invariant monitor")
+    p.add_argument("--file", metavar="PATH", default=None,
+                   help="campaign JSON (see repro.security.dump_campaign)")
+    p.add_argument("--colluders", type=_nonnegative_int, default=None,
+                   metavar="K",
+                   help="shortcut: K colluding in-window grandmasters "
+                        "instead of loading a campaign file")
+    p.add_argument("--margin", type=float, default=0.8,
+                   help="colluder shift as a fraction of the validity "
+                        "window (default: %(default)s)")
+    p.add_argument("--start", type=float, default=60.0,
+                   help="seconds before the colluders turn (default: "
+                        "%(default)s)")
+    p.add_argument("--stop", type=float, default=None,
+                   help="seconds at which the colluders stop (default: "
+                        "never)")
+    p.add_argument("--duration", type=float, default=480.0,
+                   help="seconds of simulated time (default: %(default)s)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--metrics", metavar="PATH",
+                   help="record run metrics and write them to PATH "
+                        "(.csv → CSV, anything else → JSON)")
+    add_scenario_flag(p)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_campaign)
+
     p = sub.add_parser("linkfail", help="trunk-failure experiment")
     p.add_argument("--trunk", nargs=2, default=None,
                    metavar=("A", "B"),
@@ -626,10 +798,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="design-space parameter sweeps")
     p.add_argument("study", choices=["domains", "interval", "aggregation",
                                      "threshold", "topology", "hopcount",
-                                     "faultbudget", "lossrate"])
+                                     "faultbudget", "lossrate",
+                                     "attackbudget"])
     p.add_argument("--seed", type=int, default=9)
-    p.add_argument("--duration", type=float, default=120.0,
-                   help="seconds of simulated time per point")
+    p.add_argument("--duration", type=float, default=None,
+                   help="seconds of simulated time per point (default: "
+                        "900 for attackbudget — the differential bias "
+                        "that breaks the bound integrates for minutes — "
+                        "120 otherwise)")
     add_scenario_flag(p)
     add_executor_flags(p)
     p.add_argument("--json", action="store_true")

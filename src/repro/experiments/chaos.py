@@ -19,8 +19,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.chaos.plan import ChaosPlan
+from repro.chaos.plan import ChaosPlan, merge_plans
 from repro.faults.injector import FaultInjectionConfig, FaultInjector
+from repro.security.campaigns import AttackCampaign
 from repro.measurement.bounds import ExperimentBounds
 from repro.monitoring.invariants import (
     InvariantMonitor,
@@ -43,6 +44,9 @@ class ChaosExperimentConfig:
     scenario: Optional[ScenarioSpec] = None
     #: Chaos plan; overrides the scenario's own plan when both are set.
     plan: Optional[ChaosPlan] = None
+    #: Adversary campaign, compiled and merged onto the resolved plan; a
+    #: config-level campaign overrides the scenario's own.
+    campaign: Optional[AttackCampaign] = None
     invariants: InvariantSpec = InvariantSpec()
     #: Optional fail-silent fault pressure on top of the chaos (None → no
     #: injector; chaos-only runs isolate the network degradation).
@@ -50,10 +54,18 @@ class ChaosExperimentConfig:
 
     def resolved_plan(self) -> Optional[ChaosPlan]:
         if self.plan is not None:
-            return self.plan
-        if self.scenario is not None:
-            return self.scenario.chaos_plan
-        return None
+            plan = self.plan
+        elif self.scenario is not None:
+            plan = self.scenario.chaos_plan
+        else:
+            plan = None
+        campaign = self.campaign
+        if campaign is None and self.scenario is not None:
+            campaign = self.scenario.attack_campaign
+        if campaign is not None:
+            compiled = campaign.compile()
+            plan = compiled if plan is None else merge_plans(plan, compiled)
+        return plan
 
 
 @dataclass

@@ -14,7 +14,7 @@ import time
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro.chaos.plan import single_loss_plan
+from repro.chaos.plan import merge_plans, single_loss_plan
 from repro.core.aggregator import AggregatorConfig
 from repro.experiments.testbed import Testbed, TestbedConfig
 from repro.monitoring.invariants import DEGRADED, PASS, InvariantMonitor
@@ -407,6 +407,82 @@ def sweep_loss_rate(
         return replace(base, chaos=single_loss_plan(loss, start=loss_start))
 
     return sweep("loss_rate", values, cfg, **kwargs)
+
+
+def sweep_attack_budget(
+    values: Sequence[int] = (0, 1, 2, 3),
+    seed: int = 9,
+    scenario=None,
+    attack_start: int = 60 * SECONDS,
+    margin: float = 0.8,
+    duration: int = 15 * MINUTES,
+    **kwargs,
+) -> List[SweepRow]:
+    """Breaking point: colluding in-window GMs vs. the monitor's verdict.
+
+    Each arm compromises ``k`` grandmasters with the worst-case adversary
+    (:func:`repro.security.campaigns.colluder_campaign`: a common constant
+    shift at ``margin`` of the validity window, so the bloc is never
+    invalidated and only the FTA trim can mask it). For ``k <= f`` the
+    trim drops every colluder at every gate — the monitor stays PASS. At
+    ``k = f + 1`` a colluder survives the trim, but *which* colluder (and
+    which honest extreme goes with it) is decided by per-VM measurement
+    noise: different VMs aggregate differently-biased sets, the
+    differential error integrates, and after minutes the measured
+    precision leaves Π+γ — FAIL. A *unanimous* bloc (``k = M - 1``) is
+    actually gentler: every VM trims identically, the bias is pure
+    common-mode, and the clocks drift together (DEGRADED via the
+    valid-domain floor, the spread itself stays long inside the bound).
+    The largest ``k`` masked before the first FAIL is the empirical fault
+    budget ``f_actual``, to compare against the designed ``M >= 3f+1``
+    floor (see :func:`breaking_point`).
+
+    The default ``duration`` is longer than the other canned sweeps: the
+    differential bias needs minutes of integration before the spread
+    crosses Π+γ (on the paper mesh, seed 9, k=2 breaks the bound at
+    t ≈ 800 s).
+    """
+    from repro.security.campaigns import colluder_campaign, default_gm_names
+
+    base = _base_config(scenario, seed)
+    spec = resolve_scenario(scenario) if scenario is not None else None
+    gm_names = default_gm_names(
+        base.n_devices,
+        n_domains=spec.effective_domains if spec is not None else None,
+        gm_placement=base.gm_placement,
+    )
+
+    def cfg(k: int) -> TestbedConfig:
+        if k <= 0:
+            return base
+        campaign = colluder_campaign(k, gm_names, margin=margin,
+                                     start=attack_start)
+        plan = campaign.compile()
+        if base.chaos is not None:
+            plan = merge_plans(base.chaos, plan)
+        return replace(base, chaos=plan)
+
+    return sweep("colluders", values, cfg, duration=duration, **kwargs)
+
+
+def breaking_point(rows: Sequence[SweepRow]) -> Dict[str, Optional[int]]:
+    """Empirical fault budget of an ``attackbudget`` sweep.
+
+    ``f_actual`` is the largest colluder count whose arm did **not** FAIL
+    before the first FAIL arm (DEGRADED still counts as masked: the bound
+    held); ``first_fail`` is the first failing count, or ``None`` if every
+    arm held.
+    """
+    from repro.monitoring.invariants import FAIL
+
+    f_actual: Optional[int] = None
+    first_fail: Optional[int] = None
+    for row in rows:
+        if row.verdict == FAIL:
+            first_fail = row.value
+            break
+        f_actual = row.value
+    return {"f_actual": f_actual, "first_fail": first_fail}
 
 
 def render_rows(rows: Sequence[SweepRow]) -> str:

@@ -22,8 +22,9 @@ import json
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.chaos.plan import ChaosPlan
+from repro.chaos.plan import ChaosPlan, merge_plans
 from repro.network.topology import TOPOLOGY_BUILDERS
+from repro.security.campaigns import AttackCampaign
 from repro.sim.timebase import MILLISECONDS
 
 #: Bump when the JSON document shape changes; old files fail loudly.
@@ -113,6 +114,12 @@ class ScenarioSpec:
         steered attacks); see :class:`repro.chaos.plan.ChaosPlan`. Omitted
         from the serialized form when ``None`` so pre-chaos fingerprints
         are unchanged.
+    attack_campaign:
+        Optional adversary campaign
+        (:class:`repro.security.campaigns.AttackCampaign`), compiled into
+        the materialized chaos plan — merged with ``chaos_plan`` when both
+        are set. Omitted from the serialized form when ``None`` so
+        pre-campaign fingerprints are unchanged.
     description:
         One line for ``repro-sim scenarios list``.
     """
@@ -131,6 +138,7 @@ class ScenarioSpec:
     links: LinkSpec = LinkSpec()
     fault_plan: Optional[FaultPlanSpec] = None
     chaos_plan: Optional[ChaosPlan] = None
+    attack_campaign: Optional[AttackCampaign] = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -225,6 +233,10 @@ class ScenarioSpec:
         doc.pop("chaos_plan", None)
         if self.chaos_plan is not None:
             doc["chaos_plan"] = self.chaos_plan.to_dict()
+        # Same deal for the adversary campaign (pre-campaign fingerprints).
+        doc.pop("attack_campaign", None)
+        if self.attack_campaign is not None:
+            doc["attack_campaign"] = self.attack_campaign.to_dict()
         doc["schema_version"] = SCENARIO_SCHEMA_VERSION
         return doc
 
@@ -255,6 +267,9 @@ class ScenarioSpec:
         chaos = doc.get("chaos_plan")
         if isinstance(chaos, dict):
             doc["chaos_plan"] = ChaosPlan.from_dict(chaos)
+        campaign = doc.get("attack_campaign")
+        if isinstance(campaign, dict):
+            doc["attack_campaign"] = AttackCampaign.from_dict(campaign)
         return cls(**doc)
 
     def fingerprint(self) -> str:
@@ -287,6 +302,10 @@ class ScenarioSpec:
         from repro.network.topology import MeshModel
         from repro.network.switch import SwitchModel
 
+        chaos = self.chaos_plan
+        if self.attack_campaign is not None:
+            compiled = self.attack_campaign.compile()
+            chaos = compiled if chaos is None else merge_plans(chaos, compiled)
         transients = None
         if self.fault_plan is not None:
             # Expected-rate fields are informational; per-event
@@ -309,7 +328,7 @@ class ScenarioSpec:
             kernel_policy=self.kernel_policy,
             measurement_device=self.measurement_device,
             transients=transients,
-            chaos=self.chaos_plan,
+            chaos=chaos,
             aggregator=AggregatorConfig(
                 f=self.f, sync_interval=self.sync_interval
             ),

@@ -14,10 +14,33 @@ case the VM is compromised and its GM instance turns malicious
 stacks is decided by the diversification policy
 (:mod:`repro.security.diversity`) — the paper's Fig. 3a vs Fig. 3b
 difference is exactly ``identical`` vs ``diverse``.
+
+Beyond the paper's static attacker, :mod:`repro.security.attacks` models
+steered and on-path adversaries (ramps, in-window collusion, adaptive
+retargeting, Sync suppression, asymmetric delay, wormhole replay), and
+:mod:`repro.security.campaigns` schedules them declaratively as
+serializable multi-stage campaigns graded by the invariant monitor.
 """
 
 from repro.security.attacker import Attacker, AttackerConfig, ExploitAttempt
-from repro.security.attacks import OscillatingAttack, RampAttack
+from repro.security.attacks import (
+    AdaptiveAttack,
+    CollusionAttack,
+    DelayAttack,
+    OscillatingAttack,
+    RampAttack,
+    SyncSuppressionAttack,
+    WormholeAttack,
+)
+from repro.security.campaigns import (
+    CAMPAIGN_SCHEMA_VERSION,
+    AttackCampaign,
+    AttackStage,
+    colluder_campaign,
+    default_gm_names,
+    dump_campaign,
+    load_campaign,
+)
 from repro.security.diversity import assign_kernels, shared_vulnerabilities
 from repro.security.kernels import (
     CVE_2018_18955,
@@ -33,6 +56,18 @@ __all__ = [
     "ExploitAttempt",
     "RampAttack",
     "OscillatingAttack",
+    "CollusionAttack",
+    "AdaptiveAttack",
+    "SyncSuppressionAttack",
+    "DelayAttack",
+    "WormholeAttack",
+    "AttackCampaign",
+    "AttackStage",
+    "CAMPAIGN_SCHEMA_VERSION",
+    "colluder_campaign",
+    "default_gm_names",
+    "load_campaign",
+    "dump_campaign",
     "assign_kernels",
     "shared_vulnerabilities",
     "Vulnerability",

@@ -135,3 +135,76 @@ class TestExportCommand:
         assert payload["bounded"] is True
         assert (out / "series.csv").exists()
         assert (out / "summary.txt").exists()
+
+
+class TestCampaignCommand:
+    def test_parses(self):
+        args = build_parser().parse_args(["campaign", "--colluders", "1"])
+        assert callable(args.func)
+
+    def test_requires_exactly_one_source(self, tmp_path, capsys):
+        assert main(["campaign"]) == 2
+        assert main(["campaign", "--file", str(tmp_path / "c.json"),
+                     "--colluders", "1"]) == 2
+        capsys.readouterr()
+
+    def test_zero_colluders_rejected(self, capsys):
+        assert main(["campaign", "--colluders", "0"]) == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_single_colluder_is_masked(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        code = main(["campaign", "--colluders", "1", "--duration", "60",
+                     "--start", "15", "--seed", "3",
+                     "--metrics", str(metrics), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        info = payload["campaign"]
+        assert info["campaign"] == "colluders-1"
+        assert info["colluders"] == 1
+        assert info["design_f"] == 1
+        assert info["floor_m"] == 4
+        manifest = json.loads(metrics.read_text())["manifest"]
+        assert manifest["experiment"] == "campaign"
+        assert manifest["extra"]["colluders"] == 1
+        assert manifest["extra"]["floor_m"] == 4
+
+    def test_campaign_file_round_trip(self, tmp_path, capsys):
+        from repro.security.campaigns import (
+            AttackCampaign,
+            AttackStage,
+            dump_campaign,
+        )
+        from repro.sim.timebase import SECONDS
+
+        path = tmp_path / "campaign.json"
+        dump_campaign(
+            AttackCampaign(name="file-run", stages=(
+                AttackStage(start=15 * SECONDS, kind="collude",
+                            victims=("c4_1",)),
+            )),
+            path,
+        )
+        code = main(["campaign", "--file", str(path), "--duration", "60",
+                     "--seed", "3", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["campaign"]["campaign"] == "file-run"
+        assert payload["campaign"]["stages"] == 1
+
+
+class TestAttackBudgetSweepCommand:
+    def test_smoke_reports_breaking_point(self, capsys):
+        # Attack start (60 s) is past this smoke duration, so every arm is
+        # an unattacked baseline: the plumbing — rows, breaking point,
+        # design floor — is what is under test here.
+        code = main(["sweep", "attackbudget", "--duration", "20",
+                     "--no-cache", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["study"] == "attackbudget"
+        assert payload["rows"][0]["parameter"] == "colluders"
+        assert [r["value"] for r in payload["rows"]] == [0, 1, 2, 3]
+        bp = payload["breaking_point"]
+        assert bp["design_f"] == 1
+        assert bp["floor_m"] == 4
