@@ -1,0 +1,207 @@
+"""Fleet-scale benchmark: wall time and events/s vs N, full vs adaptive.
+
+Runs the generated large-topology scenarios at both fidelity tiers and
+reports, per (scenario, fidelity) point, the wall time, dispatched events
+and events/second — the scaling table behind EXPERIMENTS.md's "Scaling and
+fidelity tiers" section. Two headline numbers gate the adaptive engine:
+
+* the **steady-state speedup** on torus-64 — after a warmup that takes every
+  servo to LOCKED, a measurement window is timed under both tiers; the
+  adaptive engine must cut wall time by at least ``MIN_STEADY_SPEEDUP``;
+* the **N=256 budget** — one completed torus-256 adaptive run must finish
+  inside ``RUN256_BUDGET_S`` wall seconds.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py [out.json]
+    PYTHONPATH=src python benchmarks/bench_scale.py --check [out.json]
+
+``--check`` compares the fresh measurement against the committed reference
+(``BENCH_scale.json`` at the repo root) *before* overwriting it and exits
+non-zero when the **full-fidelity** events/second on the torus-64 steady
+window regressed by more than ``REGRESSION_TOLERANCE`` (30%), when the
+steady-state speedup fell below ``MIN_STEADY_SPEEDUP``, or when the N=256
+run blew its wall budget. Absolute events/second is machine-dependent; the
+committed reference is a same-machine regression baseline only.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE_SEED``      — testbed seed (default 1)
+* ``REPRO_BENCH_SCALE_WARMUP``    — torus-64 warmup sim-seconds (default 60)
+* ``REPRO_BENCH_SCALE_WINDOW``    — torus-64 timed sim-seconds (default 60)
+* ``REPRO_BENCH_SCALE_SMALL``     — mesh4/mesh8 sim-seconds (default 120)
+* ``REPRO_BENCH_SCALE_N256``      — torus-256 sim-seconds (default 120; 0
+  skips the N=256 point entirely)
+"""
+
+import json
+import os
+import sys
+import time
+
+from repro.experiments.testbed import Testbed
+from repro.scenarios import get_scenario
+from repro.sim.timebase import SECONDS
+
+SEED = int(os.environ.get("REPRO_BENCH_SCALE_SEED", "1"))
+WARMUP_SECONDS = int(os.environ.get("REPRO_BENCH_SCALE_WARMUP", "60"))
+WINDOW_SECONDS = int(os.environ.get("REPRO_BENCH_SCALE_WINDOW", "60"))
+SMALL_SECONDS = int(os.environ.get("REPRO_BENCH_SCALE_SMALL", "120"))
+N256_SECONDS = int(os.environ.get("REPRO_BENCH_SCALE_N256", "120"))
+
+#: Maximum tolerated drop of full-fidelity events/second on the torus-64
+#: steady window vs the committed reference before ``--check`` fails.
+REGRESSION_TOLERANCE = 0.30
+#: Acceptance floor for the adaptive engine: wall-time reduction on the
+#: locked steady-state torus-64 window.
+MIN_STEADY_SPEEDUP = 5.0
+#: Acceptance ceiling for one completed torus-256 adaptive run.
+RUN256_BUDGET_S = 600.0
+
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_scale.json",
+)
+
+
+def run_point(name: str, fidelity: str, sim_seconds: int) -> dict:
+    """One cold scenario run start-to-finish at the given fidelity."""
+    spec = get_scenario(name)
+    testbed = Testbed(spec.testbed_config(seed=SEED), fidelity=fidelity)
+    t0 = time.perf_counter()
+    testbed.run_until(sim_seconds * SECONDS)
+    wall = time.perf_counter() - t0
+    events = testbed.sim.dispatched_events
+    return {
+        "scenario": name,
+        "n_devices": spec.n_devices,
+        "fidelity": fidelity,
+        "sim_seconds": sim_seconds,
+        "wall_s": round(wall, 3),
+        "events": events,
+        "events_per_sec": round(events / wall, 1) if wall > 0 else None,
+        "probes": len(testbed.series.records),
+        "fastforward": testbed.fastforward_summary() or None,
+    }
+
+
+def run_steady_window(fidelity: str) -> dict:
+    """Torus-64: untimed warmup to LOCKED, then one timed steady window."""
+    spec = get_scenario("torus-64")
+    testbed = Testbed(spec.testbed_config(seed=SEED), fidelity=fidelity)
+    testbed.run_until(WARMUP_SECONDS * SECONDS)
+    events_before = testbed.sim.dispatched_events
+    t0 = time.perf_counter()
+    testbed.run_until((WARMUP_SECONDS + WINDOW_SECONDS) * SECONDS)
+    wall = time.perf_counter() - t0
+    events = testbed.sim.dispatched_events - events_before
+    return {
+        "scenario": "torus-64",
+        "fidelity": fidelity,
+        "warmup_seconds": WARMUP_SECONDS,
+        "window_seconds": WINDOW_SECONDS,
+        "window_wall_s": round(wall, 3),
+        "window_events": events,
+        "events_per_sec": round(events / wall, 1) if wall > 0 else None,
+        "fastforward": testbed.fastforward_summary() or None,
+    }
+
+
+def main(argv) -> int:
+    args = []
+    check = False
+    for arg in argv[1:]:
+        if arg == "--check":
+            check = True
+        else:
+            args.append(arg)
+    out_path = args[0] if args else DEFAULT_OUT
+
+    print(f"scale bench: seed {SEED}, torus-64 window "
+          f"{WARMUP_SECONDS}+{WINDOW_SECONDS} sim-s, small runs "
+          f"{SMALL_SECONDS} sim-s, N=256 run {N256_SECONDS} sim-s")
+
+    # Scaling table: full runs at both tiers where tractable.
+    points = []
+    for name in ("paper-mesh4", "mesh8"):
+        for fidelity in ("full", "adaptive"):
+            point = run_point(name, fidelity, SMALL_SECONDS)
+            points.append(point)
+            print(f"  {name:<12} {fidelity:<8} {point['wall_s']:8.2f} s  "
+                  f"{point['events_per_sec']:>10.0f} ev/s")
+
+    # Headline 1: locked steady-state torus-64 window, both tiers.
+    steady = {}
+    for fidelity in ("full", "adaptive"):
+        steady[fidelity] = run_steady_window(fidelity)
+        print(f"  torus-64 steady window {fidelity:<8} "
+              f"{steady[fidelity]['window_wall_s']:8.2f} s  "
+              f"{steady[fidelity]['events_per_sec']:>10.0f} ev/s")
+    speedup = (steady["full"]["window_wall_s"]
+               / steady["adaptive"]["window_wall_s"])
+    print(f"  torus-64 steady-state speedup: {speedup:.1f}x "
+          f"(floor {MIN_STEADY_SPEEDUP:.0f}x)")
+
+    # Headline 2: one completed N=256 adaptive run inside the wall budget.
+    run256 = None
+    if N256_SECONDS > 0:
+        run256 = run_point("torus-256", "adaptive", N256_SECONDS)
+        print(f"  torus-256 adaptive: {run256['wall_s']:.1f} s wall for "
+              f"{N256_SECONDS} sim-s (budget {RUN256_BUDGET_S:.0f} s)")
+        points.append(run256)
+
+    status = 0
+    if speedup < MIN_STEADY_SPEEDUP:
+        print(f"FAIL: steady-state speedup {speedup:.1f}x below "
+              f"{MIN_STEADY_SPEEDUP:.0f}x floor")
+        status = 1
+    if run256 is not None and run256["wall_s"] > RUN256_BUDGET_S:
+        print(f"FAIL: torus-256 run took {run256['wall_s']:.1f} s "
+              f"(> {RUN256_BUDGET_S:.0f} s budget)")
+        status = 1
+
+    if check:
+        try:
+            with open(out_path, "r", encoding="utf-8") as fh:
+                reference = json.load(fh)
+        except (OSError, ValueError):
+            print(f"--check: no committed reference at {out_path}; "
+                  "recording only")
+            reference = None
+        if reference is not None:
+            ref_eps = reference["steady_state"]["full"]["events_per_sec"]
+            fresh_eps = steady["full"]["events_per_sec"]
+            floor = ref_eps * (1.0 - REGRESSION_TOLERANCE)
+            verdict = "ok" if fresh_eps >= floor else "REGRESSION"
+            print(f"--check: full-fidelity {fresh_eps:.0f} ev/s vs committed "
+                  f"{ref_eps:.0f} ev/s (floor {floor:.0f}, tolerance "
+                  f"{REGRESSION_TOLERANCE:.0%}): {verdict}")
+            if fresh_eps < floor:
+                status = 1
+
+    payload = {
+        "seed": SEED,
+        "points": points,
+        "steady_state": {
+            "full": steady["full"],
+            "adaptive": steady["adaptive"],
+            "speedup": round(speedup, 2),
+            "min_speedup": MIN_STEADY_SPEEDUP,
+        },
+        "run256": (
+            dict(run256, budget_s=RUN256_BUDGET_S)
+            if run256 is not None else None
+        ),
+        "regression_tolerance": REGRESSION_TOLERANCE,
+        "note": "serial single-process measurement; events/s is machine-"
+                "dependent, compare only against same-machine history",
+    }
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out_path}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -251,6 +251,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         seed=args.seed,
         scenario=spec,
         plan=plan,
+        fidelity=args.fidelity,
     )
     registry = _metrics_registry(args)
     wall_start = time.perf_counter()
@@ -274,6 +275,9 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             extra={
                 "plan": result.chaos_summary.get("plan"),
                 "violations": [v.to_dict() for v in result.violations],
+                **({"fidelity": args.fidelity,
+                    "fastforward": result.fastforward}
+                   if result.fastforward else {}),
             },
         ))
     _emit(args, result.to_text(), result.to_dict())
@@ -337,6 +341,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         seed=args.seed,
         scenario=spec,
         campaign=campaign,
+        fidelity=args.fidelity,
     )
     registry = _metrics_registry(args)
     wall_start = time.perf_counter()
@@ -366,9 +371,13 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             scenario_fingerprint=spec.fingerprint() if spec else None,
             verdict=result.verdict.status,
             verdict_detail=result.verdict.to_dict(),
-            extra=dict(campaign_info, violations=[
-                v.to_dict() for v in result.violations
-            ]),
+            extra=dict(
+                campaign_info,
+                violations=[v.to_dict() for v in result.violations],
+                **({"fidelity": args.fidelity,
+                    "fastforward": result.fastforward}
+                   if result.fastforward else {}),
+            ),
         ))
     payload = dict(result.to_dict())
     payload["campaign"] = campaign_info
@@ -481,7 +490,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     }
     spec = _scenario_of(args)
     registry = _metrics_registry(args)
-    duration_s = args.duration
+    if args.sim_seconds is not None and args.duration is not None:
+        print("use --sim-seconds or --duration, not both", file=sys.stderr)
+        return 2
+    duration_s = (args.sim_seconds if args.sim_seconds is not None
+                  else args.duration)
     if duration_s is None:
         # The attackbudget FAIL needs minutes of differential-bias
         # integration (k=2 on the paper mesh breaks the bound at
@@ -491,7 +504,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     wall_start = time.perf_counter()
     rows = runners[args.study](
         seed=args.seed, duration=duration, scenario=spec,
-        metrics=registry, **_executor_kwargs(args),
+        metrics=registry, fidelity=args.fidelity, **_executor_kwargs(args),
     )
     budget = None
     if args.study == "attackbudget":
@@ -523,16 +536,20 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             verdict_detail={
                 "rows": {f"{r.parameter}={r.value}": r.verdict for r in rows},
             },
-            extra=(
-                {"points": len(rows)} if budget is None
-                else dict(
-                    points=len(rows),
-                    f_actual=budget["f_actual"],
-                    first_fail_colluders=budget["first_fail"],
-                    design_f=budget["design_f"],
-                    domains=budget["domains"],
-                    floor_m=budget["floor_m"],
-                )
+            extra=dict(
+                (
+                    {"points": len(rows)} if budget is None
+                    else dict(
+                        points=len(rows),
+                        f_actual=budget["f_actual"],
+                        first_fail_colluders=budget["first_fail"],
+                        design_f=budget["design_f"],
+                        domains=budget["domains"],
+                        floor_m=budget["floor_m"],
+                    )
+                ),
+                **({"fidelity": args.fidelity}
+                   if args.fidelity != "full" else {}),
             ),
         ))
     payload = {
@@ -620,7 +637,10 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
     spec = resolve_scenario(args.name)
     doc = spec.to_dict()
     doc["fingerprint"] = spec.fingerprint()
-    doc["trunks"] = [list(pair) for pair in spec.trunk_pairs()]
+    try:
+        doc["trunks"] = [list(pair) for pair in spec.trunk_pairs()]
+    except ValueError:
+        pass  # seed-dependent trunks (random_geometric) need a built topology
     _emit(args, json.dumps(doc, indent=2, sort_keys=True), doc)
     return 0
 
@@ -671,6 +691,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run on a registered scenario or a JSON spec "
                             "file instead of the paper's mesh4 testbed "
                             "(see 'repro-sim scenarios list')")
+
+    def add_fidelity_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--fidelity", choices=["full", "adaptive"],
+                       default="full",
+                       help="simulation tier: 'full' replays every event "
+                            "(byte-identical, the default); 'adaptive' "
+                            "fast-forwards provably quiescent stretches "
+                            "under a documented tolerance (see "
+                            "EXPERIMENTS.md, 'Scaling and fidelity tiers')")
 
     p = sub.add_parser("survey", help="latency survey + §III-A3 bound derivation")
     p.add_argument("--seed", type=int, default=1)
@@ -740,6 +769,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="record run metrics and write them to PATH "
                         "(.csv → CSV, anything else → JSON)")
     add_scenario_flag(p)
+    add_fidelity_flag(p)
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_chaos)
 
@@ -767,6 +797,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="record run metrics and write them to PATH "
                         "(.csv → CSV, anything else → JSON)")
     add_scenario_flag(p)
+    add_fidelity_flag(p)
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_campaign)
 
@@ -806,7 +837,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "900 for attackbudget — the differential bias "
                         "that breaks the bound integrates for minutes — "
                         "120 otherwise)")
+    p.add_argument("--sim-seconds", type=float, default=None, metavar="S",
+                   help="override the per-arm simulated duration (same as "
+                        "--duration; the 900 s attackbudget default is "
+                        "intractable on large topologies — e.g. "
+                        "'sweep attackbudget --sim-seconds 60')")
     add_scenario_flag(p)
+    add_fidelity_flag(p)
     add_executor_flags(p)
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_sweep)

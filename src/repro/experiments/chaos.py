@@ -51,6 +51,10 @@ class ChaosExperimentConfig:
     #: Optional fail-silent fault pressure on top of the chaos (None → no
     #: injector; chaos-only runs isolate the network degradation).
     injector: Optional[FaultInjectionConfig] = None
+    #: Execution tier: "full" (byte-identical event-level default) or
+    #: "adaptive" (analytic fast-forward through locked quiescence — see
+    #: :mod:`repro.experiments.fidelity`).
+    fidelity: str = "full"
 
     def resolved_plan(self) -> Optional[ChaosPlan]:
         if self.plan is not None:
@@ -84,6 +88,8 @@ class ChaosResult:
     max_precision_at: int
     bound_violations: int
     injections: Dict[str, int] = field(default_factory=dict)
+    #: Fast-forward statistics; empty for full-fidelity runs.
+    fastforward: Dict[str, int] = field(default_factory=dict)
 
     @property
     def bounded(self) -> bool:
@@ -102,6 +108,12 @@ class ChaosResult:
             "bound_ns": self.bounds.bound_with_error,
             "bound_violations": self.bound_violations,
             "injections": dict(self.injections),
+            # Present only on adaptive-fidelity runs so full-fidelity
+            # result documents (and their hashes) stay unchanged.
+            **(
+                {"fastforward": dict(self.fastforward)}
+                if self.fastforward else {}
+            ),
         }
 
     def to_text(self) -> str:
@@ -163,7 +175,7 @@ def run_chaos_experiment(
     plan = config.resolved_plan()
     if plan is not None and tb_config.chaos is not plan:
         tb_config = dataclasses.replace(tb_config, chaos=plan)
-    testbed = Testbed(tb_config, metrics=metrics)
+    testbed = Testbed(tb_config, metrics=metrics, fidelity=config.fidelity)
 
     injections: Dict[str, int] = {}
     injector = None
@@ -218,4 +230,5 @@ def run_chaos_experiment(
             testbed.series.violations(bounds.bound_with_error)
         ),
         injections=injections,
+        fastforward=testbed.fastforward_summary(),
     )

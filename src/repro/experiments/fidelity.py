@@ -1,0 +1,285 @@
+"""Adaptive-fidelity execution: analytic fast-forward through quiescence.
+
+Full event-level simulation spends most of a long steady-state run
+re-deriving the same fact: every servo is locked, every domain is valid,
+and the FTA keeps pulling the cohort onto its consensus. The
+:class:`AdaptiveEngine` detects those quiescent stretches and skips them —
+it retimes all periodic work with :meth:`~repro.sim.kernel.Simulator.
+fast_forward`, applies one closed-form state update (clocks stepped onto
+the FTA consensus, offset slots refilled, gates re-closed, CLOCK_SYNCTIME
+republished), and synthesizes the 1 Hz precision records the skipped span
+would have produced by holding the recent measured precision.
+
+Soundness contract
+------------------
+A jump happens only when the engine can argue the skipped span is
+*uneventful by construction*:
+
+* every VM is running, uncompromised, in fault-tolerant mode, servo LOCKED;
+* no link is down or impaired, and the scenario carries no transient-fault
+  pressure (per-event fault probabilities are incompatible with skipping —
+  they make every interval a potential transient);
+* measurement is underway (past ``measurement_start``, probes flowing,
+  enough records to hold a precision level);
+* no *structural* event — chaos stage, fault-plan tick, attack attempt,
+  VM boot — is scheduled inside the jump window. Structural events are
+  found by scanning the kernel queue for one-shot entries beyond the
+  transient slack; the engine clips the horizon so they always execute at
+  full event-level fidelity.
+
+The default fidelity everywhere remains ``"full"``; adaptive mode trades
+bit-exactness for wall time under a documented tolerance (equivalence is
+pinned by ``tests/test_fidelity.py``: identical monitor verdicts and a
+bounded synctime-error delta across seeds).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.core.aggregator import AggregatorMode
+from repro.core.fta import AGGREGATORS
+from repro.gptp.instance import OffsetSample
+from repro.gptp.servo import ServoState
+from repro.measurement.precision import PrecisionRecord
+from repro.sim.timebase import MILLISECONDS, SECONDS
+
+if TYPE_CHECKING:
+    from repro.experiments.testbed import Testbed
+
+#: Jumps shorter than this are not worth the analytic update.
+MIN_JUMP = 5 * SECONDS
+#: Upper bound per jump: re-check quiescence at least this often.
+MAX_JUMP = 30 * SECONDS
+#: Event-level cadence between jump attempts (doubles as the post-jump
+#: re-lock window: after landing, at least one full check interval runs at
+#: event level before the next jump).
+CHECK_INTERVAL = 1 * SECONDS
+#: One-shot events this close to now are in-flight transients (packet
+#: deliveries, tx-timestamp callbacks, FollowUp timeouts at 125 ms, probe
+#: finalization at 100 ms) — never structural.
+TRANSIENT_SLACK = 150 * MILLISECONDS
+#: Minimum recorded probes before a held precision level is trustworthy.
+MIN_RECORDS = 5
+#: Recent records averaged into the held precision for synthesized probes.
+HOLD_WINDOW = 10
+
+
+class AdaptiveEngine:
+    """Drives a testbed's simulator, fast-forwarding quiescent stretches."""
+
+    def __init__(self, testbed: "Testbed") -> None:
+        self.testbed = testbed
+        self.sim = testbed.sim
+        cfg = testbed.config
+        self._aggregate = AGGREGATORS[cfg.aggregator.aggregation]
+        self._f = cfg.aggregator.f
+        # Per-event fault probabilities poison every window; such runs
+        # execute at full fidelity regardless of the requested tier.
+        t = cfg.transients
+        self._transient_pressure = t is not None and (
+            t.tx_timestamp_fail_prob > 0 or t.deadline_miss_prob > 0
+        )
+        self.jumps = 0
+        self.skipped_ns = 0
+        self.synthesized_probes = 0
+        self.checks = 0
+
+    # ------------------------------------------------------------------
+    def run_until(self, end: int) -> None:
+        """Advance to ``end``, jumping over provably quiescent stretches."""
+        sim = self.sim
+        while sim.now < end:
+            sim.run_until(min(end, sim.now + CHECK_INTERVAL))
+            if sim.now >= end:
+                break
+            self.checks += 1
+            if not self._quiescent():
+                continue
+            horizon = self._clip_structural(min(end, sim.now + MAX_JUMP))
+            if horizon - sim.now < MIN_JUMP:
+                continue
+            self._jump(horizon)
+
+    def summary(self) -> Dict[str, int]:
+        """Fast-forward statistics for manifests and result documents."""
+        return {
+            "jumps": self.jumps,
+            "skipped_ns": self.skipped_ns,
+            "synthesized_probes": self.synthesized_probes,
+            "quiescence_checks": self.checks,
+        }
+
+    # ------------------------------------------------------------------
+    # Quiescence detection
+    # ------------------------------------------------------------------
+    def _quiescent(self) -> bool:
+        tb = self.testbed
+        if self._transient_pressure:
+            return False
+        if self.sim.now < tb.config.measurement_start:
+            return False
+        probe_task = tb.probe_service._task
+        if not probe_task.running:
+            return False
+        if len(tb.series.records) < MIN_RECORDS:
+            return False
+        for name in sorted(tb.vms):
+            vm = tb.vms[name]
+            if not vm.running or vm.compromised or vm.param_corruption:
+                return False
+            agg = vm.aggregator
+            if agg.mode is not AggregatorMode.FAULT_TOLERANT:
+                return False
+            if agg.servo.state is not ServoState.LOCKED:
+                return False
+        topo = tb.topology
+        for link in topo.trunks.values():
+            if not link.up or link.impairment is not None:
+                return False
+        for link in topo.access_links.values():
+            if not link.up or link.impairment is not None:
+                return False
+        return True
+
+    def _clip_structural(self, horizon: int) -> int:
+        """Pull the horizon in front of the next structural one-shot event.
+
+        Periodic timers and jittered tasks are retimed by the kernel;
+        anything else queued beyond the transient slack — chaos stages,
+        fault-injector ticks, attack attempts, boot completions — must run
+        at event level, so the jump stops just short of it.
+        """
+        sim = self.sim
+        cutoff = sim.now + TRANSIENT_SLACK
+        task_handles = {
+            id(task._handle)
+            for task in sim._tasks
+            if getattr(task, "_handle", None) is not None
+        }
+        for entry in sim._queue:
+            time = entry[0]
+            if time <= cutoff or time >= horizon:
+                continue
+            handle = entry[2]
+            if handle is not None:
+                if handle.cancelled or handle.interval > 0:
+                    continue
+                if id(handle) in task_handles:
+                    continue
+            horizon = max(sim.now, time - 1)
+        return horizon
+
+    # ------------------------------------------------------------------
+    # The jump
+    # ------------------------------------------------------------------
+    def _jump(self, to_time: int) -> None:
+        sim = self.sim
+        start = sim.now
+        probe_handle = self.testbed.probe_service._task._handle
+        old_next = probe_handle.time if probe_handle is not None else None
+        sim.fast_forward(to_time)
+        new_next = probe_handle.time if probe_handle is not None else None
+        # Sweep the in-flight transients (deliveries, FollowUp timeouts,
+        # probe finalizations) at their original, event-level times, then
+        # land at the horizon.
+        sim.run_until(to_time)
+        self._analytic_update()
+        if old_next is not None and new_next is not None:
+            self._synthesize_probes(old_next, new_next)
+        self.jumps += 1
+        self.skipped_ns += to_time - start
+
+    def _analytic_update(self) -> None:
+        """Closed-form stand-in for the skipped span's gate fires.
+
+        In quiescence every FTA round pulls each clock onto the consensus
+        of the grandmaster clocks (the FTA is translation-equivariant, so
+        per-VM measured offsets aggregate to exactly ``consensus − local``).
+        The update applies that fixed point directly: step every PHC onto
+        the consensus, refill each FTSHMEM with fresh zero-ish samples,
+        re-close the gates at the stepped local times, and republish
+        CLOCK_SYNCTIME so dependent-clock consumers (probe responders, the
+        hypervisor monitor) observe a continuous timebase.
+        """
+        tb = self.testbed
+        vms = tb.vms
+        gm_clock = {
+            d.number: vms[d.gm_identity].nic.clock for d in tb.domains
+        }
+        gm_identity = {d.number: d.gm_identity for d in tb.domains}
+        values = [float(gm_clock[n].time()) for n in sorted(gm_clock)]
+        consensus = self._aggregate(values, self._f).value
+        # Pass 1: step every PHC onto the consensus (GMs included — they
+        # aggregate toward it too when aggregate_on_gms is set, and their
+        # mutual spread is bounded by the locked-precision band we are
+        # replacing anyway).
+        for name in sorted(vms):
+            clock = vms[name].nic.clock
+            delta = round(consensus - clock.time())
+            if delta:
+                clock.step(delta)
+        # Pass 2: refill every FTSHMEM as a completed aggregation round
+        # would have left it, and re-close the gate at the local time so
+        # the eq. 2.1 cadence resumes on schedule.
+        domains = sorted(gm_clock)
+        for name in sorted(vms):
+            vm = vms[name]
+            now_local = vm.nic.clock.time()
+            shmem = vm.aggregator.shmem
+            for number in domains:
+                master = gm_clock[number].time()
+                shmem.store(
+                    OffsetSample(
+                        domain=number,
+                        gm_identity=gm_identity[number],
+                        offset=float(now_local - master),
+                        origin_timestamp=int(master),
+                        local_rx_timestamp=int(now_local),
+                    ),
+                    now_local,
+                )
+            shmem.valid = {number: True for number in shmem.domains}
+            vm.aggregator.last_valid_flags = dict(shmem.valid)
+            shmem.close_gate(now_local)
+        # Pass 3: republish CLOCK_SYNCTIME against the stepped PHCs so
+        # reads extrapolate from post-jump anchors (and the dependent-clock
+        # monitor's staleness counter restarts from fresh generations).
+        for name in sorted(vms):
+            vm = vms[name]
+            if vm.running:
+                vm.phc2sys._tick()
+
+    def _synthesize_probes(self, old_next: int, new_next: int) -> None:
+        """Backfill the 1 Hz precision series across the skipped span.
+
+        The held value is the mean of the last few measured precisions —
+        in quiescence the series is stationary, which is exactly the
+        argument that allowed the jump. Synthesized records carry no
+        per-VM readings and grade through the invariant monitor like any
+        measured record.
+        """
+        tb = self.testbed
+        service = tb.probe_service
+        period = service._task.period
+        records = tb.series.records
+        if not records or new_next <= old_next:
+            return
+        recent = records[-HOLD_WINDOW:]
+        hold = sum(r.precision for r in recent) / len(recent)
+        n_receivers = recent[-1].n_receivers
+        t = old_next
+        while t < new_next:
+            service._seq += 1
+            service.probes_sent += 1
+            records.append(
+                PrecisionRecord(
+                    seq=service._seq,
+                    time=t,
+                    precision=hold,
+                    n_receivers=n_receivers,
+                    readings=None,
+                )
+            )
+            self.synthesized_probes += 1
+            t += period

@@ -89,7 +89,8 @@ def _measure(testbed: Testbed, duration: int, warmup_records: int) -> SweepRow:
 
 
 def _run_sweep_point(
-    config: TestbedConfig, duration: int, warmup_records: int, metrics=None
+    config: TestbedConfig, duration: int, warmup_records: int, metrics=None,
+    fidelity: str = "full",
 ) -> SweepRow:
     """Worker task: one sweep arm. Module-level so it pickles under spawn.
 
@@ -97,7 +98,7 @@ def _run_sweep_point(
     the frozen :class:`TestbedConfig` dataclass crosses the process
     boundary — the (often lambda) factory never has to be picklable.
     """
-    testbed = Testbed(config, metrics=metrics)
+    testbed = Testbed(config, metrics=metrics, fidelity=fidelity)
     row = _measure(testbed, duration, warmup_records)
     if metrics is not None:
         testbed.publish_metrics()
@@ -109,8 +110,14 @@ def _run_sweep_point(
 
 
 def _sweep_cache_key(config: TestbedConfig, duration: int,
-                     warmup_records: int) -> str:
-    return config_fingerprint("sweep", config, duration, warmup_records)
+                     warmup_records: int, fidelity: str = "full") -> str:
+    # Full-fidelity keys keep their historical shape so caches populated
+    # before the fidelity axis existed remain valid.
+    if fidelity == "full":
+        return config_fingerprint("sweep", config, duration, warmup_records)
+    return config_fingerprint(
+        "sweep", config, duration, warmup_records, fidelity
+    )
 
 
 def sweep(
@@ -124,6 +131,7 @@ def sweep(
     task_timeout: Optional[float] = None,
     cache: Optional[ResultsCache] = None,
     metrics=None,
+    fidelity: str = "full",
 ) -> List[SweepRow]:
     """Generic sweep: build/run one testbed per value.
 
@@ -139,13 +147,15 @@ def sweep(
         raise ValueError("sweep needs at least one value")
     if executor not in ("serial", "process"):
         raise ValueError(f"unknown executor {executor!r}")
+    if fidelity not in ("full", "adaptive"):
+        raise ValueError(f"unknown fidelity {fidelity!r}")
     configs = [make_config(value) for value in values]
 
     measured: Dict[int, SweepRow] = {}
     to_run: List[int] = []
     for i, config in enumerate(configs):
-        cached = cache.get(_sweep_cache_key(config, duration,
-                                            warmup_records)) if cache else None
+        cached = cache.get(_sweep_cache_key(config, duration, warmup_records,
+                                            fidelity)) if cache else None
         if cached is not None:
             measured[i] = SweepRow(**cached)
         else:
@@ -161,7 +171,7 @@ def sweep(
             [
                 TaskSpec(fn=_run_sweep_chunk,
                          args=([configs[i] for i in idxs],
-                               duration, warmup_records))
+                               duration, warmup_records, fidelity))
                 for idxs in index_chunks
             ]
         )
@@ -187,12 +197,13 @@ def sweep(
             arm_start = time.perf_counter()
             fresh.append(
                 (i, _run_sweep_point(configs[i], duration, warmup_records,
-                                     metrics=metrics))
+                                     metrics=metrics, fidelity=fidelity))
             )
             arm_hist.observe(time.perf_counter() - arm_start)
     else:
         fresh = [
-            (i, _run_sweep_point(configs[i], duration, warmup_records))
+            (i, _run_sweep_point(configs[i], duration, warmup_records,
+                                 fidelity=fidelity))
             for i in to_run
         ]
 
@@ -200,7 +211,8 @@ def sweep(
         measured[i] = row
         if cache:
             cache.put(
-                _sweep_cache_key(configs[i], duration, warmup_records),
+                _sweep_cache_key(configs[i], duration, warmup_records,
+                                 fidelity),
                 row.as_dict(),
             )
     if metrics is not None and cache is not None:
@@ -218,10 +230,14 @@ def sweep(
 
 
 def _run_sweep_chunk(
-    configs: Sequence[TestbedConfig], duration: int, warmup_records: int
+    configs: Sequence[TestbedConfig], duration: int, warmup_records: int,
+    fidelity: str = "full",
 ) -> List[SweepRow]:
     """Worker task: a chunk of sweep arms, preserving chunk order."""
-    return [_run_sweep_point(c, duration, warmup_records) for c in configs]
+    return [
+        _run_sweep_point(c, duration, warmup_records, fidelity=fidelity)
+        for c in configs
+    ]
 
 
 # ----------------------------------------------------------------------

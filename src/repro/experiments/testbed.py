@@ -96,9 +96,15 @@ class TestbedConfig:
         NICs").
     topology:
         Shape of the switch graph (``"mesh"``, ``"ring"``, ``"line"``,
-        ``"star"`` — see :data:`repro.network.topology.TOPOLOGY_BUILDERS`).
-        Per-domain spanning trees and the measurement VLAN are derived from
-        the shape; the paper's setup is the default full mesh.
+        ``"star"``, or a generated shape — see
+        :data:`repro.network.topology.TOPOLOGY_BUILDERS`). Per-domain
+        spanning trees and the measurement VLAN are derived from the shape;
+        the paper's setup is the default full mesh.
+    topology_params:
+        Extra builder kwargs for generated shapes, as a sorted tuple of
+        ``(name, value)`` pairs (hashable, so the config stays frozen):
+        ``arity`` for ``fat_tree``, ``rows`` for ``torus``, ``groups`` for
+        ``ring_of_rings``, ``radius`` for ``random_geometric``.
     hub_device:
         Center device of the ``star`` topology (ignored elsewhere).
     gm_placement:
@@ -112,6 +118,7 @@ class TestbedConfig:
     seed: int = 1
     n_devices: int = 4
     topology: str = "mesh"
+    topology_params: Tuple[Tuple[str, object], ...] = ()
     hub_device: int = 1
     gm_placement: str = "spread"
     n_domains: Optional[int] = None
@@ -143,7 +150,10 @@ class Testbed:
     __test__ = False  # not a pytest test class despite the name
 
     def __init__(
-        self, config: Optional[TestbedConfig] = None, metrics=None
+        self,
+        config: Optional[TestbedConfig] = None,
+        metrics=None,
+        fidelity: str = "full",
     ) -> None:
         # The default is constructed lazily so import order can never
         # freeze a stale class-level TestbedConfig instance.
@@ -151,8 +161,17 @@ class Testbed:
         # Metrics are a constructor argument, not a TestbedConfig field:
         # the frozen config is the cache fingerprint, and attaching an
         # observer must never change what an arm's results hash to.
+        # Fidelity is likewise an execution-tier knob, not part of the
+        # scenario identity: "full" (byte-identical event-level default)
+        # or "adaptive" (analytic fast-forward through locked quiescence).
+        if fidelity not in ("full", "adaptive"):
+            raise ValueError(
+                f"unknown fidelity {fidelity!r} (expected 'full' or 'adaptive')"
+            )
         self.config = config
         self.metrics = metrics
+        self.fidelity = fidelity
+        self._engine = None
         self.sim = Simulator()
         if metrics is not None:
             self.sim.attach_metrics(metrics)
@@ -227,6 +246,7 @@ class Testbed:
             switch=cfg.mesh.switch,
         )
         kwargs = {"hub_device": cfg.hub_device} if cfg.topology == "star" else {}
+        kwargs.update(dict(cfg.topology_params))
         self.topology = build_topology(
             cfg.topology,
             self.sim,
@@ -260,7 +280,11 @@ class Testbed:
         )
 
         cfg = self.config
-        gm_names = [f"c{x}_1" for x in range(1, cfg.n_devices + 1)]
+        # Only devices actually hosting a domain GM need diversified
+        # kernels; with M < N (fleet-scale scenarios) the remaining c{x}_1
+        # VMs are ordinary receivers on the default stack. Sorted device
+        # order keeps the historical assignment for every M = N setup.
+        gm_names = [f"c{x}_1" for x in sorted(self._gm_device.values())]
         # Under diversification the exploitable kernel (pool[0]) goes to one
         # designated GM — c4_1 in the paper's Fig. 3b setup.
         exploitable = cfg.exploitable_gm or gm_names[-1]
@@ -459,8 +483,21 @@ class Testbed:
         )
 
     def run_until(self, time: int) -> None:
-        """Advance the simulation."""
-        self.sim.run_until(time)
+        """Advance the simulation (via the adaptive engine when enabled)."""
+        if self.fidelity == "adaptive":
+            if self._engine is None:
+                from repro.experiments.fidelity import AdaptiveEngine
+
+                self._engine = AdaptiveEngine(self)
+            self._engine.run_until(time)
+        else:
+            self.sim.run_until(time)
+
+    def fastforward_summary(self) -> Dict[str, int]:
+        """Fast-forward statistics of this run (empty under full fidelity)."""
+        if self._engine is None:
+            return {}
+        return self._engine.summary()
 
     def publish_metrics(self) -> None:
         """Flush post-hoc gauges into the attached registry (if any)."""

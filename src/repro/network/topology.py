@@ -21,6 +21,7 @@ to the original 4-device builder, keeping fixed-seed runs byte-identical.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
@@ -116,6 +117,17 @@ class Topology:
         self.nic_switch: Dict[str, str] = {}
         self._adjacency: Optional[Dict[str, List[str]]] = None
         self._trees: Dict[str, SpanningTree] = {}
+        # Path-analysis memoization: per-root cumulative trunk/residence
+        # sums, per-NIC-pair bounds, and the global (d_min, d_max). At
+        # N = 1024 the un-memoized forms are recomputed per consumer and
+        # turn quadratic; every cache is invalidated when the trunk graph
+        # changes (add_trunk) and the global bounds additionally when a NIC
+        # is attached.
+        self._switch_sums: Dict[str, Dict[str, Tuple[int, int]]] = {}
+        self._pair_bounds: Dict[Tuple[str, str], PathBounds] = {}
+        self._global_bounds: Optional[Tuple[int, int]] = None
+        self.path_cache_hits = 0
+        self.path_cache_misses = 0
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -163,6 +175,9 @@ class Topology:
         self.trunks[(a, b)] = link
         self._adjacency = None
         self._trees.clear()
+        self._switch_sums.clear()
+        self._pair_bounds.clear()
+        self._global_bounds = None
         return link
 
     def attach_nic(
@@ -187,6 +202,8 @@ class Topology:
         )
         self.access_links[nic.name] = link
         self.nic_switch[nic.name] = switch_name
+        # Existing NIC-pair bounds stay valid; the global min/max may move.
+        self._global_bounds = None
         return link
 
     # ------------------------------------------------------------------
@@ -284,31 +301,123 @@ class Topology:
         links.append(self.access_links[nic_b])
         return links, switches
 
+    def _path_sums(self, root: str) -> Dict[str, Tuple[int, int]]:
+        """Cumulative (min, max) trunk + residence sums along the BFS tree.
+
+        ``sums[sw]`` covers every trunk on the canonical shortest path from
+        ``root`` to ``sw`` plus the residence of every switch on it —
+        including both endpoints — so a NIC-pair bound is just the two
+        access links on top. Cached per root; O(switches) to build.
+        """
+        cached = self._switch_sums.get(root)
+        if cached is not None:
+            return cached
+        tree = self.spanning_tree(root)
+        root_model = self.switches[root].model
+        sums: Dict[str, Tuple[int, int]] = {
+            root: (
+                root_model.residence_base,
+                root_model.residence_base + root_model.residence_jitter,
+            )
+        }
+        stack = [root]
+        while stack:
+            sw = stack.pop()
+            base_min, base_max = sums[sw]
+            for child in tree.children[sw]:
+                trunk = self.trunk(sw, child).model
+                child_model = self.switches[child].model
+                sums[child] = (
+                    base_min + trunk.min_delay + child_model.residence_base,
+                    base_max
+                    + trunk.max_delay
+                    + child_model.residence_base
+                    + child_model.residence_jitter,
+                )
+                stack.append(child)
+        self._switch_sums[root] = sums
+        return sums
+
     def path_bounds(self, nic_a: str, nic_b: str) -> PathBounds:
-        """Nominal min/max one-way latency between two attached NICs."""
-        links, switches = self.path_links(nic_a, nic_b)
-        min_delay = sum(l.model.min_delay for l in links)
-        max_delay = sum(l.model.max_delay for l in links)
-        for sw in switches:
-            min_delay += sw.model.residence_base
-            max_delay += sw.model.residence_base + sw.model.residence_jitter
-        return PathBounds(min_delay=min_delay, max_delay=max_delay, hops=len(links))
+        """Nominal min/max one-way latency between two attached NICs.
+
+        Memoized per NIC pair. Computed over the canonical shortest path —
+        the BFS tree rooted at the smaller switch (natural order) — so the
+        bounds are direction-symmetric even in shapes with several equal-hop
+        paths (torus, fat tree).
+        """
+        key = (nic_a, nic_b)
+        cached = self._pair_bounds.get(key)
+        if cached is not None:
+            self.path_cache_hits += 1
+            return cached
+        self.path_cache_misses += 1
+        sw_a = self.nic_switch[nic_a]
+        sw_b = self.nic_switch[nic_b]
+        root, leaf = (
+            (sw_a, sw_b) if _switch_key(sw_a) <= _switch_key(sw_b) else (sw_b, sw_a)
+        )
+        sw_min, sw_max = self._path_sums(root)[leaf]
+        la = self.access_links[nic_a].model
+        lb = self.access_links[nic_b].model
+        bounds = PathBounds(
+            min_delay=la.min_delay + lb.min_delay + sw_min,
+            max_delay=la.max_delay + lb.max_delay + sw_max,
+            hops=self.spanning_tree(root).depth[leaf] + 2,
+        )
+        self._pair_bounds[key] = bounds
+        self._pair_bounds[(nic_b, nic_a)] = bounds
+        return bounds
 
     def global_delay_bounds(self) -> Tuple[int, int]:
-        """(d_min, d_max) over all attached node pairs — the paper's E inputs."""
-        nics = sorted(self.nic_switch)
+        """(d_min, d_max) over all attached node pairs — the paper's E inputs.
+
+        Cached, and computed per switch pair rather than per NIC pair: for
+        every (ordered by natural key) switch pair the extreme NIC pair uses
+        the two smallest access-link minima / two largest maxima, so the
+        scan is O(switches²) instead of O(NICs²) — the difference between
+        seconds and minutes at N = 1024 with two VMs per device.
+        """
+        if self._global_bounds is not None:
+            return self._global_bounds
+        per_switch: Dict[str, List[str]] = {}
+        for nic, sw in self.nic_switch.items():
+            per_switch.setdefault(sw, []).append(nic)
+        if not per_switch or (
+            len(per_switch) == 1 and len(next(iter(per_switch.values()))) < 2
+        ):
+            raise RuntimeError("no NICs attached")
+        acc_min: Dict[str, List[int]] = {}
+        acc_max: Dict[str, List[int]] = {}
+        for sw, nics in per_switch.items():
+            mins = sorted(self.access_links[n].model.min_delay for n in nics)
+            maxs = sorted(
+                (self.access_links[n].model.max_delay for n in nics), reverse=True
+            )
+            acc_min[sw] = mins[:2]
+            acc_max[sw] = maxs[:2]
+        names = sorted(per_switch, key=_switch_key)
         d_min: Optional[int] = None
         d_max: Optional[int] = None
-        for i, a in enumerate(nics):
-            for b in nics[i + 1:]:
-                bounds = self.path_bounds(a, b)
-                if d_min is None or bounds.min_delay < d_min:
-                    d_min = bounds.min_delay
-                if d_max is None or bounds.max_delay > d_max:
-                    d_max = bounds.max_delay
+        for i, a in enumerate(names):
+            sums = self._path_sums(a)
+            for b in names[i:]:
+                if a == b:
+                    if len(acc_min[a]) < 2:
+                        continue
+                    lo = acc_min[a][0] + acc_min[a][1] + sums[a][0]
+                    hi = acc_max[a][0] + acc_max[a][1] + sums[a][1]
+                else:
+                    lo = acc_min[a][0] + acc_min[b][0] + sums[b][0]
+                    hi = acc_max[a][0] + acc_max[b][0] + sums[b][1]
+                if d_min is None or lo < d_min:
+                    d_min = lo
+                if d_max is None or hi > d_max:
+                    d_max = hi
         if d_min is None or d_max is None:
             raise RuntimeError("no NICs attached")
-        return d_min, d_max
+        self._global_bounds = (d_min, d_max)
+        return self._global_bounds
 
 
 class MeshTopology(Topology):
@@ -339,6 +448,168 @@ class StarTopology(Topology):
     ) -> None:
         super().__init__(sim, model)
         self.hub = hub
+
+
+class FatTreeTopology(Topology):
+    """Complete a-ary tree with redundant sibling uplinks (fleet fabric)."""
+
+    kind = "fat_tree"
+
+    def __init__(
+        self, sim: Simulator, model: Optional[MeshModel] = None, arity: int = 2
+    ) -> None:
+        super().__init__(sim, model)
+        self.arity = arity
+
+
+class TorusTopology(Topology):
+    """rows × cols wraparound grid, degree 4 (WALDEN's 2D grid shape)."""
+
+    kind = "torus"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        model: Optional[MeshModel] = None,
+        rows: int = 0,
+        cols: int = 0,
+    ) -> None:
+        super().__init__(sim, model)
+        self.rows = rows
+        self.cols = cols
+
+
+class RingOfRingsTopology(Topology):
+    """Inner rings joined by an outer gateway ring (hierarchical metro)."""
+
+    kind = "ring_of_rings"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        model: Optional[MeshModel] = None,
+        groups: int = 0,
+        group_size: int = 0,
+    ) -> None:
+        super().__init__(sim, model)
+        self.groups = groups
+        self.group_size = group_size
+
+
+class RandomGeometricTopology(Topology):
+    """Seeded random geometric graph on the unit square, repaired connected."""
+
+    kind = "random_geometric"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        model: Optional[MeshModel] = None,
+        radius: float = 0.0,
+    ) -> None:
+        super().__init__(sim, model)
+        self.radius = radius
+        self.positions: Dict[str, Tuple[float, float]] = {}
+
+
+# ----------------------------------------------------------------------
+# Generated-shape construction plans (shared by builders and ScenarioSpec)
+# ----------------------------------------------------------------------
+def fat_tree_trunk_indices(n: int, arity: int = 2) -> List[Tuple[int, int]]:
+    """0-based trunk index pairs of the ``fat_tree`` shape.
+
+    Switch ``i > 0`` links to its heap parent ``(i − 1) // arity`` and,
+    when the parent has a same-level right neighbor, to that neighbor as a
+    redundant secondary uplink — so the loss of one aggregation switch
+    never partitions its subtree. Degree is bounded by ``2·arity + 2``
+    (primary + secondary children, two uplinks).
+    """
+    if n < 2:
+        raise ValueError("a fat tree needs at least 2 devices")
+    if arity < 2:
+        raise ValueError(f"fat_tree arity must be >= 2, got {arity}")
+    depth = [0] * n
+    pairs: List[Tuple[int, int]] = []
+    for i in range(1, n):
+        parent = (i - 1) // arity
+        depth[i] = depth[parent] + 1
+        pairs.append((parent, i))
+        uplink = parent + 1
+        if uplink != i and uplink < n and depth[uplink] == depth[parent]:
+            pairs.append((uplink, i))
+    return pairs
+
+
+def torus_dims(n: int, rows: Optional[int] = None) -> Tuple[int, int]:
+    """Resolve the (rows, cols) of an ``n``-switch torus.
+
+    Default: the most-square factorization with both sides ≥ 3 (proper
+    wraparound rings in both directions, so every switch has degree 4).
+    """
+    if rows is None:
+        for cand in range(math.isqrt(n), 2, -1):
+            if n % cand == 0 and n // cand >= 3:
+                rows = cand
+                break
+        else:
+            raise ValueError(
+                f"torus needs n = rows × cols with rows, cols >= 3; got n={n}"
+            )
+    if rows < 3 or n % rows != 0 or n // rows < 3:
+        raise ValueError(
+            f"torus rows={rows} invalid for n={n}: need rows >= 3 dividing n "
+            f"with cols = n/rows >= 3"
+        )
+    return rows, n // rows
+
+
+def torus_trunk_indices(n: int, rows: Optional[int] = None) -> List[Tuple[int, int]]:
+    """0-based trunk index pairs of the ``torus`` shape (row-major)."""
+    r, c = torus_dims(n, rows)
+    pairs: List[Tuple[int, int]] = []
+    for i in range(n):
+        row, col = divmod(i, c)
+        pairs.append((i, row * c + (col + 1) % c))
+        pairs.append((i, ((row + 1) % r) * c + col))
+    return pairs
+
+
+def ring_of_rings_dims(n: int, groups: Optional[int] = None) -> Tuple[int, int]:
+    """Resolve (groups, group size) of an ``n``-switch ring of rings."""
+    if groups is None:
+        for cand in range(math.isqrt(n), 2, -1):
+            if n % cand == 0 and n // cand >= 3:
+                groups = cand
+                break
+        else:
+            raise ValueError(
+                f"ring_of_rings needs n = groups × size with both >= 3; got n={n}"
+            )
+    if groups < 3 or n % groups != 0 or n // groups < 3:
+        raise ValueError(
+            f"ring_of_rings groups={groups} invalid for n={n}: need groups >= 3 "
+            f"dividing n with size = n/groups >= 3"
+        )
+    return groups, n // groups
+
+
+def ring_of_rings_trunk_indices(
+    n: int, groups: Optional[int] = None
+) -> List[Tuple[int, int]]:
+    """0-based trunk index pairs: inner rings first, then the gateway ring.
+
+    Switch ``k·size`` is group ``k``'s gateway; gateways form the outer
+    ring that stitches the inner rings together.
+    """
+    g, size = ring_of_rings_dims(n, groups)
+    pairs: List[Tuple[int, int]] = []
+    for k in range(g):
+        base = k * size
+        for j in range(size):
+            pairs.append((base + j, base + (j + 1) % size))
+    for k in range(g):
+        pairs.append((k * size, ((k + 1) % g) * size))
+    return pairs
 
 
 def _make_switches(
@@ -443,6 +714,126 @@ def build_star(
     return topo
 
 
+def build_fat_tree(
+    sim: Simulator,
+    rng: random.Random,
+    model: Optional[MeshModel] = None,
+    trace: Optional[TraceLog] = None,
+    switch_rngs: Optional[Dict[str, random.Random]] = None,
+    arity: int = 2,
+) -> FatTreeTopology:
+    """Create ``n_devices`` switches as an ``arity``-ary fat tree."""
+    topo = FatTreeTopology(sim, model, arity=arity)
+    pairs = fat_tree_trunk_indices(topo.model.n_devices, arity)
+    names = _make_switches(topo, sim, rng, trace, switch_rngs)
+    for i, j in pairs:
+        topo.add_trunk(names[i], names[j], rng)
+    return topo
+
+
+def build_torus(
+    sim: Simulator,
+    rng: random.Random,
+    model: Optional[MeshModel] = None,
+    trace: Optional[TraceLog] = None,
+    switch_rngs: Optional[Dict[str, random.Random]] = None,
+    rows: Optional[int] = None,
+) -> TorusTopology:
+    """Create ``n_devices`` switches as a rows × cols wraparound grid."""
+    n = (model or MeshModel()).n_devices
+    r, c = torus_dims(n, rows)
+    topo = TorusTopology(sim, model, rows=r, cols=c)
+    names = _make_switches(topo, sim, rng, trace, switch_rngs)
+    for i, j in torus_trunk_indices(n, r):
+        topo.add_trunk(names[i], names[j], rng)
+    return topo
+
+
+def build_ring_of_rings(
+    sim: Simulator,
+    rng: random.Random,
+    model: Optional[MeshModel] = None,
+    trace: Optional[TraceLog] = None,
+    switch_rngs: Optional[Dict[str, random.Random]] = None,
+    groups: Optional[int] = None,
+) -> RingOfRingsTopology:
+    """Create ``groups`` inner rings stitched together by a gateway ring."""
+    n = (model or MeshModel()).n_devices
+    g, size = ring_of_rings_dims(n, groups)
+    topo = RingOfRingsTopology(sim, model, groups=g, group_size=size)
+    names = _make_switches(topo, sim, rng, trace, switch_rngs)
+    for i, j in ring_of_rings_trunk_indices(n, g):
+        topo.add_trunk(names[i], names[j], rng)
+    return topo
+
+
+def build_random_geometric(
+    sim: Simulator,
+    rng: random.Random,
+    model: Optional[MeshModel] = None,
+    trace: Optional[TraceLog] = None,
+    switch_rngs: Optional[Dict[str, random.Random]] = None,
+    radius: Optional[float] = None,
+) -> RandomGeometricTopology:
+    """Create a seeded random geometric graph on the unit square.
+
+    Switch positions and the resulting edge set depend only on ``rng``
+    (drawn up-front, before any link parameters), so a fixed seed gives a
+    fixed graph. The default radius is ~1.8× the connectivity threshold
+    for uniform RGGs; any residual disconnected components are repaired
+    deterministically by bridging each component to the main one at the
+    closest switch pair.
+    """
+    n = (model or MeshModel()).n_devices
+    if n < 2:
+        raise ValueError("a random geometric graph needs at least 2 devices")
+    if radius is None:
+        radius = 1.8 * math.sqrt(math.log(n) / (math.pi * n))
+    if radius <= 0:
+        raise ValueError(f"random_geometric radius must be > 0, got {radius}")
+    topo = RandomGeometricTopology(sim, model, radius=radius)
+    # Draw every position before any trunk exists so the geometry is a pure
+    # function of (seed, n) regardless of link-parameter consumption.
+    pos = [(rng.random(), rng.random()) for _ in range(n)]
+    names = _make_switches(topo, sim, rng, trace, switch_rngs)
+    topo.positions = dict(zip(names, pos))
+
+    def dist2(i: int, j: int) -> float:
+        dx = pos[i][0] - pos[j][0]
+        dy = pos[i][1] - pos[j][1]
+        return dx * dx + dy * dy
+
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    r2 = radius * radius
+    for i in range(n):
+        for j in range(i + 1, n):
+            if dist2(i, j) <= r2:
+                topo.add_trunk(names[i], names[j], rng)
+                parent[find(i)] = find(j)
+    # Deterministic connectivity repair: while components remain, bridge
+    # the globally-closest cross-component pair (ties break on index).
+    while len({find(i) for i in range(n)}) > 1:
+        best: Optional[Tuple[float, int, int]] = None
+        for i in range(n):
+            for j in range(i + 1, n):
+                if find(i) != find(j):
+                    cand = (dist2(i, j), i, j)
+                    if best is None or cand < best:
+                        best = cand
+        assert best is not None
+        _, i, j = best
+        topo.add_trunk(names[i], names[j], rng)
+        parent[find(i)] = find(j)
+    return topo
+
+
 #: Shape name → builder. Scenario specs select by key; new shapes register
 #: here and become available to every experiment and the CLI at once.
 TOPOLOGY_BUILDERS: Dict[str, Callable[..., Topology]] = {
@@ -450,7 +841,37 @@ TOPOLOGY_BUILDERS: Dict[str, Callable[..., Topology]] = {
     "ring": build_ring,
     "line": build_line,
     "star": build_star,
+    "fat_tree": build_fat_tree,
+    "torus": build_torus,
+    "ring_of_rings": build_ring_of_rings,
+    "random_geometric": build_random_geometric,
 }
+
+#: Accepted spellings → canonical builder key. Lookup is case-insensitive
+#: and treats ``-`` as ``_``, so ``Fat-Tree`` or ``RINGS`` also resolve.
+TOPOLOGY_ALIASES: Dict[str, str] = {
+    "fattree": "fat_tree",
+    "rings": "ring_of_rings",
+    "geo": "random_geometric",
+    "geometric": "random_geometric",
+    "rgg": "random_geometric",
+}
+
+
+def normalize_topology_kind(kind: str) -> str:
+    """Resolve a (possibly aliased, case-insensitive) kind to its canonical key.
+
+    Raises :class:`ValueError` listing the valid canonical kinds when the
+    name resolves to nothing.
+    """
+    folded = kind.lower().replace("-", "_")
+    folded = TOPOLOGY_ALIASES.get(folded, folded)
+    if folded not in TOPOLOGY_BUILDERS:
+        raise ValueError(
+            f"unknown topology kind {kind!r}; "
+            f"known: {sorted(TOPOLOGY_BUILDERS)}"
+        )
+    return folded
 
 
 def build_topology(
@@ -462,12 +883,10 @@ def build_topology(
     switch_rngs: Optional[Dict[str, random.Random]] = None,
     **kwargs: object,
 ) -> Topology:
-    """Build a topology by shape name (see :data:`TOPOLOGY_BUILDERS`)."""
-    try:
-        builder = TOPOLOGY_BUILDERS[kind]
-    except KeyError:
-        raise ValueError(
-            f"unknown topology kind {kind!r}; "
-            f"known: {sorted(TOPOLOGY_BUILDERS)}"
-        ) from None
+    """Build a topology by shape name (see :data:`TOPOLOGY_BUILDERS`).
+
+    ``kind`` is matched case-insensitively and may use the aliases in
+    :data:`TOPOLOGY_ALIASES` (e.g. ``fattree``, ``rings``, ``rgg``).
+    """
+    builder = TOPOLOGY_BUILDERS[normalize_topology_kind(kind)]
     return builder(sim, rng, model, trace=trace, switch_rngs=switch_rngs, **kwargs)

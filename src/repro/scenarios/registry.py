@@ -105,3 +105,70 @@ register_scenario(ScenarioSpec(
     f=2,
     description="scaled full mesh: N=M=8 domains, f=2 fault hypothesis",
 ))
+
+# ----------------------------------------------------------------------
+# Generated fleet-scale scenarios (ROADMAP item 1). M is capped well below
+# N — planet-scale deployments don't run a gPTP domain per device — while
+# keeping the Byzantine floor M >= 3f+1 with headroom.
+# ----------------------------------------------------------------------
+register_scenario(ScenarioSpec(
+    name="torus-64",
+    topology="torus",
+    n_devices=64,
+    topology_params={"rows": 8},
+    n_domains=7,
+    f=2,
+    description="8x8 wraparound grid (WALDEN-style), N=64, M=7, f=2",
+))
+
+register_scenario(ScenarioSpec(
+    name="fat-tree-64",
+    topology="fat_tree",
+    n_devices=64,
+    topology_params={"arity": 4},
+    n_domains=7,
+    f=2,
+    description="4-ary fat tree with sibling uplinks, N=64, M=7, f=2",
+))
+
+register_scenario(ScenarioSpec(
+    name="geo-64",
+    topology="random_geometric",
+    n_devices=64,
+    n_domains=7,
+    f=2,
+    description="seeded random geometric mesh on the unit square, N=64, M=7, f=2",
+))
+
+register_scenario(ScenarioSpec(
+    name="torus-256",
+    topology="torus",
+    n_devices=256,
+    topology_params={"rows": 16},
+    n_domains=10,
+    f=3,
+    kernel_policy="unikernel",
+    description="16x16 wraparound grid, N=256, M=10, f=3",
+))
+
+register_scenario(ScenarioSpec(
+    name="fat-tree-256",
+    topology="fat_tree",
+    n_devices=256,
+    topology_params={"arity": 4},
+    n_domains=10,
+    f=3,
+    kernel_policy="unikernel",
+    description="4-ary fat tree, N=256, M=10, f=3",
+))
+
+register_scenario(ScenarioSpec(
+    name="rings-1024",
+    topology="ring_of_rings",
+    n_devices=1024,
+    topology_params={"groups": 32},
+    n_domains=13,
+    f=4,
+    kernel_policy="unikernel",
+    description="32 rings of 32 with a gateway ring, N=1024, M=13, f=4",
+))

@@ -23,7 +23,13 @@ from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.chaos.plan import ChaosPlan, merge_plans
-from repro.network.topology import TOPOLOGY_BUILDERS
+from repro.network.topology import (
+    TOPOLOGY_BUILDERS,
+    fat_tree_trunk_indices,
+    normalize_topology_kind,
+    ring_of_rings_trunk_indices,
+    torus_trunk_indices,
+)
 from repro.security.campaigns import AttackCampaign
 from repro.sim.timebase import MILLISECONDS
 
@@ -139,15 +145,44 @@ class ScenarioSpec:
     fault_plan: Optional[FaultPlanSpec] = None
     chaos_plan: Optional[ChaosPlan] = None
     attack_campaign: Optional[AttackCampaign] = None
+    topology_params: Tuple[Tuple[str, Any], ...] = ()
     description: str = ""
+
+    #: Builder kwargs each shape accepts via ``topology_params``.
+    _SHAPE_PARAMS = {
+        "fat_tree": ("arity",),
+        "torus": ("rows",),
+        "ring_of_rings": ("groups",),
+        "random_geometric": ("radius",),
+    }
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("scenario needs a name")
         if self.topology not in TOPOLOGY_BUILDERS:
+            # Accept aliases/case variants but store the canonical key so
+            # fingerprints don't depend on spelling.
+            object.__setattr__(
+                self, "topology", normalize_topology_kind(self.topology)
+            )
+        if isinstance(self.topology_params, dict):
+            object.__setattr__(
+                self,
+                "topology_params",
+                tuple(sorted(self.topology_params.items())),
+            )
+        else:
+            object.__setattr__(
+                self,
+                "topology_params",
+                tuple(sorted((str(k), v) for k, v in self.topology_params)),
+            )
+        allowed = self._SHAPE_PARAMS.get(self.topology, ())
+        unknown = [k for k, _ in self.topology_params if k not in allowed]
+        if unknown:
             raise ValueError(
-                f"unknown topology {self.topology!r}; "
-                f"known: {sorted(TOPOLOGY_BUILDERS)}"
+                f"topology {self.topology!r} does not accept params "
+                f"{sorted(unknown)}; allowed: {sorted(allowed)}"
             )
         if self.n_devices < 1:
             raise ValueError("n_devices must be >= 1")
@@ -155,6 +190,22 @@ class ScenarioSpec:
             raise ValueError("a ring needs at least 3 devices")
         if self.topology in ("line", "star") and self.n_devices < 2:
             raise ValueError(f"a {self.topology} needs at least 2 devices")
+        if self.topology == "random_geometric":
+            if self.n_devices < 2:
+                raise ValueError(
+                    "a random geometric graph needs at least 2 devices"
+                )
+            radius = self.params.get("radius")
+            if radius is not None and not (
+                isinstance(radius, (int, float)) and radius > 0
+            ):
+                raise ValueError(
+                    f"random_geometric radius must be > 0, got {radius!r}"
+                )
+        elif self.topology in self._SHAPE_PARAMS:
+            # Delegate shape/parameter validation to the shared construction
+            # plans — exactly what the builder will do.
+            self._shape_trunk_indices()
         m = self.effective_domains
         if not 1 <= m <= self.n_devices:
             raise ValueError(
@@ -195,11 +246,29 @@ class ScenarioSpec:
         """M with the one-per-device default resolved."""
         return self.n_domains if self.n_domains is not None else self.n_devices
 
+    @property
+    def params(self) -> Dict[str, Any]:
+        """``topology_params`` as a plain dict (builder kwargs)."""
+        return dict(self.topology_params)
+
+    def _shape_trunk_indices(self) -> List[Tuple[int, int]]:
+        """0-based trunk index pairs of a generated shape (validates params)."""
+        p = self.params
+        if self.topology == "fat_tree":
+            return fat_tree_trunk_indices(self.n_devices, p.get("arity", 2))
+        if self.topology == "torus":
+            return torus_trunk_indices(self.n_devices, p.get("rows"))
+        if self.topology == "ring_of_rings":
+            return ring_of_rings_trunk_indices(self.n_devices, p.get("groups"))
+        raise ValueError(f"no static construction plan for {self.topology!r}")
+
     def trunk_pairs(self) -> List[Tuple[str, str]]:
         """The static trunk list of this shape, without building anything.
 
         Mirrors the builders in :mod:`repro.network.topology`; used to pick
         default trunks for link-failure runs and by the property tests.
+        Raises for ``random_geometric``, whose edge set is seed-dependent —
+        build the topology to enumerate its trunks.
         """
         names = [f"sw{i + 1}" for i in range(self.n_devices)]
         if self.topology == "mesh":
@@ -215,6 +284,15 @@ class ScenarioSpec:
         if self.topology == "star":
             hub = names[self.hub_device - 1]
             return [(hub, name) for name in names if name != hub]
+        if self.topology in ("fat_tree", "torus", "ring_of_rings"):
+            return [
+                (names[i], names[j]) for i, j in self._shape_trunk_indices()
+            ]
+        if self.topology == "random_geometric":
+            raise ValueError(
+                "random_geometric trunks are seed-dependent; build the "
+                "topology to enumerate them"
+            )
         raise ValueError(f"unknown topology {self.topology!r}")
 
     # ------------------------------------------------------------------
@@ -237,6 +315,11 @@ class ScenarioSpec:
         doc.pop("attack_campaign", None)
         if self.attack_campaign is not None:
             doc["attack_campaign"] = self.attack_campaign.to_dict()
+        # And for topology parameters (pre-generated-shape fingerprints);
+        # serialized as a plain mapping when present.
+        doc.pop("topology_params", None)
+        if self.topology_params:
+            doc["topology_params"] = dict(self.topology_params)
         doc["schema_version"] = SCENARIO_SCHEMA_VERSION
         return doc
 
@@ -250,6 +333,11 @@ class ScenarioSpec:
                 f"scenario schema v{version} not supported "
                 f"(this build reads v{SCENARIO_SCHEMA_VERSION})"
             )
+        # ``scenarios show --json`` annotates the document with derived
+        # keys; tolerate them so a shown document can be edited and passed
+        # straight back via ``--scenario path.json``.
+        for derived in ("fingerprint", "trunks"):
+            doc.pop(derived, None)
         known = {f.name for f in fields(cls)}
         unknown = set(doc) - known
         if unknown:
@@ -320,6 +408,7 @@ class ScenarioSpec:
             seed=seed,
             n_devices=self.n_devices,
             topology=self.topology,
+            topology_params=self.topology_params,
             hub_device=self.hub_device,
             gm_placement=self.gm_placement,
             n_domains=self.n_domains,

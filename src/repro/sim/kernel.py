@@ -36,6 +36,7 @@ link-failure runs cannot grow the queue unboundedly.
 from __future__ import annotations
 
 import heapq
+import weakref
 from typing import Any, Callable, List, Optional, Tuple
 
 # Scheduling runs once per event; skip the module-attribute hop per call.
@@ -141,6 +142,12 @@ class Simulator:
         # scheduling paths then pay one short-circuited None check each.
         self._metrics = None
         self._queue_hwm: int = 0
+        # Fast-forward support: jittered periodic tasks register here so
+        # fast_forward() can retime their nominal schedules coherently
+        # (weak refs — registration must not pin task lifetimes).
+        self._tasks: "weakref.WeakSet" = weakref.WeakSet()
+        self.fastforward_spans: int = 0
+        self.fastforward_ns: int = 0
 
     def reset(self, start_time: int = 0) -> None:
         """Return the kernel to a pristine post-construction state.
@@ -167,6 +174,18 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._queue_hwm = 0
+        self._tasks = weakref.WeakSet()
+        self.fastforward_spans = 0
+        self.fastforward_ns = 0
+
+    def register_task(self, task: Any) -> None:
+        """Register a periodic task for fast-forward retiming (weakly held).
+
+        Anything exposing ``fast_forward_key(horizon)`` /
+        ``fast_forward(horizon)`` (see :class:`repro.sim.process.PeriodicTask`)
+        may register; unregistration is automatic on garbage collection.
+        """
+        self._tasks.add(task)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -410,6 +429,70 @@ class Simulator:
         """Ask a running :meth:`run`/:meth:`run_until` loop to return."""
         self._stopped = True
 
+    def fast_forward(self, to_time: int) -> int:
+        """Retime all periodic work to at/after ``to_time`` without firing it.
+
+        The adaptive-fidelity engine's primitive: every repeating timer
+        (``schedule_periodic`` handles and registered jittered
+        :class:`~repro.sim.process.PeriodicTask` objects) whose next fire
+        lands before ``to_time`` is advanced by a whole number of its own
+        periods so its phase is preserved; one-shot events are left
+        untouched. ``now`` does not move — the caller follows up with
+        :meth:`run_until` to sweep whatever remains in the window, then
+        applies the analytic state update for the skipped span.
+
+        Returns the number of timers retimed. Callers own the semantic
+        question of whether skipping is sound (quiescence); the kernel only
+        guarantees the retiming is phase-exact and deterministic.
+        """
+        if to_time < self.now:
+            raise SimulationError(
+                f"fast_forward({to_time}) is in the past (now={self.now})"
+            )
+        queue = self._queue
+        keep: List[tuple] = []
+        retimed: List[tuple] = []
+        for entry in queue:
+            handle = entry[2]
+            if handle is not None and handle.cancelled:
+                continue  # shed dead entries while rebuilding anyway
+            if (
+                handle is not None
+                and handle.interval > 0
+                and entry[0] < to_time
+            ):
+                retimed.append(entry)
+            else:
+                keep.append(entry)
+        # Old (time, seq) order keeps seq assignment — and thus any future
+        # tie-breaking at the new times — deterministic.
+        retimed.sort()
+        for entry in retimed:
+            handle = entry[2]
+            interval = handle.interval
+            # ceil((to_time - t) / interval) whole periods, integer math.
+            periods = -((handle.time - to_time) // interval)
+            handle.time += periods * interval
+            seq = self._seq
+            self._seq = seq + 1
+            handle.seq = seq
+            keep.append((handle.time, seq, handle, None, None))
+        queue[:] = keep
+        heapq.heapify(queue)
+        # Jittered tasks re-arm themselves with one-shot events the loop
+        # above cannot retime; each task knows its own nominal schedule.
+        pending = []
+        for task in self._tasks:
+            key = task.fast_forward_key(to_time)
+            if key is not None:
+                pending.append((key, task))
+        pending.sort(key=lambda kt: kt[0])
+        for _key, task in pending:
+            task.fast_forward(to_time)
+        self.fastforward_spans += 1
+        self.fastforward_ns += to_time - self.now
+        return len(retimed) + len(pending)
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -472,6 +555,11 @@ class Simulator:
         registry.gauge("kernel.queue_depth_hwm").set(self._queue_hwm)
         registry.gauge("kernel.pending_events").set(self._live)
         registry.gauge("kernel.sim_now_ns").set(self.now)
+        # Only adaptive-fidelity runs carry fast-forward spans; full-fidelity
+        # runs keep their historical metric set.
+        if self.fastforward_spans:
+            registry.gauge("kernel.fastforward_spans").set(self.fastforward_spans)
+            registry.gauge("kernel.fastforward_ns").set(self.fastforward_ns)
 
     @property
     def pending_events(self) -> int:

@@ -71,6 +71,9 @@ class PeriodicTask:
         self.ticks = 0
         self._handle: Optional[EventHandle] = None
         self._next_nominal: Optional[int] = None
+        # Jittered tasks re-arm via one-shot events the kernel cannot retime
+        # by itself; register so fast_forward() can delegate back here.
+        sim.register_task(self)
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -128,6 +131,41 @@ class PeriodicTask:
         # The action may have stopped us; only re-arm if still on schedule.
         if self._next_nominal == next_nominal and self._handle is None:
             self._arm()
+
+    # ------------------------------------------------------------------
+    # Fast-forward protocol (see Simulator.fast_forward)
+    # ------------------------------------------------------------------
+    def fast_forward_key(self, horizon: int):
+        """Deterministic retime ordering key, or ``None`` if not affected.
+
+        Only running jittered tasks with a pending tick before ``horizon``
+        participate; jitter-free tasks ride ``schedule_periodic`` handles
+        the kernel retimes directly.
+        """
+        handle = self._handle
+        if (
+            self._next_nominal is None
+            or handle is None
+            or handle.cancelled
+            or handle.time >= horizon
+        ):
+            return None
+        return (handle.time, handle.seq)
+
+    def fast_forward(self, horizon: int) -> None:
+        """Skip whole periods so the next tick lands at/after ``horizon``.
+
+        Phase-exact: the nominal schedule advances by an integer number of
+        periods, then one fresh jitter draw arms the next tick — the same
+        single draw a tick at the new nominal time would have consumed.
+        """
+        assert self._next_nominal is not None and self._handle is not None
+        periods = -((self._next_nominal - horizon) // self.period)
+        if periods > 0:
+            self._next_nominal += periods * self.period
+        self._handle.cancel()
+        self._handle = None
+        self._arm()
 
     def __repr__(self) -> str:
         state = "running" if self.running else "stopped"

@@ -1,0 +1,212 @@
+"""Adaptive-fidelity engine: kernel fast-forward + full-vs-adaptive parity.
+
+The adaptive tier is allowed to trade bit-exactness for wall time only
+inside a documented tolerance. These tests pin that contract:
+
+* ``Simulator.fast_forward`` retimes periodic/jittered work phase-exactly
+  and refuses to move backwards;
+* ``fidelity="full"`` stays the byte-identical default (no engine, no
+  fast-forward spans);
+* an adaptive run produces the **same invariant-monitor verdict** as the
+  full run, the same probe cadence, and a max measured precision within
+  ``TOLERANCE_FRACTION`` of the full run's (plus an absolute floor for
+  near-zero baselines) — checked fast on mesh8 and, in the slow tier, on
+  paper-mesh4 and torus-64 across seeds 1/21/42.
+"""
+
+import pytest
+
+from repro.experiments.chaos import ChaosExperimentConfig, run_chaos_experiment
+from repro.experiments.testbed import Testbed, TestbedConfig
+from repro.scenarios import get_scenario
+from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.process import PeriodicTask
+from repro.sim.timebase import SECONDS
+
+#: Documented equivalence tolerance: the adaptive run's max measured
+#: precision may differ from the full run's by at most this fraction of
+#: the full value plus the absolute floor. The steady-state precision
+#: series is stationary; the delta comes from the synthesized records
+#: holding the recent mean while the full run keeps sampling the tails.
+TOLERANCE_FRACTION = 0.25
+TOLERANCE_FLOOR_NS = 500.0
+
+
+def _run(scenario_name: str, fidelity: str, seed: int, duration_s: int = 120):
+    config = ChaosExperimentConfig(
+        duration=duration_s * SECONDS,
+        seed=seed,
+        scenario=get_scenario(scenario_name),
+        fidelity=fidelity,
+    )
+    return run_chaos_experiment(config)
+
+
+def _assert_equivalent(full, adaptive):
+    assert adaptive.fastforward["jumps"] > 0, (
+        "adaptive run never jumped - the equivalence check is vacuous"
+    )
+    assert not full.fastforward
+    assert adaptive.verdict.status == full.verdict.status
+    assert adaptive.bounds.precision_bound == full.bounds.precision_bound
+    assert adaptive.bound_violations == full.bound_violations
+    # Same 1 Hz cadence: synthesized records fill the skipped spans.
+    assert abs(adaptive.probes - full.probes) <= 2
+    tolerance = TOLERANCE_FRACTION * full.max_precision + TOLERANCE_FLOOR_NS
+    assert abs(adaptive.max_precision - full.max_precision) <= tolerance, (
+        f"max precision drifted: full={full.max_precision:.0f}ns "
+        f"adaptive={adaptive.max_precision:.0f}ns tolerance={tolerance:.0f}ns"
+    )
+
+
+# ----------------------------------------------------------------------
+# Kernel fast-forward mechanics
+# ----------------------------------------------------------------------
+class TestKernelFastForward:
+    def test_periodic_handle_phase_preserved(self):
+        sim = Simulator()
+        fires = []
+        sim.schedule_periodic(1000, lambda: fires.append(sim.now), start=1000)
+        sim.run_until(2500)
+        sim.fast_forward(10_000)
+        sim.run_until(10_000)
+        # Ticks at 1000/2000 ran; the next retimed tick lands exactly on
+        # the first nominal multiple at/after the horizon.
+        assert fires == [1000, 2000, 10_000]
+        assert sim.fastforward_spans == 1
+        assert sim.fastforward_ns == 7500  # 2500 -> 10000
+
+    def test_jittered_task_retimed_with_fresh_draw(self):
+        import random
+
+        sim = Simulator()
+        fires = []
+        task = PeriodicTask(
+            sim, 1000, lambda: fires.append(sim.now),
+            jitter=20, rng=random.Random(7), name="jittered",
+        )
+        task.start()
+        sim.run_until(2500)
+        assert len(fires) == 2
+        sim.fast_forward(10_000)
+        sim.run_until(10_100)
+        # The nominal schedule advanced a whole number of periods; the
+        # retimed tick fires within one jitter draw of its nominal time.
+        assert len(fires) == 3
+        assert 10_000 <= fires[-1] <= 10_000 + task.period + task.jitter
+
+    def test_fast_forward_rejects_past(self):
+        sim = Simulator()
+        sim.schedule_at(100, lambda: None)
+        sim.run_until(500)
+        with pytest.raises(SimulationError):
+            sim.fast_forward(400)
+
+    def test_one_shot_events_keep_their_time(self):
+        sim = Simulator()
+        fires = []
+        sim.schedule_at(7000, lambda: fires.append(sim.now))
+        sim.fast_forward(5000)
+        sim.run_until(10_000)
+        assert fires == [7000]
+
+
+# ----------------------------------------------------------------------
+# Testbed fidelity plumbing
+# ----------------------------------------------------------------------
+class TestFidelityPlumbing:
+    def test_full_is_default_and_engine_free(self):
+        tb = Testbed(TestbedConfig(seed=1))
+        assert tb.fidelity == "full"
+        tb.run_until(2 * SECONDS)
+        assert tb.fastforward_summary() == {}
+        assert tb.sim.fastforward_spans == 0
+
+    def test_unknown_fidelity_rejected(self):
+        with pytest.raises(ValueError, match="unknown fidelity"):
+            Testbed(TestbedConfig(seed=1), fidelity="approximate")
+        with pytest.raises(ValueError, match="unknown fidelity"):
+            run_chaos_experiment(
+                ChaosExperimentConfig(duration=SECONDS, fidelity="turbo")
+            )
+
+    def test_adaptive_waits_for_lock(self):
+        """No jump before measurement starts and every servo locks."""
+        tb = Testbed(TestbedConfig(seed=1), fidelity="adaptive")
+        tb.run_until(20 * SECONDS)  # inside startup/convergence
+        assert tb.fastforward_summary()["jumps"] == 0
+
+    def test_transient_pressure_disables_jumps(self):
+        """Per-event fault probabilities force full-fidelity execution."""
+        import dataclasses
+
+        from repro.faults.transient import calibrate_transients
+
+        config = dataclasses.replace(
+            TestbedConfig(seed=1), transients=calibrate_transients()
+        )
+        tb = Testbed(config, fidelity="adaptive")
+        tb.run_until(100 * SECONDS)
+        assert tb.fastforward_summary()["jumps"] == 0
+
+
+# ----------------------------------------------------------------------
+# Full-vs-adaptive equivalence
+# ----------------------------------------------------------------------
+class TestEquivalence:
+    def test_mesh8_smoke(self):
+        """Fast-tier CI smoke: one seed, mesh8, both tiers agree."""
+        full = _run("mesh8", "full", seed=1)
+        adaptive = _run("mesh8", "adaptive", seed=1)
+        _assert_equivalent(full, adaptive)
+
+    @pytest.mark.parametrize("seed", [1, 21, 42])
+    def test_paper_mesh4_seeds(self, seed):
+        full = _run("paper-mesh4", "full", seed=seed)
+        adaptive = _run("paper-mesh4", "adaptive", seed=seed)
+        _assert_equivalent(full, adaptive)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", [1, 21, 42])
+    def test_torus_64_seeds(self, seed):
+        full = _run("torus-64", "full", seed=seed)
+        adaptive = _run("torus-64", "adaptive", seed=seed)
+        _assert_equivalent(full, adaptive)
+
+
+# ----------------------------------------------------------------------
+# Sweep duration override (--sim-seconds)
+# ----------------------------------------------------------------------
+class TestSweepSimSeconds:
+    def test_parser_accepts_sim_seconds(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["sweep", "attackbudget", "--sim-seconds", "60"]
+        )
+        assert args.sim_seconds == 60.0
+        assert args.duration is None
+        assert args.fidelity == "full"
+
+    def test_duration_and_sim_seconds_conflict(self):
+        from repro.cli import main
+
+        rc = main(["sweep", "attackbudget", "--sim-seconds", "60",
+                   "--duration", "120", "--no-cache"])
+        assert rc == 2
+
+    def test_attackbudget_smoke_at_60s(self, capsys):
+        """Satellite: the 900 s/arm default is overridable for large
+        topologies; a 60 s attackbudget sweep completes and reports a
+        breaking point."""
+        import json
+
+        from repro.cli import main
+
+        rc = main(["sweep", "attackbudget", "--sim-seconds", "60",
+                   "--no-cache", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["study"] == "attackbudget"
+        assert "breaking_point" in payload
+        assert len(payload["rows"]) == 4

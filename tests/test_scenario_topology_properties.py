@@ -10,7 +10,7 @@ mesh4 equivalence cannot cover — they pin the generalization itself.
 import random
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.experiments.testbed import Testbed
 from repro.network.topology import (
@@ -149,7 +149,12 @@ class TestSpanningTreeProperties:
     def test_bfs_tree_invariants(self, kind, n, seed):
         sim = Simulator()
         rng = random.Random(seed)
-        topo = build_topology(kind, sim, rng, MeshModel(n_devices=n))
+        try:
+            topo = build_topology(kind, sim, rng, MeshModel(n_devices=n))
+        except ValueError:
+            # Shape constraints (torus/ring_of_rings need n = a×b with both
+            # factors >= 3) make some sampled sizes infeasible — skip them.
+            assume(False)
         names = topo.switch_names()
         for root in names:
             tree = topo.spanning_tree(root)

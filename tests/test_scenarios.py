@@ -115,8 +115,10 @@ class TestValidation:
             ScenarioSpec(name="x", topology="ring", n_devices=2, f=0)
 
     def test_unknown_topology(self):
+        # "torus" used to be the unknown example until it became a real
+        # shape; keep a genuinely unknown kind here.
         with pytest.raises(ValueError, match="unknown topology"):
-            ScenarioSpec(name="x", topology="torus")
+            ScenarioSpec(name="x", topology="hypercube")
 
     def test_fta_floor(self):
         # u_factor's Byzantine condition: M >= 3f + 1.
@@ -182,6 +184,21 @@ class TestScenarioCli:
         assert doc["topology"] == "star"
         assert doc["fingerprint"] == get_scenario("star").fingerprint()
         assert ["sw1", "sw2"] in doc["trunks"]
+
+    def test_scenarios_show_round_trips(self, capsys):
+        """A shown document (with its derived annotation keys) loads back."""
+        assert main(["scenarios", "show", "torus-64", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["fingerprint"] == get_scenario("torus-64").fingerprint()
+        assert ScenarioSpec.from_dict(doc) == get_scenario("torus-64")
+
+    def test_scenarios_show_seed_dependent_trunks(self, capsys):
+        """random_geometric trunks depend on the run seed, so ``show``
+        omits them instead of crashing."""
+        assert main(["scenarios", "show", "geo-64", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "trunks" not in doc
+        assert ScenarioSpec.from_dict(doc) == get_scenario("geo-64")
 
     def test_scenario_flag_parses_everywhere(self):
         from repro.cli import build_parser

@@ -1,0 +1,291 @@
+"""Property tests for the generated fleet-scale topology builders.
+
+The fat-tree / torus / ring-of-rings / random-geometric shapes are defined
+by construction plans (index-pair lists) shared between the builders and
+the scenario layer. These tests pin the structural invariants each plan
+promises — degree bounds, connectivity, determinism — plus the path-cache
+behaviour the N=1024 scenarios rely on and the alias/error contract of
+``build_topology``.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.testbed import Testbed, TestbedConfig
+from repro.network.topology import (
+    MeshModel,
+    TOPOLOGY_ALIASES,
+    TOPOLOGY_BUILDERS,
+    build_topology,
+    fat_tree_trunk_indices,
+    normalize_topology_kind,
+    ring_of_rings_dims,
+    ring_of_rings_trunk_indices,
+    torus_dims,
+    torus_trunk_indices,
+)
+from repro.scenarios import get_scenario
+from repro.sim.kernel import Simulator
+
+
+def _build(kind, n, seed, **kwargs):
+    return build_topology(
+        kind, Simulator(), random.Random(seed),
+        MeshModel(n_devices=n), **kwargs,
+    )
+
+
+def _connected(n, pairs):
+    """BFS over an index-pair edge list reaches every node from 0."""
+    adj = {i: [] for i in range(n)}
+    for i, j in pairs:
+        adj[i].append(j)
+        adj[j].append(i)
+    seen = {0}
+    frontier = [0]
+    while frontier:
+        node = frontier.pop()
+        for other in adj[node]:
+            if other not in seen:
+                seen.add(other)
+                frontier.append(other)
+    return len(seen) == n
+
+
+# ----------------------------------------------------------------------
+# Construction-plan invariants
+# ----------------------------------------------------------------------
+class TestFatTreePlan:
+    @given(n=st.integers(2, 60), arity=st.integers(2, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_degree_bound_and_parent_links(self, n, arity):
+        pairs = fat_tree_trunk_indices(n, arity)
+        degree = [0] * n
+        edges = set()
+        for i, j in pairs:
+            assert i != j
+            edge = frozenset((i, j))
+            assert edge not in edges, "duplicate trunk"
+            edges.add(edge)
+            degree[i] += 1
+            degree[j] += 1
+        # k-ary invariants: every non-root hangs off its heap parent, and
+        # no switch exceeds primary+secondary children plus two uplinks.
+        for i in range(1, n):
+            assert frozenset((i, (i - 1) // arity)) in edges
+        assert max(degree) <= 2 * arity + 2
+        assert _connected(n, pairs)
+
+    def test_rejects_degenerate_parameters(self):
+        with pytest.raises(ValueError):
+            fat_tree_trunk_indices(1)
+        with pytest.raises(ValueError):
+            fat_tree_trunk_indices(8, arity=1)
+
+
+class TestTorusPlan:
+    @given(
+        n=st.sampled_from([9, 12, 15, 16, 20, 24, 25, 64]),
+        explicit_rows=st.booleans(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_degree_exactly_four(self, n, explicit_rows):
+        rows = torus_dims(n)[0] if explicit_rows else None
+        pairs = torus_trunk_indices(n, rows)
+        degree = [0] * n
+        edges = set()
+        for i, j in pairs:
+            assert i != j
+            edge = frozenset((i, j))
+            assert edge not in edges, "duplicate trunk"
+            edges.add(edge)
+            degree[i] += 1
+            degree[j] += 1
+        assert degree == [4] * n
+        assert _connected(n, pairs)
+
+    @pytest.mark.parametrize("n", [4, 7, 8, 13])
+    def test_rejects_unfactorable_sizes(self, n):
+        # No rows × cols with both >= 3 exists for these sizes.
+        with pytest.raises(ValueError):
+            torus_dims(n)
+
+
+class TestRingOfRingsPlan:
+    @given(n=st.sampled_from([9, 12, 15, 16, 20, 24, 25]))
+    @settings(max_examples=20, deadline=None)
+    def test_gateway_and_inner_degrees(self, n):
+        groups, size = ring_of_rings_dims(n)
+        pairs = ring_of_rings_trunk_indices(n)
+        degree = [0] * n
+        for i, j in pairs:
+            degree[i] += 1
+            degree[j] += 1
+        gateways = {k * size for k in range(groups)}
+        for node in range(n):
+            assert degree[node] == (4 if node in gateways else 2)
+        assert _connected(n, pairs)
+
+
+class TestBuiltShapes:
+    @given(
+        kind=st.sampled_from(
+            ["fat_tree", "torus", "ring_of_rings", "random_geometric"]
+        ),
+        n=st.sampled_from([9, 12, 16, 20]),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_spanning_tree_covers_all_switches(self, kind, n, seed):
+        topo = _build(kind, n, seed)
+        names = topo.switch_names()
+        assert len(names) == n
+        tree = topo.spanning_tree(names[0])
+        assert set(tree.parent) == set(names)
+
+    def test_random_geometric_deterministic(self):
+        a = _build("random_geometric", 24, seed=7)
+        b = _build("random_geometric", 24, seed=7)
+        assert a.positions == b.positions
+        assert set(a.trunks) == set(b.trunks)
+        other = _build("random_geometric", 24, seed=8)
+        assert other.positions != a.positions
+
+    def test_trunk_pairs_match_builder(self):
+        """ScenarioSpec's static trunk list equals the built edge set."""
+        for name in ("torus-64", "fat-tree-64", "rings-1024"):
+            spec = get_scenario(name)
+            topo = _build(
+                spec.topology, spec.n_devices, seed=3, **dict(spec.params)
+            )
+            built = {frozenset(pair) for pair in topo.trunks}
+            declared = {frozenset(pair) for pair in spec.trunk_pairs()}
+            assert built == declared, name
+
+
+# ----------------------------------------------------------------------
+# Aliases and the unknown-kind error path
+# ----------------------------------------------------------------------
+class TestKindResolution:
+    @pytest.mark.parametrize("spelling, canonical", [
+        ("Fat-Tree", "fat_tree"),
+        ("FATTREE", "fat_tree"),
+        ("TORUS", "torus"),
+        ("rings", "ring_of_rings"),
+        ("Ring-Of-Rings", "ring_of_rings"),
+        ("rgg", "random_geometric"),
+        ("GEO", "random_geometric"),
+        ("geometric", "random_geometric"),
+        ("mesh", "mesh"),
+    ])
+    def test_aliases_resolve(self, spelling, canonical):
+        assert normalize_topology_kind(spelling) == canonical
+
+    def test_aliases_point_at_real_builders(self):
+        for target in TOPOLOGY_ALIASES.values():
+            assert target in TOPOLOGY_BUILDERS
+
+    def test_unknown_kind_lists_valid_kinds(self):
+        with pytest.raises(ValueError) as excinfo:
+            build_topology(
+                "hypercube", Simulator(), random.Random(0), MeshModel()
+            )
+        message = str(excinfo.value)
+        assert "unknown topology kind 'hypercube'" in message
+        for kind in sorted(TOPOLOGY_BUILDERS):
+            assert kind in message
+
+    def test_alias_builds_same_shape(self):
+        direct = _build("fat_tree", 12, seed=5, arity=3)
+        aliased = _build("Fat-Tree", 12, seed=5, arity=3)
+        assert set(direct.trunks) == set(aliased.trunks)
+
+
+# ----------------------------------------------------------------------
+# Path-analysis memoization
+# ----------------------------------------------------------------------
+class TestPathCache:
+    def test_path_bounds_hit_miss_counters(self):
+        tb = Testbed(TestbedConfig(seed=1))
+        topo = tb.topology
+        vms = sorted(tb.vms)
+        a, b = vms[0], vms[1]
+        hits0, misses0 = topo.path_cache_hits, topo.path_cache_misses
+        first = topo.path_bounds(a, b)
+        assert topo.path_cache_misses == misses0 + 1
+        again = topo.path_bounds(a, b)
+        assert again is first
+        assert topo.path_cache_hits == hits0 + 1
+        # Symmetric orientation is stored alongside the computed one.
+        mirrored = topo.path_bounds(b, a)
+        assert mirrored is first
+        assert topo.path_cache_hits == hits0 + 2
+        assert topo.path_cache_misses == misses0 + 1
+
+    def test_spanning_tree_cached_per_root(self):
+        tb = Testbed(TestbedConfig(seed=1))
+        topo = tb.topology
+        root = topo.switch_names()[0]
+        assert topo.spanning_tree(root) is topo.spanning_tree(root)
+
+    def test_add_trunk_invalidates_caches(self):
+        tb = Testbed(TestbedConfig(seed=1, topology="line"))
+        topo = tb.topology
+        on_sw1 = [v for v, sw in topo.nic_switch.items() if sw == "sw1"]
+        on_sw4 = [v for v, sw in topo.nic_switch.items() if sw == "sw4"]
+        a, b = on_sw1[0], on_sw4[0]
+        before = topo.path_bounds(a, b)
+        assert before.hops == 5  # 3 trunks + 2 access links on the line
+        tree_before = topo.spanning_tree("sw1")
+        topo.add_trunk("sw1", "sw4", random.Random(0))
+        after = topo.path_bounds(a, b)
+        assert after is not before
+        assert after.hops == 3  # the new shortcut trunk
+        assert topo.spanning_tree("sw1") is not tree_before
+
+
+# ----------------------------------------------------------------------
+# Hop-aware bounds on generated shapes
+# ----------------------------------------------------------------------
+class TestHopAwareBounds:
+    @pytest.fixture(scope="class")
+    def torus_testbed(self):
+        return Testbed(
+            TestbedConfig(seed=3, topology="torus", n_devices=9, n_domains=4)
+        )
+
+    def test_hops_equal_tree_depth_plus_access(self, torus_testbed):
+        topo = torus_testbed.topology
+        vms = sorted(torus_testbed.vms)
+        for i, a in enumerate(vms):
+            for b in vms[i + 1:]:
+                sw_a, sw_b = topo.nic_switch[a], topo.nic_switch[b]
+                root, leaf = min(sw_a, sw_b, key=lambda s: (len(s), s)), \
+                    max(sw_a, sw_b, key=lambda s: (len(s), s))
+                depth = topo.spanning_tree(root).depth[leaf]
+                assert topo.path_bounds(a, b).hops == depth + 2
+
+    def test_min_delay_monotone_along_tree_chains(self, torus_testbed):
+        """Every extra trunk hop adds >= trunk_min + residence_base to the
+        path minimum — more than access-link variation can compensate — so
+        bounds from a root-switch NIC grow strictly down each BFS chain."""
+        topo = torus_testbed.topology
+        root = topo.switch_names()[0]
+        anchor = next(
+            v for v, sw in topo.nic_switch.items() if sw == root
+        )
+        tree = topo.spanning_tree(root)
+        by_switch = {}
+        for vm, sw in topo.nic_switch.items():
+            by_switch.setdefault(sw, vm)
+        for sw, vm in by_switch.items():
+            parent = tree.parent[sw]
+            if parent is None or vm == anchor:
+                continue
+            here = topo.path_bounds(anchor, vm)
+            up = topo.path_bounds(anchor, by_switch[parent])
+            assert here.hops == up.hops + 1
+            assert here.min_delay > up.min_delay
+            assert here.max_delay > up.max_delay
