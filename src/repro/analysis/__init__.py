@@ -12,12 +12,27 @@ paper's figures show:
 * :mod:`repro.analysis.timeline` — fault/takeover/transient event series
   for a window (Fig. 5's arrows, stars and crosses);
 * :mod:`repro.analysis.report` — plain-text renderings of all of the above
-  so benches can print paper-comparable rows.
+  so benches can print paper-comparable rows;
+* :mod:`repro.analysis.bounds_theory` — the closed-form §III-A3 bound
+  predictor (worst-case sync-error envelopes from topology shape, drift,
+  fault hypothesis and active impairments).
 """
 
 from repro.analysis.aggregate import AggregateBucket, aggregate_series
+from repro.analysis.bounds_theory import (
+    TheoreticalBounds,
+    attack_allowance,
+    predict_bounds,
+    predict_testbed_bounds,
+    predict_topology_bounds,
+)
 from repro.analysis.histogram import HistogramResult, histogram
-from repro.analysis.report import render_histogram, render_series, render_timeline
+from repro.analysis.report import (
+    render_envelope,
+    render_histogram,
+    render_series,
+    render_timeline,
+)
 from repro.analysis.timeline import EventTimeline, extract_timeline
 
 __all__ = [
@@ -29,5 +44,11 @@ __all__ = [
     "EventTimeline",
     "render_series",
     "render_histogram",
+    "render_envelope",
     "render_timeline",
+    "TheoreticalBounds",
+    "attack_allowance",
+    "predict_bounds",
+    "predict_testbed_bounds",
+    "predict_topology_bounds",
 ]

@@ -119,6 +119,37 @@ def render_metrics(document: dict, width: int = 30) -> str:
     return "\n".join(lines) if lines else "(no metrics)"
 
 
+def render_envelope(rows: Iterable[object]) -> str:
+    """Measured-vs-theoretical margin table for an envelope sweep.
+
+    Accepts :class:`repro.experiments.sweeps.EnvelopeRow` instances or
+    their ``as_dict()`` forms (e.g. loaded back from a committed
+    ``results/envelope_*.json``) — this module stays import-free of the
+    experiments layer, which itself imports the analysis bound predictor.
+    """
+    dicts = [
+        row if isinstance(row, dict) else row.as_dict()  # type: ignore[attr-defined]
+        for row in rows
+    ]
+    if not dicts:
+        return "(empty envelope sweep)"
+    header = (
+        f"{'scenario':>14} {'N':>5} {'f':>2} {'attack':>11} "
+        f"{'envelope*[ns]':>14} {'Π+γ[ns]':>10} {'max Π*[ns]':>12} "
+        f"{'margin[ns]':>12} {'within':>7} {'verdict':>9}"
+    )
+    lines = [header]
+    for d in dicts:
+        lines.append(
+            f"{d['scenario']:>14} {d['n_devices']:>5} {d['f']:>2} "
+            f"{(d['attack'] or '-'):>11} {d['envelope_ns']:>14.0f} "
+            f"{d['measured_bound_ns']:>10.0f} {d['max_precision_ns']:>12.1f} "
+            f"{d['margin_ns']:>12.1f} {str(bool(d['within'])):>7} "
+            f"{d['verdict']:>9}"
+        )
+    return "\n".join(lines)
+
+
 def render_timeline(timeline: EventTimeline) -> str:
     """Fig. 5's marker list as text."""
     symbols = {

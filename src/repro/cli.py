@@ -148,6 +148,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
             verdict=result.verdict.status,
             verdict_detail=result.verdict.to_dict(),
             extra={"hours": args.hours, "compress": bool(args.compress)},
+            **_bounds_manifest_fields(result.bounds),
         ))
     payload = {
         "hours": args.hours,
@@ -279,6 +280,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                     "fastforward": result.fastforward}
                    if result.fastforward else {}),
             },
+            **_bounds_manifest_fields(result.bounds),
         ))
     _emit(args, result.to_text(), result.to_dict())
     if result.verdict.status == FAIL:
@@ -378,6 +380,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                     "fastforward": result.fastforward}
                    if result.fastforward else {}),
             ),
+            **_bounds_manifest_fields(result.bounds),
         ))
     payload = dict(result.to_dict())
     payload["campaign"] = campaign_info
@@ -416,6 +419,18 @@ def cmd_linkfail(args: argparse.Namespace) -> int:
     }
     _emit(args, result.to_text(), payload)
     return 0 if result.violations == 0 and result.recovered else 1
+
+
+def _bounds_manifest_fields(bounds) -> Dict[str, Any]:
+    """``bounds``/``predicted_bounds`` manifest blocks from run bounds.
+
+    The measured §III-A3 figures and the closed-form prediction travel as
+    separate schema-v3 manifest fields, so the prediction is split out of
+    :meth:`repro.measurement.bounds.ExperimentBounds.to_dict`'s nested form.
+    """
+    doc = bounds.to_dict()
+    predicted = doc.pop("predicted", None)
+    return {"bounds": doc, "predicted_bounds": predicted}
 
 
 def _metrics_registry(args: argparse.Namespace):
@@ -460,7 +475,99 @@ def _executor_kwargs(args: argparse.Namespace) -> Dict[str, Any]:
     return kwargs
 
 
+def _cmd_sweep_envelope(args: argparse.Namespace) -> int:
+    """The ``sweep envelope`` study: margin vs. the closed-form prediction.
+
+    Unlike the other studies this one varies the *scenario* itself (one
+    clean arm per registry shape, graded against its predicted envelope)
+    plus an adversarial arm replaying the PR-6 colluder campaign, so it
+    bypasses the generic single-axis runner table.
+    """
+    from repro.analysis.report import render_envelope
+    from repro.experiments.sweeps import envelope_verdict, sweep_envelope
+    from repro.sim.timebase import SECONDS
+
+    registry = _metrics_registry(args)
+    if args.sim_seconds is not None and args.duration is not None:
+        print("use --sim-seconds or --duration, not both", file=sys.stderr)
+        return 2
+    duration_s = (args.sim_seconds if args.sim_seconds is not None
+                  else args.duration)
+    duration = round((duration_s if duration_s is not None else 120.0)
+                     * SECONDS)
+    kwargs: Dict[str, Any] = {}
+    exec_kwargs = _executor_kwargs(args)
+    if "cache" in exec_kwargs:
+        kwargs["cache"] = exec_kwargs["cache"]
+    # --fidelity full (the flag's global default) keeps the study's auto
+    # tiering (adaptive at >= 64 devices, full below); --fidelity adaptive
+    # forces adaptive everywhere.
+    if args.fidelity == "adaptive":
+        kwargs["fidelity"] = "adaptive"
+    if getattr(args, "scenario", None):
+        # A single named arm (the CI smoke path): no adversarial arm.
+        kwargs["scenarios"] = (args.scenario,)
+        kwargs["attack_check"] = False
+    wall_start = time.perf_counter()
+    rows = sweep_envelope(
+        seed=args.seed, duration=duration, metrics=registry, **kwargs
+    )
+    verdict = envelope_verdict(rows)
+    if registry is not None:
+        from repro.metrics import RunManifest
+        from repro.parallel import config_fingerprint
+
+        events = registry.counters.get("experiment.events_dispatched")
+        _write_metrics(args, registry, RunManifest(
+            experiment="sweep:envelope",
+            config_fingerprint=config_fingerprint(
+                "sweep-cli", "envelope", args.seed, duration,
+                getattr(args, "scenario", None),
+            ),
+            seeds=[args.seed],
+            sim_duration_ns=duration,
+            wall_time_s=time.perf_counter() - wall_start,
+            events_dispatched=events.value if events is not None else None,
+            verdict=verdict,
+            verdict_detail={
+                "rows": {
+                    (f"{r.scenario}+{r.attack}" if r.attack else r.scenario):
+                        r.verdict
+                    for r in rows
+                },
+            },
+            extra={
+                "points": len(rows),
+                "min_margin_ns": min(
+                    (r.margin_ns for r in rows if not r.attack),
+                    default=None,
+                ),
+            },
+        ))
+    payload = {
+        "study": "envelope",
+        "verdict": verdict,
+        "rows": [r.as_dict() for r in rows],
+    }
+    clean = [r for r in rows if not r.attack]
+    text = render_envelope(rows)
+    text += (
+        f"\nenvelope verdict: {verdict} "
+        f"({sum(r.within for r in clean)}/{len(clean)} clean arms within "
+        "the predicted envelope"
+        + (
+            f"; adversarial arm {'flagged' if not rows[-1].within else 'MISSED'}"
+            if any(r.attack for r in rows) else ""
+        )
+        + ")"
+    )
+    _emit(args, text, payload)
+    return 0 if verdict != "FAIL" else 1
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
+    if args.study == "envelope":
+        return _cmd_sweep_envelope(args)
     from repro.experiments.sweeps import (
         breaking_point,
         render_rows,
@@ -830,13 +937,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("study", choices=["domains", "interval", "aggregation",
                                      "threshold", "topology", "hopcount",
                                      "faultbudget", "lossrate",
-                                     "attackbudget"])
+                                     "attackbudget", "envelope"])
     p.add_argument("--seed", type=int, default=9)
     p.add_argument("--duration", type=float, default=None,
                    help="seconds of simulated time per point (default: "
                         "900 for attackbudget — the differential bias "
                         "that breaks the bound integrates for minutes — "
-                        "120 otherwise)")
+                        "120 otherwise; for 'envelope' this sets the clean "
+                        "arms only, the adversarial arm keeps its 900 s)")
     p.add_argument("--sim-seconds", type=float, default=None, metavar="S",
                    help="override the per-arm simulated duration (same as "
                         "--duration; the 900 s attackbudget default is "

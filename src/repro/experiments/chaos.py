@@ -196,7 +196,12 @@ def run_chaos_experiment(
         )
         injector.start()
 
-    monitor = InvariantMonitor(testbed, config.invariants, metrics=metrics)
+    monitor = InvariantMonitor(
+        testbed,
+        config.invariants,
+        metrics=metrics,
+        f=config.scenario.f if config.scenario is not None else None,
+    )
     monitor.start()
     testbed.run_until(config.duration)
 

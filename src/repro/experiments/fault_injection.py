@@ -165,6 +165,20 @@ def run_fault_injection_experiment(
     wall_start = time.perf_counter() if metrics is not None else 0.0
     transients = config.transients or calibrate_transients()
     if testbed_config is not None:
+        # An explicit testbed_config wins over config.scenario — but the
+        # two must agree on the fault hypothesis, or the monitor would
+        # grade the valid floor with a different f than the scenario
+        # declares. This used to pass silently.
+        if (
+            config.scenario is not None
+            and testbed_config.aggregator.f != config.scenario.f
+        ):
+            raise ValueError(
+                f"fault hypothesis mismatch: scenario "
+                f"{config.scenario.name!r} declares f={config.scenario.f} "
+                f"but testbed_config aggregates with "
+                f"f={testbed_config.aggregator.f}"
+            )
         tb_config = testbed_config
     elif config.scenario is not None:
         tb_config = config.scenario.testbed_config(seed=config.seed)
@@ -195,7 +209,12 @@ def run_fault_injection_experiment(
         testbed.trace,
     )
     injector.start()
-    monitor = InvariantMonitor(testbed, config.invariants, metrics=metrics)
+    monitor = InvariantMonitor(
+        testbed,
+        config.invariants,
+        metrics=metrics,
+        f=config.scenario.f if config.scenario is not None else None,
+    )
     monitor.start()
     testbed.run_until(config.duration)
 

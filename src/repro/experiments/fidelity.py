@@ -15,7 +15,9 @@ Soundness contract
 A jump happens only when the engine can argue the skipped span is
 *uneventful by construction*:
 
-* every VM is running, uncompromised, in fault-tolerant mode, servo LOCKED;
+* every VM is running, uncompromised, in fault-tolerant mode, servo LOCKED,
+  with every domain currently voted valid (so the analytic update's
+  all-valid rewrite changes nothing the monitor is counting);
 * no link is down or impaired, and the scenario carries no transient-fault
   pressure (per-event fault probabilities are incompatible with skipping —
   they make every interval a potential transient);
@@ -132,6 +134,17 @@ class AdaptiveEngine:
             if agg.mode is not AggregatorMode.FAULT_TOLERANT:
                 return False
             if agg.servo.state is not ServoState.LOCKED:
+                return False
+            # Every domain must currently be voted valid on every VM. The
+            # analytic update rewrites the validity flags to all-True, so
+            # jumping while any domain is invalid (e.g. staleness right
+            # after an impairment clears) would wipe state the monitor's
+            # domain_health counter is tracking — full fidelity would keep
+            # counting; adaptive would silently reset. With this gate the
+            # flags are already all-True whenever a jump happens, so the
+            # rewrite is a no-op and the counters evolve identically.
+            flags = agg.last_valid_flags
+            if not flags or not all(flags.values()):
                 return False
         topo = tb.topology
         for link in topo.trunks.values():

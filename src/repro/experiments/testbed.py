@@ -200,6 +200,18 @@ class Testbed:
             raise ValueError(
                 f"n_domains={n_domains} must be in [1, {cfg.n_devices}]"
             )
+        # Byzantine floor: the FTA masks f faults only with M >= 3f + 1
+        # aggregated domains. Scenario specs validate this at spec level;
+        # raw configs (and post-hoc aggregator overrides) used to slip
+        # through until u_factor blew up mid-derivation — fail at build.
+        if cfg.aggregator.f < 0:
+            raise ValueError(f"aggregator f={cfg.aggregator.f} must be >= 0")
+        if cfg.aggregator.f > 0 and n_domains < 3 * cfg.aggregator.f + 1:
+            raise ValueError(
+                f"fault hypothesis f={cfg.aggregator.f} needs at least "
+                f"{3 * cfg.aggregator.f + 1} domains (M >= 3f + 1); "
+                f"got n_domains={n_domains}"
+            )
         # GM placement policy: device hosting domain x's grandmaster.
         if cfg.gm_placement == "spread":
             self._gm_device = {x: x for x in range(1, n_domains + 1)}
@@ -472,8 +484,17 @@ class Testbed:
         return {d.gm_identity: d.number for d in self.domains}
 
     def derive_bounds(self) -> ExperimentBounds:
-        """Run the §III-A3 bound derivation against this testbed."""
-        return derive_bounds(
+        """Run the §III-A3 bound derivation against this testbed.
+
+        The measured figures carry the closed-form prediction for the same
+        setup (``.predicted``) so every consumer — monitor, manifests, the
+        envelope sweep — sees measured and theoretical side by side.
+        """
+        from dataclasses import replace
+
+        from repro.analysis.bounds_theory import predict_testbed_bounds
+
+        measured = derive_bounds(
             self.topology,
             self.measurement_vm_name,
             self.receiver_names,
@@ -481,6 +502,7 @@ class Testbed:
             f=self.config.aggregator.f,
             sync_interval=self.config.sync_interval,
         )
+        return replace(measured, predicted=predict_testbed_bounds(self))
 
     def run_until(self, time: int) -> None:
         """Advance the simulation (via the adaptive engine when enabled)."""

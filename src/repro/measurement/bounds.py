@@ -10,14 +10,17 @@ does.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.core.convergence import drift_offset, precision_bound
 from repro.measurement.error import measurement_error
 from repro.measurement.latency import LatencySurvey
 from repro.network.topology import MeshTopology
 from repro.sim.timebase import MILLISECONDS
+
+if TYPE_CHECKING:  # avoid a measurement ↔ analysis import cycle at runtime
+    from repro.analysis.bounds_theory import TheoreticalBounds
 
 
 @dataclass(frozen=True)
@@ -30,6 +33,12 @@ class ExperimentBounds:
     drift_offset: float  # Γ
     precision_bound: float  # Π
     measurement_error: float  # γ
+    #: Closed-form prediction for the same scenario, when the caller
+    #: derived one (see :mod:`repro.analysis.bounds_theory`). Excluded
+    #: from ``repr`` on purpose: the golden run fingerprints hash the
+    #: repr of the *measured* figures, and attaching a prediction must
+    #: not change a run's identity.
+    predicted: Optional["TheoreticalBounds"] = field(default=None, repr=False)
 
     @property
     def bound_with_error(self) -> float:
@@ -38,11 +47,29 @@ class ExperimentBounds:
 
     def describe(self) -> str:
         """One-line summary in the paper's notation."""
-        return (
+        text = (
             f"d_min={self.d_min}ns d_max={self.d_max}ns "
             f"E={self.reading_error:.0f}ns Γ={self.drift_offset:.0f}ns "
             f"Π={self.precision_bound / 1000:.3f}µs γ={self.measurement_error:.0f}ns"
         )
+        if self.predicted is not None:
+            text += f" envelope*={self.predicted.envelope / 1000:.3f}µs"
+        return text
+
+    def to_dict(self) -> dict:
+        """Measured figures (plus the prediction when present) for manifests."""
+        doc = {
+            "d_min_ns": self.d_min,
+            "d_max_ns": self.d_max,
+            "reading_error_ns": self.reading_error,
+            "drift_offset_ns": self.drift_offset,
+            "precision_bound_ns": self.precision_bound,
+            "measurement_error_ns": self.measurement_error,
+            "bound_with_error_ns": self.bound_with_error,
+        }
+        if self.predicted is not None:
+            doc["predicted"] = self.predicted.to_dict()
+        return doc
 
 
 def derive_bounds(
@@ -57,10 +84,14 @@ def derive_bounds(
 ) -> ExperimentBounds:
     """Run the full §III-A3 derivation against the built testbed.
 
-    ``survey_nics`` restricts the latency survey (default: all attached
-    NICs, as the paper surveys "any two nodes in the network").
+    ``survey_nics`` restricts the latency survey to an explicit pairwise
+    scan. By default the survey covers "any two nodes in the network" as
+    the paper does, but via the O(switches²) spanning-tree decomposition
+    (:meth:`LatencySurvey.global_bounds`) — identical d_min/d_max, without
+    the O(NICs²) pair walk that dominates at fleet scale.
     """
-    survey = LatencySurvey(topology).survey(survey_nics or None)
+    surveyor = LatencySurvey(topology)
+    survey = surveyor.survey(survey_nics) if survey_nics else surveyor.global_bounds()
     gamma = measurement_error(topology, measurement_nic, receiver_nics)
     e = float(survey.reading_error)
     g = drift_offset(max_drift_ppm, sync_interval)

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.network.topology import MeshTopology
+from repro.network.topology import MeshTopology, _switch_key
 
 
 @dataclass(frozen=True)
@@ -39,6 +39,16 @@ class SurveyResult:
         return self.d_max - self.d_min
 
 
+def _observed_link_bounds(link) -> Tuple[int, int]:
+    """Per-link (min, max): observed when traffic ran, else nominal model."""
+    observed_min = link.min_observed
+    observed_max = link.max_observed
+    return (
+        observed_min if observed_min is not None else link.model.min_delay,
+        observed_max if observed_max is not None else link.model.max_delay,
+    )
+
+
 class LatencySurvey:
     """Surveys path-latency bounds over a built topology."""
 
@@ -51,10 +61,9 @@ class LatencySurvey:
         links, switches = self.topology.path_links(nic_a, nic_b)
         lo = hi = 0
         for link in links:
-            observed_min = link.min_observed
-            observed_max = link.max_observed
-            lo += observed_min if observed_min is not None else link.model.min_delay
-            hi += observed_max if observed_max is not None else link.model.max_delay
+            link_lo, link_hi = _observed_link_bounds(link)
+            lo += link_lo
+            hi += link_hi
         for switch in switches:
             lo += switch.model.residence_base
             hi += switch.model.residence_base + switch.model.residence_jitter
@@ -78,3 +87,96 @@ class LatencySurvey:
                     d_max = hi
         assert d_min is not None and d_max is not None
         return SurveyResult(d_min=d_min, d_max=d_max, per_pair=per_pair)
+
+    # ------------------------------------------------------------------
+    def _observed_path_sums(self, root: str) -> Dict[str, Tuple[int, int]]:
+        """Observed-preferring trunk + residence sums along the BFS tree.
+
+        The observed-preferring analog of ``Topology._path_sums``: same
+        canonical shortest paths (the memoized ``spanning_tree``), but each
+        trunk contributes what traffic actually exhibited when available.
+        Not cached on the topology — observed extremes move as traffic
+        flows — but shared across every switch pair of one survey call.
+        """
+        topo = self.topology
+        tree = topo.spanning_tree(root)
+        root_model = topo.switches[root].model
+        sums: Dict[str, Tuple[int, int]] = {
+            root: (
+                root_model.residence_base,
+                root_model.residence_base + root_model.residence_jitter,
+            )
+        }
+        stack = [root]
+        while stack:
+            sw = stack.pop()
+            base_min, base_max = sums[sw]
+            for child in tree.children[sw]:
+                t_lo, t_hi = _observed_link_bounds(topo.trunk(sw, child))
+                child_model = topo.switches[child].model
+                sums[child] = (
+                    base_min + t_lo + child_model.residence_base,
+                    base_max
+                    + t_hi
+                    + child_model.residence_base
+                    + child_model.residence_jitter,
+                )
+                stack.append(child)
+        return sums
+
+    def global_bounds(self) -> SurveyResult:
+        """(d_min, d_max) over every attached pair in O(switches²).
+
+        Equivalent to :meth:`survey` over all NICs but scans switch pairs:
+        only the spanning-tree-relevant NICs per switch — the two smallest
+        access minima and two largest access maxima — can realize the
+        global extremes, so the quadratic-in-NICs pair walk collapses to a
+        quadratic-in-switches sum lookup. ``per_pair`` reports just the two
+        extreme pairs that realized d_min and d_max.
+        """
+        topo = self.topology
+        per_switch: Dict[str, List[str]] = {}
+        for nic, sw in topo.nic_switch.items():
+            per_switch.setdefault(sw, []).append(nic)
+        total = sum(len(v) for v in per_switch.values())
+        if total < 2:
+            raise ValueError("survey needs at least two NICs")
+        # Per switch: NICs ranked by observed-preferring access extremes.
+        acc_min: Dict[str, List[Tuple[int, str]]] = {}
+        acc_max: Dict[str, List[Tuple[int, str]]] = {}
+        for sw, nics in per_switch.items():
+            bounds = {n: _observed_link_bounds(topo.access_links[n]) for n in nics}
+            acc_min[sw] = sorted((bounds[n][0], n) for n in nics)[:2]
+            acc_max[sw] = sorted(
+                ((bounds[n][1], n) for n in nics), reverse=True
+            )[:2]
+        names = sorted(per_switch, key=_switch_key)
+        best_lo: Optional[Tuple[int, str, str]] = None
+        best_hi: Optional[Tuple[int, str, str]] = None
+        for i, a in enumerate(names):
+            sums = self._observed_path_sums(a)
+            for b in names[i:]:
+                if a == b:
+                    if len(acc_min[a]) < 2:
+                        continue
+                    (lo1, n1), (lo2, n2) = acc_min[a][0], acc_min[a][1]
+                    lo = (lo1 + lo2 + sums[a][0], *sorted((n1, n2)))
+                    (hi1, m1), (hi2, m2) = acc_max[a][0], acc_max[a][1]
+                    hi = (hi1 + hi2 + sums[a][1], *sorted((m1, m2)))
+                else:
+                    (lo1, n1) = acc_min[a][0]
+                    (lo2, n2) = acc_min[b][0]
+                    lo = (lo1 + lo2 + sums[b][0], *sorted((n1, n2)))
+                    (hi1, m1) = acc_max[a][0]
+                    (hi2, m2) = acc_max[b][0]
+                    hi = (hi1 + hi2 + sums[b][1], *sorted((m1, m2)))
+                if best_lo is None or lo[0] < best_lo[0]:
+                    best_lo = lo
+                if best_hi is None or hi[0] > best_hi[0]:
+                    best_hi = hi
+        assert best_lo is not None and best_hi is not None
+        per_pair = {
+            (best_lo[1], best_lo[2]): self.path_bounds(best_lo[1], best_lo[2]),
+            (best_hi[1], best_hi[2]): self.path_bounds(best_hi[1], best_hi[2]),
+        }
+        return SurveyResult(d_min=best_lo[0], d_max=best_hi[0], per_pair=per_pair)

@@ -13,7 +13,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 #: Bump when the exported metrics document shape changes.
-METRICS_SCHEMA_VERSION = 2
+#: v3: optional ``bounds`` / ``predicted_bounds`` blocks (measured §III-A3
+#: figures and the closed-form prediction from analysis.bounds_theory).
+METRICS_SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -36,6 +38,13 @@ class RunManifest:
     #: Structured verdict context (first violation, per-invariant counts,
     #: status timeline) — :meth:`repro.monitoring.Verdict.to_dict`.
     verdict_detail: Optional[Dict[str, object]] = None
+    #: Measured §III-A3 bound figures for the run's testbed
+    #: (:meth:`repro.measurement.bounds.ExperimentBounds.to_dict`) and the
+    #: closed-form prediction for the same scenario
+    #: (:meth:`repro.analysis.bounds_theory.TheoreticalBounds.to_dict`).
+    #: None for runs that derived no bounds.
+    bounds: Optional[Dict[str, object]] = None
+    predicted_bounds: Optional[Dict[str, object]] = None
     schema_version: int = METRICS_SCHEMA_VERSION
     extra: Dict[str, object] = field(default_factory=dict)
 
@@ -58,6 +67,28 @@ class RunManifest:
             "scenario_fingerprint": self.scenario_fingerprint,
             "verdict": self.verdict,
             "verdict_detail": self.verdict_detail,
+            "bounds": self.bounds,
+            "predicted_bounds": self.predicted_bounds,
             "schema_version": self.schema_version,
             "extra": dict(self.extra),
         }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "RunManifest":
+        """Rebuild from :meth:`to_dict` output (round-trip pinned in tests)."""
+        return cls(
+            experiment=str(doc["experiment"]),
+            config_fingerprint=str(doc["config_fingerprint"]),
+            seeds=[int(s) for s in doc.get("seeds", [])],  # type: ignore[union-attr]
+            sim_duration_ns=doc.get("sim_duration_ns"),  # type: ignore[arg-type]
+            wall_time_s=doc.get("wall_time_s"),  # type: ignore[arg-type]
+            events_dispatched=doc.get("events_dispatched"),  # type: ignore[arg-type]
+            scenario=doc.get("scenario"),  # type: ignore[arg-type]
+            scenario_fingerprint=doc.get("scenario_fingerprint"),  # type: ignore[arg-type]
+            verdict=doc.get("verdict"),  # type: ignore[arg-type]
+            verdict_detail=doc.get("verdict_detail"),  # type: ignore[arg-type]
+            bounds=doc.get("bounds"),  # type: ignore[arg-type]
+            predicted_bounds=doc.get("predicted_bounds"),  # type: ignore[arg-type]
+            schema_version=int(doc.get("schema_version", METRICS_SCHEMA_VERSION)),  # type: ignore[arg-type]
+            extra=dict(doc.get("extra", {})),  # type: ignore[arg-type]
+        )

@@ -435,6 +435,16 @@ class ScenarioSpec:
         )
         if overrides:
             config = dataclasses.replace(config, **overrides)
+            # An aggregator override must keep the spec's fault hypothesis:
+            # the monitor grades the valid floor with the scenario's f, so
+            # a divergent aggregator f would run one hypothesis and grade
+            # another. Caught here, at config build time.
+            if config.aggregator.f != self.f:
+                raise ValueError(
+                    f"fault hypothesis mismatch: scenario {self.name!r} "
+                    f"declares f={self.f} but the aggregator override "
+                    f"carries f={config.aggregator.f}"
+                )
         return config
 
 

@@ -193,6 +193,33 @@ class TestCampaignCommand:
         assert payload["campaign"]["stages"] == 1
 
 
+class TestEnvelopeSweepCommand:
+    def test_single_scenario_smoke(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        code = main(["sweep", "envelope", "--scenario", "paper-mesh4",
+                     "--sim-seconds", "60", "--no-cache",
+                     "--metrics", str(metrics), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["study"] == "envelope"
+        assert payload["verdict"] in ("PASS", "DEGRADED")
+        (row,) = payload["rows"]
+        assert row["scenario"] == "paper-mesh4"
+        assert row["attack"] == ""
+        assert row["within"] is True
+        assert row["max_precision_ns"] <= row["envelope_ns"]
+        manifest = json.loads(metrics.read_text())["manifest"]
+        assert manifest["experiment"] == "sweep:envelope"
+        assert manifest["extra"]["min_margin_ns"] == pytest.approx(
+            row["margin_ns"]
+        )
+
+    def test_duration_flags_conflict(self, capsys):
+        assert main(["sweep", "envelope", "--sim-seconds", "60",
+                     "--duration", "60"]) == 2
+        assert "--sim-seconds" in capsys.readouterr().err
+
+
 class TestAttackBudgetSweepCommand:
     def test_smoke_reports_breaking_point(self, capsys):
         # Attack start (60 s) is past this smoke duration, so every arm is

@@ -63,3 +63,53 @@ class TestBoundEnvelopesMeasurement:
         )
         # The paper's reason for excluding c_m1: path asymmetry inflates γ.
         assert with_local > symmetric
+
+
+class TestManifestBoundsRoundTrip:
+    """Bound figures survive the metrics-export manifest round trip.
+
+    The v3 manifest carries the measured §III-A3 figures and the
+    closed-form prediction side by side; a results JSON must rebuild
+    into the exact same objects so offline graders see what the run saw.
+    """
+
+    def test_manifest_round_trips_measured_and_predicted(self):
+        from repro.analysis.bounds_theory import TheoreticalBounds
+        from repro.cli import _bounds_manifest_fields
+        from repro.metrics.manifest import METRICS_SCHEMA_VERSION, RunManifest
+
+        tb = Testbed(TestbedConfig(seed=1))
+        tb.run_until(30_000_000_000)
+        bounds = tb.derive_bounds()
+        manifest = RunManifest(
+            experiment="test:bounds",
+            config_fingerprint="deadbeef",
+            seeds=[1],
+            **_bounds_manifest_fields(bounds),
+        )
+        assert METRICS_SCHEMA_VERSION == 3
+        assert manifest.schema_version == 3
+
+        doc = manifest.to_dict()
+        # The measured block no longer nests the prediction — the two
+        # travel as sibling top-level keys.
+        assert "predicted" not in doc["bounds"]
+        assert doc["bounds"]["precision_bound_ns"] == bounds.precision_bound
+        again = RunManifest.from_dict(doc)
+        assert again.to_dict() == doc
+
+        rebuilt = TheoreticalBounds.from_dict(again.predicted_bounds)
+        assert rebuilt == bounds.predicted
+        assert rebuilt.envelope == bounds.predicted.envelope
+
+    def test_manifest_without_bounds_still_round_trips(self):
+        from repro.metrics.manifest import RunManifest
+
+        manifest = RunManifest(
+            experiment="test:none", config_fingerprint="cafe", seeds=[2]
+        )
+        doc = manifest.to_dict()
+        again = RunManifest.from_dict(doc)
+        assert again.bounds is None
+        assert again.predicted_bounds is None
+        assert again.to_dict() == doc

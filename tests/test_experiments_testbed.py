@@ -95,3 +95,18 @@ class TestConfigurationVariants:
     def test_invalid_exploitable_gm_rejected(self):
         with pytest.raises(ValueError):
             Testbed(TestbedConfig(exploitable_gm="c9_1"))
+
+    def test_infeasible_fault_hypothesis_rejected(self):
+        # f=2 over the default 4 domains violates M >= 3f + 1 = 7; the FTA
+        # could never mask what the config promises, so the build refuses.
+        with pytest.raises(ValueError, match="3f \\+ 1"):
+            Testbed(TestbedConfig(seed=1, aggregator=AggregatorConfig(f=2)))
+
+    def test_negative_fault_hypothesis_rejected(self):
+        with pytest.raises(ValueError, match="must be >= 0"):
+            Testbed(TestbedConfig(seed=1, aggregator=AggregatorConfig(f=-1)))
+
+    def test_tight_floor_accepted(self):
+        # M = 3f + 1 exactly (f=1, 4 domains) is the paper's design point.
+        tb = Testbed(TestbedConfig(seed=1, aggregator=AggregatorConfig(f=1)))
+        assert len(tb.domains) == 4

@@ -210,3 +210,111 @@ class TestSweepSimSeconds:
         assert payload["study"] == "attackbudget"
         assert "breaking_point" in payload
         assert len(payload["rows"]) == 4
+
+
+# ----------------------------------------------------------------------
+# Quiescence requires every domain voted valid (domain_health parity)
+# ----------------------------------------------------------------------
+def _assert_episode_parity(full, adaptive):
+    """Impaired-run parity: the counters the validity gate protects.
+
+    ``domain_health`` episodes must match exactly — a fast-forward span
+    may never reset or inflate the consecutive-invalid-tick counter. The
+    flappy ``valid_floor`` episode *count* gets a ±1 phase tolerance: the
+    analytic clock step before the impairment window can shift a marginal
+    flap across an episode boundary, which is inside the documented
+    adaptive-fidelity tolerance (the verdict itself must still agree).
+    """
+    assert adaptive.fastforward["jumps"] > 0, (
+        "adaptive run never jumped - the parity check is vacuous"
+    )
+    assert adaptive.verdict.status == full.verdict.status
+    fc, ac = full.verdict.counts, adaptive.verdict.counts
+    assert ac.get("domain_health", 0) == fc.get("domain_health", 0)
+    assert abs(ac.get("valid_floor", 0) - fc.get("valid_floor", 0)) <= 1
+    assert set(ac) == set(fc)
+
+
+class TestValidityGate:
+    """The analytic update rewrites validity flags to all-True; a jump is
+    therefore only legal when they already are. Regression for the
+    domain_health divergence: jumping while a domain was voted invalid
+    silently reset the monitor's ``domain_unhealthy_ticks`` counter."""
+
+    def test_invalid_domain_blocks_jump(self):
+        tb = Testbed(TestbedConfig(seed=1), fidelity="adaptive")
+        tb.run_until(100 * SECONDS)
+        engine = tb._engine
+        assert engine is not None and engine.jumps > 0
+        assert engine._quiescent()
+        victim = tb.vms[sorted(tb.vms)[0]]
+        flags = dict(victim.aggregator.last_valid_flags)
+        assert flags and all(flags.values())
+        domain = sorted(flags)[0]
+        flags[domain] = False
+        victim.aggregator.last_valid_flags = flags
+        assert not engine._quiescent()
+        flags[domain] = True
+        victim.aggregator.last_valid_flags = dict(flags)
+        assert engine._quiescent()
+
+    def test_empty_flags_block_jump(self):
+        tb = Testbed(TestbedConfig(seed=1), fidelity="adaptive")
+        tb.run_until(100 * SECONDS)
+        engine = tb._engine
+        victim = tb.vms[sorted(tb.vms)[0]]
+        saved = victim.aggregator.last_valid_flags
+        victim.aggregator.last_valid_flags = {}
+        assert not engine._quiescent()
+        victim.aggregator.last_valid_flags = saved
+
+    def test_domain_health_counts_match_across_impaired_run(self):
+        """Full vs. adaptive on an impaired mesh: the loss window knocks
+        domains out, the counters must evolve identically once quiescence
+        resumes, and both tiers deliver the same verdict and episodes."""
+        from repro.chaos.plan import single_loss_plan
+        import dataclasses
+
+        spec = get_scenario("paper-mesh4")
+        plan = single_loss_plan(0.9, start=60 * SECONDS, end=90 * SECONDS)
+
+        def run(fidelity):
+            config = ChaosExperimentConfig(
+                duration=240 * SECONDS,
+                seed=3,
+                scenario=dataclasses.replace(
+                    spec, name="mesh4-lossy", chaos_plan=plan
+                ),
+                fidelity=fidelity,
+            )
+            return run_chaos_experiment(config)
+
+        full = run("full")
+        adaptive = run("adaptive")
+        _assert_episode_parity(full, adaptive)
+
+    @pytest.mark.slow
+    def test_domain_health_counts_match_on_impaired_torus(self):
+        """The satellite's named case: full-vs-adaptive equivalence on an
+        impaired torus-64 — same verdict, same per-invariant episode
+        counts, no counter reset across fast-forward spans."""
+        from repro.chaos.plan import single_loss_plan
+        import dataclasses
+
+        spec = get_scenario("torus-64")
+        plan = single_loss_plan(0.7, start=60 * SECONDS, end=80 * SECONDS)
+
+        def run(fidelity):
+            config = ChaosExperimentConfig(
+                duration=180 * SECONDS,
+                seed=3,
+                scenario=dataclasses.replace(
+                    spec, name="torus-64-lossy", chaos_plan=plan
+                ),
+                fidelity=fidelity,
+            )
+            return run_chaos_experiment(config)
+
+        full = run("full")
+        adaptive = run("adaptive")
+        _assert_episode_parity(full, adaptive)

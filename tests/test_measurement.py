@@ -184,3 +184,81 @@ class TestSpikeAttribution:
         assert record.readings is None
         assert record.extreme_pair() is None
         assert record.deviations_from_median() is None
+
+
+class TestGlobalBounds:
+    """The fast additive ``global_bounds`` vs. the all-pairs brute force.
+
+    ``derive_bounds`` used to walk every NIC pair (O(N²) BFS paths); the
+    decomposed survey must return byte-identical extremes, on nominal
+    links and after traffic has tightened the observed windows.
+    """
+
+    def _assert_identical(self, topo):
+        brute = LatencySurvey(topo).survey()
+        fast = LatencySurvey(topo).global_bounds()
+        assert (fast.d_min, fast.d_max) == (brute.d_min, brute.d_max)
+        return fast
+
+    def test_matches_brute_force_nominal(self):
+        sim, topo, nics = full_topo()
+        self._assert_identical(topo)
+
+    def test_matches_brute_force_after_traffic(self):
+        from repro.network.packet import Packet
+
+        sim, topo, nics = full_topo()
+        for name in ("c1_1", "c2_2", "c4_1"):
+            for _ in range(40):
+                nics[name].port.transmit(
+                    Packet(dst="x", src=name, payload=None)
+                )
+        sim.run()
+        assert topo.access_links["c1_1"].min_observed is not None
+        self._assert_identical(topo)
+
+    def test_matches_brute_force_across_shapes_and_seeds(self):
+        import itertools
+
+        from repro.network.topology import build_topology
+
+        for kind, seed in itertools.product(
+            ("mesh", "ring", "line", "star"), (31, 77)
+        ):
+            sim = Simulator()
+            rng = random.Random(seed)
+            topo = build_topology(kind, sim, rng, MeshModel())
+            for dev in range(1, 5):
+                for vm in (1, 2):
+                    name = f"c{dev}_{vm}"
+                    nic = Nic(sim, name, random.Random(seed + dev * 10 + vm),
+                              NicModel())
+                    topo.attach_nic(nic, f"sw{dev}", rng)
+            fast = self._assert_identical(topo)
+            assert fast.d_min < fast.d_max, (kind, seed)
+
+    def test_extreme_pairs_reported(self):
+        sim, topo, nics = full_topo()
+        fast = LatencySurvey(topo).global_bounds()
+        # The decomposed survey still names the extreme pairs so
+        # ExperimentBounds.describe() has concrete endpoints to cite.
+        assert 1 <= len(fast.per_pair) <= 2
+        brute = LatencySurvey(topo).survey()
+        assert min(lo for lo, _ in fast.per_pair.values()) == brute.d_min
+        assert max(hi for _, hi in fast.per_pair.values()) == brute.d_max
+
+    def test_testbed_derive_bounds_uses_fast_survey(self):
+        from repro.experiments.testbed import Testbed, TestbedConfig
+        from repro.sim.timebase import MINUTES
+
+        tb = Testbed(TestbedConfig(seed=31))
+        tb.run_until(MINUTES)
+        fast = tb.derive_bounds()
+        brute = derive_bounds(
+            tb.topology,
+            tb.measurement_vm_name,
+            tb.receiver_names,
+            survey_nics=sorted(tb.vms),
+        )
+        assert (fast.d_min, fast.d_max) == (brute.d_min, brute.d_max)
+        assert fast.precision_bound == brute.precision_bound

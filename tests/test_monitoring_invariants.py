@@ -139,3 +139,79 @@ class TestMonitorOnTestbed:
         ticks = monitor.ticks
         testbed.run_until(10 * SECONDS)
         assert monitor.ticks == ticks
+
+
+class TestFaultHypothesisConsistency:
+    """The monitor, the testbed, and the scenario must agree on f.
+
+    Regression suite for the silent-mismatch bug: the monitor used to read
+    ``testbed.config.aggregator.f`` even when the experiment's scenario
+    declared a different fault hypothesis, so the valid-domain floor was
+    graded against the wrong budget without anyone noticing.
+    """
+
+    def test_monitor_rejects_mismatched_f(self):
+        testbed = Testbed(TestbedConfig(seed=2))  # aggregates with f=1
+        with pytest.raises(ValueError, match="fault hypothesis mismatch"):
+            InvariantMonitor(testbed, f=0)
+
+    def test_monitor_accepts_matching_f(self):
+        testbed = Testbed(TestbedConfig(seed=2))
+        monitor = InvariantMonitor(testbed, f=1)
+        monitor.start()
+        testbed.run_until(10 * SECONDS)
+        assert monitor.verdict().status == PASS
+
+    def test_experiment_rejects_scenario_testbed_mismatch(self):
+        from repro.experiments.fault_injection import (
+            FaultInjectionExperimentConfig,
+            run_fault_injection_experiment,
+        )
+        from repro.scenarios import get_scenario
+
+        spec = get_scenario("mesh8")  # declares f=2
+        with pytest.raises(ValueError, match="fault hypothesis mismatch"):
+            run_fault_injection_experiment(
+                FaultInjectionExperimentConfig(duration=SECONDS, scenario=spec),
+                testbed_config=TestbedConfig(seed=1),  # aggregates with f=1
+            )
+
+    def test_scenario_override_rejects_foreign_aggregator_f(self):
+        from repro.core.aggregator import AggregatorConfig
+        from repro.scenarios import get_scenario
+
+        spec = get_scenario("paper-mesh4")  # declares f=1
+        with pytest.raises(ValueError, match="fault hypothesis mismatch"):
+            spec.testbed_config(seed=1, aggregator=AggregatorConfig(f=0))
+
+
+class TestPredictedBoundSource:
+    """``bound_source="predicted"`` grades against the theoretical envelope."""
+
+    def test_spec_rejects_unknown_bound_source(self):
+        with pytest.raises(ValueError, match="bound_source"):
+            InvariantSpec(bound_source="empirical")
+
+    def test_predicted_mode_grades_against_envelope(self):
+        testbed = Testbed(TestbedConfig(seed=2))
+        monitor = InvariantMonitor(
+            testbed, InvariantSpec(bound_source="predicted")
+        )
+        predicted = testbed.derive_bounds().predicted
+        assert monitor._bound == predicted.envelope
+        assert monitor._bound > monitor._bound_measured
+
+    def test_measured_default_keeps_historical_threshold(self):
+        testbed = Testbed(TestbedConfig(seed=2))
+        monitor = InvariantMonitor(testbed)
+        assert monitor.spec.bound_source == "measured"
+        assert monitor._bound == monitor._bound_measured
+
+    def test_predicted_mode_healthy_run_stays_pass(self):
+        testbed = Testbed(TestbedConfig(seed=2))
+        monitor = InvariantMonitor(
+            testbed, InvariantSpec(bound_source="predicted")
+        )
+        monitor.start()
+        testbed.run_until(60 * SECONDS)
+        assert monitor.verdict().status == PASS
