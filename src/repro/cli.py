@@ -542,6 +542,10 @@ def _cmd_sweep_envelope(args: argparse.Namespace) -> int:
                     (r.margin_ns for r in rows if not r.attack),
                     default=None,
                 ),
+                "cache_disabled": bool(
+                    kwargs.get("cache") is not None
+                    and kwargs["cache"].disabled
+                ),
             },
         ))
     payload = {
@@ -609,9 +613,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         duration_s = 900.0 if args.study == "attackbudget" else 120.0
     duration = round(duration_s * SECONDS)
     wall_start = time.perf_counter()
+    exec_kwargs = _executor_kwargs(args)
     rows = runners[args.study](
         seed=args.seed, duration=duration, scenario=spec,
-        metrics=registry, fidelity=args.fidelity, **_executor_kwargs(args),
+        metrics=registry, fidelity=args.fidelity, **exec_kwargs,
     )
     budget = None
     if args.study == "attackbudget":
@@ -655,6 +660,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                         floor_m=budget["floor_m"],
                     )
                 ),
+                cache_disabled=bool(
+                    exec_kwargs.get("cache") is not None
+                    and exec_kwargs["cache"].disabled
+                ),
                 **({"fidelity": args.fidelity}
                    if args.fidelity != "full" else {}),
             ),
@@ -677,6 +686,150 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             f"{'floor holds' if held else 'FLOOR VIOLATED'}"
         )
     _emit(args, text, payload)
+    return 0
+
+
+def _progress_printer():
+    """Streaming per-job progress lines on stderr for study runs."""
+
+    def emit(event: Dict[str, Any]) -> None:
+        info = event.get("info") or {}
+        verdict = f" verdict={info['verdict']}" if "verdict" in info else ""
+        wall = (f" {event['wall_s']:.1f}s"
+                if event.get("wall_s") is not None else "")
+        error = f" error={event['error']}" if event.get("error") else ""
+        print(
+            f"[{event['index']}/{event['total']}] "
+            f"{event['status']:>6} {event['label']} "
+            f"({event['source']}){verdict}{wall}{error}",
+            file=sys.stderr, flush=True,
+        )
+
+    return emit
+
+
+def cmd_study(args: argparse.Namespace) -> int:
+    from repro.studies import StudyInterrupted, StudyLedger, run_study
+    from repro.studies.specs import (
+        load_spec,
+        plan_from_spec,
+        render_run,
+        run_payload,
+        spec_name,
+        validate_spec,
+    )
+
+    if args.action == "status":
+        ledger = StudyLedger.load(args.ledger)
+        _emit(args, ledger.describe(), ledger.to_dict())
+        return 0 if ledger.complete else 1
+
+    if args.action == "run":
+        spec = load_spec(args.spec)
+        base = (args.spec[:-len(".json")]
+                if args.spec.endswith(".json") else args.spec)
+        ledger_path = args.ledger or base + ".ledger.json"
+    else:  # resume
+        loaded = StudyLedger.load(args.ledger)
+        if loaded.spec is None:
+            print(f"ledger {args.ledger!r} carries no study spec; "
+                  "re-run 'study run' against the original spec file",
+                  file=sys.stderr)
+            return 2
+        spec = validate_spec(loaded.spec)
+        ledger_path = args.ledger
+        if loaded.cache_dir and args.cache_dir == ".repro_cache":
+            args.cache_dir = loaded.cache_dir
+    plan = plan_from_spec(spec)
+    ledger = StudyLedger.for_study(
+        plan.study, path=ledger_path, spec=spec, cache_dir=args.cache_dir
+    )
+    exec_kwargs = _executor_kwargs(args)
+    cache = exec_kwargs.get("cache")
+    registry = _metrics_registry(args)
+    wall_start = time.perf_counter()
+    try:
+        run = run_study(
+            plan.study,
+            metrics=registry,
+            ledger=ledger,
+            progress=_progress_printer(),
+            max_jobs=args.max_jobs,
+            on_error="raise" if args.fail_fast else "continue",
+            **exec_kwargs,
+        )
+    except StudyInterrupted as exc:
+        run = exc.run
+    if registry is not None:
+        from repro.metrics import RunManifest
+
+        events = registry.counters.get("experiment.events_dispatched")
+        _write_metrics(args, registry, RunManifest(
+            experiment=f"study:{spec_name(spec)}",
+            config_fingerprint=plan.study.fingerprint(),
+            seeds=sorted({j.seed for j in plan.study.jobs
+                          if j.seed is not None}),
+            wall_time_s=time.perf_counter() - wall_start,
+            events_dispatched=events.value if events is not None else None,
+            extra={
+                "ledger": ledger_path,
+                "executed": len(run.executed),
+                "cached": len(run.cached),
+                "failed": len(run.failed),
+                "interrupted": run.interrupted,
+                "cache_disabled": bool(cache is not None and cache.disabled),
+            },
+        ))
+    payload = run_payload(spec, plan, run)
+    payload["ledger"] = ledger_path
+    _emit(args, render_run(spec, plan, run), payload)
+    if run.failed:
+        return 1
+    return 3 if not run.complete else 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.parallel import cache_stats, prune_cache
+
+    if args.action == "stats":
+        stats = cache_stats(args.cache_dir)
+        lines = [
+            f"job-result store at {stats['root']!r}: "
+            f"{stats['entries']} entries, {stats['bytes']} bytes",
+        ]
+        last = stats.get("last_run")
+        if last:
+            lines.append(
+                f"last run: {last.get('hits', 0)} hits / "
+                f"{last.get('misses', 0)} misses "
+                f"(hit rate {last.get('hit_rate', 0.0):.0%}"
+                + (", DISABLED mid-run" if last.get("disabled") else "")
+                + ")"
+            )
+        else:
+            lines.append("last run: no stats recorded yet")
+        _emit(args, "\n".join(lines), stats)
+        return 0
+    # action == "prune"
+    if args.older_than is None and args.max_bytes is None:
+        print("prune needs --older-than DAYS and/or --max-bytes N",
+              file=sys.stderr)
+        return 2
+    summary = prune_cache(
+        args.cache_dir,
+        older_than_s=(args.older_than * 86400.0
+                      if args.older_than is not None else None),
+        max_bytes=args.max_bytes,
+        dry_run=args.dry_run,
+    )
+    verb = "would remove" if args.dry_run else "removed"
+    _emit(
+        args,
+        f"{verb} {summary['removed']}/{summary['scanned']} entries "
+        f"({summary['bytes_removed']} bytes), "
+        f"{summary['bytes_kept']} bytes kept",
+        dict(summary, dry_run=args.dry_run),
+    )
     return 0
 
 
@@ -965,6 +1118,64 @@ def build_parser() -> argparse.ArgumentParser:
     add_executor_flags(p)
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_montecarlo)
+
+    p = sub.add_parser("study",
+                       help="resumable spec-driven studies "
+                            "(submit → schedule → collect pipeline)")
+    study_sub = p.add_subparsers(dest="action", required=True)
+    pr = study_sub.add_parser(
+        "run", help="run a study spec JSON through the pipeline")
+    pr.add_argument("spec", help="study spec JSON "
+                                 "(see repro.studies.specs)")
+    pr.add_argument("--ledger", metavar="PATH", default=None,
+                    help="ledger journal location (default: SPEC with "
+                         ".ledger.json suffix)")
+    pr.add_argument("--max-jobs", type=_nonnegative_int, default=None,
+                    metavar="N",
+                    help="stop after N fresh jobs (cache hits are free); "
+                         "the run exits 3 and resumes from the ledger")
+    pr.add_argument("--fail-fast", action="store_true",
+                    help="abort on the first failed job instead of "
+                         "marking it failed and continuing")
+    add_executor_flags(pr)
+    pr.add_argument("--json", action="store_true")
+    pr.set_defaults(func=cmd_study)
+    pst = study_sub.add_parser("status", help="print a study ledger")
+    pst.add_argument("ledger", help="ledger JSON written by 'study run'")
+    pst.add_argument("--json", action="store_true")
+    pst.set_defaults(func=cmd_study)
+    prs = study_sub.add_parser(
+        "resume", help="re-submit only the unfinished jobs of a ledger")
+    prs.add_argument("ledger", help="ledger JSON written by 'study run'")
+    prs.add_argument("--max-jobs", type=_nonnegative_int, default=None,
+                     metavar="N",
+                     help="stop again after N fresh jobs")
+    prs.add_argument("--fail-fast", action="store_true",
+                     help="abort on the first failed job")
+    add_executor_flags(prs)
+    prs.add_argument("--json", action="store_true")
+    prs.set_defaults(func=cmd_study)
+
+    p = sub.add_parser("cache", help="job-result store maintenance")
+    cache_sub = p.add_subparsers(dest="action", required=True)
+    pcs = cache_sub.add_parser("stats", help="entry/byte counts and the "
+                                             "last run's hit rate")
+    pcs.add_argument("--cache-dir", default=".repro_cache",
+                     help="store location (default: %(default)s)")
+    pcs.add_argument("--json", action="store_true")
+    pcs.set_defaults(func=cmd_cache)
+    pcp = cache_sub.add_parser("prune", help="garbage-collect the store")
+    pcp.add_argument("--cache-dir", default=".repro_cache",
+                     help="store location (default: %(default)s)")
+    pcp.add_argument("--older-than", type=float, default=None,
+                     metavar="DAYS",
+                     help="remove entries older than DAYS")
+    pcp.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                     help="evict oldest-first until the store fits N bytes")
+    pcp.add_argument("--dry-run", action="store_true",
+                     help="report what would be removed without removing")
+    pcp.add_argument("--json", action="store_true")
+    pcp.set_defaults(func=cmd_cache)
 
     p = sub.add_parser("scenarios", help="named scenario registry")
     scen_sub = p.add_subparsers(dest="action", required=True)

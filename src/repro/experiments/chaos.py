@@ -15,9 +15,11 @@ the bound itself broke.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.chaos.plan import ChaosPlan, merge_plans
 from repro.faults.injector import FaultInjectionConfig, FaultInjector
@@ -237,3 +239,178 @@ def run_chaos_experiment(
         injections=injections,
         fastforward=testbed.fastforward_summary(),
     )
+
+
+# ----------------------------------------------------------------------
+# Multi-arm chaos studies on the submit → schedule → collect pipeline
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChaosArmRow:
+    """Compact, JSON-round-trippable summary of one chaos arm.
+
+    A full :class:`ChaosResult` holds live objects (monitor verdict,
+    violation records, the config itself) and is too heavy for the
+    content-addressed job-result store; a study arm keeps the headline
+    figures plus a ``digest`` of the arm's canonical result document, so
+    two runs of the same arm can still be compared byte-for-byte without
+    storing the document.
+    """
+
+    label: str
+    seed: int
+    verdict: str
+    probes: int
+    mean_precision_ns: float
+    max_precision_ns: float
+    bound_ns: float
+    bound_violations: int
+    #: SHA-256 of ``json.dumps(result.to_dict(), sort_keys=True,
+    #: default=repr)`` — byte-level provenance of the full document.
+    digest: str
+
+    @property
+    def bounded(self) -> bool:
+        return self.bound_violations == 0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form (keys match field names so cached rows
+        rehydrate via ``ChaosArmRow(**d)``)."""
+        return {
+            "label": self.label,
+            "seed": self.seed,
+            "verdict": self.verdict,
+            "probes": self.probes,
+            "mean_precision_ns": self.mean_precision_ns,
+            "max_precision_ns": self.max_precision_ns,
+            "bound_ns": self.bound_ns,
+            "bound_violations": self.bound_violations,
+            "digest": self.digest,
+        }
+
+
+def result_digest(result: ChaosResult) -> str:
+    """Canonical SHA-256 of a chaos result document."""
+    doc = json.dumps(result.to_dict(), sort_keys=True, default=repr)
+    return hashlib.sha256(doc.encode("utf-8")).hexdigest()
+
+
+def _run_chaos_job(
+    config: ChaosExperimentConfig, label: str, metrics=None
+) -> ChaosArmRow:
+    """Job body: one chaos arm, compressed to a :class:`ChaosArmRow`.
+
+    Module-level (picklable) so it survives the ``spawn`` start method;
+    only the compact row crosses the process boundary.
+    """
+    result = run_chaos_experiment(config, metrics=metrics)
+    return ChaosArmRow(
+        label=label,
+        seed=config.seed,
+        verdict=result.verdict.status,
+        probes=result.probes,
+        mean_precision_ns=result.mean_precision,
+        max_precision_ns=result.max_precision,
+        bound_ns=result.bounds.bound_with_error,
+        bound_violations=result.bound_violations,
+        digest=result_digest(result),
+    )
+
+
+def _chaos_cache_key(config: ChaosExperimentConfig) -> str:
+    from repro.parallel import config_fingerprint
+
+    return config_fingerprint("chaos-study", config)
+
+
+def _summarize_chaos_row(row: "ChaosArmRow") -> Dict[str, object]:
+    """Ledger/progress info line for one chaos arm."""
+    return {
+        "verdict": row.verdict,
+        "bounded": row.bounded,
+        "max_precision_ns": row.max_precision_ns,
+    }
+
+
+def compile_chaos_study(
+    configs: Sequence[ChaosExperimentConfig],
+    labels: Optional[Sequence[str]] = None,
+):
+    """Compile a set of chaos arms into the study pipeline.
+
+    One content-addressed job per :class:`ChaosExperimentConfig`; the
+    collector returns :class:`ChaosArmRow`\\ s in ``configs`` order.
+    ``labels`` defaults to ``seed=N`` per arm.
+    """
+    from repro.studies.core import Job, Study, StudyPlan
+
+    if not configs:
+        raise ValueError("chaos study needs at least one config")
+    if labels is None:
+        labels = [f"seed={config.seed}" for config in configs]
+    if len(labels) != len(configs):
+        raise ValueError("labels must match configs one-to-one")
+    jobs = tuple(
+        Job(
+            key=_chaos_cache_key(config),
+            fn=_run_chaos_job,
+            args=(config, label),
+            label=label,
+            kind="chaos",
+            seed=config.seed,
+            accepts_metrics=True,
+        )
+        for config, label in zip(configs, labels)
+    )
+    study = Study(
+        name="chaos",
+        jobs=jobs,
+        encode=lambda row: row.as_dict(),
+        decode=lambda doc: ChaosArmRow(**doc),
+        summarize=_summarize_chaos_row,
+        metrics_prefix="chaos",
+    )
+
+    def collect(run) -> List[ChaosArmRow]:
+        return run.collected()
+
+    return StudyPlan(study=study, collect=collect)
+
+
+def run_chaos_study(
+    configs: Sequence[ChaosExperimentConfig],
+    labels: Optional[Sequence[str]] = None,
+    executor: str = "serial",
+    max_workers: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    cache=None,
+    metrics=None,
+    ledger=None,
+    progress=None,
+    compile_only: bool = False,
+) -> List[ChaosArmRow]:
+    """Run a multi-arm chaos study through the resumable pipeline.
+
+    Each arm is one :func:`run_chaos_experiment` call, content-addressed
+    by its full config fingerprint, deduplicated against the job-result
+    store, and journaled to an optional ``ledger`` for resume. For a
+    single interactive run with the full result document, call
+    :func:`run_chaos_experiment` directly — this study path trades the
+    rich :class:`ChaosResult` for compact, cacheable rows.
+    """
+    from repro.studies.runner import run_study
+
+    plan = compile_chaos_study(configs, labels=labels)
+    if compile_only:
+        return plan
+    run = run_study(
+        plan.study,
+        executor=executor,
+        max_workers=max_workers,
+        task_timeout=task_timeout,
+        cache=cache,
+        metrics=metrics,
+        ledger=ledger,
+        progress=progress,
+        on_error="raise",
+    )
+    return plan.collect(run)

@@ -24,20 +24,15 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.stats import percentile
 from repro.experiments.fault_injection import (
-    _WALL_S_BUCKETS,
     FaultInjectionExperimentConfig,
     FaultInjectionResult,
     run_fault_injection_experiment,
 )
 from repro.metrics.manifest import RunManifest
 from repro.monitoring.invariants import DEGRADED, FAIL, PASS, worst_status
-from repro.parallel import (
-    ResultsCache,
-    TaskSpec,
-    WorkerPool,
-    config_fingerprint,
-    default_chunk_size,
-)
+from repro.parallel import ResultsCache, config_fingerprint
+from repro.studies.core import Job, Study, StudyPlan
+from repro.studies.runner import StudyRun, run_study
 
 
 @dataclass(frozen=True)
@@ -170,23 +165,111 @@ def _outcome_of(seed: int, result: FaultInjectionResult) -> SeedOutcome:
     )
 
 
-def _run_seed_chunk(
-    configs: Sequence[FaultInjectionExperimentConfig],
+def _run_seed_job(
+    config: FaultInjectionExperimentConfig,
     runner: Callable[..., FaultInjectionResult],
-) -> List[SeedOutcome]:
-    """Worker task: run one chunk of scaled per-seed configs, in order.
+    metrics=None,
+) -> SeedOutcome:
+    """Job body: one scaled per-seed arm. Module-level (picklable) so it
+    survives the ``spawn`` start method; only the compact
+    :class:`SeedOutcome` crosses the process boundary — the full per-run
+    record series stays in the worker.
 
-    Module-level (picklable) so it survives the ``spawn`` start method.
-    Only the compact :class:`SeedOutcome` rows cross the process boundary —
-    the full per-run record series stays in the worker.
+    ``metrics`` is only ever non-None on the serial executor (registries
+    do not cross processes); custom runners used with a registry must
+    accept a ``metrics=`` keyword, exactly as before the pipeline.
     """
-    return [_outcome_of(config.seed, runner(config)) for config in configs]
+    if metrics is not None:
+        return _outcome_of(config.seed, runner(config, metrics=metrics))
+    return _outcome_of(config.seed, runner(config))
 
 
 def _cache_key(config: FaultInjectionExperimentConfig,
                runner: Callable[..., FaultInjectionResult]) -> str:
     runner_id = getattr(runner, "__qualname__", repr(runner))
     return config_fingerprint("montecarlo", runner_id, config, config.seed)
+
+
+def _summarize_outcome(outcome: SeedOutcome) -> Dict[str, object]:
+    """Ledger/progress info line for one seed arm."""
+    return {
+        "verdict": outcome.verdict,
+        "bounded": outcome.bounded,
+        "max_ns": outcome.max_ns,
+    }
+
+
+def compile_monte_carlo(
+    seeds: Sequence[int],
+    base_config: Optional[FaultInjectionExperimentConfig] = None,
+    hours: float = 0.25,
+    runner: Callable[..., FaultInjectionResult] = run_fault_injection_experiment,
+) -> StudyPlan:
+    """Compile the Monte-Carlo study: one content-addressed job per seed.
+
+    This is the *submit* stage of the pipeline — the returned
+    :class:`StudyPlan` carries the frozen job set (keys identical to the
+    historical per-seed cache keys, so pre-pipeline caches stay valid) and
+    the collector that folds seed-ordered outcomes back into a
+    :class:`MonteCarloResult`.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    base = base_config or FaultInjectionExperimentConfig()
+    configs = [_seed_config(base, seed, hours) for seed in seeds]
+    jobs = tuple(
+        Job(
+            key=_cache_key(config, runner),
+            fn=_run_seed_job,
+            args=(config, runner),
+            label=f"seed={config.seed}",
+            kind="montecarlo",
+            seed=config.seed,
+            accepts_metrics=True,
+        )
+        for config in configs
+    )
+    study = Study(
+        name="montecarlo",
+        jobs=jobs,
+        encode=asdict,
+        decode=lambda doc: SeedOutcome(**doc),
+        summarize=_summarize_outcome,
+        metrics_prefix="montecarlo",
+    )
+    wall_start = time.perf_counter()
+
+    def collect(run: StudyRun, metrics=None, executor: str = "serial",
+                cache: Optional[ResultsCache] = None) -> MonteCarloResult:
+        outcomes = [_canonical(o) for o in run.collected()]
+        manifest = None
+        if metrics is not None:
+            events = metrics.counters.get("experiment.events_dispatched")
+            manifest = RunManifest(
+                experiment="monte_carlo",
+                config_fingerprint=_cache_key(base, runner),
+                seeds=list(seeds),
+                sim_duration_ns=configs[0].duration if configs else None,
+                wall_time_s=time.perf_counter() - wall_start,
+                events_dispatched=events.value if events is not None else None,
+                scenario=base.scenario.name if base.scenario else None,
+                scenario_fingerprint=(
+                    base.scenario.fingerprint() if base.scenario else None
+                ),
+                verdict=worst_status(o.verdict for o in outcomes),
+                verdict_detail={
+                    "arms": _status_counts(outcomes),
+                },
+                extra={"hours": hours, "executor": executor,
+                       "cached_arms": len(run.cached),
+                       # A silent mid-run cache outage must not read as a
+                       # cold cache downstream (satellite of ISSUE 9).
+                       "cache_disabled": bool(cache is not None
+                                              and cache.disabled)},
+            )
+        return MonteCarloResult(outcomes=outcomes, manifest=manifest)
+
+    return StudyPlan(study=study, collect=collect)
 
 
 def run_monte_carlo(
@@ -199,8 +282,16 @@ def run_monte_carlo(
     task_timeout: Optional[float] = None,
     cache: Optional[ResultsCache] = None,
     metrics=None,
+    ledger=None,
+    progress=None,
 ) -> MonteCarloResult:
     """Run the (compressed) fault-injection experiment across seeds.
+
+    A thin compiler over the study pipeline: the seeds compile into a
+    frozen :class:`repro.studies.Study` (one job per seed, keyed by the
+    historical ``(config-hash, seed)`` fingerprint), the scheduler dedupes
+    against the job-result store and runs the rest, and outcomes collect
+    in seed order — byte-identical to the pre-pipeline runner.
 
     Parameters
     ----------
@@ -223,91 +314,22 @@ def run_monte_carlo(
         timing, cache hit-rate gauges, and a :class:`RunManifest` on the
         result. Custom ``runner`` callables used together with ``metrics``
         must accept a ``metrics=`` keyword.
+    ledger, progress:
+        Optional :class:`repro.studies.StudyLedger` journal and streaming
+        per-job callback, threaded straight to
+        :func:`repro.studies.run_study`.
     """
-    if not seeds:
-        raise ValueError("need at least one seed")
-    if executor not in ("serial", "process"):
-        raise ValueError(f"unknown executor {executor!r}")
-    wall_start = time.perf_counter() if metrics is not None else 0.0
-    base = base_config or FaultInjectionExperimentConfig()
-    configs = [_seed_config(base, seed, hours) for seed in seeds]
-
-    by_seed: Dict[int, SeedOutcome] = {}
-    to_run: List[FaultInjectionExperimentConfig] = []
-    for config in configs:
-        cached = cache.get(_cache_key(config, runner)) if cache else None
-        if cached is not None:
-            by_seed[config.seed] = _canonical(SeedOutcome(**cached))
-        else:
-            to_run.append(config)
-
-    if to_run and executor == "process":
-        workers = max_workers or WorkerPool().max_workers
-        chunk = default_chunk_size(len(to_run), workers)
-        chunks = [to_run[i:i + chunk] for i in range(0, len(to_run), chunk)]
-        pool = WorkerPool(max_workers=workers, task_timeout=task_timeout)
-        chunk_outcomes = pool.map(
-            [TaskSpec(fn=_run_seed_chunk, args=(c, runner)) for c in chunks]
-        )
-        fresh = [o for chunk_result in chunk_outcomes for o in chunk_result]
-        if metrics is not None:
-            chunk_hist = metrics.histogram(
-                "montecarlo.chunk_seconds", edges=_WALL_S_BUCKETS
-            )
-            for seconds in pool.task_seconds:
-                chunk_hist.observe(seconds)
-    elif metrics is not None:
-        # Serial + metrics: run arm by arm (identical semantics to the
-        # chunk helper) so each arm gets an individual timing sample and
-        # the in-sim instruments of every run land in one registry.
-        arm_hist = metrics.histogram(
-            "montecarlo.arm_seconds", edges=_WALL_S_BUCKETS
-        )
-        fresh = []
-        for config in to_run:
-            arm_start = time.perf_counter()
-            fresh.append(
-                _outcome_of(config.seed, runner(config, metrics=metrics))
-            )
-            arm_hist.observe(time.perf_counter() - arm_start)
-    else:
-        fresh = _run_seed_chunk(to_run, runner)
-
-    for config, outcome in zip(to_run, fresh):
-        by_seed[outcome.seed] = _canonical(outcome)
-        if cache:
-            cache.put(_cache_key(config, runner), asdict(outcome))
-
-    manifest = None
-    if metrics is not None:
-        if cache is not None:
-            lookups = cache.hits + cache.misses
-            metrics.gauge("cache.hits").set(cache.hits)
-            metrics.gauge("cache.misses").set(cache.misses)
-            metrics.gauge("cache.hit_rate").set(
-                cache.hits / lookups if lookups else 0.0
-            )
-            metrics.gauge("cache.disabled").set(int(cache.disabled))
-        events = metrics.counters.get("experiment.events_dispatched")
-        manifest = RunManifest(
-            experiment="monte_carlo",
-            config_fingerprint=_cache_key(base, runner),
-            seeds=list(seeds),
-            sim_duration_ns=configs[0].duration if configs else None,
-            wall_time_s=time.perf_counter() - wall_start,
-            events_dispatched=events.value if events is not None else None,
-            scenario=base.scenario.name if base.scenario else None,
-            scenario_fingerprint=(
-                base.scenario.fingerprint() if base.scenario else None
-            ),
-            verdict=worst_status(o.verdict for o in by_seed.values()),
-            verdict_detail={
-                "arms": _status_counts(list(by_seed.values())),
-            },
-            extra={"hours": hours, "executor": executor,
-                   "cached_arms": len(seeds) - len(to_run)},
-        )
-
-    return MonteCarloResult(
-        outcomes=[by_seed[seed] for seed in seeds], manifest=manifest
+    plan = compile_monte_carlo(seeds, base_config=base_config, hours=hours,
+                               runner=runner)
+    run = run_study(
+        plan.study,
+        executor=executor,
+        max_workers=max_workers,
+        task_timeout=task_timeout,
+        cache=cache,
+        metrics=metrics,
+        ledger=ledger,
+        progress=progress,
+        on_error="raise",
     )
+    return plan.collect(run, metrics=metrics, executor=executor, cache=cache)

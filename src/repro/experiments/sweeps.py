@@ -10,7 +10,6 @@ CLI's ``sweep`` command print the assembled table.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -24,14 +23,10 @@ from repro.monitoring.invariants import (
     InvariantSpec,
 )
 from repro.scenarios import ScenarioSpec, resolve_scenario
-from repro.parallel import (
-    ResultsCache,
-    TaskSpec,
-    WorkerPool,
-    config_fingerprint,
-    default_chunk_size,
-)
+from repro.parallel import ResultsCache, config_fingerprint
 from repro.sim.timebase import MILLISECONDS, MINUTES, SECONDS
+from repro.studies.core import Job, Study, StudyPlan
+from repro.studies.runner import StudyRun, run_study
 
 
 @dataclass(frozen=True)
@@ -125,6 +120,65 @@ def _sweep_cache_key(config: TestbedConfig, duration: int,
     )
 
 
+def _summarize_row(row: SweepRow) -> Dict[str, Any]:
+    """Ledger/progress info line for one sweep arm."""
+    return {
+        "verdict": row.verdict,
+        "converged": row.converged,
+        "max_precision_ns": row.max_precision_ns,
+    }
+
+
+def compile_sweep(
+    parameter: str,
+    values: Sequence[Any],
+    make_config: Callable[[Any], TestbedConfig],
+    duration: int = 2 * MINUTES,
+    warmup_records: int = 30,
+    fidelity: str = "full",
+) -> StudyPlan:
+    """Compile a sweep into the study pipeline: one job per arm.
+
+    Job keys are the historical sweep cache keys, so caches populated
+    before the pipeline refactor keep hitting; the collector restores
+    the ``values``-ordered row list with parameter/value labels.
+    """
+    if not values:
+        raise ValueError("sweep needs at least one value")
+    if fidelity not in ("full", "adaptive"):
+        raise ValueError(f"unknown fidelity {fidelity!r}")
+    configs = [make_config(value) for value in values]
+    jobs = tuple(
+        Job(
+            key=_sweep_cache_key(config, duration, warmup_records, fidelity),
+            fn=_run_sweep_point,
+            args=(config, duration, warmup_records),
+            kwargs={"fidelity": fidelity},
+            label=f"{parameter}={value}",
+            kind="sweep",
+            seed=getattr(config, "seed", None),
+            accepts_metrics=True,
+        )
+        for config, value in zip(configs, values)
+    )
+    study = Study(
+        name=f"sweep:{parameter}",
+        jobs=jobs,
+        encode=lambda row: row.as_dict(),
+        decode=lambda doc: SweepRow(**doc),
+        summarize=_summarize_row,
+        metrics_prefix="sweep",
+    )
+
+    def collect(run: StudyRun) -> List[SweepRow]:
+        return [
+            replace(row, parameter=parameter, value=value)
+            for row, value in zip(run.collected(), values)
+        ]
+
+    return StudyPlan(study=study, collect=collect)
+
+
 def sweep(
     parameter: str,
     values: Sequence[Any],
@@ -137,112 +191,40 @@ def sweep(
     cache: Optional[ResultsCache] = None,
     metrics=None,
     fidelity: str = "full",
+    ledger=None,
+    progress=None,
+    compile_only: bool = False,
 ) -> List[SweepRow]:
     """Generic sweep: build/run one testbed per value.
 
+    A thin compiler over the study pipeline (`repro.studies`):
     ``executor="process"`` runs the arms on a
     :class:`repro.parallel.WorkerPool` (results stay in ``values`` order);
     a :class:`ResultsCache` skips arms whose configuration is unchanged
     since a previous run, so tweaking one parameter value only recomputes
     the new arms. With a ``metrics`` registry attached, serial arms run
     fully instrumented and every arm contributes a timing sample; process
-    arms report per-chunk wall times (registries stay in-process).
+    arms report per-chunk wall times (registries stay in-process). An
+    optional ``ledger``/``progress`` pair journals per-arm status for
+    resumable CLI studies; ``compile_only=True`` returns the
+    :class:`StudyPlan` without running anything.
     """
-    if not values:
-        raise ValueError("sweep needs at least one value")
-    if executor not in ("serial", "process"):
-        raise ValueError(f"unknown executor {executor!r}")
-    if fidelity not in ("full", "adaptive"):
-        raise ValueError(f"unknown fidelity {fidelity!r}")
-    configs = [make_config(value) for value in values]
-
-    measured: Dict[int, SweepRow] = {}
-    to_run: List[int] = []
-    for i, config in enumerate(configs):
-        cached = cache.get(_sweep_cache_key(config, duration, warmup_records,
-                                            fidelity)) if cache else None
-        if cached is not None:
-            measured[i] = SweepRow(**cached)
-        else:
-            to_run.append(i)
-
-    if to_run and executor == "process":
-        workers = max_workers or WorkerPool().max_workers
-        chunk = default_chunk_size(len(to_run), workers)
-        index_chunks = [to_run[i:i + chunk]
-                        for i in range(0, len(to_run), chunk)]
-        pool = WorkerPool(max_workers=workers, task_timeout=task_timeout)
-        chunk_rows = pool.map(
-            [
-                TaskSpec(fn=_run_sweep_chunk,
-                         args=([configs[i] for i in idxs],
-                               duration, warmup_records, fidelity))
-                for idxs in index_chunks
-            ]
-        )
-        fresh = [
-            (i, row)
-            for idxs, rows_ in zip(index_chunks, chunk_rows)
-            for i, row in zip(idxs, rows_)
-        ]
-        if metrics is not None:
-            from repro.experiments.fault_injection import _WALL_S_BUCKETS
-
-            chunk_hist = metrics.histogram(
-                "sweep.chunk_seconds", edges=_WALL_S_BUCKETS
-            )
-            for seconds in pool.task_seconds:
-                chunk_hist.observe(seconds)
-    elif metrics is not None:
-        from repro.experiments.fault_injection import _WALL_S_BUCKETS
-
-        arm_hist = metrics.histogram("sweep.arm_seconds", edges=_WALL_S_BUCKETS)
-        fresh = []
-        for i in to_run:
-            arm_start = time.perf_counter()
-            fresh.append(
-                (i, _run_sweep_point(configs[i], duration, warmup_records,
-                                     metrics=metrics, fidelity=fidelity))
-            )
-            arm_hist.observe(time.perf_counter() - arm_start)
-    else:
-        fresh = [
-            (i, _run_sweep_point(configs[i], duration, warmup_records,
-                                 fidelity=fidelity))
-            for i in to_run
-        ]
-
-    for i, row in fresh:
-        measured[i] = row
-        if cache:
-            cache.put(
-                _sweep_cache_key(configs[i], duration, warmup_records,
-                                 fidelity),
-                row.as_dict(),
-            )
-    if metrics is not None and cache is not None:
-        lookups = cache.hits + cache.misses
-        metrics.gauge("cache.hits").set(cache.hits)
-        metrics.gauge("cache.misses").set(cache.misses)
-        metrics.gauge("cache.hit_rate").set(
-            cache.hits / lookups if lookups else 0.0
-        )
-        metrics.gauge("cache.disabled").set(int(cache.disabled))
-    return [
-        replace(measured[i], parameter=parameter, value=value)
-        for i, value in enumerate(values)
-    ]
-
-
-def _run_sweep_chunk(
-    configs: Sequence[TestbedConfig], duration: int, warmup_records: int,
-    fidelity: str = "full",
-) -> List[SweepRow]:
-    """Worker task: a chunk of sweep arms, preserving chunk order."""
-    return [
-        _run_sweep_point(c, duration, warmup_records, fidelity=fidelity)
-        for c in configs
-    ]
+    plan = compile_sweep(parameter, values, make_config, duration=duration,
+                         warmup_records=warmup_records, fidelity=fidelity)
+    if compile_only:
+        return plan
+    run = run_study(
+        plan.study,
+        executor=executor,
+        max_workers=max_workers,
+        task_timeout=task_timeout,
+        cache=cache,
+        metrics=metrics,
+        ledger=ledger,
+        progress=progress,
+        on_error="raise",
+    )
+    return plan.collect(run)
 
 
 # ----------------------------------------------------------------------
@@ -655,7 +637,16 @@ def _envelope_cache_key(config: TestbedConfig, duration: int,
     )
 
 
-def sweep_envelope(
+def _summarize_envelope_row(row: EnvelopeRow) -> Dict[str, Any]:
+    """Ledger/progress info line for one envelope arm."""
+    return {
+        "verdict": row.verdict,
+        "within": row.within,
+        "margin_ns": row.margin_ns,
+    }
+
+
+def compile_envelope(
     scenarios: Sequence[str] = ENVELOPE_SCENARIOS,
     seed: int = 9,
     duration: int = 2 * MINUTES,
@@ -665,24 +656,12 @@ def sweep_envelope(
     attack_start: int = 60 * SECONDS,
     attack_duration: int = 15 * MINUTES,
     fidelity: Optional[str] = None,
-    cache: Optional[ResultsCache] = None,
-    metrics=None,
-) -> List[EnvelopeRow]:
-    """Measured-vs-theoretical margin across the scenario registry.
+) -> StudyPlan:
+    """Compile the envelope sweep: one job per scenario arm (+ attack arm).
 
-    One clean arm per scenario, graded against its *predicted* envelope
-    (``bound_source="predicted"``): the measured worst-case precision must
-    stay inside the closed-form bound with positive margin. With
-    ``attack_check`` set, a final arm replays the PR-6 breaking-point
-    adversary — ``attack_colluders`` in-window colluding GMs on the paper
-    mesh — and the envelope is expected to *catch* it (within=False, FAIL)
-    without any threshold retuning.
-
-    ``fidelity=None`` picks per arm: adaptive at and above 64 devices
-    (quiescent clean runs fast-forward soundly), full below and for the
-    attack arm (colluders are never quiescent). Arms run serially —
-    they are few and heterogeneous, so a pool saves little — but a
-    :class:`ResultsCache` still skips unchanged arms.
+    Keys are the historical envelope cache keys; the collector returns the
+    rows in arm order (clean arms in ``scenarios`` order, then the attack
+    arm), as before the pipeline.
     """
     if fidelity is not None and fidelity not in ("full", "adaptive"):
         raise ValueError(f"unknown fidelity {fidelity!r}")
@@ -736,29 +715,92 @@ def sweep_envelope(
             }
         )
 
-    rows: List[EnvelopeRow] = []
-    for arm in arms:
-        key = _envelope_cache_key(
-            arm["config"], arm["duration"], warmup_records, arm["fidelity"]
+    jobs = tuple(
+        Job(
+            key=_envelope_cache_key(
+                arm["config"], arm["duration"], warmup_records,
+                arm["fidelity"]
+            ),
+            fn=_run_envelope_arm,
+            args=(arm["config"], arm["name"], arm["f"], arm["duration"],
+                  warmup_records, arm["fidelity"]),
+            kwargs={"attack": arm["attack"]},
+            label=(
+                f"{arm['name']}[{arm['attack']}]" if arm["attack"]
+                else arm["name"]
+            ),
+            kind="envelope",
+            seed=seed,
+            accepts_metrics=True,
         )
-        cached = cache.get(key) if cache else None
-        if cached is not None:
-            rows.append(EnvelopeRow(**cached))
-            continue
-        row = _run_envelope_arm(
-            arm["config"],
-            arm["name"],
-            arm["f"],
-            arm["duration"],
-            warmup_records,
-            arm["fidelity"],
-            metrics=metrics,
-            attack=arm["attack"],
-        )
-        rows.append(row)
-        if cache:
-            cache.put(key, row.as_dict())
-    return rows
+        for arm in arms
+    )
+    study = Study(
+        name="envelope",
+        jobs=jobs,
+        encode=lambda row: row.as_dict(),
+        decode=lambda doc: EnvelopeRow(**doc),
+        summarize=_summarize_envelope_row,
+        metrics_prefix="envelope",
+    )
+
+    def collect(run: StudyRun) -> List[EnvelopeRow]:
+        return run.collected()
+
+    return StudyPlan(study=study, collect=collect)
+
+
+def sweep_envelope(
+    scenarios: Sequence[str] = ENVELOPE_SCENARIOS,
+    seed: int = 9,
+    duration: int = 2 * MINUTES,
+    warmup_records: int = 30,
+    attack_check: bool = True,
+    attack_colluders: int = 2,
+    attack_start: int = 60 * SECONDS,
+    attack_duration: int = 15 * MINUTES,
+    fidelity: Optional[str] = None,
+    cache: Optional[ResultsCache] = None,
+    metrics=None,
+    ledger=None,
+    progress=None,
+    compile_only: bool = False,
+) -> List[EnvelopeRow]:
+    """Measured-vs-theoretical margin across the scenario registry.
+
+    One clean arm per scenario, graded against its *predicted* envelope
+    (``bound_source="predicted"``): the measured worst-case precision must
+    stay inside the closed-form bound with positive margin. With
+    ``attack_check`` set, a final arm replays the PR-6 breaking-point
+    adversary — ``attack_colluders`` in-window colluding GMs on the paper
+    mesh — and the envelope is expected to *catch* it (within=False, FAIL)
+    without any threshold retuning.
+
+    ``fidelity=None`` picks per arm: adaptive at and above 64 devices
+    (quiescent clean runs fast-forward soundly), full below and for the
+    attack arm (colluders are never quiescent). Arms run serially —
+    they are few and heterogeneous, so a pool saves little — but the
+    study pipeline's :class:`ResultsCache` dedupe still skips unchanged
+    arms, and a ``ledger``/``progress`` pair journals per-arm status.
+    """
+    plan = compile_envelope(
+        scenarios, seed=seed, duration=duration,
+        warmup_records=warmup_records, attack_check=attack_check,
+        attack_colluders=attack_colluders, attack_start=attack_start,
+        attack_duration=attack_duration, fidelity=fidelity,
+    )
+    if compile_only:
+        return plan
+    run = run_study(
+        plan.study,
+        executor="serial",
+        cache=cache,
+        metrics=metrics,
+        ledger=ledger,
+        progress=progress,
+        on_error="raise",
+    )
+    return plan.collect(run)
 
 
 def envelope_verdict(rows: Sequence[EnvelopeRow]) -> str:

@@ -18,7 +18,12 @@ strictly serially. This package supplies the missing machinery:
 these primitives; the CLI exposes ``--workers`` / ``--no-cache``.
 """
 
-from repro.parallel.cache import ResultsCache, config_fingerprint
+from repro.parallel.cache import (
+    ResultsCache,
+    cache_stats,
+    config_fingerprint,
+    prune_cache,
+)
 from repro.parallel.pool import (
     TaskCrashError,
     TaskFailedError,
@@ -35,6 +40,8 @@ __all__ = [
     "TaskSpec",
     "TaskTimeoutError",
     "WorkerPool",
+    "cache_stats",
     "config_fingerprint",
     "default_chunk_size",
+    "prune_cache",
 ]

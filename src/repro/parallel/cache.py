@@ -21,14 +21,19 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 import warnings
-from typing import Any, Optional
+from typing import Any, Dict, Optional
 
 #: Bump when the cached payload shape changes; old entries become misses.
 SCHEMA_VERSION = 1
 
 #: Default cache root, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Root-level file recording the last run's hit/miss/disabled figures
+#: (written by the study scheduler; read by ``repro cache stats``).
+STATS_FILENAME = "last_run_stats.json"
 
 
 def config_fingerprint(*parts: Any) -> str:
@@ -70,6 +75,17 @@ class ResultsCache:
         self.hits = 0
         self.misses = 0
         self.disabled = False
+        self._metrics = None
+
+    def attach_metrics(self, registry) -> None:
+        """Attach a metrics registry so a mid-run self-disable is *loud*.
+
+        A cache that silently turns itself off looks exactly like a cold
+        cache from the outside; with a registry attached the disable event
+        increments ``cache.disable_events`` the moment it happens (the
+        end-of-study gauges only show the final state).
+        """
+        self._metrics = registry
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".json")
@@ -130,6 +146,8 @@ class ResultsCache:
                 except OSError:
                     pass
             self.disabled = True
+            if self._metrics is not None:
+                self._metrics.counter("cache.disable_events").inc()
             warnings.warn(
                 f"results cache at {self.root!r} is unwritable ({exc}); "
                 "caching disabled for this run",
@@ -137,8 +155,136 @@ class ResultsCache:
                 stacklevel=2,
             )
 
+    def write_stats(self) -> None:
+        """Persist this run's hit/miss/disabled figures to the cache root.
+
+        Best-effort (an unwritable root is already the *disabled* case);
+        ``repro cache stats`` reads the file back as "last run" figures.
+        """
+        doc = {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": (
+                self.hits / (self.hits + self.misses)
+                if (self.hits + self.misses) else 0.0
+            ),
+            "disabled": self.disabled,
+            "written_at": time.time(),
+        }
+        try:
+            os.makedirs(self.root, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, indent=1)
+            os.replace(tmp, os.path.join(self.root, STATS_FILENAME))
+        except OSError:
+            pass
+
     def __repr__(self) -> str:
         return (
             f"ResultsCache(root={self.root!r}, hits={self.hits}, "
             f"misses={self.misses})"
         )
+
+
+# ----------------------------------------------------------------------
+# Store maintenance (the ``repro cache`` CLI)
+# ----------------------------------------------------------------------
+def _iter_entries(root: str):
+    """Yield ``(path, size, mtime)`` for every cache entry under ``root``."""
+    try:
+        fanouts = sorted(os.listdir(root))
+    except OSError:
+        return
+    for fanout in fanouts:
+        directory = os.path.join(root, fanout)
+        if len(fanout) != 2 or not os.path.isdir(directory):
+            continue  # root-level stats file, stray tmp files
+        try:
+            names = sorted(os.listdir(directory))
+        except OSError:
+            continue
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(directory, name)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            yield path, stat.st_size, stat.st_mtime
+
+
+def cache_stats(root: str = DEFAULT_CACHE_DIR) -> Dict[str, Any]:
+    """Entry count, total bytes, and the last run's hit/miss figures."""
+    entries = 0
+    total_bytes = 0
+    oldest: Optional[float] = None
+    newest: Optional[float] = None
+    for _, size, mtime in _iter_entries(root):
+        entries += 1
+        total_bytes += size
+        oldest = mtime if oldest is None else min(oldest, mtime)
+        newest = mtime if newest is None else max(newest, mtime)
+    last_run = None
+    try:
+        with open(os.path.join(root, STATS_FILENAME), encoding="utf-8") as fh:
+            last_run = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        pass
+    return {
+        "root": root,
+        "entries": entries,
+        "bytes": total_bytes,
+        "oldest_mtime": oldest,
+        "newest_mtime": newest,
+        "last_run": last_run,
+    }
+
+
+def prune_cache(
+    root: str = DEFAULT_CACHE_DIR,
+    older_than_s: Optional[float] = None,
+    max_bytes: Optional[int] = None,
+    now: Optional[float] = None,
+    dry_run: bool = False,
+) -> Dict[str, int]:
+    """Garbage-collect the job-result store.
+
+    ``older_than_s`` removes entries whose mtime predates ``now -
+    older_than_s``; ``max_bytes`` then evicts oldest-first until the store
+    fits the budget. Either criterion may be used alone. Returns a summary
+    (``scanned`` / ``removed`` / ``bytes_removed`` / ``bytes_kept``).
+    """
+    if older_than_s is None and max_bytes is None:
+        raise ValueError("prune needs older_than_s and/or max_bytes")
+    now = time.time() if now is None else now
+    entries = sorted(_iter_entries(root), key=lambda e: e[2])  # oldest first
+    keep_bytes = sum(size for _, size, _ in entries)
+    removed = 0
+    bytes_removed = 0
+    for path, size, mtime in entries:
+        expired = older_than_s is not None and mtime < now - older_than_s
+        over_budget = max_bytes is not None and keep_bytes > max_bytes
+        if not (expired or over_budget):
+            continue
+        if not dry_run:
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+        removed += 1
+        bytes_removed += size
+        keep_bytes -= size
+    if not dry_run:
+        for fanout in sorted(set(os.path.dirname(p) for p, _, _ in entries)):
+            try:
+                os.rmdir(fanout)  # only succeeds when emptied
+            except OSError:
+                pass
+    return {
+        "scanned": len(entries),
+        "removed": removed,
+        "bytes_removed": bytes_removed,
+        "bytes_kept": keep_bytes,
+    }

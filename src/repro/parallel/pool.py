@@ -153,6 +153,8 @@ class WorkerPool:
         #: the metrics layer exports (launch overhead included, so it
         #: reflects what the study actually paid per arm).
         self.task_seconds: List[float] = []
+        #: Parent-side success callback for the current map_partial call.
+        self._on_result: Optional[Callable[[int, Any], None]] = None
         self._ctx = multiprocessing.get_context(start_method)
 
     # ------------------------------------------------------------------
@@ -165,9 +167,32 @@ class WorkerPool:
         :class:`TaskTimeoutError`, :class:`TaskCrashError`) of the
         lowest-indexed task that exhausted its attempts.
         """
+        results, errors = self.map_partial(tasks)
+        if errors:
+            raise errors[min(errors)]
+        return results
+
+    def map_partial(
+        self,
+        tasks: Sequence[TaskSpec],
+        on_result: Optional[Callable[[int, Any], None]] = None,
+    ) -> Tuple[List[Any], Dict[int, BaseException]]:
+        """Run every task; never raise on task failure.
+
+        Returns ``(results, errors)``: ``results`` ordered by task
+        position (``None`` where the task failed), ``errors`` mapping
+        failed task indexes to their exhausted-attempt exception. This is
+        what lets a resumable study mark one bad arm ``failed`` and keep
+        the rest — :meth:`map`'s all-or-nothing raise is a wrapper.
+
+        ``on_result`` (parent-side) is invoked as ``on_result(index,
+        value)`` the moment a task succeeds, in *completion* order — the
+        hook the study scheduler uses to persist and journal results
+        incrementally so a killed run loses only in-flight tasks.
+        """
         tasks = list(tasks)
         if not tasks:
-            return []
+            return [], {}
         results: List[Any] = [None] * len(tasks)
         errors: Dict[int, BaseException] = {}
         # (index, spec, attempt) queue; retries re-enter at the back.
@@ -175,17 +200,17 @@ class WorkerPool:
             (i, spec, 0) for i, spec in enumerate(tasks)
         ]
         running: List[_Running] = []
+        self._on_result = on_result
         try:
             while pending or running:
                 while pending and len(running) < self.max_workers:
                     running.append(self._launch(*pending.pop(0)))
                 self._collect(running, pending, results, errors)
         finally:
+            self._on_result = None
             for slot in running:  # only non-empty if an error is propagating
                 self._terminate(slot)
-        if errors:
-            raise errors[min(errors)]
-        return results
+        return results, errors
 
     # ------------------------------------------------------------------
     # Internals
@@ -265,6 +290,8 @@ class WorkerPool:
             results[slot.index] = payload
             errors.pop(slot.index, None)
             self.task_seconds.append(time.monotonic() - slot.started)
+            if self._on_result is not None:
+                self._on_result(slot.index, payload)
         else:
             # Deterministic task exception: no retry, keep the child traceback.
             errors[slot.index] = TaskFailedError(

@@ -1,0 +1,47 @@
+"""Resumable submit → schedule → collect study pipeline (ROADMAP item 2).
+
+Every experiment runner — ``run_monte_carlo``, the ten ``sweep_*``
+studies, the envelope sweep, and the chaos/campaign studies — compiles its
+arms into a frozen, fingerprinted :class:`Study` of content-addressed
+:class:`Job`\\ s, schedules them with :func:`run_study` (dedupe against the
+``.repro_cache/`` job-result store, serial or :class:`WorkerPool`
+execution, an atomic on-disk :class:`StudyLedger` journal), and collects
+results in submission order into its historical result type — so fixed
+seeds stay byte-identical while any study becomes idempotent,
+deduplicated, and resumable after a worker or host kill.
+
+CLI: ``repro study run|status|resume`` (see :mod:`repro.studies.specs`
+for the JSON study-spec format) and ``repro cache stats|prune``.
+"""
+
+from repro.studies.core import Job, Study, StudyPlan
+from repro.studies.ledger import (
+    DONE,
+    FAILED,
+    PENDING,
+    RUNNING,
+    JobEntry,
+    LedgerMismatchError,
+    StudyLedger,
+)
+from repro.studies.runner import StudyInterrupted, StudyRun, run_study
+from repro.studies.specs import load_spec, plan_from_spec, validate_spec
+
+__all__ = [
+    "DONE",
+    "FAILED",
+    "PENDING",
+    "RUNNING",
+    "Job",
+    "JobEntry",
+    "LedgerMismatchError",
+    "Study",
+    "StudyInterrupted",
+    "StudyLedger",
+    "StudyPlan",
+    "StudyRun",
+    "load_spec",
+    "plan_from_spec",
+    "run_study",
+    "validate_spec",
+]

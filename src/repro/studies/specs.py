@@ -1,0 +1,326 @@
+"""JSON study specs: declarative inputs for ``repro-sim study run``.
+
+A spec is a small JSON document naming a study *kind* plus its knobs; it
+compiles — through the exact same compiler the library entry points use —
+into a :class:`repro.studies.StudyPlan`, so a spec-driven CLI study is
+byte-identical to the equivalent ``run_monte_carlo`` / ``sweep_*`` /
+``sweep_envelope`` / ``run_chaos_study`` call. The spec is embedded in the
+study ledger verbatim, which is what makes ``repro study resume LEDGER``
+self-contained: the ledger alone recompiles the job set, and the
+fingerprint check proves it is the *same* job set.
+
+Kinds and their fields (all durations in seconds of simulated time):
+
+``montecarlo``
+    ``seeds`` (list) or ``base_seed``+``runs``; ``hours``; ``scenario``.
+``sweep``
+    ``study`` (one of the canned axes: domains, interval, aggregation,
+    threshold, topology, hopcount, faultbudget, lossrate, attackbudget);
+    ``values`` (optional axis override); ``seed``; ``duration_s``;
+    ``warmup_records``; ``fidelity``; ``scenario``.
+``envelope``
+    ``scenarios`` (list); ``seed``; ``duration_s``; ``attack_check``;
+    ``attack_colluders``; ``fidelity``.
+``chaos``
+    ``seeds`` (list); ``duration_s``; ``scenario``; ``fidelity``; and the
+    impairment — ``loss`` (+ ``loss_start_s``) and/or ``colluders``
+    (+ ``margin``, ``attack_start_s``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.sim.timebase import SECONDS
+from repro.studies.core import StudyPlan
+
+SPEC_SCHEMA_VERSION = 1
+
+KINDS = ("montecarlo", "sweep", "envelope", "chaos")
+
+#: Canned sweep axes whose ``values`` parameter goes by another name.
+_SWEEP_VALUES_PARAM = {
+    "interval": "values_ms",
+    "threshold": "values_us",
+}
+
+
+def load_spec(path: str) -> Dict[str, Any]:
+    """Read and validate a study-spec JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        spec = json.load(fh)
+    return validate_spec(spec)
+
+
+def validate_spec(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Shape-check a spec document; returns it unchanged on success."""
+    if not isinstance(spec, dict):
+        raise ValueError("study spec must be a JSON object")
+    version = spec.get("schema_version", SPEC_SCHEMA_VERSION)
+    if version != SPEC_SCHEMA_VERSION:
+        raise ValueError(
+            f"study spec schema {version!r} unsupported "
+            f"(expected {SPEC_SCHEMA_VERSION})"
+        )
+    kind = spec.get("kind")
+    if kind not in KINDS:
+        raise ValueError(
+            f"unknown study kind {kind!r} (expected one of {', '.join(KINDS)})"
+        )
+    return spec
+
+
+def spec_name(spec: Dict[str, Any]) -> str:
+    """Display name: explicit ``name`` or a kind-derived default."""
+    if spec.get("name"):
+        return str(spec["name"])
+    if spec["kind"] == "sweep":
+        return f"sweep:{spec.get('study', '?')}"
+    return str(spec["kind"])
+
+
+def _duration_ns(spec: Dict[str, Any], default_s: float) -> int:
+    return round(float(spec.get("duration_s", default_s)) * SECONDS)
+
+
+def _plan_montecarlo(spec: Dict[str, Any]) -> StudyPlan:
+    from repro.experiments.fault_injection import (
+        FaultInjectionExperimentConfig,
+    )
+    from repro.experiments.montecarlo import compile_monte_carlo
+
+    seeds = spec.get("seeds")
+    if seeds is None:
+        base_seed = int(spec.get("base_seed", 100))
+        seeds = list(range(base_seed, base_seed + int(spec.get("runs", 5))))
+    base_config = None
+    if spec.get("scenario"):
+        from repro.scenarios import resolve_scenario
+
+        base_config = FaultInjectionExperimentConfig(
+            scenario=resolve_scenario(spec["scenario"])
+        )
+    return compile_monte_carlo(
+        [int(seed) for seed in seeds],
+        base_config=base_config,
+        hours=float(spec.get("hours", 0.1)),
+    )
+
+
+def _plan_sweep(spec: Dict[str, Any]) -> StudyPlan:
+    from repro.experiments import sweeps as sw
+
+    runners = {
+        "domains": sw.sweep_domain_count,
+        "interval": sw.sweep_sync_interval,
+        "aggregation": sw.sweep_aggregation,
+        "threshold": sw.sweep_validity_threshold,
+        "topology": sw.sweep_topology,
+        "hopcount": sw.sweep_hop_count,
+        "faultbudget": sw.sweep_fault_budget,
+        "lossrate": sw.sweep_loss_rate,
+        "attackbudget": sw.sweep_attack_budget,
+    }
+    study = spec.get("study")
+    if study not in runners:
+        raise ValueError(
+            f"unknown sweep study {study!r} "
+            f"(expected one of {', '.join(sorted(runners))})"
+        )
+    default_s = 900.0 if study == "attackbudget" else 120.0
+    kwargs: Dict[str, Any] = {
+        "seed": int(spec.get("seed", 9)),
+        "duration": _duration_ns(spec, default_s),
+        "scenario": spec.get("scenario"),
+        "fidelity": spec.get("fidelity", "full"),
+        "compile_only": True,
+    }
+    if "warmup_records" in spec:
+        kwargs["warmup_records"] = int(spec["warmup_records"])
+    if "values" in spec:
+        values = spec["values"]
+        if study == "faultbudget":
+            # (f, M) pairs arrive as JSON arrays; the axis wants tuples.
+            values = [tuple(v) for v in values]
+        kwargs[_SWEEP_VALUES_PARAM.get(study, "values")] = values
+    return runners[study](**kwargs)
+
+
+def _plan_envelope(spec: Dict[str, Any]) -> StudyPlan:
+    from repro.experiments.sweeps import ENVELOPE_SCENARIOS, sweep_envelope
+
+    kwargs: Dict[str, Any] = {
+        "scenarios": tuple(spec.get("scenarios", ENVELOPE_SCENARIOS)),
+        "seed": int(spec.get("seed", 9)),
+        "duration": _duration_ns(spec, 120.0),
+        "attack_check": bool(spec.get("attack_check", True)),
+        "attack_colluders": int(spec.get("attack_colluders", 2)),
+        "compile_only": True,
+    }
+    if "warmup_records" in spec:
+        kwargs["warmup_records"] = int(spec["warmup_records"])
+    if spec.get("fidelity"):
+        kwargs["fidelity"] = spec["fidelity"]
+    return sweep_envelope(**kwargs)
+
+
+def _plan_chaos(spec: Dict[str, Any]) -> StudyPlan:
+    from repro.experiments.chaos import (
+        ChaosExperimentConfig,
+        run_chaos_study,
+    )
+
+    scenario = None
+    if spec.get("scenario"):
+        from repro.scenarios import resolve_scenario
+
+        scenario = resolve_scenario(spec["scenario"])
+    plan = None
+    if spec.get("loss") is not None:
+        from repro.chaos.plan import single_loss_plan
+
+        plan = single_loss_plan(
+            float(spec["loss"]),
+            start=round(float(spec.get("loss_start_s", 60.0)) * SECONDS),
+        )
+    campaign = None
+    if spec.get("colluders"):
+        from repro.experiments.testbed import TestbedConfig
+        from repro.security.campaigns import (
+            colluder_campaign,
+            default_gm_names,
+        )
+
+        seeds = spec.get("seeds", [1])
+        base = (
+            scenario.testbed_config(seed=int(seeds[0]))
+            if scenario is not None
+            else TestbedConfig(seed=int(seeds[0]))
+        )
+        gm_names = default_gm_names(
+            base.n_devices,
+            n_domains=(scenario.effective_domains
+                       if scenario is not None else None),
+            gm_placement=base.gm_placement,
+        )
+        campaign = colluder_campaign(
+            int(spec["colluders"]),
+            gm_names,
+            margin=float(spec.get("margin", 0.8)),
+            start=round(float(spec.get("attack_start_s", 60.0)) * SECONDS),
+        )
+    configs = [
+        ChaosExperimentConfig(
+            duration=_duration_ns(spec, 480.0),
+            seed=int(seed),
+            scenario=scenario,
+            plan=plan,
+            campaign=campaign,
+            fidelity=spec.get("fidelity", "full"),
+        )
+        for seed in spec.get("seeds", [1])
+    ]
+    return run_chaos_study(configs, compile_only=True)
+
+
+_PLANNERS = {
+    "montecarlo": _plan_montecarlo,
+    "sweep": _plan_sweep,
+    "envelope": _plan_envelope,
+    "chaos": _plan_chaos,
+}
+
+
+def plan_from_spec(spec: Dict[str, Any]) -> StudyPlan:
+    """Compile a validated spec into its :class:`StudyPlan`."""
+    spec = validate_spec(spec)
+    return _PLANNERS[spec["kind"]](spec)
+
+
+def run_payload(spec: Dict[str, Any], plan: StudyPlan, run) -> Dict[str, Any]:
+    """JSON-able outcome of a (possibly partial) spec-driven run.
+
+    A complete run collects through the compiler — the rows/outcomes are
+    exactly what the library entry point would have returned — while a
+    partial or failed run degrades to per-job ledger-style statuses, so
+    ``study run`` output is always well-formed.
+    """
+    study = plan.study
+    payload: Dict[str, Any] = {
+        "kind": spec["kind"],
+        "name": spec_name(spec),
+        "fingerprint": study.fingerprint(),
+        "jobs": len(study.jobs),
+        "executed": len(run.executed),
+        "cached": len(run.cached),
+        "failed": len(run.failed),
+        "interrupted": run.interrupted,
+        "complete": run.complete,
+    }
+    if run.complete:
+        result = plan.collect(run)
+        if spec["kind"] == "montecarlo":
+            payload["result"] = {
+                "bounded_rate": result.bounded_rate,
+                "verdict": result.verdict,
+                "mean_of_means_ns": result.mean_of_means(),
+                "worst_max_ns": result.worst_max(),
+                "outcomes": [
+                    study.encode(outcome) for outcome in result.outcomes
+                ],
+            }
+        else:
+            payload["result"] = {"rows": [row.as_dict() for row in result]}
+            if spec["kind"] == "envelope":
+                from repro.experiments.sweeps import envelope_verdict
+
+                payload["result"]["verdict"] = envelope_verdict(result)
+    else:
+        payload["errors"] = {
+            key: f"{type(exc).__name__}: {exc}"
+            for key, exc in run.errors.items()
+        }
+    return payload
+
+
+def render_run(spec: Dict[str, Any], plan: StudyPlan, run) -> str:
+    """Human-readable outcome block for ``study run`` / ``resume``."""
+    study = plan.study
+    head = (
+        f"study {spec_name(spec)!r} ({study.fingerprint()[:12]}): "
+        f"{len(run.results)}/{len(study.jobs)} done "
+        f"({len(run.executed)} executed, {len(run.cached)} cached, "
+        f"{len(run.failed)} failed)"
+    )
+    if not run.complete:
+        state = "interrupted" if run.interrupted else "incomplete"
+        return f"{head} — {state}; resume with 'study resume LEDGER'"
+    result = plan.collect(run)
+    if spec["kind"] == "montecarlo":
+        return head + "\n" + result.to_text()
+    if spec["kind"] == "sweep":
+        from repro.experiments.sweeps import render_rows
+
+        return head + "\n" + render_rows(result)
+    if spec["kind"] == "envelope":
+        from repro.analysis.report import render_envelope
+        from repro.experiments.sweeps import envelope_verdict
+
+        return (head + "\n" + render_envelope(result)
+                + f"\nenvelope verdict: {envelope_verdict(result)}")
+    lines = [head]
+    for row in result:
+        lines.append(
+            f"  {row.label}: verdict={row.verdict} probes={row.probes} "
+            f"max={row.max_precision_ns:.0f}ns "
+            f"({'within' if row.bounded else 'VIOLATES'} "
+            f"bound={row.bound_ns:.0f}ns)"
+        )
+    return "\n".join(lines)
+
+
+def collect_from_ledger(ledger) -> Optional[List[str]]:
+    """Convenience: unfinished keys of a loaded ledger (None if complete)."""
+    unfinished = ledger.unfinished()
+    return unfinished or None

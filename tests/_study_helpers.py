@@ -1,0 +1,45 @@
+"""Module-level job functions for the study-pipeline tests.
+
+Jobs dispatched to the process executor must pickle under the ``spawn``
+start method, so these live in a plain module rather than as closures
+inside the tests (same pattern as ``_parallel_helpers``).
+"""
+
+import os
+import time
+
+
+def double(x):
+    return 2 * x
+
+
+def double_with_metrics(x, metrics=None):
+    if metrics is not None:
+        metrics.counter("helper.calls").inc()
+    return 2 * x
+
+
+def slow_double(x, delay=0.0):
+    time.sleep(delay)
+    return 2 * x
+
+
+def boom(x):
+    raise RuntimeError(f"boom on {x}")
+
+
+def interrupt(x):
+    raise KeyboardInterrupt
+
+
+def crash_once_then_double(marker_path, x):
+    """Die without a result on the first attempt (pool retry path)."""
+    if not os.path.exists(marker_path):
+        with open(marker_path, "w"):
+            pass
+        os._exit(31)
+    return 2 * x
+
+
+def crash_always(x):
+    os._exit(37)

@@ -220,6 +220,118 @@ class TestEnvelopeSweepCommand:
         assert "--sim-seconds" in capsys.readouterr().err
 
 
+class TestStudyCommand:
+    def _spec(self, tmp_path, doc=None):
+        spec = tmp_path / "study.json"
+        spec.write_text(json.dumps(doc or {
+            "kind": "montecarlo", "name": "cli-mc",
+            "seeds": [1, 21], "hours": 0.02,
+        }))
+        return spec
+
+    def test_run_interrupt_status_resume_cycle(self, tmp_path, capsys):
+        spec = self._spec(tmp_path)
+        cache_dir = str(tmp_path / "store")
+        ledger = str(tmp_path / "study.ledger.json")
+
+        # Interrupted run exits 3 and journals the kill point.
+        code = main(["study", "run", str(spec), "--max-jobs", "1",
+                     "--cache-dir", cache_dir, "--json"])
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert code == 3
+        assert payload["interrupted"] is True
+        assert payload["executed"] == 1
+        assert "[1/2]" in captured.err          # streaming progress line
+        assert payload["ledger"] == ledger
+
+        # Status shows one done / one pending, exits nonzero (incomplete).
+        assert main(["study", "status", ledger]) == 1
+        out = capsys.readouterr().out
+        assert "done=1" in out and "pending=1" in out
+
+        # Resume finishes from the ledger: one cache hit, one fresh arm.
+        code = main(["study", "resume", ledger,
+                     "--cache-dir", cache_dir, "--json"])
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert code == 0
+        assert payload["complete"] is True
+        assert payload["cached"] == 1 and payload["executed"] == 1
+        assert payload["result"]["bounded_rate"] == 1.0
+        assert len(payload["result"]["outcomes"]) == 2
+        assert main(["study", "status", ledger]) == 0
+        capsys.readouterr()
+
+    def test_run_sweep_spec(self, tmp_path, capsys):
+        spec = self._spec(tmp_path, {
+            "kind": "sweep", "study": "domains", "values": [4, 5],
+            "duration_s": 30, "warmup_records": 5,
+        })
+        code = main(["study", "run", str(spec),
+                     "--cache-dir", str(tmp_path / "store"), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        rows = payload["result"]["rows"]
+        assert [r["value"] for r in rows] == [4, 5]
+        assert all(r["parameter"] == "n_domains" for r in rows)
+
+    def test_bad_spec_kind_rejected(self, tmp_path):
+        spec = self._spec(tmp_path, {"kind": "nonsense"})
+        with pytest.raises(ValueError, match="unknown study kind"):
+            main(["study", "run", str(spec)])
+
+    def test_resume_foreign_ledger_mismatch(self, tmp_path, capsys):
+        from repro.studies import LedgerMismatchError
+
+        spec = self._spec(tmp_path)
+        cache_dir = str(tmp_path / "store")
+        ledger = str(tmp_path / "study.ledger.json")
+        main(["study", "run", str(spec), "--max-jobs", "0",
+              "--cache-dir", cache_dir])
+        capsys.readouterr()
+        # Drifted spec (different seeds) against the same ledger file.
+        spec.write_text(json.dumps({
+            "kind": "montecarlo", "seeds": [7], "hours": 0.02,
+        }))
+        with pytest.raises(LedgerMismatchError):
+            main(["study", "run", str(spec), "--ledger", ledger,
+                  "--cache-dir", cache_dir])
+
+
+class TestCacheCommand:
+    def test_stats_and_prune_cycle(self, tmp_path, capsys):
+        from repro.parallel import ResultsCache, config_fingerprint
+
+        root = str(tmp_path / "store")
+        cache = ResultsCache(root)
+        for i in range(3):
+            cache.put(config_fingerprint("cli", i), {"i": i})
+        cache.get(config_fingerprint("cli", 0))
+        cache.write_stats()
+
+        assert main(["cache", "stats", "--cache-dir", root, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 3
+        assert payload["last_run"]["hits"] == 1
+
+        assert main(["cache", "prune", "--cache-dir", root,
+                     "--max-bytes", "0", "--dry-run", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["removed"] == 3 and payload["dry_run"] is True
+
+        assert main(["cache", "prune", "--cache-dir", root,
+                     "--older-than", "0", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["removed"] == 3
+        assert main(["cache", "stats", "--cache-dir", root, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 0
+
+    def test_prune_requires_criterion(self, capsys):
+        assert main(["cache", "prune"]) == 2
+        assert "--older-than" in capsys.readouterr().err
+
+
 class TestAttackBudgetSweepCommand:
     def test_smoke_reports_breaking_point(self, capsys):
         # Attack start (60 s) is past this smoke duration, so every arm is

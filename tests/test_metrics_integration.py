@@ -109,8 +109,10 @@ class TestCacheMetricsInteraction:
         cache = ResultsCache(str(tmp_path))
         registry = MetricsRegistry()
         first = self._sweep(cache, registry)
-        # mangle the single written entry in place
-        [entry] = list(tmp_path.rglob("*.json"))
+        # mangle the single written entry in place (the root also holds
+        # the scheduler's last_run_stats.json; entries live in fanouts)
+        [entry] = [p for p in tmp_path.rglob("*.json")
+                   if p.parent != tmp_path]
         entry.write_text("{not json")
         again = self._sweep(cache, registry)
         # short runs record no probes, so the precision fields are NaN;
