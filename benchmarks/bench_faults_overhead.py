@@ -1,0 +1,117 @@
+"""Overhead of the fault-injection seams on the study pipeline.
+
+Runs the same serial study twice — once with no injector attached (the
+default everywhere: every seam is a ``self._faults is None`` guard) and
+once with an injector attached whose plan never fires — and reports the
+wall-clock overhead of each against the other. Collected results must be
+byte-identical both ways: an injector that never fires must never
+perturb a study.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_faults_overhead.py [--check]
+
+``--check`` exits non-zero when the *attached* run costs more than
+``ATTACHED_TOLERANCE`` (25%) over the detached run — ``decide()`` on a
+plan with no matching points is a dict increment plus an empty loop, so
+anything beyond that means work crept onto the per-call path. The
+detached path's own cost (one attribute load + ``None`` check per seam)
+rides inside the tier-1 suite's timings.
+
+Environment knobs:
+
+* ``REPRO_BENCH_FAULTS_JOBS``   — jobs per study (default 400)
+* ``REPRO_BENCH_FAULTS_ROUNDS`` — rounds, best-of (default 3)
+"""
+
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.parallel import ResultsCache, config_fingerprint
+from repro.resilience import FaultInjector, FaultPlan
+from repro.studies import Job, Study, run_study
+
+N_JOBS = int(os.environ.get("REPRO_BENCH_FAULTS_JOBS", "400"))
+ROUNDS = int(os.environ.get("REPRO_BENCH_FAULTS_ROUNDS", "3"))
+
+#: Maximum tolerated slowdown of the attached-injector run vs detached.
+ATTACHED_TOLERANCE = 0.25
+
+
+def _work(n):
+    return sum(i * i for i in range(200)) + n
+
+
+def _study():
+    jobs = tuple(
+        Job(
+            key=config_fingerprint("bench-faults", n),
+            fn=_work,
+            args=(n,),
+            label=f"n={n}",
+            kind="bench",
+            seed=n,
+        )
+        for n in range(N_JOBS)
+    )
+    return Study(name="bench-faults", jobs=jobs)
+
+
+def run_once(attached: bool) -> tuple:
+    """One fresh-store study run; returns (wall_s, collected-repr)."""
+    faults = FaultInjector(FaultPlan(name="idle")) if attached else None
+    workdir = tempfile.mkdtemp(prefix="bench-faults-")
+    try:
+        cache = ResultsCache(os.path.join(workdir, "store"))
+        study = _study()
+        t0 = time.perf_counter()
+        run = run_study(study, cache=cache, faults=faults)
+        wall = time.perf_counter() - t0
+        if not run.complete:
+            raise SystemExit("bench study did not complete")
+        return wall, repr(run.collected())
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def best_of(attached: bool) -> tuple:
+    best_wall, collected = run_once(attached)
+    for _ in range(ROUNDS - 1):
+        wall, collected_i = run_once(attached)
+        if collected_i != collected:
+            raise SystemExit("non-deterministic study results")
+        best_wall = min(best_wall, wall)
+    return best_wall, collected
+
+
+def main(argv) -> int:
+    check = "--check" in argv[1:]
+    print(f"fault-seam overhead bench: {N_JOBS} jobs, best of {ROUNDS}")
+
+    off_wall, off_collected = best_of(attached=False)
+    on_wall, on_collected = best_of(attached=True)
+    if on_collected != off_collected:
+        print("results diverged with an idle injector attached")
+        return 1
+
+    overhead = on_wall / off_wall - 1.0
+    print(f"  injector detached: {off_wall:6.3f} s "
+          f"({N_JOBS / off_wall:8.0f} jobs/s)")
+    print(f"  injector attached: {on_wall:6.3f} s "
+          f"({N_JOBS / on_wall:8.0f} jobs/s)")
+    print(f"  attached overhead: {overhead:+.1%} "
+          f"(tolerance {ATTACHED_TOLERANCE:.0%})")
+
+    if check and overhead > ATTACHED_TOLERANCE:
+        print("--check: REGRESSION — idle injector exceeds tolerance")
+        return 1
+    if check:
+        print("--check: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -708,8 +708,40 @@ def _progress_printer():
     return emit
 
 
+def _fault_injector(args):
+    """Build a FaultInjector from ``--fault-plan`` (None when absent)."""
+    plan_path = getattr(args, "fault_plan", None)
+    if not plan_path:
+        return None
+    from repro.resilience import FaultInjector, load_fault_plan
+
+    return FaultInjector(load_fault_plan(plan_path),
+                         salt=getattr(args, "fault_salt", 0))
+
+
+def _retry_policy(args):
+    """Build a RetryPolicy from ``--retries``/``--retry-backoff``."""
+    retries = getattr(args, "retries", None)
+    backoff = getattr(args, "retry_backoff", None)
+    if retries is None and backoff is None:
+        return None
+    from repro.resilience import RetryPolicy
+
+    return RetryPolicy(
+        max_attempts=(retries if retries is not None else 1) + 1,
+        backoff_s=backoff or 0.0,
+        jitter=0.1 if backoff else 0.0,
+    )
+
+
 def cmd_study(args: argparse.Namespace) -> int:
-    from repro.studies import StudyInterrupted, StudyLedger, run_study
+    from repro.resilience import InjectedCrash
+    from repro.studies import (
+        LedgerCorruptError,
+        StudyInterrupted,
+        StudyLedger,
+        run_study,
+    )
     from repro.studies.specs import (
         load_spec,
         plan_from_spec,
@@ -720,33 +752,87 @@ def cmd_study(args: argparse.Namespace) -> int:
     )
 
     if args.action == "status":
-        ledger = StudyLedger.load(args.ledger)
+        try:
+            ledger = StudyLedger.load(args.ledger)
+        except LedgerCorruptError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
         _emit(args, ledger.describe(), ledger.to_dict())
         return 0 if ledger.complete else 1
 
+    faults = _fault_injector(args)
+    salvaged = False
     if args.action == "run":
         spec = load_spec(args.spec)
         base = (args.spec[:-len(".json")]
                 if args.spec.endswith(".json") else args.spec)
         ledger_path = args.ledger or base + ".ledger.json"
+        ledger = None
     else:  # resume
-        loaded = StudyLedger.load(args.ledger)
+        ledger_path = args.ledger
+        ledger = None
+        try:
+            loaded = StudyLedger.load(args.ledger, faults=faults)
+        except LedgerCorruptError as exc:
+            if not getattr(args, "salvage", False):
+                print(str(exc), file=sys.stderr)
+                return 2
+            from repro.resilience.salvage import (
+                LedgerSalvageError,
+                rebuild_ledger,
+                salvage_study,
+            )
+
+            try:
+                recovered = salvage_study(args.ledger)
+                spec = validate_spec(recovered["spec"])
+                plan = plan_from_spec(spec)
+                ledger = rebuild_ledger(
+                    args.ledger,
+                    plan.study,
+                    spec=spec,
+                    cache_dir=recovered.get("cache_dir"),
+                    recovered_fingerprint=recovered.get("fingerprint"),
+                )
+            except (LedgerSalvageError, ValueError) as salvage_exc:
+                print(f"salvage failed: {salvage_exc}", file=sys.stderr)
+                return 2
+            loaded = ledger
+            salvaged = True
+            print(
+                f"salvaged corrupt ledger (backup at {args.ledger}.corrupt); "
+                "finished jobs will be restored from the result store",
+                file=sys.stderr,
+            )
         if loaded.spec is None:
             print(f"ledger {args.ledger!r} carries no study spec; "
                   "re-run 'study run' against the original spec file",
                   file=sys.stderr)
             return 2
         spec = validate_spec(loaded.spec)
-        ledger_path = args.ledger
         if loaded.cache_dir and args.cache_dir == ".repro_cache":
             args.cache_dir = loaded.cache_dir
     plan = plan_from_spec(spec)
-    ledger = StudyLedger.for_study(
-        plan.study, path=ledger_path, spec=spec, cache_dir=args.cache_dir
-    )
+    if ledger is None:
+        try:
+            ledger = StudyLedger.for_study(
+                plan.study, path=ledger_path, spec=spec,
+                cache_dir=args.cache_dir
+            )
+        except LedgerCorruptError as exc:
+            # 'study run' pointed at a ledger a previous faulted run tore
+            # mid-flush: the error already names the salvage command.
+            print(str(exc), file=sys.stderr)
+            return 2
     exec_kwargs = _executor_kwargs(args)
     cache = exec_kwargs.get("cache")
     registry = _metrics_registry(args)
+    if args.fail_fast:
+        on_error = "raise"
+    elif getattr(args, "quarantine", False):
+        on_error = "quarantine"
+    else:
+        on_error = "continue"
     wall_start = time.perf_counter()
     try:
         run = run_study(
@@ -755,11 +841,19 @@ def cmd_study(args: argparse.Namespace) -> int:
             ledger=ledger,
             progress=_progress_printer(),
             max_jobs=args.max_jobs,
-            on_error="raise" if args.fail_fast else "continue",
+            on_error=on_error,
+            faults=faults,
+            retry_policy=_retry_policy(args),
             **exec_kwargs,
         )
     except StudyInterrupted as exc:
         run = exc.run
+    except InjectedCrash as exc:
+        # A --fault-plan simulated the process dying. The ledger on disk
+        # is the resumable state a real kill would leave behind.
+        print(f"study killed by injected fault: {exc}", file=sys.stderr)
+        print(f"resume with: study resume {ledger_path}", file=sys.stderr)
+        return 4
     if registry is not None:
         from repro.metrics import RunManifest
 
@@ -776,26 +870,56 @@ def cmd_study(args: argparse.Namespace) -> int:
                 "executed": len(run.executed),
                 "cached": len(run.cached),
                 "failed": len(run.failed),
+                "quarantined": len(run.quarantined),
+                "retries": run.retries,
+                "backoff_s": run.backoff_s,
+                "pool_degraded": run.pool_degraded,
                 "interrupted": run.interrupted,
                 "cache_disabled": bool(cache is not None and cache.disabled),
+                "cache_quarantined": int(getattr(cache, "quarantined", 0)
+                                         if cache is not None else 0),
+                "fault_plan": (faults.plan.name
+                               if faults is not None else None),
+                "fault_fires": (faults.fire_count
+                                if faults is not None else 0),
+                "salvaged": salvaged,
             },
         ))
     payload = run_payload(spec, plan, run)
     payload["ledger"] = ledger_path
+    payload["cache_quarantined"] = int(getattr(cache, "quarantined", 0)
+                                       if cache is not None else 0)
+    if faults is not None:
+        payload["faults"] = faults.summary()
+    if salvaged:
+        payload["salvaged"] = True
     _emit(args, render_run(spec, plan, run), payload)
-    if run.failed:
+    if run.failed or run.quarantined:
         return 1
     return 3 if not run.complete else 0
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
-    from repro.parallel import cache_stats, prune_cache
+    from repro.parallel import cache_stats, prune_cache, verify_store
+
+    if args.action == "verify":
+        summary = verify_store(args.cache_dir)
+        _emit(
+            args,
+            f"verified {summary['scanned']} entries at {args.cache_dir!r}: "
+            f"{summary['ok']} ok, {summary['legacy']} legacy (no checksum), "
+            f"{summary['quarantined']} quarantined",
+            dict(summary, root=args.cache_dir),
+        )
+        return 1 if summary["quarantined"] else 0
 
     if args.action == "stats":
         stats = cache_stats(args.cache_dir)
         lines = [
             f"job-result store at {stats['root']!r}: "
-            f"{stats['entries']} entries, {stats['bytes']} bytes",
+            f"{stats['entries']} entries, {stats['bytes']} bytes"
+            + (f", {stats['quarantined']} quarantined"
+               if stats.get("quarantined") else ""),
         ]
         last = stats.get("last_run")
         if last:
@@ -1086,6 +1210,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record run metrics and write them to PATH "
                             "(.csv → CSV, anything else → JSON)")
 
+    def add_resilience_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--fault-plan", metavar="PATH", default=None,
+                       help="inject deterministic harness faults from a "
+                            "fault-plan JSON (see repro.resilience; "
+                            "examples/faultplans/)")
+        p.add_argument("--fault-salt", type=_nonnegative_int, default=0,
+                       metavar="N",
+                       help="salt mixed into the fault plan's RNG streams "
+                            "(vary per resume round for fresh but "
+                            "deterministic draws)")
+        p.add_argument("--retries", type=_nonnegative_int, default=None,
+                       metavar="N",
+                       help="extra attempts per job after a crash, timeout, "
+                            "or (serial) task exception")
+        p.add_argument("--retry-backoff", type=float, default=None,
+                       metavar="S",
+                       help="base seconds of exponential backoff between "
+                            "attempts (deterministic seeded jitter)")
+        p.add_argument("--quarantine", action="store_true",
+                       help="park jobs that fail every attempt as "
+                            "'quarantined' in the ledger and finish the "
+                            "study with a partial verdict")
+
     p = sub.add_parser("sweep", help="design-space parameter sweeps")
     p.add_argument("study", choices=["domains", "interval", "aggregation",
                                      "threshold", "topology", "hopcount",
@@ -1137,6 +1284,7 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--fail-fast", action="store_true",
                     help="abort on the first failed job instead of "
                          "marking it failed and continuing")
+    add_resilience_flags(pr)
     add_executor_flags(pr)
     pr.add_argument("--json", action="store_true")
     pr.set_defaults(func=cmd_study)
@@ -1152,6 +1300,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="stop again after N fresh jobs")
     prs.add_argument("--fail-fast", action="store_true",
                      help="abort on the first failed job")
+    prs.add_argument("--salvage", action="store_true",
+                     help="rebuild a torn/corrupt ledger from its embedded "
+                          "spec (finished jobs come back from the result "
+                          "store); the corrupt file is kept as "
+                          "LEDGER.corrupt")
+    add_resilience_flags(prs)
     add_executor_flags(prs)
     prs.add_argument("--json", action="store_true")
     prs.set_defaults(func=cmd_study)
@@ -1164,6 +1318,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="store location (default: %(default)s)")
     pcs.add_argument("--json", action="store_true")
     pcs.set_defaults(func=cmd_cache)
+    pcv = cache_sub.add_parser(
+        "verify", help="checksum-sweep the store; quarantine corrupt "
+                       "entries (exit 1 if any)")
+    pcv.add_argument("--cache-dir", default=".repro_cache",
+                     help="store location (default: %(default)s)")
+    pcv.add_argument("--json", action="store_true")
+    pcv.set_defaults(func=cmd_cache)
     pcp = cache_sub.add_parser("prune", help="garbage-collect the store")
     pcp.add_argument("--cache-dir", default=".repro_cache",
                      help="store location (default: %(default)s)")

@@ -19,10 +19,12 @@ these primitives; the CLI exposes ``--workers`` / ``--no-cache``.
 """
 
 from repro.parallel.cache import (
+    QUARANTINE_DIRNAME,
     ResultsCache,
     cache_stats,
     config_fingerprint,
     prune_cache,
+    verify_store,
 )
 from repro.parallel.pool import (
     TaskCrashError,
@@ -34,6 +36,7 @@ from repro.parallel.pool import (
 )
 
 __all__ = [
+    "QUARANTINE_DIRNAME",
     "ResultsCache",
     "TaskCrashError",
     "TaskFailedError",
@@ -44,4 +47,5 @@ __all__ = [
     "config_fingerprint",
     "default_chunk_size",
     "prune_cache",
+    "verify_store",
 ]

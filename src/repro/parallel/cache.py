@@ -13,6 +13,14 @@ Invalidation is purely key-based: there is no TTL. Delete the cache root
 (or pass ``--no-cache``) after changing *code* rather than configuration —
 the fingerprint sees parameters, not simulator source. ``SCHEMA_VERSION``
 is baked into every key so cache layout changes never read stale entries.
+
+Integrity: entries are written inside a checksum envelope
+(``{"sha256": <hex of the canonical payload JSON>, "payload": ...}``)
+and verified on every read. A corrupt, truncated, or checksum-mismatched
+entry is *quarantined* — moved to ``<root>/quarantine/`` for forensics —
+and counted as a miss, so a bit flip or torn write costs one recompute,
+never a poisoned study. Pre-envelope entries (raw payloads) still read
+fine. ``repro cache verify`` sweeps the whole store offline.
 """
 
 from __future__ import annotations
@@ -34,6 +42,23 @@ DEFAULT_CACHE_DIR = ".repro_cache"
 #: Root-level file recording the last run's hit/miss/disabled figures
 #: (written by the study scheduler; read by ``repro cache stats``).
 STATS_FILENAME = "last_run_stats.json"
+
+#: Subdirectory (under the cache root) holding quarantined entries.
+QUARANTINE_DIRNAME = "quarantine"
+
+#: The envelope's exact key set — how a versioned entry is recognized.
+_ENVELOPE_KEYS = frozenset(("sha256", "payload"))
+
+
+def _canonical_body(payload: Any) -> str:
+    """The canonical JSON serialization the checksum covers.
+
+    ``json.dumps`` with compact separators round-trips exactly
+    (``dumps(loads(body)) == body`` for JSON-native types), so the
+    digest computed at write time can be recomputed at read time from
+    the decoded payload alone.
+    """
+    return json.dumps(payload, separators=(",", ":"))
 
 
 def config_fingerprint(*parts: Any) -> str:
@@ -74,8 +99,10 @@ class ResultsCache:
         self.root = root
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
         self.disabled = False
         self._metrics = None
+        self._faults = None
 
     def attach_metrics(self, registry) -> None:
         """Attach a metrics registry so a mid-run self-disable is *loud*.
@@ -83,19 +110,48 @@ class ResultsCache:
         A cache that silently turns itself off looks exactly like a cold
         cache from the outside; with a registry attached the disable event
         increments ``cache.disable_events`` the moment it happens (the
-        end-of-study gauges only show the final state).
+        end-of-study gauges only show the final state). Quarantine events
+        likewise increment ``cache.quarantined`` live.
         """
         self._metrics = registry
+
+    def attach_faults(self, injector) -> None:
+        """Attach (or with ``None``, detach) a fault injector.
+
+        The hooks in :meth:`get`/:meth:`put` are a single ``is not
+        None`` check when no injector is attached — cheap enough to
+        live in the production path permanently (bench-gate verified by
+        ``benchmarks/bench_faults_overhead.py``).
+        """
+        self._faults = injector
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".json")
 
+    def _quarantine(self, path: str) -> None:
+        """Move a corrupt entry aside (never delete evidence); count it."""
+        dest_dir = os.path.join(self.root, QUARANTINE_DIRNAME)
+        try:
+            os.makedirs(dest_dir, exist_ok=True)
+            os.replace(path, os.path.join(dest_dir, os.path.basename(path)))
+        except OSError:
+            # Quarantine dir unwritable: fall back to removing the entry
+            # so the corrupt bytes can never be served again.
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        self.quarantined += 1
+        if self._metrics is not None:
+            self._metrics.counter("cache.quarantined").inc()
+
     def get(self, key: str) -> Optional[Any]:
         """Return the cached payload, or ``None`` on a miss.
 
-        A corrupt entry (interrupted write on an old filesystem, manual
-        edit) is deleted and reported as a miss rather than poisoning the
-        study.
+        A corrupt entry — torn write, bit flip, invalid UTF-8, manual
+        edit, or a checksum mismatch against the envelope — is
+        quarantined to ``<root>/quarantine/`` and reported as a miss
+        rather than poisoning (or crashing) the study.
         """
         if self.disabled:
             # Still a miss: hit/miss accounting must stay meaningful (and
@@ -103,24 +159,41 @@ class ResultsCache:
             self.misses += 1
             return None
         path = self._path(key)
+        if self._faults is not None:
+            point = self._faults.pre_op("cache.get")
+            if point is not None:
+                self._faults.corrupt(point, path)
         try:
             with open(path, "r", encoding="utf-8") as fh:
-                payload = json.load(fh)
+                doc = json.load(fh)
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (json.JSONDecodeError, OSError):
-            try:
-                os.remove(path)
-            except OSError:
-                pass
+        except (ValueError, UnicodeDecodeError, OSError):
+            # ValueError covers JSONDecodeError; UnicodeDecodeError is
+            # *not* a ValueError subclass path json.load reports — a
+            # bit-flipped byte can make the file invalid UTF-8 and used
+            # to escape this handler entirely (the pre-envelope bug).
+            self._quarantine(path)
             self.misses += 1
             return None
+        if isinstance(doc, dict) and set(doc) == _ENVELOPE_KEYS:
+            digest = hashlib.sha256(
+                _canonical_body(doc["payload"]).encode("utf-8")
+            ).hexdigest()
+            if digest != doc["sha256"]:
+                self._quarantine(path)
+                self.misses += 1
+                return None
+            payload = doc["payload"]
+        else:
+            payload = doc  # pre-envelope entry: accepted unverified
         self.hits += 1
         return payload
 
     def put(self, key: str, payload: Any) -> None:
-        """Store a JSON-serializable payload atomically (tmp + rename).
+        """Store a payload atomically (tmp + rename) inside a checksum
+        envelope.
 
         Caching is an optimization: if the cache root is unwritable (path
         collides with a file, disk full, permissions), the cache disables
@@ -132,13 +205,22 @@ class ResultsCache:
         path = self._path(key)
         tmp = None
         try:
+            fault_point = None
+            if self._faults is not None:
+                # Inside the try: an injected OSError/ENOSPC exercises
+                # the same self-disable path a real full disk does.
+                fault_point = self._faults.pre_op("cache.put")
+            body = _canonical_body(payload)
+            digest = hashlib.sha256(body.encode("utf-8")).hexdigest()
             os.makedirs(os.path.dirname(path), exist_ok=True)
             fd, tmp = tempfile.mkstemp(
                 dir=os.path.dirname(path), suffix=".tmp"
             )
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, separators=(",", ":"))
+                fh.write('{"sha256":"%s","payload":%s}' % (digest, body))
             os.replace(tmp, path)
+            if fault_point is not None:
+                self._faults.corrupt(fault_point, path)
         except OSError as exc:
             if tmp is not None:
                 try:
@@ -168,6 +250,7 @@ class ResultsCache:
                 self.hits / (self.hits + self.misses)
                 if (self.hits + self.misses) else 0.0
             ),
+            "quarantined": self.quarantined,
             "disabled": self.disabled,
             "written_at": time.time(),
         }
@@ -232,12 +315,20 @@ def cache_stats(root: str = DEFAULT_CACHE_DIR) -> Dict[str, Any]:
             last_run = json.load(fh)
     except (OSError, json.JSONDecodeError):
         pass
+    quarantine_dir = os.path.join(root, QUARANTINE_DIRNAME)
+    try:
+        quarantined = len([
+            n for n in os.listdir(quarantine_dir) if n.endswith(".json")
+        ])
+    except OSError:
+        quarantined = 0
     return {
         "root": root,
         "entries": entries,
         "bytes": total_bytes,
         "oldest_mtime": oldest,
         "newest_mtime": newest,
+        "quarantined": quarantined,
         "last_run": last_run,
     }
 
@@ -287,4 +378,43 @@ def prune_cache(
         "removed": removed,
         "bytes_removed": bytes_removed,
         "bytes_kept": keep_bytes,
+    }
+
+
+def verify_store(root: str = DEFAULT_CACHE_DIR) -> Dict[str, int]:
+    """Offline integrity sweep (the ``repro cache verify`` CLI).
+
+    Re-reads every entry, recomputes the envelope checksum, and
+    quarantines anything unreadable or mismatched — the same healing
+    :meth:`ResultsCache.get` applies lazily, applied eagerly to the
+    whole store. Pre-envelope (legacy) entries are counted but left in
+    place: they carry no checksum to verify against.
+
+    Returns ``{"scanned", "ok", "legacy", "quarantined"}``.
+    """
+    cache = ResultsCache(root)
+    scanned = ok = legacy = 0
+    for path, _, _ in list(_iter_entries(root)):
+        scanned += 1
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (ValueError, UnicodeDecodeError, OSError):
+            cache._quarantine(path)
+            continue
+        if isinstance(doc, dict) and set(doc) == _ENVELOPE_KEYS:
+            digest = hashlib.sha256(
+                _canonical_body(doc["payload"]).encode("utf-8")
+            ).hexdigest()
+            if digest != doc["sha256"]:
+                cache._quarantine(path)
+            else:
+                ok += 1
+        else:
+            legacy += 1
+    return {
+        "scanned": scanned,
+        "ok": ok,
+        "legacy": legacy,
+        "quarantined": cache.quarantined,
     }

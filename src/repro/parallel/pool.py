@@ -7,11 +7,15 @@ Design constraints, in order of importance:
    its serial counterpart.
 2. **Robustness** — every task runs in its own worker process with a
    per-task timeout; a wedged or crashed worker is terminated and the task
-   retried once on a fresh process, so one bad arm cannot hang a
-   1000-seed study. Deterministic Python exceptions raised *by the task
-   function* are not retried (re-running deterministic code reproduces the
-   same error) and surface as :class:`TaskFailedError` with the child
-   traceback attached.
+   retried on a fresh process under a configurable
+   :class:`repro.resilience.RetryPolicy` (default: retry once, no
+   backoff; exponential backoff with deterministic seeded jitter
+   opt-in), so one bad arm cannot hang a 1000-seed study. Repeated
+   worker-spawn failures (fd/pid exhaustion) degrade the pool to inline
+   in-parent execution instead of failing the study. Deterministic
+   Python exceptions raised *by the task function* are not retried
+   (re-running deterministic code reproduces the same error) and surface
+   as :class:`TaskFailedError` with the child traceback attached.
 3. **Spawn safety** — task functions and arguments must be picklable
    (module-level functions, dataclass configs). The pool defaults to the
    ``spawn`` start method, which works identically on Linux/macOS/Windows
@@ -31,9 +35,12 @@ import multiprocessing
 import os
 import time
 import traceback
+import warnings
 from dataclasses import dataclass, field
 from multiprocessing.connection import Connection, wait as connection_wait
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.resilience.retry import RetryPolicy
 
 
 class TaskFailedError(RuntimeError):
@@ -97,6 +104,19 @@ def _child_main(conn: Connection, fn: Callable[..., Any],
         conn.close()
 
 
+def _child_fault(mode: str, hang_s: float, fn: Callable[..., Any],
+                 args: Tuple[Any, ...], kwargs: Dict[str, Any]) -> Any:
+    """Child-side ``worker.exec`` fault shim (module-level: must pickle
+    under ``spawn``). ``crash`` hard-kills the worker before it can
+    report; ``hang`` wedges it past the watchdog. The original spec is
+    untouched, so a retry launches the real function."""
+    if mode == "crash":
+        os._exit(43)
+    if mode == "hang":
+        time.sleep(hang_s)
+    return fn(*args, **kwargs)
+
+
 @dataclass
 class _Running:
     """Bookkeeping for one in-flight attempt."""
@@ -121,8 +141,18 @@ class WorkerPool:
         Wall-clock seconds one attempt may take before its worker is
         terminated; ``None`` disables the watchdog.
     retries:
-        Extra attempts granted after a crash or timeout (default 1:
-        "retry once on crash"). Task-function exceptions never retry.
+        Legacy knob: extra attempts granted after a crash or timeout
+        (default 1: "retry once on crash"). Ignored when
+        ``retry_policy`` is given. Task-function exceptions never retry.
+    retry_policy:
+        A :class:`repro.resilience.RetryPolicy` — total attempts plus
+        exponential backoff with deterministic seeded jitter. Default:
+        ``RetryPolicy.from_retries(retries)`` (no backoff).
+    spawn_failure_limit:
+        After this many consecutive ``Process.start()`` failures
+        (fork/spawn ``OSError``: fd or pid exhaustion, low memory) the
+        pool *degrades* to running the remaining tasks inline in the
+        parent — slower, but the study finishes.
     start_method:
         ``"spawn"`` (default, portable and state-clean) or ``"fork"``.
 
@@ -139,23 +169,49 @@ class WorkerPool:
         max_workers: Optional[int] = None,
         task_timeout: Optional[float] = None,
         retries: int = 1,
+        retry_policy: Optional[RetryPolicy] = None,
+        spawn_failure_limit: int = 3,
         start_method: str = "spawn",
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        if spawn_failure_limit < 1:
+            raise ValueError(
+                f"spawn_failure_limit must be >= 1, got {spawn_failure_limit}"
+            )
         self.max_workers = max_workers or os.cpu_count() or 1
         self.task_timeout = task_timeout
-        self.retries = retries
+        self.retry_policy = retry_policy or RetryPolicy.from_retries(retries)
+        self.spawn_failure_limit = spawn_failure_limit
         #: Wall-clock seconds of every *successful* attempt, in completion
         #: order, accumulated across :meth:`map` calls — the per-arm timing
         #: the metrics layer exports (launch overhead included, so it
         #: reflects what the study actually paid per arm).
         self.task_seconds: List[float] = []
+        #: Crash/timeout retries granted so far (``pool.retries`` metric).
+        self.retry_count = 0
+        #: Total backoff seconds scheduled (``pool.backoff_seconds``).
+        self.backoff_total_s = 0.0
+        #: Consecutive worker-spawn failures seen so far.
+        self.spawn_failures = 0
+        #: True once the pool fell back to inline (in-parent) execution.
+        self.degraded = False
         #: Parent-side success callback for the current map_partial call.
         self._on_result: Optional[Callable[[int, Any], None]] = None
+        self._faults = None
         self._ctx = multiprocessing.get_context(start_method)
+
+    @property
+    def retries(self) -> int:
+        """Legacy view: extra attempts after the first."""
+        return self.retry_policy.retries
+
+    def attach_faults(self, injector) -> None:
+        """Attach (or with ``None``, detach) a ``worker.exec`` fault
+        injector; a single ``is not None`` check per launch otherwise."""
+        self._faults = injector
 
     # ------------------------------------------------------------------
     # Execution
@@ -195,17 +251,33 @@ class WorkerPool:
             return [], {}
         results: List[Any] = [None] * len(tasks)
         errors: Dict[int, BaseException] = {}
-        # (index, spec, attempt) queue; retries re-enter at the back.
-        pending: List[Tuple[int, TaskSpec, int]] = [
-            (i, spec, 0) for i, spec in enumerate(tasks)
+        # (index, spec, attempt, ready_at) queue; retries re-enter at the
+        # back carrying their backoff deadline.
+        pending: List[Tuple[int, TaskSpec, int, float]] = [
+            (i, spec, 0, 0.0) for i, spec in enumerate(tasks)
         ]
         running: List[_Running] = []
         self._on_result = on_result
         try:
             while pending or running:
-                while pending and len(running) < self.max_workers:
-                    running.append(self._launch(*pending.pop(0)))
-                self._collect(running, pending, results, errors)
+                now = time.monotonic()
+                i = 0
+                while i < len(pending) and len(running) < self.max_workers:
+                    if pending[i][3] <= now:
+                        index, spec, attempt, _ = pending.pop(i)
+                        slot = self._launch(index, spec, attempt, pending,
+                                            results, errors)
+                        if slot is not None:
+                            running.append(slot)
+                        now = time.monotonic()
+                    else:
+                        i += 1
+                if running:
+                    self._collect(running, pending, results, errors)
+                elif pending:
+                    # Everything queued is waiting out a backoff window.
+                    wake = min(entry[3] for entry in pending)
+                    time.sleep(max(0.0, wake - time.monotonic()))
         finally:
             self._on_result = None
             for slot in running:  # only non-empty if an error is propagating
@@ -215,23 +287,99 @@ class WorkerPool:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _launch(self, index: int, spec: TaskSpec, attempt: int) -> _Running:
-        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
-        process = self._ctx.Process(
-            target=_child_main,
-            args=(child_conn, spec.fn, spec.args, spec.kwargs),
-            daemon=True,
-        )
-        process.start()
+    def _launch(
+        self,
+        index: int,
+        spec: TaskSpec,
+        attempt: int,
+        pending: List[Tuple[int, TaskSpec, int, float]],
+        results: List[Any],
+        errors: Dict[int, BaseException],
+    ) -> Optional[_Running]:
+        """Start one worker attempt; ``None`` when nothing is in flight
+        (spawn failed and the task was re-enqueued, or the pool is
+        degraded and the task already ran inline)."""
+        fault = None
+        if self._faults is not None:
+            fault = self._faults.decide("worker.exec")
+        if self.degraded:
+            self._run_inline(index, spec, results, errors)
+            return None
+        fn, args, kwargs = spec.fn, spec.args, spec.kwargs
+        if fault is not None and fault.mode in ("crash", "hang"):
+            # Wrap (never mutate) the spec: the retry relaunches the
+            # real function and the injector re-decides.
+            fn, args = _child_fault, (
+                fault.mode, fault.hang_s, spec.fn, spec.args, spec.kwargs
+            )
+            kwargs = {}
+        parent_conn = None
+        try:
+            if fault is not None and fault.mode in ("oserror", "enospc"):
+                raise OSError(
+                    f"injected spawn failure ({fault.mode}) at worker.exec"
+                )
+            parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+            process = self._ctx.Process(
+                target=_child_main,
+                args=(child_conn, fn, args, kwargs),
+                daemon=True,
+            )
+            process.start()
+        except OSError as exc:
+            # fork/spawn failure: fd or pid exhaustion, low memory, or an
+            # injected fault. The task never ran, so this is not a task
+            # attempt — re-enqueue as-is and count the failure.
+            if parent_conn is not None:
+                parent_conn.close()
+                child_conn.close()
+            self.spawn_failures += 1
+            if (not self.degraded
+                    and self.spawn_failures >= self.spawn_failure_limit):
+                self.degraded = True
+                warnings.warn(
+                    f"worker spawn failed {self.spawn_failures} times in a "
+                    f"row ({exc}); pool degrading to inline serial "
+                    "execution",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            pending.append((index, spec, attempt, time.monotonic()))
+            return None
+        self.spawn_failures = 0  # the limit counts *consecutive* failures
         child_conn.close()  # parent keeps only the receive end
         started = time.monotonic()
         deadline = started + self.task_timeout if self.task_timeout is not None else None
         return _Running(index, spec, attempt, process, parent_conn, deadline, started)
 
+    def _run_inline(
+        self,
+        index: int,
+        spec: TaskSpec,
+        results: List[Any],
+        errors: Dict[int, BaseException],
+    ) -> None:
+        """Degraded mode: run the task in the parent process. No
+        watchdog, no crash isolation — but the study finishes."""
+        started = time.monotonic()
+        try:
+            value = spec.run()
+        except Exception:
+            errors[index] = TaskFailedError(
+                f"task {index} raised inline (degraded pool):\n"
+                f"{traceback.format_exc()}"
+            )
+            return
+        results[index] = value
+        errors.pop(index, None)
+        self.task_seconds.append(time.monotonic() - started)
+        if self._on_result is not None:
+            self._on_result(index, value)
+
     def _collect(
         self,
         running: List[_Running],
-        pending: List[Tuple[int, TaskSpec, int]],
+        pending: List[Tuple[int, TaskSpec, int, float]],
         results: List[Any],
         errors: Dict[int, BaseException],
     ) -> None:
@@ -266,7 +414,7 @@ class WorkerPool:
     def _finish(
         self,
         slot: _Running,
-        pending: List[Tuple[int, TaskSpec, int]],
+        pending: List[Tuple[int, TaskSpec, int, float]],
         results: List[Any],
         errors: Dict[int, BaseException],
     ) -> None:
@@ -301,12 +449,17 @@ class WorkerPool:
     def _retry_or_fail(
         self,
         slot: _Running,
-        pending: List[Tuple[int, TaskSpec, int]],
+        pending: List[Tuple[int, TaskSpec, int, float]],
         errors: Dict[int, BaseException],
         error: BaseException,
     ) -> None:
-        if slot.attempt < self.retries:
-            pending.append((slot.index, slot.spec, slot.attempt + 1))
+        attempts_done = slot.attempt + 1
+        if attempts_done < self.retry_policy.max_attempts:
+            delay = self.retry_policy.delay_s(slot.index, attempts_done)
+            self.retry_count += 1
+            self.backoff_total_s += delay
+            pending.append((slot.index, slot.spec, slot.attempt + 1,
+                            time.monotonic() + delay))
         else:
             errors[slot.index] = error
 

@@ -1,0 +1,187 @@
+"""The fault injector: turns a :class:`FaultPlan` into actual failures.
+
+One :class:`FaultInjector` is attached per run (``run_study(faults=...)``
+or the ``--fault-plan`` CLI flag); production code calls its two hooks at
+the named seams:
+
+``pre_op(seam, ...)``
+    Raise the injected failure (crash / OSError / deterministic task
+    error), sleep for a hang, or return the fired corruption-mode
+    :class:`FaultPoint` for the caller to apply with :meth:`corrupt`.
+    Returns ``None`` when nothing fires — the common case, one dict
+    lookup and a few integer compares, cheap enough that the hooks stay
+    in the production path permanently (bench-gate verified).
+
+``corrupt(point, path)``
+    Apply ``torn_write`` (truncate at a byte offset) or ``bit_flip``
+    (flip one deterministic bit) to the file at ``path``.
+
+Determinism: every fault point owns a private ``random.Random`` stream
+seeded from ``sha256(plan.seed, salt, point_index)`` — never Python's
+``hash()``, whose string salting varies per process. Same plan + same
+salt ⇒ identical firing pattern, regardless of how many other points
+exist or fire. ``salt`` lets a resume loop re-attach the same plan with
+fresh (but still deterministic) randomness per round.
+
+:class:`InjectedCrash` subclasses :class:`BaseException` deliberately:
+a simulated process death must blow through ``except Exception`` job
+handlers exactly like a real SIGKILL unwinds nothing.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import os
+import random
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.resilience.faultplan import FaultPlan, FaultPoint
+
+#: Modes pre_op handles by raising/sleeping, vs. returning for corrupt().
+_RAISING_MODES = ("crash", "hang", "oserror", "enospc", "error")
+_CORRUPTION_MODES = ("torn_write", "bit_flip")
+
+
+class InjectedCrash(BaseException):
+    """A simulated process kill. BaseException so ``except Exception``
+    job handlers cannot absorb it — the study dies mid-flight exactly
+    like a real crash, leaving a resumable ledger behind."""
+
+
+class InjectedJobError(RuntimeError):
+    """A simulated task-function failure (``job.fn`` mode ``error``) —
+    an ordinary Exception, so retry/quarantine policy applies."""
+
+
+def _derive_seed(plan_seed: int, salt: int, index: int) -> int:
+    digest = hashlib.sha256(
+        f"faults:{plan_seed}:{salt}:{index}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class FaultInjector:
+    """Stateful, seeded executor of one fault plan.
+
+    Counts calls per seam, decides which point (if any) fires at each
+    call, and records every fire in :attr:`fires` for assertions and
+    artifacts.
+    """
+
+    def __init__(self, plan: FaultPlan, salt: int = 0) -> None:
+        self.plan = plan
+        self.salt = salt
+        self.calls: Dict[str, int] = {}
+        #: Every fire: ``(seam, mode, call_number, label)``.
+        self.fires: List[Tuple[str, str, int, str]] = []
+        self._rngs = [
+            random.Random(_derive_seed(plan.seed, salt, i))
+            for i in range(len(plan.points))
+        ]
+        self._fire_counts = [0] * len(plan.points)
+
+    @property
+    def fire_count(self) -> int:
+        return len(self.fires)
+
+    def decide(self, seam: str) -> Optional[FaultPoint]:
+        """Count one call at ``seam``; return the fired point, if any.
+
+        The first matching point that fires wins; every probability
+        point matching the seam draws its RNG on every call so firing
+        streams stay independent of other points' outcomes.
+        """
+        count = self.calls.get(seam, 0) + 1
+        self.calls[seam] = count
+        fired: Optional[FaultPoint] = None
+        for i, point in enumerate(self.plan.points):
+            if point.seam != seam:
+                continue
+            if point.trigger_calls:
+                fire = count in point.trigger_calls
+            else:
+                fire = self._rngs[i].random() < point.probability
+            if point.max_fires is not None and \
+                    self._fire_counts[i] >= point.max_fires:
+                fire = False
+            if fire and fired is None:
+                self._fire_counts[i] += 1
+                fired = point
+                self.fires.append((seam, point.mode, count,
+                                   point.label or f"{seam}:{point.mode}"))
+        return fired
+
+    def pre_op(self, seam: str) -> Optional[FaultPoint]:
+        """The seam hook: raise/sleep raising modes, return corruption
+        modes for the caller to apply via :meth:`corrupt`."""
+        point = self.decide(seam)
+        if point is None:
+            return None
+        call = self.calls[seam]
+        if point.mode == "crash":
+            raise InjectedCrash(
+                f"injected crash at {seam} call {call} "
+                f"({point.label or self.plan.name})"
+            )
+        if point.mode == "error":
+            raise InjectedJobError(
+                f"injected task error at {seam} call {call} "
+                f"({point.label or self.plan.name})"
+            )
+        if point.mode in ("oserror", "enospc"):
+            code = errno.ENOSPC if point.mode == "enospc" else errno.EIO
+            raise OSError(
+                code,
+                f"injected {point.mode} at {seam} call {call} "
+                f"({point.label or self.plan.name})",
+            )
+        if point.mode == "hang":
+            time.sleep(point.hang_s)
+            return None
+        return point  # torn_write / bit_flip
+
+    def corrupt(self, point: FaultPoint, path: str) -> None:
+        """Apply a corruption-mode fault to the file at ``path``.
+
+        Best-effort: a missing file is a no-op (the fault already
+        "happened" to nothing).
+        """
+        if point.mode not in _CORRUPTION_MODES:
+            raise ValueError(f"{point.mode!r} is not a corruption mode")
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            return
+        if size == 0:
+            return
+        if point.mode == "torn_write":
+            # Truncate at the offset, clamped so the file always shrinks.
+            offset = min(point.torn_offset, size - 1)
+            with open(path, "r+b") as fh:
+                fh.truncate(offset)
+        else:  # bit_flip
+            # Deterministic position from the plan identity, not from the
+            # point's firing RNG (corruption must not perturb firing).
+            pos_seed = _derive_seed(self.plan.seed, self.salt,
+                                    1000 + len(self.fires))
+            position = pos_seed % size
+            with open(path, "r+b") as fh:
+                fh.seek(position)
+                byte = fh.read(1)
+                fh.seek(position)
+                fh.write(bytes([byte[0] ^ (1 << (pos_seed % 8))]))
+
+    def summary(self) -> Dict[str, object]:
+        """Compact fire report for manifests and CI artifacts."""
+        return {
+            "plan": self.plan.name,
+            "seed": self.plan.seed,
+            "salt": self.salt,
+            "calls": dict(self.calls),
+            "fires": [
+                {"seam": seam, "mode": mode, "call": call, "label": label}
+                for seam, mode, call, label in self.fires
+            ],
+        }

@@ -19,8 +19,10 @@ from repro.studies.ledger import (
     DONE,
     FAILED,
     PENDING,
+    QUARANTINED,
     RUNNING,
     JobEntry,
+    LedgerCorruptError,
     LedgerMismatchError,
     StudyLedger,
 )
@@ -31,9 +33,11 @@ __all__ = [
     "DONE",
     "FAILED",
     "PENDING",
+    "QUARANTINED",
     "RUNNING",
     "Job",
     "JobEntry",
+    "LedgerCorruptError",
     "LedgerMismatchError",
     "Study",
     "StudyInterrupted",

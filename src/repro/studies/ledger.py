@@ -32,8 +32,12 @@ PENDING = "pending"
 RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
+#: A poisoned job: failed on every allowed attempt and parked with its
+#: error so the study can finish with a partial verdict. A resume
+#: re-submits quarantined jobs (they are "unfinished").
+QUARANTINED = "quarantined"
 
-_STATUSES = (PENDING, RUNNING, DONE, FAILED)
+_STATUSES = (PENDING, RUNNING, DONE, FAILED, QUARANTINED)
 
 
 @dataclass
@@ -56,6 +60,21 @@ class JobEntry:
 
 class LedgerMismatchError(RuntimeError):
     """The ledger belongs to a different (or drifted) study."""
+
+
+class LedgerCorruptError(RuntimeError):
+    """The ledger file on disk is torn or corrupt (interrupted flush,
+    bit rot). The embedded spec usually survives — recover with
+    ``repro-sim study resume LEDGER --salvage``."""
+
+    def __init__(self, path: str, reason: str) -> None:
+        super().__init__(
+            f"ledger {path!r} is corrupt ({reason}); finished jobs are "
+            "still in the result store — rebuild the journal with "
+            f"`study resume {path} --salvage`"
+        )
+        self.path = path
+        self.reason = reason
 
 
 class StudyLedger:
@@ -83,6 +102,12 @@ class StudyLedger:
         self.entries: Dict[str, JobEntry] = {}
         self.order: List[str] = []
         self.stats: Dict[str, Any] = {}
+        self._faults = None
+
+    def attach_faults(self, injector) -> None:
+        """Attach (or with ``None``, detach) a fault injector; the hook in
+        :meth:`save` is a single ``is not None`` check when detached."""
+        self._faults = injector
 
     # ------------------------------------------------------------------
     # Construction
@@ -126,29 +151,53 @@ class StudyLedger:
         return ledger
 
     @classmethod
-    def load(cls, path: str) -> "StudyLedger":
-        with open(path, "r", encoding="utf-8") as fh:
-            doc = json.load(fh)
+    def load(cls, path: str, faults=None) -> "StudyLedger":
+        """Parse the on-disk journal.
+
+        A torn or corrupt file raises :class:`LedgerCorruptError` (naming
+        the salvage command) instead of leaking a raw
+        ``JSONDecodeError``; a missing file still raises
+        ``FileNotFoundError``. ``faults`` optionally injects
+        ``ledger.load`` faults before the read.
+        """
+        if faults is not None:
+            point = faults.pre_op("ledger.load")
+            if point is not None:
+                faults.corrupt(point, path)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except FileNotFoundError:
+            raise
+        except (ValueError, UnicodeDecodeError, OSError) as exc:
+            raise LedgerCorruptError(path, f"unreadable: {exc}") from exc
+        if not isinstance(doc, dict):
+            raise LedgerCorruptError(path, "not a JSON object")
         version = doc.get("schema_version")
         if version != LEDGER_SCHEMA_VERSION:
             raise LedgerMismatchError(
                 f"ledger {path!r} has schema {version!r}, expected "
                 f"{LEDGER_SCHEMA_VERSION}"
             )
-        ledger = cls(
-            path,
-            doc["study"],
-            doc["fingerprint"],
-            spec=doc.get("spec"),
-            cache_dir=doc.get("cache_dir"),
-        )
-        ledger.created_at = doc.get("created_at", ledger.created_at)
-        ledger.updated_at = doc.get("updated_at", ledger.updated_at)
-        ledger.stats = dict(doc.get("stats", {}))
-        for key in doc.get("order", []):
-            entry_doc = doc["jobs"][key]
-            ledger.entries[key] = JobEntry(**entry_doc)
-            ledger.order.append(key)
+        try:
+            ledger = cls(
+                path,
+                doc["study"],
+                doc["fingerprint"],
+                spec=doc.get("spec"),
+                cache_dir=doc.get("cache_dir"),
+            )
+            ledger.created_at = doc.get("created_at", ledger.created_at)
+            ledger.updated_at = doc.get("updated_at", ledger.updated_at)
+            ledger.stats = dict(doc.get("stats", {}))
+            for key in doc.get("order", []):
+                entry_doc = doc["jobs"][key]
+                ledger.entries[key] = JobEntry(**entry_doc)
+                ledger.order.append(key)
+        except (KeyError, TypeError) as exc:
+            raise LedgerCorruptError(
+                path, f"missing or malformed field: {exc}"
+            ) from exc
         return ledger
 
     # ------------------------------------------------------------------
@@ -212,6 +261,9 @@ class StudyLedger:
         """Atomic flush (tmp + rename); in-memory ledgers are a no-op."""
         if self.path is None:
             return
+        fault_point = None
+        if self._faults is not None:
+            fault_point = self._faults.pre_op("ledger.flush")
         self.updated_at = time.time()
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
@@ -226,6 +278,8 @@ class StudyLedger:
             except OSError:
                 pass
             raise
+        if fault_point is not None:
+            self._faults.corrupt(fault_point, self.path)
 
     def describe(self) -> str:
         """Status block for ``repro study status``."""
@@ -235,6 +289,17 @@ class StudyLedger:
             f"{len(self.order)} jobs: "
             + " ".join(f"{s}={counts[s]}" for s in _STATUSES if counts[s]),
         ]
+        resilience = {
+            k: self.stats[k]
+            for k in ("retries", "backoff_s", "quarantined",
+                      "cache_quarantined", "pool_degraded")
+            if self.stats.get(k)
+        }
+        if resilience:
+            lines.append(
+                "  last run: "
+                + " ".join(f"{k}={v}" for k, v in resilience.items())
+            )
         for key in self.order:
             entry = self.entries[key]
             info = entry.info or {}

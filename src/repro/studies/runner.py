@@ -25,8 +25,16 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.parallel import TaskSpec, WorkerPool, default_chunk_size
+from repro.resilience.retry import RetryPolicy
 from repro.studies.core import Job, Study
-from repro.studies.ledger import DONE, FAILED, PENDING, RUNNING, StudyLedger
+from repro.studies.ledger import (
+    DONE,
+    FAILED,
+    PENDING,
+    QUARANTINED,
+    RUNNING,
+    StudyLedger,
+)
 
 
 class StudyInterrupted(KeyboardInterrupt):
@@ -55,14 +63,25 @@ class StudyRun:
     #: Keys satisfied from the content-addressed store.
     cached: List[str] = field(default_factory=list)
     failed: List[str] = field(default_factory=list)
+    #: Poisoned jobs parked by ``on_error="quarantine"`` — the study
+    #: finished around them, but they are *not* done (a resume retries
+    #: them) and the run never reports ``complete``.
+    quarantined: List[str] = field(default_factory=list)
     errors: Dict[str, BaseException] = field(default_factory=dict)
     #: True when ``max_jobs`` stopped the run before every job finished.
     interrupted: bool = False
+    #: Crash/timeout/flaky-job retries granted during this run.
+    retries: int = 0
+    #: Total backoff seconds scheduled for those retries.
+    backoff_s: float = 0.0
+    #: True when the WorkerPool fell back to inline execution.
+    pool_degraded: bool = False
     ledger: Optional[StudyLedger] = None
 
     @property
     def complete(self) -> bool:
-        return not self.failed and len(self.results) == len(self.study.jobs)
+        return (not self.failed and not self.quarantined
+                and len(self.results) == len(self.study.jobs))
 
     def collected(self) -> List[Any]:
         """Per-job results in submission order (requires a complete run)."""
@@ -92,6 +111,8 @@ def run_study(
     progress: Optional[Callable[[Dict[str, Any]], None]] = None,
     max_jobs: Optional[int] = None,
     on_error: str = "raise",
+    faults=None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> StudyRun:
     """Schedule a compiled study; return the (possibly partial) run.
 
@@ -123,13 +144,32 @@ def run_study(
         ``"raise"`` (library default) re-raises the first job error after
         flushing the ledger — matching the historical fail-fast runners.
         ``"continue"`` marks the job ``failed`` and keeps going, so one
-        bad arm cannot sink a multi-hour study.
+        bad arm cannot sink a multi-hour study. ``"quarantine"`` parks a
+        job that failed every allowed attempt as ``quarantined`` in the
+        ledger (error attached) and keeps going — the study completes
+        with a partial verdict; the run never reports ``complete``, and
+        a resume retries quarantined jobs.
+    faults:
+        Optional :class:`repro.resilience.FaultInjector`; attached to
+        the cache, ledger, and pool for the duration of the run (pass
+        ``None`` to guarantee a clean run on shared objects).
+    retry_policy:
+        Optional :class:`repro.resilience.RetryPolicy` governing both
+        the WorkerPool (crash/timeout retries, default retry-once) and
+        the serial executor (task-exception retries for flaky/injected
+        failures; historical default: one attempt, no retry).
     """
     if executor not in ("serial", "process"):
         raise ValueError(f"unknown executor {executor!r}")
-    if on_error not in ("raise", "continue"):
+    if on_error not in ("raise", "continue", "quarantine"):
         raise ValueError(f"unknown on_error {on_error!r}")
     run = StudyRun(study=study, ledger=ledger)
+    if cache is not None:
+        attach = getattr(cache, "attach_faults", None)
+        if attach is not None:
+            attach(faults)
+    if ledger is not None:
+        ledger.attach_faults(faults)
     if cache is not None and metrics is not None:
         attach = getattr(cache, "attach_metrics", None)
         if attach is not None:
@@ -185,10 +225,11 @@ def run_study(
     try:
         if to_run and executor == "process":
             _run_process(study, to_run, run, max_workers, task_timeout,
-                         metrics, ledger, store, record_done, emit, on_error)
+                         metrics, ledger, store, record_done, emit, on_error,
+                         faults, retry_policy)
         elif to_run:
             _run_serial(study, to_run, run, metrics, ledger, store,
-                        record_done, emit, on_error)
+                        record_done, emit, on_error, faults, retry_policy)
     except KeyboardInterrupt:
         run.interrupted = True
         _finalize(run, cache, metrics, ledger)
@@ -198,26 +239,51 @@ def run_study(
     return run
 
 
+_NOT_DONE = object()  # sentinel: a job may legitimately return None
+
+
 def _run_serial(study, to_run, run, metrics, ledger, store, record_done,
-                emit, on_error) -> None:
+                emit, on_error, faults, retry_policy) -> None:
     arm_hist = None
     if metrics is not None:
         arm_hist = metrics.histogram(
             f"{study.metrics_prefix}.arm_seconds", edges=_wall_buckets()
         )
-    for job in to_run:
+    policy = retry_policy or RetryPolicy(max_attempts=1)
+    for position, job in enumerate(to_run):
         if ledger is not None:
             ledger.mark(job.key, RUNNING)
         arm_start = time.perf_counter()
-        try:
-            result = job.run(metrics=metrics)
-        except KeyboardInterrupt:
-            raise
-        except Exception as exc:
-            _record_failure(run, job, exc, ledger, emit)
-            if on_error == "raise":
+        result = _NOT_DONE
+        attempt = 0
+        while result is _NOT_DONE:
+            try:
+                if faults is not None:
+                    faults.pre_op("job.fn")
+                result = job.run(metrics=metrics)
+            except KeyboardInterrupt:
                 raise
-            continue
+            except Exception as exc:
+                attempt += 1
+                if attempt < policy.max_attempts:
+                    # A flaky (or injected-probabilistic) failure may
+                    # heal on retry; a deterministic job reproduces the
+                    # same bytes, so retrying never changes science.
+                    delay = policy.delay_s(position, attempt)
+                    run.retries += 1
+                    run.backoff_s += delay
+                    if delay > 0:
+                        time.sleep(delay)
+                    if ledger is not None:
+                        ledger.mark(job.key, RUNNING)  # counts the attempt
+                    continue
+                _record_failure(run, job, exc, ledger, emit,
+                                quarantine=(on_error == "quarantine"))
+                if on_error == "raise":
+                    raise
+                break
+        if result is _NOT_DONE:
+            continue  # failed/quarantined; already recorded
         wall = time.perf_counter() - arm_start
         if arm_hist is not None:
             arm_hist.observe(wall)
@@ -226,13 +292,16 @@ def _run_serial(study, to_run, run, metrics, ledger, store, record_done,
 
 
 def _run_process(study, to_run, run, max_workers, task_timeout, metrics,
-                 ledger, store, record_done, emit, on_error) -> None:
+                 ledger, store, record_done, emit, on_error, faults,
+                 retry_policy) -> None:
     workers = max_workers or WorkerPool().max_workers
     chunk = default_chunk_size(len(to_run), workers)
     chunks: List[List[Job]] = [
         to_run[i:i + chunk] for i in range(0, len(to_run), chunk)
     ]
-    pool = WorkerPool(max_workers=workers, task_timeout=task_timeout)
+    pool = WorkerPool(max_workers=workers, task_timeout=task_timeout,
+                      retry_policy=retry_policy)
+    pool.attach_faults(faults)
     if ledger is not None:
         ledger.mark_many([j.key for c in chunks for j in c], RUNNING)
 
@@ -247,6 +316,9 @@ def _run_process(study, to_run, run, max_workers, task_timeout, metrics,
         [TaskSpec(fn=_run_job_chunk, args=(c,)) for c in chunks],
         on_result=on_chunk_done,
     )
+    run.retries += pool.retry_count
+    run.backoff_s += pool.backoff_total_s
+    run.pool_degraded = run.pool_degraded or pool.degraded
     if metrics is not None:
         chunk_hist = metrics.histogram(
             f"{study.metrics_prefix}.chunk_seconds", edges=_wall_buckets()
@@ -257,18 +329,20 @@ def _run_process(study, to_run, run, max_workers, task_timeout, metrics,
         for index in sorted(errors):
             for job in chunks[index]:
                 if job.key not in run.results:
-                    _record_failure(run, job, errors[index], ledger, emit)
+                    _record_failure(run, job, errors[index], ledger, emit,
+                                    quarantine=(on_error == "quarantine"))
         if on_error == "raise":
             raise errors[min(errors)]
 
 
-def _record_failure(run, job, exc, ledger, emit) -> None:
-    run.failed.append(job.key)
-    run.errors[job.key] = exc
+def _record_failure(run, job, exc, ledger, emit, quarantine=False) -> None:
     message = f"{type(exc).__name__}: {exc}"
+    status = QUARANTINED if quarantine else FAILED
+    (run.quarantined if quarantine else run.failed).append(job.key)
+    run.errors[job.key] = exc
     if ledger is not None:
-        ledger.mark(job.key, FAILED, error=message)
-    emit(job, FAILED, "executed", error=message)
+        ledger.mark(job.key, status, error=message)
+    emit(job, status, "executed", error=message)
 
 
 def _finalize(run: StudyRun, cache, metrics, ledger) -> None:
@@ -281,6 +355,17 @@ def _finalize(run: StudyRun, cache, metrics, ledger) -> None:
             cache.hits / lookups if lookups else 0.0
         )
         metrics.gauge("cache.disabled").set(int(cache.disabled))
+    if metrics is not None:
+        # Run-level resilience counters (the cache's own
+        # ``cache.quarantined`` counter increments live in get()).
+        if run.retries:
+            metrics.counter("pool.retries").inc(run.retries)
+        metrics.gauge("pool.backoff_seconds").set(run.backoff_s)
+        metrics.gauge("pool.degraded").set(int(run.pool_degraded))
+        if run.quarantined:
+            metrics.counter("study.jobs_quarantined").inc(
+                len(run.quarantined)
+            )
     if cache is not None:
         write_stats = getattr(cache, "write_stats", None)
         if write_stats is not None:
@@ -290,7 +375,14 @@ def _finalize(run: StudyRun, cache, metrics, ledger) -> None:
             "executed": len(run.executed),
             "cached": len(run.cached),
             "failed": len(run.failed),
+            "quarantined": len(run.quarantined),
+            "retries": run.retries,
+            "backoff_s": run.backoff_s,
+            "pool_degraded": run.pool_degraded,
             "interrupted": run.interrupted,
             "cache_disabled": bool(cache is not None and cache.disabled),
+            "cache_quarantined": int(
+                getattr(cache, "quarantined", 0) if cache is not None else 0
+            ),
         }
         ledger.save()

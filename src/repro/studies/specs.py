@@ -255,9 +255,26 @@ def run_payload(spec: Dict[str, Any], plan: StudyPlan, run) -> Dict[str, Any]:
         "executed": len(run.executed),
         "cached": len(run.cached),
         "failed": len(run.failed),
+        "quarantined": len(run.quarantined),
+        "retries": run.retries,
+        "backoff_s": run.backoff_s,
         "interrupted": run.interrupted,
         "complete": run.complete,
     }
+    if run.quarantined and run.results and plan.study.summarize:
+        # The partial verdict a quarantined study still delivers: the
+        # worst per-job verdict over the jobs that did finish.
+        verdicts = [
+            (plan.study.summarize(result) or {}).get("verdict")
+            for result in run.results.values()
+        ]
+        verdicts = [v for v in verdicts if v]
+        if verdicts:
+            order = {"FAIL": 0, "DEGRADED": 1, "PASS": 2}
+            payload["partial_verdict"] = min(
+                verdicts, key=lambda v: order.get(v, 0)
+            )
+            payload["partial_over_jobs"] = len(run.results)
     if run.complete:
         result = plan.collect(run)
         if spec["kind"] == "montecarlo":
@@ -287,14 +304,23 @@ def run_payload(spec: Dict[str, Any], plan: StudyPlan, run) -> Dict[str, Any]:
 def render_run(spec: Dict[str, Any], plan: StudyPlan, run) -> str:
     """Human-readable outcome block for ``study run`` / ``resume``."""
     study = plan.study
+    quarantined = (f", {len(run.quarantined)} quarantined"
+                   if run.quarantined else "")
+    retried = f", {run.retries} retries" if run.retries else ""
     head = (
         f"study {spec_name(spec)!r} ({study.fingerprint()[:12]}): "
         f"{len(run.results)}/{len(study.jobs)} done "
         f"({len(run.executed)} executed, {len(run.cached)} cached, "
-        f"{len(run.failed)} failed)"
+        f"{len(run.failed)} failed{quarantined}{retried})"
     )
     if not run.complete:
-        state = "interrupted" if run.interrupted else "incomplete"
+        if run.quarantined:
+            state = (f"{len(run.quarantined)} jobs quarantined "
+                     "(poisoned; errors in the ledger)")
+        elif run.interrupted:
+            state = "interrupted"
+        else:
+            state = "incomplete"
         return f"{head} — {state}; resume with 'study resume LEDGER'"
     result = plan.collect(run)
     if spec["kind"] == "montecarlo":

@@ -114,7 +114,11 @@ class TestResultsCache:
         path = cache._path(key)
         assert path.startswith(os.path.join(str(tmp_path), key[:2]))
         with open(path, encoding="utf-8") as fh:
-            assert json.load(fh) == {"nested": {"ok": True}}
+            doc = json.load(fh)
+        # Entries live inside the checksum envelope (verify-on-read).
+        assert set(doc) == {"sha256", "payload"}
+        assert doc["payload"] == {"nested": {"ok": True}}
+        assert cache.get(key) == {"nested": {"ok": True}}
         assert not [
             name for name in os.listdir(os.path.dirname(path))
             if name.endswith(".tmp")

@@ -1,0 +1,194 @@
+"""CLI surface of the fault-injection / self-healing layer.
+
+End-to-end through ``main([...])``: a fault plan kills a study (exit 4),
+a clean resume heals the torn store entry, a corrupt ledger is reported
+clearly (exit 2) and rebuilt by ``resume --salvage``, and ``cache
+verify`` sweeps and quarantines.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.parallel import QUARANTINE_DIRNAME
+
+SMOKE_PLAN = "examples/faultplans/smoke_torn_cache.json"
+
+
+def _spec(tmp_path):
+    spec = tmp_path / "study.json"
+    spec.write_text(json.dumps({
+        "kind": "montecarlo", "name": "cli-faults",
+        "seeds": [1, 21, 42], "hours": 0.02,
+    }))
+    return spec
+
+
+class TestFaultedStudyRun:
+    def test_injected_crash_exits_4_then_resume_heals(self, tmp_path,
+                                                      capsys):
+        spec = _spec(tmp_path)
+        cache_dir = str(tmp_path / "store")
+        ledger = str(tmp_path / "study.ledger.json")
+
+        code = main(["study", "run", str(spec), "--cache-dir", cache_dir,
+                     "--fault-plan", SMOKE_PLAN])
+        captured = capsys.readouterr()
+        assert code == 4
+        assert "injected fault" in captured.err
+        assert "study resume" in captured.err  # tells the user how to heal
+
+        # The first job's cache entry exists but was torn mid-write.
+        resumed = main(["study", "resume", ledger,
+                        "--cache-dir", cache_dir, "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert resumed == 0
+        assert payload["complete"] is True
+        assert payload["cache_quarantined"] == 1
+        assert len(payload["result"]["outcomes"]) == 3
+        quarantine = os.path.join(cache_dir, QUARANTINE_DIRNAME)
+        assert len(os.listdir(quarantine)) == 1
+
+    def test_fault_summary_lands_in_json_payload(self, tmp_path, capsys):
+        spec = _spec(tmp_path)
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({
+            "schema_version": 1, "name": "flaky", "seed": 3,
+            "points": [{"seam": "job.fn", "mode": "error",
+                        "trigger_calls": [1], "max_fires": 1}],
+        }))
+        code = main(["study", "run", str(spec),
+                     "--cache-dir", str(tmp_path / "store"),
+                     "--fault-plan", str(plan), "--retries", "1",
+                     "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["complete"] is True
+        assert payload["retries"] == 1
+        assert payload["faults"]["fires"][0]["seam"] == "job.fn"
+
+    def test_quarantine_flag_parks_poisoned_jobs(self, tmp_path, capsys):
+        spec = _spec(tmp_path)
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({
+            "schema_version": 1, "name": "poison", "seed": 3,
+            "points": [{"seam": "job.fn", "mode": "error",
+                        "probability": 1.0}],
+        }))
+        code = main(["study", "run", str(spec),
+                     "--cache-dir", str(tmp_path / "store"),
+                     "--fault-plan", str(plan), "--quarantine", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["complete"] is False
+        assert payload["quarantined"] == 3
+
+        ledger = str(tmp_path / "study.ledger.json")
+        assert main(["study", "status", ledger]) == 1
+        assert "quarantined=3" in capsys.readouterr().out
+
+
+class TestSalvageCycle:
+    def _torn_ledger(self, tmp_path, capsys):
+        spec = _spec(tmp_path)
+        cache_dir = str(tmp_path / "store")
+        ledger = str(tmp_path / "study.ledger.json")
+        assert main(["study", "run", str(spec),
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        with open(ledger, "r+b") as fh:
+            fh.truncate(int(os.path.getsize(ledger) * 0.5))
+        return ledger, cache_dir
+
+    def test_status_reports_corruption_clearly(self, tmp_path, capsys):
+        ledger, _ = self._torn_ledger(tmp_path, capsys)
+        assert main(["study", "status", ledger]) == 2
+        err = capsys.readouterr().err
+        assert "--salvage" in err
+
+    def test_rerun_against_torn_ledger_exits_2(self, tmp_path, capsys):
+        ledger, cache_dir = self._torn_ledger(tmp_path, capsys)
+        assert main(["study", "run", str(tmp_path / "study.json"),
+                     "--cache-dir", cache_dir]) == 2
+        assert "--salvage" in capsys.readouterr().err
+
+    def test_resume_refuses_without_salvage_flag(self, tmp_path, capsys):
+        ledger, cache_dir = self._torn_ledger(tmp_path, capsys)
+        assert main(["study", "resume", ledger,
+                     "--cache-dir", cache_dir]) == 2
+        assert "--salvage" in capsys.readouterr().err
+
+    def test_salvage_rebuilds_and_restores_from_store(self, tmp_path,
+                                                      capsys):
+        ledger, cache_dir = self._torn_ledger(tmp_path, capsys)
+        code = main(["study", "resume", ledger, "--salvage",
+                     "--cache-dir", cache_dir, "--json"])
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert code == 0
+        assert "salvaged corrupt ledger" in captured.err
+        assert payload["complete"] is True
+        assert payload["salvaged"] is True
+        # Every job came back from the store — nothing recomputed.
+        assert payload["executed"] == 0
+        assert payload["cached"] == 3
+        assert os.path.exists(ledger + ".corrupt")
+        assert main(["study", "status", ledger]) == 0
+
+    def test_salvage_on_healthy_ledger_is_a_plain_resume(self, tmp_path,
+                                                         capsys):
+        spec = _spec(tmp_path)
+        cache_dir = str(tmp_path / "store")
+        ledger = str(tmp_path / "study.ledger.json")
+        assert main(["study", "run", str(spec), "--max-jobs", "1",
+                     "--cache-dir", cache_dir]) == 3
+        capsys.readouterr()
+        code = main(["study", "resume", ledger, "--salvage",
+                     "--cache-dir", cache_dir, "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["complete"] is True
+        assert payload.get("salvaged", False) is False
+        assert not os.path.exists(ledger + ".corrupt")
+
+
+class TestCacheVerify:
+    def test_clean_store_exits_0(self, tmp_path, capsys):
+        spec = _spec(tmp_path)
+        cache_dir = str(tmp_path / "store")
+        assert main(["study", "run", str(spec),
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        code = main(["cache", "verify", "--cache-dir", cache_dir,
+                     "--json"])
+        summary = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert summary["scanned"] == 3
+        assert summary["ok"] == 3 and summary["quarantined"] == 0
+
+    def test_corrupt_entry_quarantined_and_exit_1(self, tmp_path, capsys):
+        spec = _spec(tmp_path)
+        cache_dir = str(tmp_path / "store")
+        assert main(["study", "run", str(spec),
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        entries = []
+        for dirpath, _dirnames, filenames in os.walk(cache_dir):
+            if len(os.path.basename(dirpath)) != 2:  # fanout dirs only
+                continue
+            entries.extend(os.path.join(dirpath, f) for f in filenames
+                           if f.endswith(".json"))
+        victim = sorted(entries)[0]
+        with open(victim, "r+b") as fh:
+            fh.truncate(10)
+        assert main(["cache", "verify", "--cache-dir", cache_dir]) == 1
+        out = capsys.readouterr().out
+        assert "1 quarantined" in out
+
+        # Stats surface the quarantine count too.
+        assert main(["cache", "stats", "--cache-dir", cache_dir,
+                     "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["quarantined"] == 1
